@@ -1,0 +1,70 @@
+//! Microbenchmarks for the attack pipeline: COUNT, FREQ-ANALYSIS, and the
+//! three end-to-end attacks on a small FSL-like pair.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use freqdedup_bench::harness;
+use freqdedup_core::attacks::basic::BasicAttack;
+use freqdedup_core::attacks::locality::{LocalityAttack, LocalityParams};
+use freqdedup_core::counting::ChunkStats;
+use freqdedup_core::ext::lp_opt::lp_optimization_attack;
+use freqdedup_core::freq_analysis::freq_analysis;
+use freqdedup_datasets::fsl::{generate, FslConfig};
+use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
+use freqdedup_trace::Backup;
+
+fn small_pair() -> (Backup, Backup) {
+    let series = generate(&FslConfig::scaled(2000));
+    let aux = series.get(3).unwrap().clone();
+    let enc = DeterministicTraceEncryptor::new(harness::MLE_SECRET);
+    let target = enc.encrypt_backup(series.get(4).unwrap()).backup;
+    (aux, target)
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let (aux, _) = small_pair();
+    let mut group = c.benchmark_group("count");
+    group.throughput(Throughput::Elements(aux.len() as u64));
+    group.bench_function("full", |b| b.iter(|| ChunkStats::full(&aux)));
+    group.bench_function("frequencies_only", |b| {
+        b.iter(|| ChunkStats::frequencies_only(&aux))
+    });
+    group.finish();
+}
+
+fn bench_freq_analysis(c: &mut Criterion) {
+    let (aux, target) = small_pair();
+    let sm = ChunkStats::frequencies_only(&aux);
+    let sc = ChunkStats::frequencies_only(&target);
+    let mut group = c.benchmark_group("freq_analysis");
+    group.bench_function("full_tables", |b| {
+        b.iter(|| freq_analysis(&sc.freq, &sm.freq, usize::MAX));
+    });
+    group.bench_function("top_1", |b| {
+        b.iter(|| freq_analysis(&sc.freq, &sm.freq, 1));
+    });
+    group.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (aux, target) = small_pair();
+    let mut group = c.benchmark_group("attack_end_to_end");
+    group.sample_size(10);
+    group.bench_function("basic", |b| {
+        b.iter(|| BasicAttack::new().run(&target, &aux));
+    });
+    group.bench_function("locality", |b| {
+        let attack = LocalityAttack::new(LocalityParams::default());
+        b.iter(|| attack.run_ciphertext_only(&target, &aux));
+    });
+    group.bench_function("advanced", |b| {
+        let attack = LocalityAttack::new(LocalityParams::default().size_aware(true));
+        b.iter(|| attack.run_ciphertext_only(&target, &aux));
+    });
+    group.bench_function("lp_opt_top200", |b| {
+        b.iter(|| lp_optimization_attack(&target, &aux, 200, 1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_freq_analysis, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks for the chunking substrate: Rabin rolling hash,
+//! content-defined chunking, and stream segmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use freqdedup_chunking::cdc::{chunk_spans, CdcParams};
+use freqdedup_chunking::rabin::RabinHasher;
+use freqdedup_chunking::segment::{segment_spans, SegmentParams};
+use freqdedup_trace::ChunkRecord;
+
+fn pseudo_random(len: usize) -> Vec<u8> {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+fn bench_rabin(c: &mut Criterion) {
+    let data = pseudo_random(1 << 20);
+    let mut group = c.benchmark_group("rabin_roll");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB", |b| {
+        b.iter(|| {
+            let mut h = RabinHasher::default();
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.slide(byte);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_cdc(c: &mut Criterion) {
+    let data = pseudo_random(4 << 20);
+    let params = CdcParams::paper_8kb();
+    let mut group = c.benchmark_group("cdc_chunking");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("4MiB_8KB_avg", |b| {
+        b.iter(|| chunk_spans(&data, &params));
+    });
+    group.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut x = 1u64;
+    let chunks: Vec<ChunkRecord> = (0..100_000)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ChunkRecord::new(x, 8192)
+        })
+        .collect();
+    let params = SegmentParams::default();
+    let mut group = c.benchmark_group("segmentation");
+    group.throughput(Throughput::Elements(chunks.len() as u64));
+    group.bench_function("100k_chunks", |b| {
+        b.iter(|| segment_spans(&chunks, &params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rabin, bench_cdc, bench_segmentation);
+criterion_main!(benches);

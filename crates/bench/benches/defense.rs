@@ -1,0 +1,56 @@
+//! Microbenchmarks for the defenses: MinHash encryption, scrambling, the
+//! combined pipeline, and the content-path MLE schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use freqdedup_bench::harness;
+use freqdedup_core::defense::{DefenseScheme, Scrambler};
+use freqdedup_mle::{convergent::Convergent, Mle};
+use freqdedup_trace::{Backup, ChunkRecord};
+
+fn sample_backup(n: usize) -> Backup {
+    let mut x = 1u64;
+    Backup::from_chunks(
+        "bench",
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ChunkRecord::new(x, 8192)
+            })
+            .collect(),
+    )
+}
+
+fn bench_defenses(c: &mut Criterion) {
+    let backup = sample_backup(100_000);
+    let params = harness::segment_params(8192);
+    let mut group = c.benchmark_group("defense_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(backup.len() as u64));
+    group.bench_function("minhash_only", |b| {
+        let scheme = DefenseScheme::minhash_only(params.clone());
+        b.iter(|| scheme.encrypt_backup(&backup));
+    });
+    group.bench_function("scramble_only", |b| {
+        let scrambler = Scrambler::new(params.clone(), 42);
+        b.iter(|| scrambler.scramble_backup(&backup));
+    });
+    group.bench_function("combined", |b| {
+        let scheme = DefenseScheme::combined(params.clone(), 42);
+        b.iter(|| scheme.encrypt_backup(&backup));
+    });
+    group.finish();
+}
+
+fn bench_mle_content(c: &mut Criterion) {
+    let chunk = vec![0x5au8; 8192];
+    let mut group = c.benchmark_group("mle_content");
+    group.throughput(Throughput::Bytes(chunk.len() as u64));
+    group.bench_function("convergent_encrypt_8k", |b| {
+        let mle = Convergent::new();
+        b.iter(|| mle.encrypt(&chunk).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses, bench_mle_content);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 11: storage efficiency — cumulative storage saving after each
+//! backup, original MLE (exact chunk dedup) vs. the combined MinHash +
+//! scrambling scheme.
+//!
+//! Paper shape: the combined scheme tracks MLE closely, ending at most a few
+//! percentage points lower (3.6% FSL, ~3% synthetic, 0.7% VM).
+
+use freqdedup_bench::{cli, data, harness, output};
+use freqdedup_core::defense::DefenseScheme;
+use freqdedup_trace::stats::DedupAccumulator;
+
+const USAGE: &str = "fig11_storage_saving [--scale f] [--seed n] [--csv]";
+
+fn main() {
+    let args = cli::parse(std::env::args().skip(1), USAGE);
+    println!("# Figure 11: cumulative storage saving, MLE vs Combined");
+    for dataset in [data::Dataset::Fsl, data::Dataset::Synthetic, data::Dataset::Vm] {
+        let series = data::series(dataset, args.scale, args.seed);
+        let scheme =
+            DefenseScheme::combined(harness::segment_params(dataset.avg_chunk_size()), 0xdef);
+        let (defended, _) = scheme.encrypt_series(&series);
+
+        let mut table = output::Table::new(&[
+            "dataset",
+            "backup",
+            "mle_saving_%",
+            "combined_saving_%",
+            "delta_pp",
+        ]);
+        let mut mle_acc = DedupAccumulator::new();
+        let mut combined_acc = DedupAccumulator::new();
+        for (plain, enc) in series.iter().zip(defended.iter()) {
+            mle_acc.add_backup(plain);
+            combined_acc.add_backup(enc);
+            let mle = mle_acc.storage_saving() * 100.0;
+            let comb = combined_acc.storage_saving() * 100.0;
+            table.push_row(vec![
+                dataset.name().into(),
+                plain.label.clone(),
+                format!("{mle:.1}"),
+                format!("{comb:.1}"),
+                format!("{:.2}", mle - comb),
+            ]);
+        }
+        println!(
+            "\n## {dataset} dataset (final dedup ratio: MLE {:.1}x, combined {:.1}x)",
+            mle_acc.dedup_ratio(),
+            combined_acc.dedup_ratio()
+        );
+        table.print(args.csv);
+    }
+}

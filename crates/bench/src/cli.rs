@@ -1,0 +1,93 @@
+//! Minimal command-line parsing for the experiment binaries.
+
+/// Common experiment flags.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Dataset scale factor (1.0 = the default reproduction scale).
+    pub scale: f64,
+    /// Master seed override.
+    pub seed: Option<u64>,
+    /// Emit machine-readable CSV instead of the aligned table.
+    pub csv: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            scale: 1.0,
+            seed: None,
+            csv: false,
+        }
+    }
+}
+
+/// Parses `--scale <f64>`, `--seed <u64>` and `--csv` from an argument
+/// iterator; unknown flags abort with a usage message.
+///
+/// # Panics
+///
+/// Exits the process (status 2) on malformed arguments.
+#[must_use]
+pub fn parse(args: impl Iterator<Item = String>, usage: &str) -> CommonArgs {
+    let mut out = CommonArgs::default();
+    let mut it = args.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| die(usage, "--scale needs a value"));
+                out.scale = v
+                    .parse()
+                    .unwrap_or_else(|_| die(usage, "--scale must be a number"));
+                if out.scale <= 0.0 {
+                    die::<f64>(usage, "--scale must be positive");
+                }
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| die(usage, "--seed needs a value"));
+                out.seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| die(usage, "--seed must be an integer")),
+                );
+            }
+            "--csv" => out.csv = true,
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                die::<()>(usage, &format!("unknown flag {other}"));
+            }
+        }
+    }
+    out
+}
+
+fn die<T>(usage: &str, msg: &str) -> T {
+    eprintln!("error: {msg}\n{usage}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> impl Iterator<Item = String> {
+        v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(args(&[]), "u");
+        assert!((a.scale - 1.0).abs() < 1e-12);
+        assert_eq!(a.seed, None);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(args(&["--scale", "0.5", "--seed", "7", "--csv"]), "u");
+        assert!((a.scale - 0.5).abs() < 1e-12);
+        assert_eq!(a.seed, Some(7));
+        assert!(a.csv);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dataset construction at a configurable scale.
+//!
+//! `scale = 1.0` is the default reproduction scale (see EXPERIMENTS.md for
+//! the sizes); smaller scales run faster for smoke tests, larger scales
+//! approach the paper's population sizes.
+
+use freqdedup_datasets::{fsl, synthetic, vm};
+use freqdedup_trace::BackupSeries;
+
+/// The three datasets of the evaluation (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// FSL-like: 6 users × 5 monthly fulls, variable 8 KB chunks.
+    Fsl,
+    /// Synthetic: 10 content-level snapshots chunked at 8 KB average.
+    Synthetic,
+    /// VM-like: 20 users × 13 weekly fulls, fixed 4 KB chunks.
+    Vm,
+}
+
+impl Dataset {
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Fsl => "FSL",
+            Dataset::Synthetic => "Synthetic",
+            Dataset::Vm => "VM",
+        }
+    }
+
+    /// Average chunk size, used to derive segmentation parameters.
+    #[must_use]
+    pub fn avg_chunk_size(self) -> u32 {
+        match self {
+            Dataset::Fsl | Dataset::Synthetic => 8 * 1024,
+            Dataset::Vm => 4 * 1024,
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the FSL-like series at `scale` (chunks per user = 20,000·scale).
+#[must_use]
+pub fn fsl_series(scale: f64, seed: Option<u64>) -> BackupSeries {
+    let mut cfg = fsl::FslConfig::scaled(((20_000.0 * scale) as usize).max(500));
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    fsl::generate(&cfg)
+}
+
+/// Builds the VM-like series at `scale` (base image = 12,000·scale chunks).
+#[must_use]
+pub fn vm_series(scale: f64, seed: Option<u64>) -> BackupSeries {
+    let mut cfg = vm::VmConfig::scaled(
+        ((12_000.0 * scale) as usize).max(500),
+        ((3_000.0 * scale) as usize).max(100),
+    );
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    vm::generate(&cfg)
+}
+
+/// Builds the synthetic content series at `scale`
+/// (initial volume = 32 MiB·scale), chunked at 8 KB average.
+#[must_use]
+pub fn synthetic_series(scale: f64, seed: Option<u64>) -> BackupSeries {
+    let mut cfg =
+        synthetic::SyntheticConfig::scaled(((32.0 * 1024.0 * 1024.0 * scale) as usize).max(256 * 1024));
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    let cdc = freqdedup_chunking::cdc::CdcParams::paper_8kb();
+    synthetic::generate_series(&cfg, &cdc)
+}
+
+/// Builds one dataset by kind.
+#[must_use]
+pub fn series(dataset: Dataset, scale: f64, seed: Option<u64>) -> BackupSeries {
+    match dataset {
+        Dataset::Fsl => fsl_series(scale, seed),
+        Dataset::Synthetic => synthetic_series(scale, seed),
+        Dataset::Vm => vm_series(scale, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scales_build() {
+        assert_eq!(fsl_series(0.05, None).len(), 5);
+        assert_eq!(vm_series(0.05, None).len(), 13);
+        assert_eq!(synthetic_series(0.02, None).len(), 10);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Dataset::Fsl.name(), "FSL");
+        assert_eq!(Dataset::Vm.to_string(), "VM");
+        assert_eq!(Dataset::Synthetic.avg_chunk_size(), 8192);
+        assert_eq!(Dataset::Vm.avg_chunk_size(), 4096);
+    }
+}

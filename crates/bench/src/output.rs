@@ -1,0 +1,159 @@
+//! Table/CSV output for the experiment binaries.
+
+/// A simple result table: header row plus data rows, printed either as an
+/// aligned text table (human) or CSV (machines).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an aligned text table.
+    #[must_use]
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints CSV when `csv` is set, the aligned table otherwise.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_aligned());
+        }
+    }
+}
+
+/// Formats a rate as a percentage with adaptive precision (tiny rates keep
+/// significant digits, like the paper's "0.0001%").
+#[must_use]
+pub fn pct(rate: f64) -> String {
+    let p = rate * 100.0;
+    if p == 0.0 {
+        "0".into()
+    } else if p < 0.01 {
+        format!("{p:.4}")
+    } else if p < 1.0 {
+        format!("{p:.3}")
+    } else {
+        format!("{p:.1}")
+    }
+}
+
+/// Formats a byte count as mebibytes with one decimal.
+#[must_use]
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn aligned_pads() {
+        let mut t = Table::new(&["col", "x"]);
+        t.push_row(vec!["1".into(), "value".into()]);
+        let s = t.to_aligned();
+        assert!(s.contains("col"));
+        assert!(s.contains("value"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0), "0");
+        assert_eq!(pct(0.232), "23.2");
+        assert_eq!(pct(0.000001), "0.0001");
+        assert_eq!(pct(0.0023), "0.230");
+    }
+
+    #[test]
+    fn mib_formats() {
+        assert_eq!(mib(1024 * 1024), "1.0");
+        assert_eq!(mib(1536 * 1024), "1.5");
+    }
+}

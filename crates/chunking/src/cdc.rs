@@ -1,0 +1,334 @@
+//! Content-defined chunking (CDC) with Rabin fingerprints.
+//!
+//! Chunk boundaries are placed where the rolling hash of a byte window
+//! matches a content pattern, so boundaries are robust against byte shifts
+//! (§2.1). Minimum, average and maximum chunk sizes are configurable, as in
+//! the paper ("we can configure the minimum, average, and maximum chunk sizes
+//! in content-defined chunking").
+
+use std::ops::Range;
+
+use crate::rabin::{RabinHasher, DEFAULT_POLY, DEFAULT_WINDOW};
+
+/// Parameters of the content-defined chunker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CdcParams {
+    /// Minimum chunk size in bytes (no boundary test before this point).
+    pub min_size: usize,
+    /// Average (expected) chunk size in bytes; rounded up to a power of two
+    /// for the boundary mask.
+    pub avg_size: usize,
+    /// Maximum chunk size in bytes (forced boundary).
+    pub max_size: usize,
+    /// Rabin polynomial.
+    pub poly: u64,
+    /// Rolling window size in bytes.
+    pub window: usize,
+}
+
+impl CdcParams {
+    /// Standard parameters for a given average chunk size: minimum is
+    /// `avg/4`, maximum is `avg*4` (the common 1:4 spread used by backup
+    /// systems), default polynomial and window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_size < 64`.
+    #[must_use]
+    pub fn with_avg_size(avg_size: usize) -> Self {
+        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        CdcParams {
+            min_size: avg_size / 4,
+            avg_size,
+            max_size: avg_size * 4,
+            poly: DEFAULT_POLY,
+            window: DEFAULT_WINDOW,
+        }
+    }
+
+    /// The paper's FSL/synthetic configuration: 8 KB average chunks.
+    #[must_use]
+    pub fn paper_8kb() -> Self {
+        Self::with_avg_size(8 * 1024)
+    }
+
+    /// Validates the parameter combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_size == 0 {
+            return Err("min_size must be positive".into());
+        }
+        if self.min_size > self.avg_size {
+            return Err(format!(
+                "min_size {} exceeds avg_size {}",
+                self.min_size, self.avg_size
+            ));
+        }
+        if self.avg_size > self.max_size {
+            return Err(format!(
+                "avg_size {} exceeds max_size {}",
+                self.avg_size, self.max_size
+            ));
+        }
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The boundary mask: with `mask = 2^k - 1` where `2^k` is the expected
+    /// gap beyond the minimum size, `hash & mask == mask` fires with
+    /// probability `2^-k` per byte.
+    fn mask(&self) -> u64 {
+        let gap = (self.avg_size.saturating_sub(self.min_size)).max(1);
+        let bits = 64 - (gap as u64).leading_zeros();
+        let bits = if gap.is_power_of_two() { bits - 1 } else { bits };
+        (1u64 << bits) - 1
+    }
+}
+
+impl Default for CdcParams {
+    fn default() -> Self {
+        Self::paper_8kb()
+    }
+}
+
+/// Computes the chunk boundaries of `data` as byte ranges.
+///
+/// Every byte of `data` is covered exactly once, in order; the final chunk
+/// may be shorter than `min_size`.
+///
+/// # Panics
+///
+/// Panics if `params` fail [`CdcParams::validate`].
+#[must_use]
+pub fn chunk_spans(data: &[u8], params: &CdcParams) -> Vec<Range<usize>> {
+    params.validate().expect("invalid CDC parameters");
+    let mask = params.mask();
+    let mut hasher = RabinHasher::new(params.poly, params.window);
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    let mut pos = 0usize;
+
+    while pos < data.len() {
+        let fp = hasher.slide(data[pos]);
+        pos += 1;
+        let len = pos - start;
+        let boundary = (len >= params.min_size && (fp & mask) == mask) || len >= params.max_size;
+        if boundary {
+            spans.push(start..pos);
+            start = pos;
+            hasher.reset();
+        }
+    }
+    if start < data.len() {
+        spans.push(start..data.len());
+    }
+    spans
+}
+
+/// An iterator over the chunk slices of a buffer.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::cdc::{CdcParams, Chunker};
+///
+/// let data = vec![0xabu8; 32 * 1024];
+/// let params = CdcParams::with_avg_size(1024);
+/// let total: usize = Chunker::new(&data, &params).map(<[u8]>::len).sum();
+/// assert_eq!(total, data.len());
+/// ```
+#[derive(Debug)]
+pub struct Chunker<'a> {
+    data: &'a [u8],
+    spans: std::vec::IntoIter<Range<usize>>,
+}
+
+impl<'a> Chunker<'a> {
+    /// Creates a chunker over `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`CdcParams::validate`].
+    #[must_use]
+    pub fn new(data: &'a [u8], params: &CdcParams) -> Self {
+        Chunker {
+            data,
+            spans: chunk_spans(data, params).into_iter(),
+        }
+    }
+}
+
+impl<'a> Iterator for Chunker<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.spans.next().map(|span| &self.data[span])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.spans.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Chunker<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spans_cover_input_exactly() {
+        let data = pseudo_random(200_000, 7);
+        let params = CdcParams::with_avg_size(4096);
+        let spans = chunk_spans(&data, &params);
+        let mut pos = 0;
+        for span in &spans {
+            assert_eq!(span.start, pos);
+            assert!(span.end > span.start);
+            pos = span.end;
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn size_bounds_respected() {
+        let data = pseudo_random(500_000, 13);
+        let params = CdcParams::with_avg_size(4096);
+        let spans = chunk_spans(&data, &params);
+        for (i, span) in spans.iter().enumerate() {
+            let len = span.end - span.start;
+            assert!(len <= params.max_size, "chunk {i} len {len}");
+            if i + 1 < spans.len() {
+                assert!(len >= params.min_size, "chunk {i} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_size_in_ballpark() {
+        let data = pseudo_random(4_000_000, 99);
+        let params = CdcParams::with_avg_size(4096);
+        let spans = chunk_spans(&data, &params);
+        let avg = data.len() as f64 / spans.len() as f64;
+        // Expected mean ≈ min + gap (geometric), clipped by max. Accept a
+        // generous band around the nominal average.
+        assert!(
+            (2048.0..8192.0).contains(&avg),
+            "observed average chunk size {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = pseudo_random(100_000, 3);
+        let params = CdcParams::default();
+        assert_eq!(chunk_spans(&data, &params), chunk_spans(&data, &params));
+    }
+
+    #[test]
+    fn content_shift_resynchronizes() {
+        // Insert a byte at the front; interior boundaries must realign after
+        // at most a few chunks (the whole point of CDC, §2.1).
+        let data = pseudo_random(400_000, 21);
+        let params = CdcParams::with_avg_size(2048);
+        let spans_a = chunk_spans(&data, &params);
+        let mut shifted = vec![0x55u8];
+        shifted.extend_from_slice(&data);
+        let spans_b = chunk_spans(&shifted, &params);
+
+        // Compare boundary positions in original coordinates.
+        let ends_a: std::collections::HashSet<usize> =
+            spans_a.iter().map(|s| s.end).collect();
+        let realigned = spans_b
+            .iter()
+            .map(|s| s.end.wrapping_sub(1))
+            .filter(|e| ends_a.contains(e))
+            .count();
+        assert!(
+            realigned * 2 > spans_a.len(),
+            "only {realigned} of {} boundaries realigned after shift",
+            spans_a.len()
+        );
+    }
+
+    #[test]
+    fn empty_input_no_chunks() {
+        assert!(chunk_spans(&[], &CdcParams::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_input_single_chunk() {
+        let spans = chunk_spans(b"tiny", &CdcParams::default());
+        assert_eq!(spans, vec![0..4]);
+    }
+
+    #[test]
+    fn constant_data_cut_at_max() {
+        // All-zero data never matches the mask (hash of zero window is 0 and
+        // mask != 0), so every chunk is exactly max_size.
+        let data = vec![0u8; 100_000];
+        let params = CdcParams::with_avg_size(1024);
+        let spans = chunk_spans(&data, &params);
+        for span in &spans[..spans.len() - 1] {
+            assert_eq!(span.end - span.start, params.max_size);
+        }
+    }
+
+    #[test]
+    fn chunker_iterator_matches_spans() {
+        let data = pseudo_random(50_000, 5);
+        let params = CdcParams::with_avg_size(1024);
+        let via_iter: Vec<usize> = Chunker::new(&data, &params).map(<[u8]>::len).collect();
+        let via_spans: Vec<usize> = chunk_spans(&data, &params)
+            .iter()
+            .map(|s| s.end - s.start)
+            .collect();
+        assert_eq!(via_iter, via_spans);
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let mut p = CdcParams::default();
+        p.min_size = 0;
+        assert!(p.validate().is_err());
+        let mut p = CdcParams::default();
+        p.min_size = p.avg_size + 1;
+        assert!(p.validate().is_err());
+        let mut p = CdcParams::default();
+        p.max_size = p.avg_size - 1;
+        assert!(p.validate().is_err());
+        let mut p = CdcParams::default();
+        p.window = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn mask_expected_density() {
+        let p = CdcParams::with_avg_size(8192);
+        // gap = 8192 - 2048 = 6144 → next pow2 bits = 13 → mask = 2^13 - 1.
+        assert_eq!(p.mask(), (1 << 13) - 1);
+        let p2 = CdcParams {
+            min_size: 0,
+            avg_size: 4096,
+            max_size: 16384,
+            ..CdcParams::default()
+        };
+        // gap = 4096 (power of two) → mask = 2^12 - 1.
+        assert_eq!(p2.mask(), (1 << 12) - 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fixed-size chunking (the VM dataset uses 4 KB fixed-size chunks, §5.1).
+
+use std::ops::Range;
+
+/// Computes fixed-size chunk boundaries; the last chunk may be shorter.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+///
+/// # Example
+///
+/// ```
+/// let spans = freqdedup_chunking::fixed::chunk_spans(10, 4);
+/// assert_eq!(spans, vec![0..4, 4..8, 8..10]);
+/// ```
+#[must_use]
+pub fn chunk_spans(data_len: usize, chunk_size: usize) -> Vec<Range<usize>> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut spans = Vec::with_capacity(data_len.div_ceil(chunk_size));
+    let mut pos = 0;
+    while pos < data_len {
+        let end = (pos + chunk_size).min(data_len);
+        spans.push(pos..end);
+        pos = end;
+    }
+    spans
+}
+
+/// Iterates over fixed-size chunk slices of `data`.
+pub fn chunks(data: &[u8], chunk_size: usize) -> impl Iterator<Item = &[u8]> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    data.chunks(chunk_size)
+}
+
+/// Returns `true` when a chunk consists entirely of zero bytes. The VM
+/// dataset preprocessing removes zero-filled chunks, which dominate in VM
+/// disk images (§5.1, citing Jin & Miller).
+#[must_use]
+pub fn is_zero_chunk(chunk: &[u8]) -> bool {
+    chunk.iter().all(|&b| b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(chunk_spans(8, 4), vec![0..4, 4..8]);
+    }
+
+    #[test]
+    fn remainder_chunk() {
+        assert_eq!(chunk_spans(9, 4), vec![0..4, 4..8, 8..9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chunk_spans(0, 4096).is_empty());
+    }
+
+    #[test]
+    fn chunks_iterator_agrees() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7];
+        let lens: Vec<usize> = chunks(&data, 3).map(<[u8]>::len).collect();
+        assert_eq!(lens, vec![3, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_rejected() {
+        let _ = chunk_spans(10, 0);
+    }
+
+    #[test]
+    fn zero_chunk_detection() {
+        assert!(is_zero_chunk(&[0u8; 4096]));
+        assert!(is_zero_chunk(&[]));
+        assert!(!is_zero_chunk(&[0, 0, 1, 0]));
+    }
+}

@@ -1,0 +1,87 @@
+//! Chunking substrate: Rabin fingerprinting, content-defined chunking,
+//! fixed-size chunking, and segmentation.
+//!
+//! The paper's systems depend on three layers of data partitioning:
+//!
+//! 1. **Content-defined chunking** (§2.1): variable-size chunks cut where a
+//!    rolling [Rabin fingerprint](rabin) matches a content pattern, with
+//!    configurable minimum / average / maximum sizes — see [`cdc`].
+//! 2. **Fixed-size chunking** for the VM dataset (4 KB chunks) — see
+//!    [`fixed`].
+//! 3. **Segmentation** (§7.1): grouping the *chunk stream* into variable-size
+//!    segments (default 512 KB min / 1 MB avg / 2 MB max) whose boundaries
+//!    depend on chunk fingerprints; MinHash encryption and scrambling both
+//!    operate per segment — see [`segment`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdc;
+pub mod fixed;
+pub mod rabin;
+pub mod segment;
+
+use freqdedup_crypto::sha256;
+use freqdedup_trace::{ChunkRecord, Fingerprint};
+
+/// Computes the content fingerprint of a chunk: the first 8 bytes of its
+/// SHA-256 digest (§2.1, "each chunk is identified by a fingerprint, which is
+/// computed from the cryptographic hash of the content of the chunk").
+#[must_use]
+pub fn content_fingerprint(chunk: &[u8]) -> Fingerprint {
+    Fingerprint::from_digest(&sha256::digest(chunk))
+}
+
+/// Chunks `data` with the given chunker and maps every chunk to a
+/// [`ChunkRecord`] via [`content_fingerprint`].
+///
+/// This is the convenience entry point for turning raw snapshot bytes into a
+/// logical backup stream.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::{cdc::CdcParams, records_from_bytes};
+///
+/// let data = vec![7u8; 64 * 1024];
+/// let records = records_from_bytes(&data, &CdcParams::with_avg_size(4096));
+/// assert!(!records.is_empty());
+/// assert_eq!(records.iter().map(|r| u64::from(r.size)).sum::<u64>(), data.len() as u64);
+/// ```
+#[must_use]
+pub fn records_from_bytes(data: &[u8], params: &cdc::CdcParams) -> Vec<ChunkRecord> {
+    cdc::chunk_spans(data, params)
+        .into_iter()
+        .map(|span| {
+            let bytes = &data[span.clone()];
+            ChunkRecord::new(content_fingerprint(bytes), bytes.len() as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_fingerprint_is_sha256_prefix() {
+        let fp = content_fingerprint(b"abc");
+        let digest = sha256::digest(b"abc");
+        assert_eq!(fp, Fingerprint::from_digest(&digest));
+    }
+
+    #[test]
+    fn identical_content_identical_fingerprint() {
+        assert_eq!(content_fingerprint(b"xyz"), content_fingerprint(b"xyz"));
+        assert_ne!(content_fingerprint(b"xyz"), content_fingerprint(b"xyw"));
+    }
+
+    #[test]
+    fn records_cover_all_bytes() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let params = cdc::CdcParams::with_avg_size(4096);
+        let records = records_from_bytes(&data, &params);
+        let total: u64 = records.iter().map(|r| u64::from(r.size)).sum();
+        assert_eq!(total, data.len() as u64);
+    }
+}

@@ -1,0 +1,369 @@
+//! Rabin fingerprinting by random polynomials (Rabin 1981), the rolling hash
+//! behind content-defined chunking.
+//!
+//! A window of bytes is interpreted as a polynomial over GF(2) and reduced
+//! modulo an irreducible polynomial `P`. The fingerprint can be *rolled*:
+//! sliding the window one byte forward costs O(1) thanks to two precomputed
+//! 256-entry tables. The implementation follows the classic LBFS
+//! `rabinpoly` structure.
+
+/// The default irreducible polynomial (degree 53), the same default used by
+/// several production CDC implementations.
+pub const DEFAULT_POLY: u64 = 0x3DA3358B4DC173;
+
+/// The default rolling window size in bytes.
+pub const DEFAULT_WINDOW: usize = 48;
+
+/// Degree of a nonzero polynomial represented as bits of a `u64`.
+fn deg(p: u64) -> i32 {
+    63 - p.leading_zeros() as i32
+}
+
+/// Computes `(nh·2^64 + nl) mod d` in GF(2) polynomial arithmetic.
+fn polymod(mut nh: u64, mut nl: u64, d: u64) -> u64 {
+    assert_ne!(d, 0, "modulus polynomial must be nonzero");
+    let k = deg(d);
+    if nh != 0 {
+        // Reduce the high word first.
+        let mut i = deg(nh) + 64;
+        while i >= 64 {
+            if (nh >> (i - 64)) & 1 != 0 {
+                let shift = i - k;
+                if shift >= 64 {
+                    nh ^= d << (shift - 64);
+                } else {
+                    nl ^= d << shift;
+                    if shift > 0 {
+                        nh ^= d >> (64 - shift);
+                    } else {
+                        // shift == 0: clears bit k of nl only; nh untouched,
+                        // but bit i (= 64 + something) can't reach here since
+                        // i >= 64 implies shift = i - k >= 64 - 63 = 1 for k < 63.
+                    }
+                }
+            }
+            i -= 1;
+            if nh == 0 {
+                break;
+            }
+            while i >= 64 && (nh >> (i - 64)) & 1 == 0 {
+                i -= 1;
+            }
+        }
+    }
+    // Now reduce the low word.
+    let mut i = 63;
+    while i >= k {
+        if (nl >> i) & 1 != 0 {
+            nl ^= d << (i - k);
+        }
+        i -= 1;
+    }
+    nl
+}
+
+/// Computes `(x · y) mod d` in GF(2) polynomial arithmetic.
+fn polymmult(x: u64, y: u64, d: u64) -> u64 {
+    let mut hi = 0u64;
+    let mut lo = 0u64;
+    for i in 0..64 {
+        if (y >> i) & 1 != 0 {
+            lo ^= x << i;
+            if i > 0 {
+                hi ^= x >> (64 - i);
+            }
+        }
+    }
+    polymod(hi, lo, d)
+}
+
+/// A windowed Rabin rolling hash.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::rabin::RabinHasher;
+///
+/// let mut h = RabinHasher::default();
+/// for b in b"hello rolling world" {
+///     h.slide(*b);
+/// }
+/// let _fp = h.fingerprint();
+/// ```
+#[derive(Clone)]
+pub struct RabinHasher {
+    poly: u64,
+    shift: i32,
+    /// Append table: reduces the byte shifted off the top.
+    t: Box<[u64; 256]>,
+    /// Un-append table: removes the influence of the byte leaving the window.
+    u: Box<[u64; 256]>,
+    window: Vec<u8>,
+    pos: usize,
+    fingerprint: u64,
+}
+
+impl std::fmt::Debug for RabinHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RabinHasher")
+            .field("poly", &format_args!("{:#x}", self.poly))
+            .field("window", &self.window.len())
+            .field("fingerprint", &format_args!("{:#x}", self.fingerprint))
+            .finish()
+    }
+}
+
+impl Default for RabinHasher {
+    fn default() -> Self {
+        Self::new(DEFAULT_POLY, DEFAULT_WINDOW)
+    }
+}
+
+impl RabinHasher {
+    /// Creates a hasher for the irreducible polynomial `poly` and the given
+    /// window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` has degree < 9 (the byte-append table would be
+    /// meaningless) or if `window_size` is zero.
+    #[must_use]
+    pub fn new(poly: u64, window_size: usize) -> Self {
+        assert!(window_size > 0, "window size must be positive");
+        let xshift = deg(poly);
+        assert!(xshift >= 9, "polynomial degree must be at least 9");
+        let shift = xshift - 8;
+
+        let t1 = polymod(0, 1u64 << xshift, poly);
+        let mut t = Box::new([0u64; 256]);
+        for (j, slot) in t.iter_mut().enumerate() {
+            *slot = polymmult(j as u64, t1, poly) | ((j as u64) << xshift);
+        }
+
+        // sizeshift = x^(8·window_size) mod poly, built by appending zeros.
+        let mut sizeshift = 1u64;
+        for _ in 1..window_size {
+            sizeshift = append8(sizeshift, 0, shift, &t);
+        }
+        let mut u = Box::new([0u64; 256]);
+        for (j, slot) in u.iter_mut().enumerate() {
+            *slot = polymmult(j as u64, sizeshift, poly);
+        }
+
+        RabinHasher {
+            poly,
+            shift,
+            t,
+            u,
+            window: vec![0u8; window_size],
+            pos: 0,
+            fingerprint: 0,
+        }
+    }
+
+    /// The window size in bytes.
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Slides the window forward by one byte and returns the new fingerprint.
+    #[inline]
+    pub fn slide(&mut self, byte: u8) -> u64 {
+        let out = self.window[self.pos];
+        self.window[self.pos] = byte;
+        self.pos += 1;
+        if self.pos == self.window.len() {
+            self.pos = 0;
+        }
+        self.fingerprint = append8(self.fingerprint ^ self.u[out as usize], byte, self.shift, &self.t);
+        self.fingerprint
+    }
+
+    /// Current fingerprint of the window contents.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Resets the window to all-zero bytes and the fingerprint to zero.
+    pub fn reset(&mut self) {
+        self.window.fill(0);
+        self.pos = 0;
+        self.fingerprint = 0;
+    }
+
+    /// Hashes an entire buffer from a fresh window (non-rolling reference
+    /// computation; used by tests and one-shot callers).
+    #[must_use]
+    pub fn hash_of(&self, data: &[u8]) -> u64 {
+        let mut clone = self.clone();
+        clone.reset();
+        let mut fp = 0;
+        for &b in data {
+            fp = clone.slide(b);
+        }
+        fp
+    }
+}
+
+#[inline]
+fn append8(fp: u64, byte: u8, shift: i32, t: &[u64; 256]) -> u64 {
+    ((fp << 8) | u64::from(byte)) ^ t[(fp >> shift) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polymod_small_cases() {
+        // x^3 mod x = 0
+        assert_eq!(polymod(0, 0b1000, 0b10), 0);
+        // (x^2 + 1) mod (x + 1): x^2+1 = (x+1)^2 over GF(2), remainder 0.
+        assert_eq!(polymod(0, 0b101, 0b11), 0);
+        // x mod (x + 1) = 1
+        assert_eq!(polymod(0, 0b10, 0b11), 1);
+        // anything mod itself = 0
+        assert_eq!(polymod(0, DEFAULT_POLY, DEFAULT_POLY), 0);
+    }
+
+    #[test]
+    fn polymod_reduces_high_word() {
+        // (x^64) mod poly must equal polymmult(x^32, x^32) mod poly.
+        let a = polymod(1, 0, DEFAULT_POLY);
+        let b = polymmult(1u64 << 32, 1u64 << 32, DEFAULT_POLY);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn polymmult_identity_and_commutativity() {
+        let vals = [1u64, 2, 0xdeadbeef, 0x0123456789abcdef];
+        for &v in &vals {
+            assert_eq!(polymmult(v, 1, DEFAULT_POLY), polymod(0, v, DEFAULT_POLY));
+            for &w in &vals {
+                assert_eq!(
+                    polymmult(v, w, DEFAULT_POLY),
+                    polymmult(w, v, DEFAULT_POLY)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polymmult_distributes_over_xor() {
+        let (a, b, c) = (0x1234u64, 0xabcdu64, 0x9999u64);
+        assert_eq!(
+            polymmult(a ^ b, c, DEFAULT_POLY),
+            polymmult(a, c, DEFAULT_POLY) ^ polymmult(b, c, DEFAULT_POLY)
+        );
+    }
+
+    #[test]
+    fn rolling_matches_fresh_hash() {
+        // The defining property: after sliding over data, the fingerprint
+        // equals a fresh hash of the final window contents.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 131 + 7) as u8).collect();
+        let window = 48;
+        let mut roller = RabinHasher::new(DEFAULT_POLY, window);
+        for (i, &b) in data.iter().enumerate() {
+            roller.slide(b);
+            if i + 1 >= window {
+                let fresh = roller.hash_of(&data[i + 1 - window..=i]);
+                assert_eq!(roller.fingerprint(), fresh, "mismatch at offset {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_content_determines_fingerprint() {
+        // Two streams with the same final window agree regardless of prefix.
+        let window = 16;
+        let tail: Vec<u8> = (0..window as u8).map(|i| i * 3 + 1).collect();
+        let mut h1 = RabinHasher::new(DEFAULT_POLY, window);
+        let mut h2 = RabinHasher::new(DEFAULT_POLY, window);
+        for b in [1u8, 2, 3, 4, 5] {
+            h1.slide(b);
+        }
+        for b in [9u8, 8, 7] {
+            h2.slide(b);
+        }
+        for &b in &tail {
+            h1.slide(b);
+            h2.slide(b);
+        }
+        assert_eq!(h1.fingerprint(), h2.fingerprint());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = RabinHasher::default();
+        for b in b"some data to hash" {
+            h.slide(*b);
+        }
+        h.reset();
+        assert_eq!(h.fingerprint(), 0);
+        let mut fresh = RabinHasher::default();
+        for b in b"xyz" {
+            h.slide(*b);
+            fresh.slide(*b);
+        }
+        assert_eq!(h.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_degree_below_poly_degree() {
+        let mut h = RabinHasher::default();
+        let bound = 1u64 << deg(DEFAULT_POLY);
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.slide((x >> 56) as u8);
+            assert!(h.fingerprint() < bound);
+        }
+    }
+
+    #[test]
+    fn low_bits_roughly_uniform() {
+        // The boundary test of CDC uses the low bits; check they are not
+        // pathologically biased: over 64k random slides, each of the 16
+        // values of the low 4 bits should appear between 2% and 11%.
+        let mut h = RabinHasher::default();
+        let mut counts = [0u32; 16];
+        let mut x = 42u64;
+        let n = 65536;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let fp = h.slide((x >> 33) as u8);
+            counts[(fp & 0xf) as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let frac = f64::from(c) / f64::from(n);
+            assert!(
+                (0.02..0.11).contains(&frac),
+                "low-bit value {v} frequency {frac}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_rejected() {
+        let _ = RabinHasher::new(DEFAULT_POLY, 0);
+    }
+
+    #[test]
+    fn custom_polynomial_works() {
+        // A different degree-63 polynomial still satisfies the rolling
+        // property.
+        let poly = 0xbfe6_b8a5_bf37_8d83u64;
+        let window = 32;
+        let data: Vec<u8> = (0..200u8).collect();
+        let mut h = RabinHasher::new(poly, window);
+        for &b in &data {
+            h.slide(b);
+        }
+        let fresh = h.hash_of(&data[data.len() - window..]);
+        assert_eq!(h.fingerprint(), fresh);
+    }
+}

@@ -1,0 +1,272 @@
+//! Variable-size segmentation of a chunk stream (§7.1).
+//!
+//! The defenses (MinHash encryption and scrambling, §6) operate per
+//! *segment*: a non-overlapping sub-sequence of adjacent chunks. Segment
+//! boundaries are content-defined over the chunk **fingerprints** (following
+//! the variable-size segmentation scheme of Sparse Indexing \[45\]):
+//!
+//! > "It places a segment boundary at the end of a chunk fingerprint if
+//! > (i) the size of each segment is at least the minimum segment size, and
+//! > (ii) the chunk fingerprint modulo a pre-defined divisor (which
+//! > determines the average segment size) is equal to some constant (e.g.
+//! > −1), or the inclusion of the chunk makes the segment size larger than
+//! > the maximum segment size."
+//!
+//! Content-defined segment boundaries are what make MinHash encryption work:
+//! similar backup streams produce the same segments, hence (mostly) the same
+//! minimum fingerprints and the same segment keys.
+
+use std::ops::Range;
+
+use freqdedup_trace::ChunkRecord;
+
+/// Segmentation parameters. The paper's defaults are 512 KB minimum, 1 MB
+/// average and 2 MB maximum segment size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentParams {
+    /// Minimum segment size in bytes.
+    pub min_bytes: u64,
+    /// Maximum segment size in bytes (a boundary is forced once exceeded).
+    pub max_bytes: u64,
+    /// Boundary divisor: a boundary is placed after a chunk whose fingerprint
+    /// satisfies `fp % divisor == divisor - 1` (once past the minimum size).
+    pub divisor: u64,
+}
+
+impl SegmentParams {
+    /// The paper's configuration (§7.1): 512 KB / 1 MB / 2 MB segments,
+    /// assuming the given average chunk size (8 KB for FSL, 4 KB for VM)
+    /// to derive the divisor.
+    ///
+    /// The divisor is chosen so that the expected segment size is the average:
+    /// beyond the minimum, each chunk is a boundary with probability
+    /// `1/divisor`, so `divisor = (avg - min) / avg_chunk_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_chunk_size` is zero.
+    #[must_use]
+    pub fn paper_default(avg_chunk_size: u32) -> Self {
+        Self::derived(512 * 1024, 1024 * 1024, 2 * 1024 * 1024, avg_chunk_size)
+    }
+
+    /// Builds parameters with a divisor derived from the expected chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_chunk_size == 0`, or if the sizes are not ordered
+    /// `min <= avg <= max`.
+    #[must_use]
+    pub fn derived(min_bytes: u64, avg_bytes: u64, max_bytes: u64, avg_chunk_size: u32) -> Self {
+        assert!(avg_chunk_size > 0, "average chunk size must be positive");
+        assert!(
+            min_bytes <= avg_bytes && avg_bytes <= max_bytes,
+            "segment sizes must satisfy min <= avg <= max"
+        );
+        let divisor = ((avg_bytes - min_bytes) / u64::from(avg_chunk_size)).max(1);
+        SegmentParams {
+            min_bytes,
+            max_bytes,
+            divisor,
+        }
+    }
+}
+
+impl Default for SegmentParams {
+    fn default() -> Self {
+        Self::paper_default(8 * 1024)
+    }
+}
+
+/// Splits a chunk stream into segments, returned as index ranges over
+/// `chunks`. Every chunk belongs to exactly one segment, in order.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::segment::{segment_spans, SegmentParams};
+/// use freqdedup_trace::ChunkRecord;
+///
+/// let chunks: Vec<ChunkRecord> =
+///     (0..1000u64).map(|i| ChunkRecord::new(i * 7919, 8192)).collect();
+/// let spans = segment_spans(&chunks, &SegmentParams::default());
+/// assert_eq!(spans.iter().map(|s| s.end - s.start).sum::<usize>(), chunks.len());
+/// ```
+#[must_use]
+pub fn segment_spans(chunks: &[ChunkRecord], params: &SegmentParams) -> Vec<Range<usize>> {
+    assert!(params.divisor > 0, "divisor must be positive");
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    let mut seg_bytes = 0u64;
+
+    for (i, rec) in chunks.iter().enumerate() {
+        seg_bytes += u64::from(rec.size);
+        let content_boundary =
+            seg_bytes >= params.min_bytes && rec.fp.value() % params.divisor == params.divisor - 1;
+        let forced_boundary = seg_bytes > params.max_bytes;
+        if content_boundary || forced_boundary {
+            spans.push(start..i + 1);
+            start = i + 1;
+            seg_bytes = 0;
+        }
+    }
+    if start < chunks.len() {
+        spans.push(start..chunks.len());
+    }
+    spans
+}
+
+/// Statistics over a segmentation, used by tests and the calibration tools.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SegmentStats {
+    /// Number of segments.
+    pub count: usize,
+    /// Mean segment size in bytes.
+    pub mean_bytes: f64,
+    /// Largest segment in bytes.
+    pub max_bytes: u64,
+    /// Smallest segment in bytes.
+    pub min_bytes: u64,
+}
+
+/// Computes [`SegmentStats`] for a segmentation of `chunks`.
+#[must_use]
+pub fn segment_stats(chunks: &[ChunkRecord], spans: &[Range<usize>]) -> SegmentStats {
+    if spans.is_empty() {
+        return SegmentStats::default();
+    }
+    let sizes: Vec<u64> = spans
+        .iter()
+        .map(|s| chunks[s.clone()].iter().map(|c| u64::from(c.size)).sum())
+        .collect();
+    let total: u64 = sizes.iter().sum();
+    SegmentStats {
+        count: spans.len(),
+        mean_bytes: total as f64 / spans.len() as f64,
+        max_bytes: sizes.iter().copied().max().unwrap_or(0),
+        min_bytes: sizes.iter().copied().min().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::Fingerprint;
+
+    fn stream(n: usize, size: u32, seed: u64) -> Vec<ChunkRecord> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ChunkRecord::new(Fingerprint(x), size)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spans_partition_stream() {
+        let chunks = stream(5000, 8192, 11);
+        let spans = segment_spans(&chunks, &SegmentParams::default());
+        let mut pos = 0;
+        for s in &spans {
+            assert_eq!(s.start, pos);
+            assert!(s.end > s.start);
+            pos = s.end;
+        }
+        assert_eq!(pos, chunks.len());
+    }
+
+    #[test]
+    fn segment_sizes_within_bounds() {
+        let chunks = stream(20_000, 8192, 23);
+        let params = SegmentParams::default();
+        let spans = segment_spans(&chunks, &params);
+        let stats = segment_stats(&chunks, &spans);
+        // Interior segments must be at least min_bytes; the last may be short.
+        for s in &spans[..spans.len() - 1] {
+            let bytes: u64 = chunks[s.clone()].iter().map(|c| u64::from(c.size)).sum();
+            assert!(bytes >= params.min_bytes, "segment below minimum");
+            // A forced boundary triggers on the chunk that crossed max, so
+            // the hard cap is max + one chunk.
+            assert!(bytes <= params.max_bytes + 8192, "segment above maximum");
+        }
+        // Average should be in the right ballpark (0.5–2 MB band).
+        assert!(
+            (512.0 * 1024.0..2.2 * 1024.0 * 1024.0).contains(&stats.mean_bytes),
+            "mean segment size {}",
+            stats.mean_bytes
+        );
+    }
+
+    #[test]
+    fn boundaries_are_content_defined() {
+        // Same fingerprints => same boundaries, independent of where the
+        // stream begins: after skipping a whole leading segment, the
+        // remaining boundaries must be identical.
+        let chunks = stream(10_000, 8192, 5);
+        let params = SegmentParams::default();
+        let spans = segment_spans(&chunks, &params);
+        assert!(spans.len() > 2);
+        let first_end = spans[0].end;
+        let tail_spans = segment_spans(&chunks[first_end..], &params);
+        let shifted: Vec<Range<usize>> = spans[1..]
+            .iter()
+            .map(|s| s.start - first_end..s.end - first_end)
+            .collect();
+        assert_eq!(tail_spans, shifted);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(segment_spans(&[], &SegmentParams::default()).is_empty());
+    }
+
+    #[test]
+    fn single_chunk_single_segment() {
+        let chunks = vec![ChunkRecord::new(42u64, 100)];
+        let spans = segment_spans(&chunks, &SegmentParams::default());
+        assert_eq!(spans, vec![0..1]);
+    }
+
+    #[test]
+    fn oversized_chunk_forces_boundary() {
+        // One chunk larger than max forms its own segment.
+        let params = SegmentParams::derived(1024, 2048, 4096, 512);
+        let chunks = vec![
+            ChunkRecord::new(2u64, 10_000),
+            ChunkRecord::new(4u64, 100),
+            ChunkRecord::new(6u64, 100),
+        ];
+        let spans = segment_spans(&chunks, &params);
+        assert_eq!(spans[0], 0..1);
+    }
+
+    #[test]
+    fn derived_divisor() {
+        let p = SegmentParams::derived(512 * 1024, 1024 * 1024, 2 * 1024 * 1024, 8192);
+        assert_eq!(p.divisor, 64);
+        let p4k = SegmentParams::paper_default(4096);
+        assert_eq!(p4k.divisor, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= avg <= max")]
+    fn derived_rejects_unordered_sizes() {
+        let _ = SegmentParams::derived(10, 5, 20, 1);
+    }
+
+    #[test]
+    fn stats_empty() {
+        assert_eq!(segment_stats(&[], &[]), SegmentStats::default());
+    }
+
+    #[test]
+    fn deterministic() {
+        let chunks = stream(3000, 4096, 77);
+        let params = SegmentParams::paper_default(4096);
+        assert_eq!(
+            segment_spans(&chunks, &params),
+            segment_spans(&chunks, &params)
+        );
+    }
+}

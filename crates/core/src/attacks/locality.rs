@@ -1,0 +1,324 @@
+//! The locality-based attack (Algorithm 2), the paper's main attack.
+//!
+//! Starting from a small set of high-confidence ciphertext→plaintext pairs
+//! (top-frequency matches in ciphertext-only mode, or leaked pairs in
+//! known-plaintext mode), the attack repeatedly applies frequency analysis
+//! to the **left and right neighbour co-occurrence tables** of each inferred
+//! pair: if `M` is the plaintext of `C`, chunk locality makes it likely that
+//! frequent neighbours of `M` are the plaintexts of frequent neighbours of
+//! `C`. Newly inferred pairs are queued and processed in FIFO order until
+//! the queue drains.
+//!
+//! Parameters (§4.2, Table 1):
+//!
+//! * `u` — pairs seeded by global frequency analysis (ciphertext-only mode);
+//! * `v` — pairs taken from each neighbour-table frequency analysis;
+//! * `w` — capacity bound of the inferred set `G` (memory guard).
+
+use std::collections::VecDeque;
+
+use freqdedup_trace::{Backup, Fingerprint};
+
+use crate::counting::{ChunkStats, FreqTable, TiePolicy};
+use crate::freq_analysis::{freq_analysis, freq_analysis_sized, Pair};
+use crate::metrics::Inference;
+
+/// Tunable parameters of the locality-based attack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalityParams {
+    /// Number of top-frequency pairs used to seed `G` in ciphertext-only
+    /// mode (paper default: 1).
+    pub u: usize,
+    /// Pairs returned by each per-neighbourhood frequency analysis
+    /// (paper default: 15).
+    pub v: usize,
+    /// Maximum size of the inferred set `G` (paper default: 200,000 in
+    /// ciphertext-only mode, 500,000 in known-plaintext mode).
+    pub w: usize,
+    /// Whether frequency analysis is size-classified (Algorithm 3). Prefer
+    /// [`crate::attacks::advanced::AdvancedAttack`] over setting this
+    /// directly.
+    pub size_aware: bool,
+    /// Neighbour-table tie-break policy (see [`TiePolicy`]).
+    pub tie_policy: TiePolicy,
+}
+
+impl LocalityParams {
+    /// The paper's ciphertext-only defaults: `u=1, v=15, w=200,000`.
+    #[must_use]
+    pub fn new(u: usize, v: usize, w: usize) -> Self {
+        LocalityParams {
+            u,
+            v,
+            w,
+            size_aware: false,
+            tie_policy: TiePolicy::StreamOrder,
+        }
+    }
+
+    /// The paper's known-plaintext configuration (`w` raised to 500,000).
+    #[must_use]
+    pub fn known_plaintext_default() -> Self {
+        LocalityParams {
+            w: 500_000,
+            ..Self::default()
+        }
+    }
+
+    /// Sets size-aware frequency analysis (builder style).
+    #[must_use]
+    pub fn size_aware(mut self, enabled: bool) -> Self {
+        self.size_aware = enabled;
+        self
+    }
+
+    /// Sets the neighbour-table tie-break policy (builder style).
+    #[must_use]
+    pub fn tie_policy(mut self, policy: TiePolicy) -> Self {
+        self.tie_policy = policy;
+        self
+    }
+}
+
+impl Default for LocalityParams {
+    fn default() -> Self {
+        LocalityParams::new(1, 15, 200_000)
+    }
+}
+
+/// The locality-based attack (Algorithm 2).
+#[derive(Clone, Debug)]
+pub struct LocalityAttack {
+    params: LocalityParams,
+}
+
+impl LocalityAttack {
+    /// Creates the attack with the given parameters.
+    #[must_use]
+    pub fn new(params: LocalityParams) -> Self {
+        LocalityAttack { params }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn params(&self) -> &LocalityParams {
+        &self.params
+    }
+
+    /// Ciphertext-only mode: `G` is seeded with the `u` most frequent
+    /// ciphertext/plaintext rank matches.
+    #[must_use]
+    pub fn run_ciphertext_only(&self, cipher: &Backup, plain_aux: &Backup) -> Inference {
+        let sc = ChunkStats::full_with_policy(cipher, self.params.tie_policy);
+        let sm = ChunkStats::full_with_policy(plain_aux, self.params.tie_policy);
+        let seed = self.analyze(&sc, &sm, &sc.freq, &sm.freq, self.params.u);
+        self.run_from_seed(&sc, &sm, seed)
+    }
+
+    /// Known-plaintext mode: `G` is seeded with the leaked pairs that appear
+    /// in both `C` and `M`.
+    #[must_use]
+    pub fn run_known_plaintext(
+        &self,
+        cipher: &Backup,
+        plain_aux: &Backup,
+        leaked: &[(Fingerprint, Fingerprint)],
+    ) -> Inference {
+        let sc = ChunkStats::full_with_policy(cipher, self.params.tie_policy);
+        let sm = ChunkStats::full_with_policy(plain_aux, self.params.tie_policy);
+        let seed: Vec<Pair> = leaked
+            .iter()
+            .copied()
+            .filter(|&(c, m)| sc.freq.contains_key(&c) && sm.freq.contains_key(&m))
+            .collect();
+        self.run_from_seed(&sc, &sm, seed)
+    }
+
+    /// The main loop of Algorithm 2 (lines 9–23).
+    fn run_from_seed(&self, sc: &ChunkStats, sm: &ChunkStats, seed: Vec<Pair>) -> Inference {
+        let mut t = Inference::new();
+        let mut g: VecDeque<Pair> = VecDeque::new();
+        for (c, m) in seed {
+            if t.insert(c, m) {
+                g.push_back((c, m));
+            }
+        }
+
+        let empty = FreqTable::new();
+        while let Some((c, m)) = g.pop_front() {
+            let lc = sc.left_of(c).unwrap_or(&empty);
+            let lm = sm.left_of(m).unwrap_or(&empty);
+            let rc = sc.right_of(c).unwrap_or(&empty);
+            let rm = sm.right_of(m).unwrap_or(&empty);
+            let tl = self.analyze(sc, sm, lc, lm, self.params.v);
+            let tr = self.analyze(sc, sm, rc, rm, self.params.v);
+            for (c2, m2) in tl.into_iter().chain(tr) {
+                if t.insert(c2, m2) && g.len() <= self.params.w {
+                    g.push_back((c2, m2));
+                }
+            }
+        }
+        t
+    }
+
+    /// Dispatches to plain or size-classified frequency analysis.
+    fn analyze(
+        &self,
+        sc: &ChunkStats,
+        sm: &ChunkStats,
+        yc: &FreqTable,
+        ym: &FreqTable,
+        x: usize,
+    ) -> Vec<Pair> {
+        if self.params.size_aware {
+            freq_analysis_sized(yc, ym, x, &|f| sc.blocks_of(f), &|f| sm.blocks_of(f))
+        } else {
+            freq_analysis(yc, ym, x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::score;
+    use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
+    use freqdedup_trace::ChunkRecord;
+
+    fn backup(fps: &[u64]) -> Backup {
+        Backup::from_chunks(
+            "t",
+            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
+        )
+    }
+
+    fn small_params() -> LocalityParams {
+        LocalityParams::new(1, 1, 1000)
+    }
+
+    /// The paper's worked example (§4.2, Fig. 3): M = ⟨M1 M2 M1 M2 M3 M4 M2
+    /// M3 M4⟩, C = ⟨C1 C2 C5 C2 C1 C2 C3 C4 C2 C3 C4 C4⟩ where Ci encrypts
+    /// Mi (C5 is new). With u=v=1 the attack recovers C1..C4 but not C5.
+    #[test]
+    fn paper_worked_example() {
+        let aux = backup(&[1, 2, 1, 2, 3, 4, 2, 3, 4]);
+        // Build the cipher stream directly with a known truth mapping:
+        // cipher fp = plain fp + 100; C5 = 105 has no plaintext in M.
+        let cipher = backup(&[101, 102, 105, 102, 101, 102, 103, 104, 102, 103, 104, 104]);
+        let mut truth = freqdedup_mle::trace_enc::GroundTruth::new();
+        for i in 1..=4u64 {
+            truth.record(Fingerprint(100 + i), Fingerprint(i));
+        }
+        truth.record(Fingerprint(105), Fingerprint(999)); // "some new chunk"
+
+        let attack = LocalityAttack::new(small_params());
+        let inferred = attack.run_ciphertext_only(&cipher, &aux);
+
+        // All four real pairs recovered...
+        for i in 1..=4u64 {
+            assert_eq!(
+                inferred.plain_of(Fingerprint(100 + i)),
+                Some(Fingerprint(i)),
+                "C{i} should map to M{i}"
+            );
+        }
+        // ...and C5 not inferred correctly (its plaintext is absent from M).
+        let report = score(&inferred, &cipher, &truth);
+        assert_eq!(report.correct, 4);
+        assert_eq!(report.total_unique, 5);
+    }
+
+    #[test]
+    fn recovers_identical_backup_nearly_fully() {
+        // A realistic shape: hot chunks with distinct frequencies (a stable
+        // frequency-rank anchor) adjoining a long chain of once-occurring
+        // chunks. The u=1 seed hits the anchor; the crawl then walks the
+        // unique chain stepwise.
+        let mut fps: Vec<u64> = Vec::new();
+        for _ in 0..50 {
+            fps.extend([1u64, 2, 2]);
+        }
+        fps.extend(1000..2000u64);
+        let plain = backup(&fps);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        let attack = LocalityAttack::new(LocalityParams::default());
+        let inferred = attack.run_ciphertext_only(&observed.backup, &plain);
+        let report = score(&inferred, &observed.backup, &observed.truth);
+        assert!(report.rate > 0.9, "rate {}", report.rate);
+    }
+
+    #[test]
+    fn known_plaintext_seed_expands() {
+        // Aux shares the *sequence* but global frequencies are uniform, so
+        // ciphertext-only seeding with u=1 may start from a tie; a leaked
+        // pair in the middle lets the attack walk both directions.
+        let fps: Vec<u64> = (0..200u64).collect();
+        let plain = backup(&fps);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        let leaked = vec![(
+            observed.backup.chunks[100].fp,
+            plain.chunks[100].fp,
+        )];
+        let attack = LocalityAttack::new(LocalityParams::known_plaintext_default());
+        let inferred = attack.run_known_plaintext(&observed.backup, &plain, &leaked);
+        let report = score(&inferred, &observed.backup, &observed.truth);
+        assert!(report.rate > 0.95, "rate {}", report.rate);
+    }
+
+    #[test]
+    fn known_plaintext_filters_foreign_leaks() {
+        let plain = backup(&[1, 2, 3]);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        // A leaked pair whose plaintext does not appear in the aux backup
+        // must be discarded (Algorithm 2 line 7).
+        let aux = backup(&[7, 8, 9]);
+        let leaked = vec![(observed.backup.chunks[0].fp, Fingerprint(1))];
+        let attack = LocalityAttack::new(small_params());
+        let inferred = attack.run_known_plaintext(&observed.backup, &aux, &leaked);
+        assert!(inferred.is_empty());
+    }
+
+    #[test]
+    fn w_bounds_queue_growth() {
+        // With w=0 the seed pair is processed but nothing new is enqueued
+        // beyond the first expansion wave.
+        let fps: Vec<u64> = (0..100u64).collect();
+        let plain = backup(&fps);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        let leaked = vec![(observed.backup.chunks[50].fp, plain.chunks[50].fp)];
+        let unbounded = LocalityAttack::new(LocalityParams::new(1, 15, 100_000))
+            .run_known_plaintext(&observed.backup, &plain, &leaked);
+        let bounded = LocalityAttack::new(LocalityParams::new(1, 15, 0))
+            .run_known_plaintext(&observed.backup, &plain, &leaked);
+        assert!(bounded.len() < unbounded.len());
+    }
+
+    #[test]
+    fn empty_aux_yields_nothing() {
+        let plain = backup(&[1, 2, 3]);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        let inferred = LocalityAttack::new(small_params())
+            .run_ciphertext_only(&observed.backup, &backup(&[]));
+        assert!(inferred.is_empty());
+    }
+
+    #[test]
+    fn one_pair_per_ciphertext() {
+        let fps: Vec<u64> = (0..50u64).chain(0..50u64).collect();
+        let plain = backup(&fps);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        let inferred = LocalityAttack::new(LocalityParams::default())
+            .run_ciphertext_only(&observed.backup, &plain);
+        // No ciphertext fingerprint can appear twice in T by construction;
+        // verify via the public API that the count matches distinct keys.
+        let keys: std::collections::HashSet<Fingerprint> =
+            inferred.iter().map(|(c, _)| c).collect();
+        assert_eq!(keys.len(), inferred.len());
+    }
+}

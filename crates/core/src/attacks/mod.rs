@@ -1,0 +1,90 @@
+//! The paper's three inference attacks (§4).
+
+pub mod advanced;
+pub mod basic;
+pub mod locality;
+
+use freqdedup_trace::{Backup, Fingerprint};
+
+use crate::metrics::Inference;
+
+/// Which attack to run — used by the experiment harness to sweep all three.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Classical frequency analysis (Algorithm 1).
+    Basic,
+    /// Locality-based attack (Algorithm 2).
+    Locality,
+    /// Advanced (size-aware) locality-based attack (Algorithm 3).
+    Advanced,
+}
+
+impl AttackKind {
+    /// All attacks, in the paper's presentation order.
+    pub const ALL: [AttackKind; 3] = [AttackKind::Basic, AttackKind::Locality, AttackKind::Advanced];
+
+    /// Human-readable name as used in the figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Basic => "Basic Attack",
+            AttackKind::Locality => "Locality-based Attack",
+            AttackKind::Advanced => "Advanced Attack",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `kind` in ciphertext-only mode with the given locality parameters
+/// (`u`, `v`, `w` are ignored by the basic attack).
+#[must_use]
+pub fn run_ciphertext_only(
+    kind: AttackKind,
+    cipher: &Backup,
+    plain_aux: &Backup,
+    params: &locality::LocalityParams,
+) -> Inference {
+    match kind {
+        AttackKind::Basic => basic::BasicAttack::new().run(cipher, plain_aux),
+        AttackKind::Locality => locality::LocalityAttack::new(params.clone().size_aware(false))
+            .run_ciphertext_only(cipher, plain_aux),
+        AttackKind::Advanced => advanced::AdvancedAttack::new(params.clone())
+            .run_ciphertext_only(cipher, plain_aux),
+    }
+}
+
+/// Runs `kind` in known-plaintext mode with leaked pairs. The basic attack
+/// has no known-plaintext variant in the paper and ignores the leakage.
+#[must_use]
+pub fn run_known_plaintext(
+    kind: AttackKind,
+    cipher: &Backup,
+    plain_aux: &Backup,
+    leaked: &[(Fingerprint, Fingerprint)],
+    params: &locality::LocalityParams,
+) -> Inference {
+    match kind {
+        AttackKind::Basic => basic::BasicAttack::new().run(cipher, plain_aux),
+        AttackKind::Locality => locality::LocalityAttack::new(params.clone().size_aware(false))
+            .run_known_plaintext(cipher, plain_aux, leaked),
+        AttackKind::Advanced => advanced::AdvancedAttack::new(params.clone())
+            .run_known_plaintext(cipher, plain_aux, leaked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(AttackKind::Basic.name(), "Basic Attack");
+        assert_eq!(AttackKind::Locality.to_string(), "Locality-based Attack");
+        assert_eq!(AttackKind::ALL.len(), 3);
+    }
+}

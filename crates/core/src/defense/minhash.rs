@@ -1,0 +1,204 @@
+//! MinHash encryption (Algorithm 4, §6.1).
+//!
+//! Chunks are encrypted with a **segment-derived** key: the minimum chunk
+//! fingerprint `h` of the enclosing segment. By Broder's theorem, two highly
+//! similar segments (as adjacent backup versions produce) share their
+//! minimum fingerprint with high probability, so most duplicate chunks still
+//! encrypt identically and deduplication survives — but chunks that fall
+//! into segments with different minima split into distinct ciphertexts,
+//! which "sufficiently alters the overall frequency ranking of ciphertext
+//! chunks" (§6.1).
+//!
+//! In fingerprint space (the trace-driven evaluation, §7.1) the ciphertext
+//! fingerprint is the truncated `SHA-256(h ‖ fp)`; in content space the
+//! segment key is derived from `h` with the workspace KDF.
+
+use freqdedup_chunking::segment::{segment_spans, SegmentParams};
+use freqdedup_crypto::{kdf, sha256};
+use freqdedup_mle::trace_enc::{EncryptedBackup, GroundTruth};
+use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
+
+/// Encrypts one fingerprint under a segment minimum: the truncated
+/// `SHA-256(h ‖ fp)` of §7.1.
+#[must_use]
+pub fn minhash_encrypt_fp(h: Fingerprint, fp: Fingerprint) -> Fingerprint {
+    let digest = sha256::digest_parts(&[&h.to_bytes(), &fp.to_bytes()]);
+    Fingerprint::from_digest(&digest)
+}
+
+/// Derives the 256-bit segment key `K_S` from the segment minimum
+/// fingerprint `h` (content-space MinHash encryption; in a deployment this
+/// derivation would be served by the DupLESS-style key manager, §6.1).
+#[must_use]
+pub fn segment_key(h: Fingerprint) -> [u8; 32] {
+    kdf::derive_key(b"freqdedup-minhash", &h.to_bytes(), b"segment-key")
+}
+
+/// The minimum fingerprint of a segment (the MinHash).
+///
+/// # Panics
+///
+/// Panics on an empty segment.
+#[must_use]
+pub fn segment_min(chunks: &[ChunkRecord]) -> Fingerprint {
+    chunks
+        .iter()
+        .map(|c| c.fp)
+        .min()
+        .expect("segment must be non-empty")
+}
+
+/// MinHash encryption over fingerprint traces (Algorithm 4).
+#[derive(Clone, Debug)]
+pub struct MinHashEncryption {
+    params: SegmentParams,
+}
+
+impl MinHashEncryption {
+    /// Creates the scheme with the given segmentation parameters (the paper
+    /// uses 512 KB / 1 MB / 2 MB segments).
+    #[must_use]
+    pub fn new(params: SegmentParams) -> Self {
+        MinHashEncryption { params }
+    }
+
+    /// The segmentation parameters.
+    #[must_use]
+    pub fn params(&self) -> &SegmentParams {
+        &self.params
+    }
+
+    /// Encrypts a backup: partitions it into segments, derives each
+    /// segment's key from its minimum fingerprint, and encrypts every chunk
+    /// with the segment key.
+    #[must_use]
+    pub fn encrypt_backup(&self, plain: &Backup) -> EncryptedBackup {
+        let spans = segment_spans(&plain.chunks, &self.params);
+        let mut out = Backup::new(plain.label.clone());
+        let mut truth = GroundTruth::new();
+        for span in spans {
+            let segment = &plain.chunks[span];
+            let h = segment_min(segment);
+            for rec in segment {
+                let cipher = minhash_encrypt_fp(h, rec.fp);
+                truth.record(cipher, rec.fp);
+                out.push(ChunkRecord::new(cipher, rec.size));
+            }
+        }
+        EncryptedBackup { backup: out, truth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::stats;
+
+    fn stream(n: usize, seed: u64) -> Backup {
+        let mut x = seed | 1;
+        Backup::from_chunks(
+            "t",
+            (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ChunkRecord::new(Fingerprint(x), 8192)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fp_encryption_depends_on_segment_min() {
+        let fp = Fingerprint(42);
+        let c1 = minhash_encrypt_fp(Fingerprint(1), fp);
+        let c2 = minhash_encrypt_fp(Fingerprint(2), fp);
+        assert_ne!(c1, c2, "different h must change the ciphertext");
+        assert_eq!(c1, minhash_encrypt_fp(Fingerprint(1), fp));
+    }
+
+    #[test]
+    fn identical_backups_encrypt_identically() {
+        // Same stream → same segments → same minima → fully deduplicable.
+        let plain = stream(5000, 3);
+        let scheme = MinHashEncryption::new(SegmentParams::default());
+        let a = scheme.encrypt_backup(&plain);
+        let b = scheme.encrypt_backup(&plain);
+        assert_eq!(a.backup.chunks, b.backup.chunks);
+    }
+
+    #[test]
+    fn deduplication_mostly_preserved_across_similar_backups() {
+        // Modify a small clustered region; the unchanged segments keep their
+        // minima, so the overwhelming majority of chunks still deduplicate.
+        let plain1 = stream(20_000, 7);
+        let mut plain2 = plain1.clone();
+        for i in 5000..5050 {
+            plain2.chunks[i] = ChunkRecord::new(Fingerprint(900_000_000 + i as u64), 8192);
+        }
+        let scheme = MinHashEncryption::new(SegmentParams::default());
+        let c1 = scheme.encrypt_backup(&plain1);
+        let c2 = scheme.encrypt_backup(&plain2);
+        let overlap = stats::content_overlap(&c1.backup, &c2.backup);
+        assert!(
+            overlap > 0.9,
+            "ciphertext overlap {overlap} too low — dedup destroyed"
+        );
+    }
+
+    #[test]
+    fn plaintext_can_split_into_multiple_ciphertexts() {
+        // The same plaintext fingerprint in two segments with different
+        // minima yields different ciphertexts — the rank disturbance that
+        // defeats frequency analysis.
+        let mut chunks = Vec::new();
+        // Segment A: minimum 1. Segment B: minimum 2. Shared chunk 1000.
+        // Force tiny segments via params with max_bytes small.
+        chunks.push(ChunkRecord::new(Fingerprint(1), 100));
+        chunks.push(ChunkRecord::new(Fingerprint(1000), 100));
+        chunks.push(ChunkRecord::new(Fingerprint(2), 100));
+        chunks.push(ChunkRecord::new(Fingerprint(1000), 100));
+        let plain = Backup::from_chunks("t", chunks);
+        let params = SegmentParams {
+            min_bytes: 0,
+            max_bytes: 150, // force a boundary after every two chunks
+            divisor: u64::MAX,
+        };
+        let scheme = MinHashEncryption::new(params);
+        let enc = scheme.encrypt_backup(&plain);
+        let c_first = enc.backup.chunks[1].fp;
+        let c_second = enc.backup.chunks[3].fp;
+        assert_ne!(c_first, c_second);
+        // Ground truth still resolves both to plaintext 1000.
+        assert_eq!(enc.truth.plain_of(c_first), Some(Fingerprint(1000)));
+        assert_eq!(enc.truth.plain_of(c_second), Some(Fingerprint(1000)));
+    }
+
+    #[test]
+    fn sizes_and_order_preserved() {
+        let plain = stream(1000, 11);
+        let scheme = MinHashEncryption::new(SegmentParams::default());
+        let enc = scheme.encrypt_backup(&plain);
+        assert_eq!(enc.backup.len(), plain.len());
+        for (p, c) in plain.iter().zip(enc.backup.iter()) {
+            assert_eq!(p.size, c.size);
+            assert_eq!(enc.truth.plain_of(c.fp), Some(p.fp));
+        }
+    }
+
+    #[test]
+    fn segment_key_domain_separated() {
+        assert_ne!(segment_key(Fingerprint(1)), segment_key(Fingerprint(2)));
+        assert_ne!(
+            segment_key(Fingerprint(1)).to_vec(),
+            sha256::digest(&Fingerprint(1).to_bytes()).to_vec()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn segment_min_rejects_empty() {
+        let _ = segment_min(&[]);
+    }
+}

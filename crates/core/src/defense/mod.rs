@@ -1,0 +1,10 @@
+//! Defenses against frequency analysis (§6): MinHash encryption, scrambling,
+//! and their combination.
+
+pub mod combined;
+pub mod minhash;
+pub mod scramble;
+
+pub use combined::DefenseScheme;
+pub use minhash::MinHashEncryption;
+pub use scramble::Scrambler;

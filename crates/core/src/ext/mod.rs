@@ -1,0 +1,9 @@
+//! Extensions beyond the paper's core algorithms.
+//!
+//! * [`lp_opt`] — the ℓp-optimization inference attack (Naveed et al.,
+//!   CCS 2015) that the paper discusses in §3.4 as an alternative to
+//!   frequency analysis, implemented via an exact minimum-cost assignment.
+//!   Included for the ablation benchmark comparing its severity with
+//!   frequency analysis at small scale.
+
+pub mod lp_opt;

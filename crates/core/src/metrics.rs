@@ -1,0 +1,279 @@
+//! Attack scoring: the inference rate (§4) and known-plaintext leakage
+//! sampling (§5.3.3).
+
+use std::collections::HashMap;
+
+use freqdedup_mle::trace_enc::GroundTruth;
+use freqdedup_trace::{Backup, Fingerprint};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The result set `T` of an attack: inferred ciphertext→plaintext pairs,
+/// at most one plaintext per ciphertext chunk.
+#[derive(Clone, Debug, Default)]
+pub struct Inference {
+    pairs: HashMap<Fingerprint, Fingerprint>,
+}
+
+impl Inference {
+    /// Creates an empty result set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an inferred pair. Returns `false` (and keeps the original)
+    /// when the ciphertext chunk was already inferred — matching Algorithm
+    /// 2's "if (C, ∗) is not in T" guard.
+    pub fn insert(&mut self, cipher: Fingerprint, plain: Fingerprint) -> bool {
+        match self.pairs.entry(cipher) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(plain);
+                true
+            }
+        }
+    }
+
+    /// Whether `cipher` has already been inferred.
+    #[must_use]
+    pub fn contains_cipher(&self, cipher: Fingerprint) -> bool {
+        self.pairs.contains_key(&cipher)
+    }
+
+    /// The inferred plaintext of `cipher`, if any.
+    #[must_use]
+    pub fn plain_of(&self, cipher: Fingerprint) -> Option<Fingerprint> {
+        self.pairs.get(&cipher).copied()
+    }
+
+    /// Number of inferred pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs were inferred.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over inferred `(cipher, plain)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Fingerprint, Fingerprint)> + '_ {
+        self.pairs.iter().map(|(&c, &m)| (c, m))
+    }
+}
+
+impl FromIterator<(Fingerprint, Fingerprint)> for Inference {
+    fn from_iter<I: IntoIterator<Item = (Fingerprint, Fingerprint)>>(iter: I) -> Self {
+        let mut out = Inference::new();
+        for (c, m) in iter {
+            out.insert(c, m);
+        }
+        out
+    }
+}
+
+/// Scoring report for one attack run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InferenceReport {
+    /// Unique ciphertext chunks of the target backup whose plaintext was
+    /// inferred **correctly**.
+    pub correct: usize,
+    /// Inferred pairs that were wrong (cipher in the target, plain wrong).
+    pub incorrect: usize,
+    /// Total unique ciphertext chunks in the target backup (denominator).
+    pub total_unique: usize,
+    /// The paper's inference rate: `correct / total_unique`.
+    pub rate: f64,
+}
+
+impl InferenceReport {
+    /// Fraction of inferred pairs that are correct (attack precision).
+    /// Returns 1.0 for an empty inference.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let total = self.correct + self.incorrect;
+        if total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / total as f64
+        }
+    }
+}
+
+/// Scores an inference against the ground truth, counting only ciphertext
+/// chunks that actually occur in the target backup (§4: "the ratio of the
+/// number of unique ciphertext chunks whose plaintext chunks are
+/// successfully inferred over the total number of unique ciphertext chunks
+/// in the latest backup").
+#[must_use]
+pub fn score(inferred: &Inference, target: &Backup, truth: &GroundTruth) -> InferenceReport {
+    let unique = target.unique_fingerprints();
+    let mut correct = 0usize;
+    let mut incorrect = 0usize;
+    for (cipher, plain) in inferred.iter() {
+        if !unique.contains(&cipher) {
+            continue;
+        }
+        if truth.is_correct(cipher, plain) {
+            correct += 1;
+        } else {
+            incorrect += 1;
+        }
+    }
+    let total_unique = unique.len();
+    InferenceReport {
+        correct,
+        incorrect,
+        total_unique,
+        rate: if total_unique == 0 {
+            0.0
+        } else {
+            correct as f64 / total_unique as f64
+        },
+    }
+}
+
+/// Samples leaked ciphertext-plaintext pairs for known-plaintext mode
+/// (§5.3.3): picks `leakage_rate × total unique ciphertext chunks` of the
+/// target backup uniformly at random (deterministic in `seed`) and returns
+/// their true pairs — modelling e.g. stolen-device leakage of a few files.
+#[must_use]
+pub fn leak_pairs(
+    target: &Backup,
+    truth: &GroundTruth,
+    leakage_rate: f64,
+    seed: u64,
+) -> Vec<(Fingerprint, Fingerprint)> {
+    assert!(
+        (0.0..=1.0).contains(&leakage_rate),
+        "leakage rate must be in [0, 1]"
+    );
+    let mut unique: Vec<Fingerprint> = target.unique_fingerprints().into_iter().collect();
+    unique.sort_unstable(); // canonical order before shuffling
+    let n = (leakage_rate * unique.len() as f64).round() as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    unique.shuffle(&mut rng);
+    unique
+        .into_iter()
+        .take(n)
+        .filter_map(|c| truth.plain_of(c).map(|m| (c, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::ChunkRecord;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint(v)
+    }
+
+    fn backup(fps: &[u64]) -> Backup {
+        Backup::from_chunks(
+            "t",
+            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
+        )
+    }
+
+    fn truth_of(pairs: &[(u64, u64)]) -> GroundTruth {
+        let mut t = GroundTruth::new();
+        for &(c, m) in pairs {
+            t.record(fp(c), fp(m));
+        }
+        t
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_cipher() {
+        let mut inf = Inference::new();
+        assert!(inf.insert(fp(1), fp(10)));
+        assert!(!inf.insert(fp(1), fp(11)));
+        assert_eq!(inf.plain_of(fp(1)), Some(fp(10)));
+        assert_eq!(inf.len(), 1);
+    }
+
+    #[test]
+    fn score_counts_correct_and_incorrect() {
+        let truth = truth_of(&[(1, 10), (2, 20), (3, 30)]);
+        let target = backup(&[1, 2, 3, 1]);
+        let inferred: Inference = [(fp(1), fp(10)), (fp(2), fp(99))].into_iter().collect();
+        let report = score(&inferred, &target, &truth);
+        assert_eq!(report.correct, 1);
+        assert_eq!(report.incorrect, 1);
+        assert_eq!(report.total_unique, 3);
+        assert!((report.rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((report.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_ignores_pairs_outside_target() {
+        let truth = truth_of(&[(1, 10), (9, 90)]);
+        let target = backup(&[1]);
+        let inferred: Inference = [(fp(9), fp(90))].into_iter().collect();
+        let report = score(&inferred, &target, &truth);
+        assert_eq!(report.correct, 0);
+        assert_eq!(report.incorrect, 0);
+        assert_eq!(report.rate, 0.0);
+    }
+
+    #[test]
+    fn score_empty_target() {
+        let truth = truth_of(&[]);
+        let report = score(&Inference::new(), &backup(&[]), &truth);
+        assert_eq!(report.rate, 0.0);
+        assert_eq!(report.precision(), 1.0);
+    }
+
+    #[test]
+    fn leak_pairs_size_and_correctness() {
+        let truth = truth_of(&(0..100).map(|i| (i, i + 1000)).collect::<Vec<_>>());
+        let target = backup(&(0..100u64).collect::<Vec<_>>());
+        let leaked = leak_pairs(&target, &truth, 0.1, 42);
+        assert_eq!(leaked.len(), 10);
+        for (c, m) in &leaked {
+            assert!(truth.is_correct(*c, *m));
+        }
+    }
+
+    #[test]
+    fn leak_pairs_deterministic_per_seed() {
+        let truth = truth_of(&(0..50).map(|i| (i, i + 1000)).collect::<Vec<_>>());
+        let target = backup(&(0..50u64).collect::<Vec<_>>());
+        assert_eq!(
+            leak_pairs(&target, &truth, 0.2, 7),
+            leak_pairs(&target, &truth, 0.2, 7)
+        );
+        assert_ne!(
+            leak_pairs(&target, &truth, 0.2, 7),
+            leak_pairs(&target, &truth, 0.2, 8)
+        );
+    }
+
+    #[test]
+    fn leak_pairs_zero_and_full() {
+        let truth = truth_of(&(0..10).map(|i| (i, i + 1000)).collect::<Vec<_>>());
+        let target = backup(&(0..10u64).collect::<Vec<_>>());
+        assert!(leak_pairs(&target, &truth, 0.0, 1).is_empty());
+        assert_eq!(leak_pairs(&target, &truth, 1.0, 1).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "leakage rate")]
+    fn leak_rate_validated() {
+        let _ = leak_pairs(&backup(&[1]), &truth_of(&[(1, 2)]), 1.5, 0);
+    }
+
+    #[test]
+    fn inference_from_iterator_dedups() {
+        let inf: Inference = [(fp(1), fp(10)), (fp(1), fp(11)), (fp(2), fp(20))]
+            .into_iter()
+            .collect();
+        assert_eq!(inf.len(), 2);
+        assert_eq!(inf.plain_of(fp(1)), Some(fp(10)));
+    }
+}

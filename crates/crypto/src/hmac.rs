@@ -1,0 +1,171 @@
+//! HMAC-SHA256 (RFC 2104), tested against the RFC 4231 vectors.
+//!
+//! HMAC backs two pieces of the reproduction:
+//!
+//! * the DupLESS-style key server of `freqdedup-mle`, which derives MLE keys
+//!   as `HMAC(system_secret, fingerprint)` (paper §2.2);
+//! * the fingerprint-space deterministic "encryption" used by the
+//!   trace-driven evaluation (paper §7.1).
+
+use crate::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// A streaming HMAC-SHA256 computation.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"secret");
+/// mac.update(b"fingerprint");
+/// let tag = mac.finalize();
+/// assert_eq!(tag, freqdedup_crypto::hmac::hmac(b"secret", b"fingerprint"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length; keys longer
+    /// than the block size are hashed first, per RFC 2104).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = sha256::digest(key);
+            block_key[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes the computation and returns the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256.
+#[must_use]
+pub fn hmac(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// One-shot HMAC-SHA256 truncated to a little-endian `u64`, the width of the
+/// trace-level fingerprints.
+#[must_use]
+pub fn hmac_u64(key: &[u8], message: &[u8]) -> u64 {
+    sha256::digest_to_u64(&hmac(key, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&hmac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 0xaa*20 key, 0xdd*50 data.
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key larger than block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&hmac(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 4231 test case 7: long key and long data.
+    #[test]
+    fn rfc4231_case7_long_key_long_data() {
+        let key = [0xaau8; 131];
+        let data: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac(&key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"some key";
+        let msg: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let want = hmac(key, &msg);
+        for split in [0usize, 1, 63, 64, 65, 100, 199, 200] {
+            let mut mac = HmacSha256::new(key);
+            mac.update(&msg[..split]);
+            mac.update(&msg[split..]);
+            assert_eq!(mac.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        assert_ne!(hmac(b"k1", b"m"), hmac(b"k2", b"m"));
+    }
+
+    #[test]
+    fn hmac_u64_is_le_prefix() {
+        let tag = hmac(b"k", b"m");
+        assert_eq!(hmac_u64(b"k", b"m").to_le_bytes(), tag[..8]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Version evolution: clustered edits over a chunk stream.
+//!
+//! Backups change in **few clustered regions** while the rest of the stream
+//! keeps its order (§1: "changes to backups often appear in few clustered
+//! regions of chunks, while the remaining regions of chunks will appear in
+//! the same order in previous backups"). This module applies that model:
+//! a configurable fraction of chunks is covered by contiguous edit regions;
+//! within a region each chunk is replaced by fresh content, deleted, or
+//! kept.
+
+use freqdedup_chunking::segment::{segment_spans, SegmentParams};
+use freqdedup_trace::ChunkRecord;
+use rand::Rng;
+
+use crate::util::{run_length, FingerprintAllocator, SizeModel};
+
+/// Parameters of the clustered-edit model.
+#[derive(Clone, Copy, Debug)]
+pub struct EditModel {
+    /// Fraction of the stream covered by edit regions per version step.
+    pub edit_frac: f64,
+    /// Mean edit-region length in chunks.
+    pub mean_region: f64,
+    /// Probability a chunk inside a region is replaced by fresh content.
+    pub replace_p: f64,
+    /// Probability a chunk inside a region is deleted.
+    pub delete_p: f64,
+    /// Fraction of file-sized stream segments relocated per version step
+    /// (directory churn: created/renamed/moved files change the snapshot
+    /// traversal order without changing content).
+    pub reorder_frac: f64,
+    /// Average chunk size hint for the content-defined reorder granularity.
+    pub avg_chunk_size: u32,
+}
+
+impl EditModel {
+    /// A light monthly-churn model (FSL-like): whole-file-sized edit regions
+    /// (users rewrite files, not 100-KB patches).
+    #[must_use]
+    pub fn light(edit_frac: f64) -> Self {
+        EditModel {
+            edit_frac,
+            mean_region: 64.0,
+            replace_p: 0.7,
+            delete_p: 0.15,
+            reorder_frac: 0.0,
+            avg_chunk_size: 8192,
+        }
+    }
+
+    /// Adds segment-relocation churn (builder style).
+    #[must_use]
+    pub fn with_reorder(mut self, reorder_frac: f64) -> Self {
+        self.reorder_frac = reorder_frac;
+        self
+    }
+}
+
+/// Relocates a fraction of blocks of the stream to random positions
+/// (directory churn: files move as wholes).
+///
+/// Blocks are cut at **content-defined segment boundaries** (the same
+/// fingerprint-driven rule the MinHash defense segments with, §7.1). Because
+/// segmentation is a pure function of the fingerprint stream, a moved block
+/// re-segments identically at its new position — so relocation is invisible
+/// to MinHash encryption's key derivation (it neither splits segments nor
+/// changes minima), exactly like a real file move is invisible to
+/// content-defined deduplication. What it *does* change is the global
+/// stream-order alignment the locality attack leans on.
+#[must_use]
+pub fn reorder_segments(
+    chunks: Vec<ChunkRecord>,
+    reorder_frac: f64,
+    avg_chunk_size: u32,
+    rng: &mut impl Rng,
+) -> Vec<ChunkRecord> {
+    if reorder_frac <= 0.0 || chunks.len() < 2 {
+        return chunks;
+    }
+    let params = SegmentParams::paper_default(avg_chunk_size);
+    let spans = segment_spans(&chunks, &params);
+    let mut segments: Vec<&[ChunkRecord]> = spans.iter().map(|s| &chunks[s.clone()]).collect();
+
+    // Pull out a fraction of segments and reinsert them at random slots.
+    let n_move = ((segments.len() as f64) * reorder_frac).round() as usize;
+    let mut moved = Vec::with_capacity(n_move);
+    for _ in 0..n_move.min(segments.len().saturating_sub(1)) {
+        let idx = rng.gen_range(0..segments.len());
+        moved.push(segments.remove(idx));
+    }
+    for seg in moved {
+        let idx = rng.gen_range(0..=segments.len());
+        segments.insert(idx, seg);
+    }
+    segments.into_iter().flatten().copied().collect()
+}
+
+/// Applies one round of clustered edits, returning the next version of the
+/// stream. Deterministic in `rng`.
+#[must_use]
+pub fn evolve(
+    chunks: &[ChunkRecord],
+    model: &EditModel,
+    alloc: &mut FingerprintAllocator,
+    sizes: &SizeModel,
+    rng: &mut impl Rng,
+) -> Vec<ChunkRecord> {
+    if chunks.is_empty() {
+        return Vec::new();
+    }
+    if model.edit_frac <= 0.0 {
+        return reorder_segments(
+            chunks.to_vec(),
+            model.reorder_frac,
+            model.avg_chunk_size,
+            rng,
+        );
+    }
+    let n = chunks.len();
+    let target_edited = (n as f64 * model.edit_frac).round() as usize;
+    // Mark edited positions via randomly placed regions.
+    let mut edited = vec![false; n];
+    let mut covered = 0usize;
+    let mut guard = 0;
+    while covered < target_edited && guard < 10 * n {
+        let start = rng.gen_range(0..n);
+        let len = run_length(rng, model.mean_region, 4 * model.mean_region as usize);
+        for flag in edited.iter_mut().skip(start).take(len) {
+            if !*flag {
+                *flag = true;
+                covered += 1;
+            }
+        }
+        guard += 1;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (i, &rec) in chunks.iter().enumerate() {
+        if !edited[i] {
+            out.push(rec);
+            continue;
+        }
+        let roll: f64 = rng.gen();
+        if roll < model.replace_p {
+            out.push(sizes.record(alloc.next_fp()));
+        } else if roll < model.replace_p + model.delete_p {
+            // deleted: skip
+        } else {
+            out.push(rec);
+        }
+    }
+    reorder_segments(out, model.reorder_frac, model.avg_chunk_size, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::{stats, Backup};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn base_stream(n: usize) -> Vec<ChunkRecord> {
+        let mut alloc = FingerprintAllocator::new(1);
+        (0..n)
+            .map(|_| SizeModel::Variable(8192).record(alloc.next_fp()))
+            .collect()
+    }
+
+    #[test]
+    fn edit_fraction_respected() {
+        let stream = base_stream(50_000);
+        let mut alloc = FingerprintAllocator::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let next = evolve(
+            &stream,
+            &EditModel::light(0.05),
+            &mut alloc,
+            &SizeModel::Variable(8192),
+            &mut rng,
+        );
+        let old = Backup::from_chunks("a", stream);
+        let new = Backup::from_chunks("b", next);
+        let overlap = stats::content_overlap(&old, &new);
+        assert!(
+            (0.90..0.99).contains(&overlap),
+            "content overlap {overlap} for 5% edits"
+        );
+    }
+
+    #[test]
+    fn locality_mostly_preserved() {
+        let stream = base_stream(50_000);
+        let mut alloc = FingerprintAllocator::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let next = evolve(
+            &stream,
+            &EditModel::light(0.05),
+            &mut alloc,
+            &SizeModel::Variable(8192),
+            &mut rng,
+        );
+        let old = Backup::from_chunks("a", stream);
+        let new = Backup::from_chunks("b", next);
+        let loc = stats::locality_overlap(&old, &new);
+        assert!(loc > 0.85, "locality overlap {loc}");
+    }
+
+    #[test]
+    fn zero_edit_is_identity() {
+        let stream = base_stream(100);
+        let mut alloc = FingerprintAllocator::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let next = evolve(
+            &stream,
+            &EditModel::light(0.0),
+            &mut alloc,
+            &SizeModel::Variable(8192),
+            &mut rng,
+        );
+        assert_eq!(next, stream);
+    }
+
+    #[test]
+    fn heavy_edit_replaces_most() {
+        let stream = base_stream(10_000);
+        let mut alloc = FingerprintAllocator::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = EditModel {
+            edit_frac: 0.9,
+            mean_region: 32.0,
+            replace_p: 0.9,
+            delete_p: 0.05,
+            reorder_frac: 0.0,
+            avg_chunk_size: 8192,
+        };
+        let next = evolve(
+            &stream,
+            &model,
+            &mut alloc,
+            &SizeModel::Variable(8192),
+            &mut rng,
+        );
+        let old = Backup::from_chunks("a", stream);
+        let new = Backup::from_chunks("b", next);
+        assert!(stats::content_overlap(&old, &new) < 0.3);
+    }
+
+    #[test]
+    fn reorder_preserves_multiset_and_intra_segment_order() {
+        let stream = base_stream(20_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let moved = reorder_segments(stream.clone(), 0.2, 8192, &mut rng);
+        assert_eq!(moved.len(), stream.len());
+        let mut a: Vec<u64> = stream.iter().map(|c| c.fp.value()).collect();
+        let mut b: Vec<u64> = moved.iter().map(|c| c.fp.value()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Most adjacencies survive (only segment boundaries break).
+        let old = Backup::from_chunks("a", stream);
+        let new = Backup::from_chunks("b", moved);
+        let loc = stats::locality_overlap(&old, &new);
+        assert!(loc > 0.95, "locality after reorder {loc}");
+    }
+
+    #[test]
+    fn reorder_changes_global_order() {
+        let stream = base_stream(20_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let moved = reorder_segments(stream.clone(), 0.3, 8192, &mut rng);
+        assert_ne!(moved, stream);
+    }
+
+    #[test]
+    fn reorder_zero_is_identity() {
+        let stream = base_stream(100);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(
+            reorder_segments(stream.clone(), 0.0, 8192, &mut rng),
+            stream
+        );
+    }
+
+    #[test]
+    fn empty_stream_ok() {
+        let mut alloc = FingerprintAllocator::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let next = evolve(
+            &[],
+            &EditModel::light(0.5),
+            &mut alloc,
+            &SizeModel::Fixed(4096),
+            &mut rng,
+        );
+        assert!(next.is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! FSL-like backup series generator (§5.1, "FSL" dataset).
+//!
+//! Models the Fslhomes workload: six users' home directories snapshotted as
+//! five monthly full backups, variable-size chunks of 8 KB average. Each
+//! user's stream interleaves:
+//!
+//! * **unique runs** — user-private file data (once-occurring chunks);
+//! * **cold shared files** — a corpus shared across users (cross-user
+//!   deduplication);
+//! * **hot files** — a small Zipf-popular pool (the frequency skew of
+//!   Fig. 1 and the stable top-frequency anchors the attack seeds on).
+//!
+//! Months evolve by clustered edits plus appended growth, preserving chunk
+//! locality exactly as backup workloads do.
+
+use freqdedup_trace::{Backup, BackupSeries, ChunkRecord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::evolve::{evolve, EditModel};
+use crate::pool::SharedPool;
+use crate::util::{run_length, FingerprintAllocator, SizeModel};
+
+/// Configuration of the FSL-like generator.
+#[derive(Clone, Debug)]
+pub struct FslConfig {
+    /// Number of users (paper: 6).
+    pub users: usize,
+    /// Number of monthly full backups (paper: 5).
+    pub backups: usize,
+    /// Approximate chunks per user per backup (scale knob).
+    pub chunks_per_user: usize,
+    /// Chunk size model (paper: variable, 8 KB average).
+    pub size_model: SizeModel,
+    /// Probability that a generated run is a hot (Zipf) shared file.
+    pub hot_run_prob: f64,
+    /// Probability that a generated run is a cold shared-corpus file.
+    pub cold_run_prob: f64,
+    /// Fraction of each stream touched by clustered edits per month.
+    pub edit_frac: f64,
+    /// Appended new data per month, as a fraction of the stream.
+    pub growth_frac: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl FslConfig {
+    /// The default reproduction scale: 6 users × 5 backups, ~20k chunks per
+    /// user per backup (≈ 120k logical chunks per backup).
+    #[must_use]
+    pub fn scaled(chunks_per_user: usize) -> Self {
+        FslConfig {
+            users: 6,
+            backups: 5,
+            chunks_per_user,
+            size_model: SizeModel::Variable(8 * 1024),
+            hot_run_prob: 0.10,
+            cold_run_prob: 0.03,
+            edit_frac: 0.05,
+            growth_frac: 0.015,
+            seed: 0xf51,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users == 0 || self.backups == 0 || self.chunks_per_user == 0 {
+            return Err("users, backups and chunks_per_user must be positive".into());
+        }
+        if self.hot_run_prob + self.cold_run_prob >= 1.0 {
+            return Err("hot_run_prob + cold_run_prob must be < 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FslConfig {
+    fn default() -> Self {
+        Self::scaled(20_000)
+    }
+}
+
+/// The paper's monthly backup labels.
+const LABELS: [&str; 5] = ["Jan 22", "Feb 22", "Mar 22", "Apr 21", "May 21"];
+
+/// Label of backup `i` in an FSL-like series.
+#[must_use]
+pub fn label(i: usize) -> String {
+    LABELS
+        .get(i)
+        .map_or_else(|| format!("month-{:02}", i + 1), |s| (*s).to_string())
+}
+
+/// Generates an FSL-like [`BackupSeries`].
+///
+/// # Panics
+///
+/// Panics on an invalid configuration.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_datasets::fsl::{generate, FslConfig};
+///
+/// let series = generate(&FslConfig::scaled(2000));
+/// assert_eq!(series.len(), 5);
+/// assert!(series.latest().unwrap().len() > 10_000); // 6 users x 2000
+/// ```
+#[must_use]
+pub fn generate(config: &FslConfig) -> BackupSeries {
+    config.validate().expect("invalid FSL configuration");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut fresh = FingerprintAllocator::new(0x0f51);
+    let mut pool_alloc = FingerprintAllocator::new(0x1f51);
+
+    // Hot pool: small files, Zipf popularity (frequency skew).
+    let hot = SharedPool::generate(
+        300,
+        8.0,
+        32,
+        1.05,
+        &mut pool_alloc,
+        &config.size_model,
+        &mut rng,
+    );
+    // Filler chunks: the extreme tail of Fig. 1 — a handful of chunks
+    // (zero-filled blocks, common headers/padding) that occur orders of
+    // magnitude more often than anything else, with strictly decreasing
+    // weights. Their stable, well-separated top ranks are what the
+    // ciphertext-only attack seeds on (§4.2).
+    let fillers: Vec<ChunkRecord> = (0..8)
+        .map(|_| config.size_model.record(pool_alloc.next_fp()))
+        .collect();
+    // Cold corpus: *large* shared directory trees (multi-megabyte chunk
+    // sequences), reused across users. Real duplicate content is dominated
+    // by whole copied directories/archives — long runs much bigger than a
+    // dedup segment, so their interior segments re-form identically in any
+    // context (this is what keeps MinHash encryption's storage loss small,
+    // §7.3).
+    let cold = SharedPool::generate(
+        16,
+        600.0,
+        1500,
+        1.0,
+        &mut pool_alloc,
+        &config.size_model,
+        &mut rng,
+    );
+
+    // Initial user streams.
+    let mut streams: Vec<Vec<ChunkRecord>> = (0..config.users)
+        .map(|_| {
+            let mut stream = Vec::with_capacity(config.chunks_per_user + 64);
+            while stream.len() < config.chunks_per_user {
+                append_run(&mut stream, config, &hot, &cold, &fillers, &mut fresh, &mut rng);
+            }
+            stream
+        })
+        .collect();
+
+    // Monthly churn: clustered edits plus directory-churn reordering (files
+    // created/renamed between months change the snapshot traversal order).
+    let edit_model = EditModel::light(config.edit_frac).with_reorder(0.25);
+    let mut series = BackupSeries::new("fsl");
+    for b in 0..config.backups {
+        if b > 0 {
+            for stream in &mut streams {
+                let mut next = evolve(stream, &edit_model, &mut fresh, &config.size_model, &mut rng);
+                let grow_target =
+                    next.len() + (config.growth_frac * next.len() as f64).round() as usize;
+                while next.len() < grow_target {
+                    append_run(&mut next, config, &hot, &cold, &fillers, &mut fresh, &mut rng);
+                }
+                *stream = next;
+            }
+        }
+        let mut backup = Backup::new(label(b));
+        for stream in &streams {
+            backup.extend(stream.iter().copied());
+        }
+        series.push(backup);
+    }
+    series
+}
+
+/// Probability that a run is a filler-chunk run (zero-chunk analogue).
+const FILLER_RUN_PROB: f64 = 0.06;
+
+/// Appends one run to a stream: a filler run, a hot file, a cold corpus
+/// file, or a run of fresh unique chunks.
+fn append_run(
+    stream: &mut Vec<ChunkRecord>,
+    config: &FslConfig,
+    hot: &SharedPool,
+    cold: &SharedPool,
+    fillers: &[ChunkRecord],
+    fresh: &mut FingerprintAllocator,
+    rng: &mut impl Rng,
+) {
+    let roll: f64 = rng.gen();
+    if roll < FILLER_RUN_PROB {
+        // A short run of one filler chunk repeated (like a zero-filled
+        // region). Filler index ~ geometric: strictly decreasing, well
+        // separated frequencies.
+        push_filler(stream, fillers, rng);
+    } else if roll < FILLER_RUN_PROB + config.hot_run_prob {
+        // Filler padding frequently sits right before file content; these
+        // recurring filler→file-head adjacencies give the top-frequency
+        // chunks *count-dominant* neighbours and are exactly how the
+        // locality crawl bridges from its frequency-analysis seed into the
+        // file sequences (§4.2's iterated inference).
+        if rng.gen::<f64>() < 0.5 {
+            push_filler(stream, fillers, rng);
+        }
+        stream.extend_from_slice(hot.sample_run(rng, 0.4));
+    } else if roll < FILLER_RUN_PROB + config.hot_run_prob + config.cold_run_prob {
+        if rng.gen::<f64>() < 0.5 {
+            push_filler(stream, fillers, rng);
+        }
+        let idx = rng.gen_range(0..cold.len());
+        stream.extend_from_slice(cold.file(idx));
+    } else {
+        let len = run_length(rng, 24.0, 120);
+        stream.extend((0..len).map(|_| config.size_model.record(fresh.next_fp())));
+    }
+}
+
+/// Appends a short filler run (one filler chunk, geometric index, repeated
+/// 1–4 times).
+fn push_filler(stream: &mut Vec<ChunkRecord>, fillers: &[ChunkRecord], rng: &mut impl Rng) {
+    let mut idx = 0usize;
+    while idx + 1 < fillers.len() && rng.gen::<f64>() < 0.45 {
+        idx += 1;
+    }
+    let reps = rng.gen_range(1..=4);
+    stream.extend(std::iter::repeat(fillers[idx]).take(reps));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::stats;
+
+    fn small() -> BackupSeries {
+        generate(&FslConfig::scaled(5000))
+    }
+
+    #[test]
+    fn shape_counts() {
+        let s = small();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.get(0).unwrap().label, "Jan 22");
+        assert_eq!(s.latest().unwrap().label, "May 21");
+        let latest = s.latest().unwrap();
+        assert!(latest.len() >= 6 * 5000, "latest has {} chunks", latest.len());
+    }
+
+    #[test]
+    fn dedup_ratio_in_band() {
+        let s = small();
+        let ratio = stats::dedup_ratio(&s);
+        assert!(
+            (4.5..10.5).contains(&ratio),
+            "FSL-like dedup ratio {ratio}, paper reports 7.6x"
+        );
+    }
+
+    #[test]
+    fn adjacent_versions_highly_redundant() {
+        let s = small();
+        let overlap = stats::content_overlap(s.get(3).unwrap(), s.get(4).unwrap());
+        assert!(overlap > 0.85, "version content overlap {overlap}");
+    }
+
+    #[test]
+    fn chunk_locality_preserved_across_versions() {
+        let s = small();
+        let loc = stats::locality_overlap(s.get(3).unwrap(), s.get(4).unwrap());
+        assert!(loc > 0.7, "locality overlap {loc}");
+    }
+
+    #[test]
+    fn frequency_distribution_skewed() {
+        let s = small();
+        let cdf = stats::FrequencyCdf::from_backups(s.iter(), false);
+        // The vast majority of chunks occur rarely...
+        assert!(cdf.fraction_above(100) < 0.01);
+        // ...but a heavy tail of hot chunks exists (scales with the
+        // configured chunks_per_user; at full scale it reaches thousands).
+        assert!(cdf.max_frequency() > 80, "max freq {}", cdf.max_frequency());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&FslConfig::scaled(1000));
+        let b = generate(&FslConfig::scaled(1000));
+        assert_eq!(a, b);
+        let mut cfg = FslConfig::scaled(1000);
+        cfg.seed = 99;
+        assert_ne!(generate(&cfg), a);
+    }
+
+    #[test]
+    fn variable_sizes_produce_many_block_classes() {
+        let s = small();
+        let classes: std::collections::HashSet<u32> = s
+            .latest()
+            .unwrap()
+            .iter()
+            .map(ChunkRecord::blocks)
+            .collect();
+        assert!(classes.len() > 100, "{} block classes", classes.len());
+    }
+
+    #[test]
+    fn labels_extend_beyond_five() {
+        assert_eq!(label(0), "Jan 22");
+        assert_eq!(label(5), "month-06");
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = FslConfig::scaled(100);
+        c.users = 0;
+        assert!(c.validate().is_err());
+        let mut c = FslConfig::scaled(100);
+        c.hot_run_prob = 0.6;
+        c.cold_run_prob = 0.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! The shared-content pool: "common files" whose chunk sequences recur
+//! across users and backups.
+//!
+//! Duplicate content in real storage appears as repeated *files*, i.e.
+//! repeated chunk **sequences**, not isolated chunks. This is what gives hot
+//! chunks stable neighbour statistics (the locality attack's seed anchors)
+//! and what produces the frequency skew of Fig. 1: popularity over files is
+//! Zipf-distributed, so the chunks of the most popular files occur orders of
+//! magnitude more often than the long tail.
+
+use freqdedup_trace::ChunkRecord;
+use rand::Rng;
+
+use crate::util::{run_length, FingerprintAllocator, SizeModel, Zipf};
+
+/// A pool of common files with Zipf popularity.
+#[derive(Clone, Debug)]
+pub struct SharedPool {
+    files: Vec<Vec<ChunkRecord>>,
+    popularity: Zipf,
+}
+
+impl SharedPool {
+    /// Generates `n_files` common files whose lengths are geometric with the
+    /// given mean (capped at `max_len`), drawing fingerprints from `alloc`
+    /// and sizes from `sizes`. Popularity follows Zipf(`zipf_s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_files == 0` (via the Zipf constructor).
+    #[must_use]
+    pub fn generate(
+        n_files: usize,
+        mean_len: f64,
+        max_len: usize,
+        zipf_s: f64,
+        alloc: &mut FingerprintAllocator,
+        sizes: &SizeModel,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let files = (0..n_files)
+            .map(|_| {
+                let len = run_length(rng, mean_len, max_len);
+                (0..len).map(|_| sizes.record(alloc.next_fp())).collect()
+            })
+            .collect();
+        SharedPool {
+            files,
+            popularity: Zipf::new(n_files, zipf_s),
+        }
+    }
+
+    /// Samples a file by popularity and returns its chunk sequence.
+    pub fn sample<'a>(&'a self, rng: &mut impl Rng) -> &'a [ChunkRecord] {
+        &self.files[self.popularity.sample(rng)]
+    }
+
+    /// Samples a file by popularity and returns a run of it: the whole file,
+    /// or (with probability `partial_prob`) a non-empty prefix.
+    ///
+    /// Partial occurrences model truncated/older versions of a common file.
+    /// Crucially, they give the chunks of one file *nested, strictly
+    /// decreasing* occurrence counts instead of an exact frequency tie — the
+    /// structure that makes top-frequency ranks stable and unambiguous,
+    /// which the paper relies on for seeding ("the top-frequent chunks have
+    /// significantly higher frequencies than the other chunks, and their
+    /// frequency ranks are stable across different backups", §4.2).
+    pub fn sample_run<'a>(&'a self, rng: &mut impl Rng, partial_prob: f64) -> &'a [ChunkRecord] {
+        let file = self.sample(rng);
+        if file.len() > 1 && rng.gen::<f64>() < partial_prob {
+            let len = rng.gen_range(1..file.len());
+            &file[..len]
+        } else {
+            file
+        }
+    }
+
+    /// Returns file `idx` (uniform access, used for cold shared content).
+    #[must_use]
+    pub fn file(&self, idx: usize) -> &[ChunkRecord] {
+        &self.files[idx % self.files.len()]
+    }
+
+    /// Number of files in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total chunks across all files.
+    #[must_use]
+    pub fn total_chunks(&self) -> usize {
+        self.files.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pool(seed: u64) -> SharedPool {
+        let mut alloc = FingerprintAllocator::new(9);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        SharedPool::generate(
+            200,
+            6.0,
+            32,
+            1.1,
+            &mut alloc,
+            &SizeModel::Variable(8192),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn files_nonempty_and_bounded() {
+        let p = pool(1);
+        assert_eq!(p.len(), 200);
+        for i in 0..p.len() {
+            let f = p.file(i);
+            assert!((1..=32).contains(&f.len()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_skewed_toward_low_ranks() {
+        let p = pool(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let first_file = p.file(0).to_vec();
+        let hits = (0..10_000)
+            .filter(|_| p.sample(&mut rng) == first_file.as_slice())
+            .count();
+        assert!(hits > 300, "rank-0 file sampled {hits} times of 10,000");
+    }
+
+    #[test]
+    fn chunks_unique_across_files() {
+        let p = pool(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..p.len() {
+            for rec in p.file(i) {
+                assert!(seen.insert(rec.fp), "duplicate chunk across pool files");
+            }
+        }
+        assert_eq!(seen.len(), p.total_chunks());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = pool(7);
+        let b = pool(7);
+        for i in 0..a.len() {
+            assert_eq!(a.file(i), b.file(i));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The synthetic snapshot dataset (§5.1, "Synthetic"), generated at the
+//! **content level** following Lillibridge et al.'s method:
+//!
+//! > "We create a sequence of snapshots starting from the initial snapshot,
+//! > such that each snapshot is created from the previous one by randomly
+//! > picking 2% of files and modifying 2.5% of their content, and also
+//! > adding 10 MB of new data."
+//!
+//! The paper's initial snapshot is a public Ubuntu 14.04 disk image; we
+//! substitute a deterministic, seed-reproducible synthetic file tree of the
+//! same structure (the "publicly available" auxiliary information is then
+//! simply the seed — see DESIGN.md §2). Unlike the trace-level FSL/VM
+//! generators, this dataset produces **real bytes**, exercising the full
+//! chunking + fingerprinting pipeline end to end.
+
+use freqdedup_chunking::cdc::CdcParams;
+use freqdedup_chunking::records_from_bytes;
+use freqdedup_trace::{Backup, BackupSeries};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::util::Zipf;
+
+/// Configuration of the synthetic content generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Approximate total bytes of the initial snapshot (paper: 1.1 GB,
+    /// scaled down by default).
+    pub total_bytes: usize,
+    /// Number of snapshots to produce, including the initial one
+    /// (paper: 10).
+    pub snapshots: usize,
+    /// Fraction of files modified per snapshot (paper: 2%).
+    pub modify_file_frac: f64,
+    /// Fraction of a modified file's content that changes (paper: 2.5%).
+    pub modify_content_frac: f64,
+    /// New data added per snapshot, as a fraction of the initial volume
+    /// (paper: 10 MB on 1.1 GB ≈ 0.9%).
+    pub new_data_frac: f64,
+    /// Fraction of file content drawn from shared filler patterns
+    /// (models the intra-image duplication of real disk images).
+    pub common_block_frac: f64,
+    /// Master seed; the initial snapshot is a pure function of it (the
+    /// "public image").
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// A scaled configuration with the paper's mutation rates.
+    #[must_use]
+    pub fn scaled(total_bytes: usize) -> Self {
+        SyntheticConfig {
+            total_bytes,
+            snapshots: 10,
+            modify_file_frac: 0.02,
+            modify_content_frac: 0.025,
+            new_data_frac: 0.009,
+            common_block_frac: 0.15,
+            seed: 0x5717,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_bytes < 64 * 1024 {
+            return Err("total_bytes must be at least 64 KiB".into());
+        }
+        if self.snapshots == 0 {
+            return Err("snapshots must be positive".into());
+        }
+        for (name, v) in [
+            ("modify_file_frac", self.modify_file_frac),
+            ("modify_content_frac", self.modify_content_frac),
+            ("new_data_frac", self.new_data_frac),
+            ("common_block_frac", self.common_block_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self::scaled(32 * 1024 * 1024)
+    }
+}
+
+/// One synthetic file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthFile {
+    /// Stable file identifier.
+    pub id: u64,
+    /// File contents.
+    pub data: Vec<u8>,
+}
+
+/// The evolving snapshot state: holds the current file tree and advances it
+/// snapshot by snapshot (only one snapshot is materialized at a time).
+#[derive(Debug)]
+pub struct SyntheticSnapshots {
+    config: SyntheticConfig,
+    files: Vec<SynthFile>,
+    patterns: Vec<Vec<u8>>,
+    pattern_popularity: Zipf,
+    rng: ChaCha8Rng,
+    next_file_id: u64,
+    snapshot_index: usize,
+    initial_bytes: usize,
+}
+
+impl SyntheticSnapshots {
+    /// Generates the initial snapshot (index 0, the "public image").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    #[must_use]
+    pub fn new(config: SyntheticConfig) -> Self {
+        config.validate().expect("invalid synthetic configuration");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // Shared filler patterns (16–64 KiB each), reused with Zipf
+        // popularity — the most popular patterns recur many times, like
+        // common headers/padding/library blobs in a real disk image.
+        let patterns: Vec<Vec<u8>> = (0..24)
+            .map(|_| {
+                let len = rng.gen_range(16 * 1024..64 * 1024);
+                let mut buf = vec![0u8; len];
+                rng.fill_bytes(&mut buf);
+                buf
+            })
+            .collect();
+
+        let mut state = SyntheticSnapshots {
+            pattern_popularity: Zipf::new(patterns.len(), 1.2),
+            files: Vec::new(),
+            patterns,
+            next_file_id: 0,
+            snapshot_index: 0,
+            initial_bytes: config.total_bytes,
+            rng,
+            config,
+        };
+        let mut total = 0usize;
+        while total < state.initial_bytes {
+            let file = state.fresh_file();
+            total += file.data.len();
+            state.files.push(file);
+        }
+        state
+    }
+
+    fn fresh_file(&mut self) -> SynthFile {
+        // File sizes: 8 KiB · 2^k, k geometric — a heavy-ish tail like real
+        // file systems.
+        let mut size = 8 * 1024usize;
+        while self.rng.gen::<f64>() < 0.5 && size < 512 * 1024 {
+            size *= 2;
+        }
+        let mut data = Vec::with_capacity(size);
+        while data.len() < size {
+            if self.rng.gen::<f64>() < self.config.common_block_frac {
+                let p = self.pattern_popularity.sample(&mut self.rng);
+                let pattern = &self.patterns[p];
+                // Often only a prefix of the pattern occurs (older/truncated
+                // copies), giving the pattern's chunks nested, distinct
+                // frequencies instead of an exact tie — real images show the
+                // same structure, and stable top ranks are what frequency
+                // analysis seeds on (§4.2).
+                let take = if self.rng.gen::<f64>() < 0.5 {
+                    self.rng.gen_range(pattern.len() / 4..=pattern.len())
+                } else {
+                    pattern.len()
+                };
+                data.extend_from_slice(&pattern[..take]);
+            } else {
+                let seg = self.rng.gen_range(8 * 1024..32 * 1024);
+                let start = data.len();
+                data.resize(start + seg, 0);
+                self.rng.fill_bytes(&mut data[start..]);
+            }
+        }
+        data.truncate(size);
+        let id = self.next_file_id;
+        self.next_file_id += 1;
+        SynthFile { id, data }
+    }
+
+    /// The current snapshot's files, in stable order.
+    #[must_use]
+    pub fn files(&self) -> &[SynthFile] {
+        &self.files
+    }
+
+    /// Index of the current snapshot (0 = initial).
+    #[must_use]
+    pub fn snapshot_index(&self) -> usize {
+        self.snapshot_index
+    }
+
+    /// Advances to the next snapshot: modifies 2% of files in 2.5% of their
+    /// content and adds the configured amount of new data.
+    pub fn advance(&mut self) {
+        let n_modify = ((self.files.len() as f64) * self.config.modify_file_frac).ceil() as usize;
+        for _ in 0..n_modify {
+            let idx = self.rng.gen_range(0..self.files.len());
+            let len = self.files[idx].data.len();
+            let region = ((len as f64) * self.config.modify_content_frac).ceil() as usize;
+            let region = region.clamp(1, len);
+            let start = self.rng.gen_range(0..=len - region);
+            let file = &mut self.files[idx];
+            self.rng.fill_bytes(&mut file.data[start..start + region]);
+        }
+        let new_bytes = ((self.initial_bytes as f64) * self.config.new_data_frac) as usize;
+        let mut added = 0usize;
+        while added < new_bytes {
+            let f = self.fresh_file();
+            added += f.data.len();
+            self.files.push(f);
+        }
+        self.snapshot_index += 1;
+    }
+
+    /// Chunks the current snapshot into a [`Backup`] (files chunked
+    /// independently, concatenated in file order).
+    #[must_use]
+    pub fn to_backup(&self, cdc: &CdcParams) -> Backup {
+        let mut backup = Backup::new(label(self.snapshot_index));
+        for file in &self.files {
+            backup.extend(records_from_bytes(&file.data, cdc));
+        }
+        backup
+    }
+}
+
+/// Label of snapshot `i` (0 = the public initial image).
+#[must_use]
+pub fn label(i: usize) -> String {
+    format!("snap-{i:02}")
+}
+
+/// Generates the whole series as fingerprint backups (the common entry point
+/// for the trace-driven experiments).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration.
+#[must_use]
+pub fn generate_series(config: &SyntheticConfig, cdc: &CdcParams) -> BackupSeries {
+    let mut state = SyntheticSnapshots::new(config.clone());
+    let mut series = BackupSeries::new("synthetic");
+    series.push(state.to_backup(cdc));
+    for _ in 1..config.snapshots {
+        state.advance();
+        series.push(state.to_backup(cdc));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::stats;
+
+    fn tiny_config() -> SyntheticConfig {
+        let mut c = SyntheticConfig::scaled(2 * 1024 * 1024);
+        c.snapshots = 3;
+        c
+    }
+
+    fn cdc() -> CdcParams {
+        CdcParams::with_avg_size(4096)
+    }
+
+    #[test]
+    fn initial_snapshot_deterministic() {
+        let a = SyntheticSnapshots::new(tiny_config());
+        let b = SyntheticSnapshots::new(tiny_config());
+        assert_eq!(a.files(), b.files());
+    }
+
+    #[test]
+    fn total_bytes_close_to_target() {
+        let s = SyntheticSnapshots::new(tiny_config());
+        let total: usize = s.files().iter().map(|f| f.data.len()).sum();
+        assert!(total >= 2 * 1024 * 1024);
+        assert!(total < 3 * 1024 * 1024, "overshoot: {total}");
+    }
+
+    #[test]
+    fn advance_modifies_and_grows() {
+        let mut s = SyntheticSnapshots::new(tiny_config());
+        let before: usize = s.files().iter().map(|f| f.data.len()).sum();
+        let n_before = s.files().len();
+        s.advance();
+        let after: usize = s.files().iter().map(|f| f.data.len()).sum();
+        assert!(s.files().len() > n_before, "no new files added");
+        assert!(after > before, "no new bytes added");
+        assert_eq!(s.snapshot_index(), 1);
+    }
+
+    #[test]
+    fn adjacent_snapshots_highly_redundant() {
+        let mut s = SyntheticSnapshots::new(tiny_config());
+        let b0 = s.to_backup(&cdc());
+        s.advance();
+        let b1 = s.to_backup(&cdc());
+        let overlap = stats::content_overlap(&b0, &b1);
+        assert!(overlap > 0.9, "snapshot overlap {overlap}");
+        let loc = stats::locality_overlap(&b0, &b1);
+        assert!(loc > 0.85, "snapshot locality {loc}");
+    }
+
+    #[test]
+    fn series_dedup_ratio_near_snapshot_count() {
+        // Nearly identical snapshots: dedup ratio approaches the number of
+        // snapshots (the paper reports ~10x for 10 snapshots).
+        let series = generate_series(&tiny_config(), &cdc());
+        assert_eq!(series.len(), 3);
+        let ratio = stats::dedup_ratio(&series);
+        assert!((2.0..3.2).contains(&ratio), "ratio {ratio} for 3 snapshots");
+    }
+
+    #[test]
+    fn common_patterns_create_intra_snapshot_duplicates() {
+        let s = SyntheticSnapshots::new(tiny_config());
+        let b = s.to_backup(&cdc());
+        let cdf = stats::FrequencyCdf::from_backups([&b], true);
+        assert!(!cdf.is_empty(), "no duplicate chunks within snapshot");
+        assert!(cdf.max_frequency() >= 2, "max {}", cdf.max_frequency());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(label(0), "snap-00");
+        assert_eq!(label(9), "snap-09");
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = tiny_config();
+        c.total_bytes = 1;
+        assert!(c.validate().is_err());
+        let mut c = tiny_config();
+        c.modify_file_frac = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

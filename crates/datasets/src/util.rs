@@ -1,0 +1,231 @@
+//! Shared generator machinery: unique fingerprint allocation, deterministic
+//! chunk sizes, Zipf and geometric sampling.
+
+use freqdedup_trace::{ChunkRecord, Fingerprint};
+use rand::Rng;
+
+/// The splitmix64 bijection — used to turn sequential counters into
+/// uniformly-scattered, collision-free fingerprints.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Issues fresh, globally unique fingerprints. Each allocator owns a
+/// namespace (high bits), so independent allocators never collide; within a
+/// namespace, splitmix64 is a bijection, so fingerprints never repeat.
+#[derive(Clone, Debug)]
+pub struct FingerprintAllocator {
+    namespace: u64,
+    counter: u64,
+}
+
+impl FingerprintAllocator {
+    /// Creates an allocator for namespace id `namespace` (< 2^16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the namespace exceeds 16 bits.
+    #[must_use]
+    pub fn new(namespace: u16) -> Self {
+        FingerprintAllocator {
+            namespace: u64::from(namespace) << 48,
+            counter: 0,
+        }
+    }
+
+    /// Returns the next fresh fingerprint.
+    pub fn next_fp(&mut self) -> Fingerprint {
+        let fp = splitmix64(self.namespace | self.counter);
+        self.counter += 1;
+        Fingerprint(fp)
+    }
+
+    /// How many fingerprints have been issued.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.counter
+    }
+}
+
+/// Chunk-size model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeModel {
+    /// Every chunk has the same size (the VM dataset's 4 KB chunks).
+    Fixed(u32),
+    /// Content-defined-chunking sizes: shifted geometric with minimum
+    /// `avg/4`, mean `avg` and maximum `4·avg` — the distribution an actual
+    /// Rabin chunker with those parameters produces. Deterministic per
+    /// fingerprint. Sizes concentrate near the mode (weakly discriminating
+    /// classes) with a thin exponential tail (strongly discriminating),
+    /// exactly the balance the advanced attack exploits.
+    Variable(u32),
+}
+
+impl SizeModel {
+    /// The size of the chunk with fingerprint `fp` under this model.
+    /// Deterministic: identical content ⇒ identical size.
+    #[must_use]
+    pub fn size_of(&self, fp: Fingerprint) -> u32 {
+        match *self {
+            SizeModel::Fixed(s) => s,
+            SizeModel::Variable(avg) => {
+                let min = avg / 4;
+                let max = avg * 4;
+                let mean_gap = f64::from(avg - min);
+                // Uniform in (0,1] from the fingerprint, then exponential.
+                let h = splitmix64(fp.value() ^ 0x5173_0f1c_a11b_5eed);
+                let u = ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                let gap = (-u.ln() * mean_gap) as u32;
+                (min + gap).min(max)
+            }
+        }
+    }
+
+    /// Builds a [`ChunkRecord`] for `fp` under this model.
+    #[must_use]
+    pub fn record(&self, fp: Fingerprint) -> ChunkRecord {
+        ChunkRecord::new(fp, self.size_of(fp))
+    }
+}
+
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 is the most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true — kept for API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Samples a geometric-ish run length in `[1, cap]` with the given mean.
+pub fn run_length(rng: &mut impl Rng, mean: f64, cap: usize) -> usize {
+    debug_assert!(mean >= 1.0);
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let len = (u.ln() / (1.0 - p).ln()).ceil() as usize;
+    len.clamp(1, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn allocator_unique_within_and_across_namespaces() {
+        let mut a = FingerprintAllocator::new(1);
+        let mut b = FingerprintAllocator::new(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(a.next_fp()));
+            assert!(seen.insert(b.next_fp()));
+        }
+        assert_eq!(a.issued(), 10_000);
+    }
+
+    #[test]
+    fn size_model_deterministic_and_bounded() {
+        let m = SizeModel::Variable(8192);
+        for i in 0..1000u64 {
+            let fp = Fingerprint(splitmix64(i));
+            let s = m.size_of(fp);
+            assert_eq!(s, m.size_of(fp));
+            assert!((2048..=32768).contains(&s), "size {s}");
+        }
+        assert_eq!(SizeModel::Fixed(4096).size_of(Fingerprint(7)), 4096);
+    }
+
+    #[test]
+    fn size_model_mean_near_avg() {
+        let m = SizeModel::Variable(8192);
+        let total: u64 = (0..20_000u64)
+            .map(|i| u64::from(m.size_of(Fingerprint(splitmix64(i)))))
+            .sum();
+        let mean = total as f64 / 20_000.0;
+        // Mean of min + Exp(avg - min), slightly reduced by the max clamp.
+        assert!((7200.0..8600.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_complete() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        // Rank 0 should take a few percent at s=1.1 over 1000 items.
+        assert!(counts[0] > 5_000, "top rank count {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn run_length_bounds_and_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut total = 0usize;
+        for _ in 0..10_000 {
+            let l = run_length(&mut rng, 16.0, 200);
+            assert!((1..=200).contains(&l));
+            total += l;
+        }
+        let mean = total as f64 / 10_000.0;
+        assert!((13.0..19.0).contains(&mean), "mean run length {mean}");
+    }
+}

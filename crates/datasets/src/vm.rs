@@ -1,0 +1,331 @@
+//! VM-like backup series generator (§5.1, "VM" dataset).
+//!
+//! Models the course VM-image workload: every student's weekly image
+//! snapshot is chunked at a fixed 4 KB (so the advanced attack degenerates
+//! to the locality attack), zero chunks are already removed, and cross-user
+//! redundancy is extreme because all images start from the same base
+//! installation.
+//!
+//! The paper's trace shows two distinctive behaviours that this generator
+//! reproduces:
+//!
+//! * a **heavy-activity window** mid-course (weeks 5–8) where students churn
+//!   their images heavily, followed by a **phase change** (week 9) where
+//!   most content is replaced (new course phase / reinstalls). Backups taken
+//!   before the phase change share almost nothing with the final weeks,
+//!   which collapses the inference rate of attacks using them as auxiliary
+//!   information (Fig. 5c) and dents the storage saving (Fig. 11c);
+//! * light churn elsewhere, keeping weeks 9–13 highly redundant.
+
+use freqdedup_trace::{Backup, BackupSeries, ChunkRecord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::evolve::{evolve, EditModel};
+use crate::pool::SharedPool;
+use crate::util::{FingerprintAllocator, SizeModel};
+
+/// Configuration of the VM-like generator.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Number of students (paper: 156; default scaled to 20).
+    pub users: usize,
+    /// Number of weekly backups (paper: 13).
+    pub weeks: usize,
+    /// Chunks of the shared base image.
+    pub base_chunks: usize,
+    /// Per-user private chunks on top of the base image.
+    pub user_chunks: usize,
+    /// Per-week churn outside the heavy window.
+    pub light_edit_frac: f64,
+    /// Per-week churn inside the heavy window.
+    pub heavy_edit_frac: f64,
+    /// 1-indexed week range `[start, end]` of the heavy-activity window.
+    pub heavy_weeks: (usize, usize),
+    /// 1-indexed week at which the course phase changes (most content
+    /// replaced); `0` disables the event.
+    pub phase_change_week: usize,
+    /// Fraction of content that survives the phase change.
+    pub phase_survival: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl VmConfig {
+    /// Default reproduction scale: 20 users × 13 weeks, 4 KB fixed chunks,
+    /// heavy window weeks 5–8, phase change at week 9.
+    #[must_use]
+    pub fn scaled(base_chunks: usize, user_chunks: usize) -> Self {
+        VmConfig {
+            users: 20,
+            weeks: 13,
+            base_chunks,
+            user_chunks,
+            light_edit_frac: 0.015,
+            heavy_edit_frac: 0.12,
+            heavy_weeks: (5, 8),
+            phase_change_week: 9,
+            phase_survival: 0.08,
+            seed: 0x7a3,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users == 0 || self.weeks == 0 || self.base_chunks == 0 {
+            return Err("users, weeks and base_chunks must be positive".into());
+        }
+        if self.heavy_weeks.0 > self.heavy_weeks.1 {
+            return Err("heavy_weeks range is inverted".into());
+        }
+        if !(0.0..=1.0).contains(&self.phase_survival) {
+            return Err("phase_survival must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self::scaled(12_000, 3_000)
+    }
+}
+
+/// Label of week `i` (0-indexed).
+#[must_use]
+pub fn label(i: usize) -> String {
+    format!("week-{:02}", i + 1)
+}
+
+/// Builds a base-image chunk stream of roughly `target` chunks: unique runs
+/// interleaved with package-pool insertions (with partial prefixes).
+fn build_base(
+    target: usize,
+    packages: &SharedPool,
+    fresh: &mut FingerprintAllocator,
+    rng: &mut impl Rng,
+) -> Vec<ChunkRecord> {
+    let mut base = Vec::with_capacity(target + 64);
+    while base.len() < target {
+        if rng.gen::<f64>() < 0.2 {
+            base.extend_from_slice(packages.sample_run(rng, 0.4));
+        } else {
+            let run = crate::util::run_length(rng, 48.0, 200);
+            base.extend((0..run).map(|_| SIZE.record(fresh.next_fp())));
+        }
+    }
+    base.truncate(target);
+    base
+}
+
+const SIZE: SizeModel = SizeModel::Fixed(4096);
+
+/// Generates a VM-like [`BackupSeries`].
+///
+/// # Panics
+///
+/// Panics on an invalid configuration.
+#[must_use]
+pub fn generate(config: &VmConfig) -> BackupSeries {
+    config.validate().expect("invalid VM configuration");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut fresh = FingerprintAllocator::new(0x07a3);
+    let mut pool_alloc = FingerprintAllocator::new(0x17a3);
+
+    // Package pool: hot shared files inside images, giving intra-backup
+    // frequency variation (the same library/package blob occurs at several
+    // paths of one image and across all images).
+    let packages = SharedPool::generate(150, 12.0, 64, 1.5, &mut pool_alloc, &SIZE, &mut rng);
+
+    // The shared base image: unique runs interleaved with package
+    // insertions, so some chunks occur several times *within* one image —
+    // their total frequency (multiplicity × users) rises above the
+    // once-per-user tie and gives frequency analysis a stable top rank.
+    let base = build_base(config.base_chunks, &packages, &mut fresh, &mut rng);
+
+    // Each user image = a copy of the base plus a private data stream.
+    // They are tracked separately because students churn their *own files*
+    // far more than the OS installation: edits land mostly in the data
+    // stream, keeping the base copies near-identical across users (which is
+    // also what preserves cross-user deduplication under MinHash encryption).
+    let mut images: Vec<UserImage> = (0..config.users)
+        .map(|_| UserImage {
+            base: base.clone(),
+            data: build_user_data(config.user_chunks, &packages, &mut fresh, &mut rng),
+        })
+        .collect();
+
+    let mut series = BackupSeries::new("vm");
+    for week in 1..=config.weeks {
+        if week > 1 {
+            let heavy = week >= config.heavy_weeks.0 && week <= config.heavy_weeks.1;
+            let frac = if heavy {
+                config.heavy_edit_frac
+            } else {
+                config.light_edit_frac
+            };
+            let data_model = EditModel {
+                edit_frac: frac,
+                mean_region: 24.0,
+                replace_p: 0.75,
+                delete_p: 0.10,
+                reorder_frac: if heavy { 0.30 } else { 0.10 },
+                avg_chunk_size: 4096,
+            };
+            // OS files churn an order of magnitude less than user files.
+            let base_model = EditModel {
+                edit_frac: frac * 0.1,
+                reorder_frac: 0.02,
+                ..data_model
+            };
+            if week == config.phase_change_week {
+                // Course phase change: every image is rebuilt around a fresh
+                // shared base (the package pool persists — common software
+                // survives); only a small fraction of user data is kept.
+                let new_base = build_base(config.base_chunks, &packages, &mut fresh, &mut rng);
+                for image in &mut images {
+                    let keep = ((image.data.len() as f64) * config.phase_survival) as usize;
+                    let mut data: Vec<ChunkRecord> =
+                        image.data[..keep.min(image.data.len())].to_vec();
+                    data.extend(build_user_data(
+                        config.user_chunks / 2,
+                        &packages,
+                        &mut fresh,
+                        &mut rng,
+                    ));
+                    image.base = new_base.clone();
+                    image.data = data;
+                }
+            } else {
+                for image in &mut images {
+                    image.base = evolve(&image.base, &base_model, &mut fresh, &SIZE, &mut rng);
+                    image.data = evolve(&image.data, &data_model, &mut fresh, &SIZE, &mut rng);
+                }
+            }
+        }
+        let mut backup = Backup::new(label(week - 1));
+        for image in &images {
+            backup.extend(image.base.iter().copied());
+            backup.extend(image.data.iter().copied());
+        }
+        series.push(backup);
+    }
+    series
+}
+
+/// One student's image: the base-installation copy plus private data.
+#[derive(Clone, Debug)]
+struct UserImage {
+    base: Vec<ChunkRecord>,
+    data: Vec<ChunkRecord>,
+}
+
+/// Builds a user-data stream: unique runs interleaved with package files.
+fn build_user_data(
+    target: usize,
+    packages: &SharedPool,
+    fresh: &mut FingerprintAllocator,
+    rng: &mut impl Rng,
+) -> Vec<ChunkRecord> {
+    let mut data = Vec::with_capacity(target + 64);
+    while data.len() < target {
+        if rng.gen::<f64>() < 0.25 {
+            data.extend_from_slice(packages.sample_run(rng, 0.4));
+        } else {
+            let run = crate::util::run_length(rng, 32.0, 160);
+            data.extend((0..run).map(|_| SIZE.record(fresh.next_fp())));
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::stats;
+
+    fn small() -> BackupSeries {
+        generate(&VmConfig::scaled(3000, 800))
+    }
+
+    #[test]
+    fn shape_counts() {
+        let s = small();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s.get(0).unwrap().label, "week-01");
+        assert_eq!(s.latest().unwrap().label, "week-13");
+    }
+
+    #[test]
+    fn all_chunks_fixed_size() {
+        let s = small();
+        assert!(s
+            .latest()
+            .unwrap()
+            .iter()
+            .all(|c| c.size == 4096));
+    }
+
+    #[test]
+    fn extreme_dedup_ratio() {
+        let s = small();
+        let ratio = stats::dedup_ratio(&s);
+        // Scaled from the paper's 47.6x at 156 users; at 20 users the
+        // cross-user multiplier is proportionally smaller.
+        assert!(ratio > 10.0, "VM-like dedup ratio {ratio}");
+    }
+
+    #[test]
+    fn phase_change_separates_eras() {
+        let s = small();
+        // Before the phase change vs the final week: little shared content.
+        let early_vs_last = stats::content_overlap(s.get(3).unwrap(), s.get(12).unwrap());
+        assert!(early_vs_last < 0.15, "early/late overlap {early_vs_last}");
+        // After the phase change: high redundancy again.
+        let late_vs_last = stats::content_overlap(s.get(11).unwrap(), s.get(12).unwrap());
+        assert!(late_vs_last > 0.8, "late overlap {late_vs_last}");
+    }
+
+    #[test]
+    fn heavy_window_reduces_week_to_week_overlap() {
+        let s = small();
+        let calm = stats::content_overlap(s.get(1).unwrap(), s.get(2).unwrap());
+        let heavy = stats::content_overlap(s.get(5).unwrap(), s.get(6).unwrap());
+        assert!(
+            heavy < calm,
+            "heavy-week overlap {heavy} not below calm-week {calm}"
+        );
+    }
+
+    #[test]
+    fn cross_user_redundancy_within_backup() {
+        let s = small();
+        let first = s.get(0).unwrap();
+        // Base chunks occur once per user.
+        let freq = stats::frequency_map(first);
+        let max = freq.values().copied().max().unwrap();
+        assert!(max >= 20, "max frequency {max} — base not shared?");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            generate(&VmConfig::scaled(500, 100)),
+            generate(&VmConfig::scaled(500, 100))
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = VmConfig::scaled(10, 10);
+        c.heavy_weeks = (8, 5);
+        assert!(c.validate().is_err());
+        let mut c = VmConfig::scaled(10, 10);
+        c.phase_survival = 2.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Random convergent encryption (RCE), the non-deterministic MLE variant of
+//! Bellare et al. (EUROCRYPT 2013), included as a baseline (paper §8).
+//!
+//! RCE encrypts each chunk under a fresh random key `L`, then wraps `L` under
+//! the message-locked key `K = H(M)`. Deduplication requires a
+//! **deterministic tag** `T = H(K)` attached to every ciphertext — and it is
+//! precisely this tag that still reveals the chunk frequency distribution:
+//!
+//! > "RCE needs to add deterministic tags into ciphertext chunks for checking
+//! > any duplicates, so that the adversary can count the deterministic tags
+//! > to obtain the frequency distribution." (§8)
+//!
+//! The [`RceCiphertext::tag`] is therefore exactly as attackable by frequency
+//! analysis as a deterministic ciphertext, which the crate-level tests and
+//! the ablation bench demonstrate.
+
+use freqdedup_crypto::{ctr::Aes256Ctr, sha256};
+
+use crate::{ChunkKey, MleError};
+
+/// An RCE ciphertext: randomized body plus deterministic metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RceCiphertext {
+    /// `CTR(L, M)` — the chunk body under the random key (randomized).
+    pub body: Vec<u8>,
+    /// `L ⊕ K` — the random key wrapped under the MLE key (randomized).
+    pub wrapped_key: [u8; 32],
+    /// `H(K)` — the deterministic deduplication tag (leaks frequency!).
+    pub tag: [u8; 32],
+}
+
+/// The RCE scheme. Randomness is supplied by the caller per encryption so
+/// the scheme itself stays deterministic and testable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rce;
+
+impl Rce {
+    /// Creates the scheme (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        Rce
+    }
+
+    /// Derives the message-locked key `K = SHA-256(M)`.
+    #[must_use]
+    pub fn derive_key(&self, plaintext: &[u8]) -> ChunkKey {
+        ChunkKey(sha256::digest(plaintext))
+    }
+
+    /// Encrypts `plaintext` with the caller-supplied 32-byte randomness `l`
+    /// (the per-chunk random key).
+    #[must_use]
+    pub fn encrypt(&self, plaintext: &[u8], l: &[u8; 32]) -> RceCiphertext {
+        let k = self.derive_key(plaintext);
+        let mut body = plaintext.to_vec();
+        Aes256Ctr::new(l, &[0u8; 16]).apply_keystream(&mut body);
+        let mut wrapped_key = [0u8; 32];
+        for i in 0..32 {
+            wrapped_key[i] = l[i] ^ k.0[i];
+        }
+        let tag = sha256::digest(&k.0);
+        RceCiphertext {
+            body,
+            wrapped_key,
+            tag,
+        }
+    }
+
+    /// Decrypts a ciphertext given the message-locked key `K`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MleError::BadAuthentication`] when `K` does not match the
+    /// ciphertext tag.
+    pub fn decrypt(&self, ct: &RceCiphertext, key: &ChunkKey) -> Result<Vec<u8>, MleError> {
+        if sha256::digest(&key.0) != ct.tag {
+            return Err(MleError::BadAuthentication);
+        }
+        let mut l = [0u8; 32];
+        for i in 0..32 {
+            l[i] = ct.wrapped_key[i] ^ key.0[i];
+        }
+        let mut out = ct.body.clone();
+        Aes256Ctr::new(&l, &[0u8; 16]).apply_keystream(&mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let rce = Rce::new();
+        let ct = rce.encrypt(b"chunk data", &[7u8; 32]);
+        let key = rce.derive_key(b"chunk data");
+        assert_eq!(rce.decrypt(&ct, &key).unwrap(), b"chunk data");
+    }
+
+    #[test]
+    fn body_randomized_but_tag_deterministic() {
+        let rce = Rce::new();
+        let c1 = rce.encrypt(b"chunk", &[1u8; 32]);
+        let c2 = rce.encrypt(b"chunk", &[2u8; 32]);
+        assert_ne!(c1.body, c2.body, "bodies must differ under fresh randomness");
+        assert_ne!(c1.wrapped_key, c2.wrapped_key);
+        // The deterministic tag is the frequency-analysis foothold.
+        assert_eq!(c1.tag, c2.tag);
+    }
+
+    #[test]
+    fn distinct_chunks_distinct_tags() {
+        let rce = Rce::new();
+        assert_ne!(
+            rce.encrypt(b"a", &[0u8; 32]).tag,
+            rce.encrypt(b"b", &[0u8; 32]).tag
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let rce = Rce::new();
+        let ct = rce.encrypt(b"chunk", &[9u8; 32]);
+        let wrong = rce.derive_key(b"other");
+        assert_eq!(rce.decrypt(&ct, &wrong), Err(MleError::BadAuthentication));
+    }
+
+    #[test]
+    fn dedup_by_tag_works() {
+        // A store deduplicating on tags keeps one copy per unique chunk even
+        // though ciphertext bodies differ.
+        let rce = Rce::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stored = 0;
+        let chunks: [&[u8]; 4] = [b"x", b"y", b"x", b"x"];
+        for (i, m) in chunks.iter().enumerate() {
+            let mut l = [0u8; 32];
+            l[0] = i as u8; // fresh randomness each time
+            let ct = rce.encrypt(m, &l);
+            if seen.insert(ct.tag) {
+                stored += 1;
+            }
+        }
+        assert_eq!(stored, 2);
+    }
+}

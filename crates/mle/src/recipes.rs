@@ -1,0 +1,307 @@
+//! File recipes and key recipes (§2, §6.2).
+//!
+//! * A **file recipe** lists the chunk fingerprints of a file in the
+//!   *original* plaintext order — after scrambling, this is what lets a
+//!   client restore the pre-scramble ordering.
+//! * A **key recipe** tracks the per-chunk MLE keys for decryption.
+//!
+//! Both are metadata and are **not** deduplicated; they are sealed under the
+//! user's own secret key with conventional, randomized authenticated
+//! encryption (encrypt-then-MAC), matching §3.3: "the file recipes and key
+//! recipes can be encrypted by user-specific secret keys". The adversary of
+//! the threat model never sees their contents.
+
+use freqdedup_crypto::{constant_time_eq, ctr::Aes256Ctr, hmac::HmacSha256, kdf};
+use freqdedup_trace::{ChunkRecord, Fingerprint};
+
+use crate::{ChunkKey, MleError};
+
+/// A file recipe: ordered chunk references for reconstruction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FileRecipe {
+    /// File identifier (path or name).
+    pub file_name: String,
+    /// Chunk records in the file's original logical order.
+    pub chunks: Vec<ChunkRecord>,
+}
+
+impl FileRecipe {
+    /// Creates an empty recipe for `file_name`.
+    #[must_use]
+    pub fn new(file_name: impl Into<String>) -> Self {
+        FileRecipe {
+            file_name: file_name.into(),
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Serializes the recipe to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.file_name.len() + self.chunks.len() * 12);
+        out.extend_from_slice(&(self.file_name.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.file_name.as_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for rec in &self.chunks {
+            out.extend_from_slice(&rec.fp.to_bytes());
+            out.extend_from_slice(&rec.size.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a recipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MleError::Malformed`] on truncated or invalid input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MleError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let name_len = cursor.read_u32()? as usize;
+        let name_bytes = cursor.read_slice(name_len)?;
+        let file_name = std::str::from_utf8(name_bytes)
+            .map_err(|_| MleError::Malformed("recipe name not utf-8"))?
+            .to_owned();
+        let count = cursor.read_u32()? as usize;
+        let mut chunks = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let fp = cursor.read_u64()?;
+            let size = cursor.read_u32()?;
+            chunks.push(ChunkRecord::new(Fingerprint(fp), size));
+        }
+        cursor.expect_end()?;
+        Ok(FileRecipe { file_name, chunks })
+    }
+}
+
+/// A key recipe: per-chunk MLE keys, index-aligned with the corresponding
+/// [`FileRecipe`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeyRecipe {
+    /// Per-chunk keys, in the file's original logical order.
+    pub keys: Vec<ChunkKey>,
+}
+
+impl KeyRecipe {
+    /// Creates an empty key recipe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.keys.len() * 32);
+        out.extend_from_slice(&(self.keys.len() as u32).to_le_bytes());
+        for key in &self.keys {
+            out.extend_from_slice(&key.0);
+        }
+        out
+    }
+
+    /// Deserializes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MleError::Malformed`] on truncated or invalid input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MleError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let count = cursor.read_u32()? as usize;
+        let mut keys = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let raw = cursor.read_slice(32)?;
+            let mut key = [0u8; 32];
+            key.copy_from_slice(raw);
+            keys.push(ChunkKey(key));
+        }
+        cursor.expect_end()?;
+        Ok(KeyRecipe { keys })
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn read_slice(&mut self, len: usize) -> Result<&'a [u8], MleError> {
+        if self.pos + len > self.bytes.len() {
+            return Err(MleError::Malformed("truncated recipe"));
+        }
+        let s = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, MleError> {
+        let s = self.read_slice(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, MleError> {
+        let s = self.read_slice(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn expect_end(&self) -> Result<(), MleError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(MleError::Malformed("trailing bytes after recipe"))
+        }
+    }
+}
+
+/// A sealed (conventionally encrypted + authenticated) metadata blob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// Random nonce chosen by the caller (must be unique per seal).
+    pub nonce: [u8; 16],
+    /// AES-256-CTR encrypted payload.
+    pub body: Vec<u8>,
+    /// HMAC-SHA256 over nonce ‖ body (encrypt-then-MAC).
+    pub tag: [u8; 32],
+}
+
+fn subkeys(user_key: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    let enc = kdf::derive_key(b"freqdedup-recipe", user_key, b"enc");
+    let mac = kdf::derive_key(b"freqdedup-recipe", user_key, b"mac");
+    (enc, mac)
+}
+
+/// Seals `plaintext` under the user's secret key with the caller-supplied
+/// `nonce` (randomized encryption: callers must use fresh nonces).
+#[must_use]
+pub fn seal(user_key: &[u8; 32], nonce: &[u8; 16], plaintext: &[u8]) -> SealedBlob {
+    let (enc, mac) = subkeys(user_key);
+    let mut body = plaintext.to_vec();
+    Aes256Ctr::new(&enc, nonce).apply_keystream(&mut body);
+    let mut hm = HmacSha256::new(&mac);
+    hm.update(nonce);
+    hm.update(&body);
+    SealedBlob {
+        nonce: *nonce,
+        body,
+        tag: hm.finalize(),
+    }
+}
+
+/// Opens a sealed blob, verifying authenticity before decrypting.
+///
+/// # Errors
+///
+/// Returns [`MleError::BadAuthentication`] when the tag does not verify
+/// (wrong key or tampered blob).
+pub fn open(user_key: &[u8; 32], blob: &SealedBlob) -> Result<Vec<u8>, MleError> {
+    let (enc, mac) = subkeys(user_key);
+    let mut hm = HmacSha256::new(&mac);
+    hm.update(&blob.nonce);
+    hm.update(&blob.body);
+    let expected = hm.finalize();
+    if !constant_time_eq(&expected, &blob.tag) {
+        return Err(MleError::BadAuthentication);
+    }
+    let mut out = blob.body.clone();
+    Aes256Ctr::new(&enc, &blob.nonce).apply_keystream(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recipe() -> FileRecipe {
+        FileRecipe {
+            file_name: "home/user/doc.txt".into(),
+            chunks: vec![
+                ChunkRecord::new(0xdead_beefu64, 8192),
+                ChunkRecord::new(0xcafe_babeu64, 4096),
+                ChunkRecord::new(0xdead_beefu64, 8192),
+            ],
+        }
+    }
+
+    #[test]
+    fn file_recipe_round_trip() {
+        let r = sample_recipe();
+        assert_eq!(FileRecipe::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_file_recipe_round_trip() {
+        let r = FileRecipe::new("");
+        assert_eq!(FileRecipe::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn key_recipe_round_trip() {
+        let r = KeyRecipe {
+            keys: vec![ChunkKey([1u8; 32]), ChunkKey([2u8; 32])],
+        };
+        assert_eq!(KeyRecipe::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn truncated_recipe_rejected() {
+        let bytes = sample_recipe().to_bytes();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(
+                FileRecipe::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_recipe().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            FileRecipe::from_bytes(&bytes),
+            Err(MleError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let key = [5u8; 32];
+        let blob = seal(&key, &[1u8; 16], b"recipe payload");
+        assert_eq!(open(&key, &blob).unwrap(), b"recipe payload");
+    }
+
+    #[test]
+    fn sealing_is_randomized_by_nonce() {
+        // Same plaintext, different nonces → different ciphertexts: recipes
+        // do NOT leak equality, unlike deterministic chunk encryption.
+        let key = [5u8; 32];
+        let a = seal(&key, &[1u8; 16], b"same");
+        let b = seal(&key, &[2u8; 16], b"same");
+        assert_ne!(a.body, b.body);
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let key = [5u8; 32];
+        let mut blob = seal(&key, &[1u8; 16], b"payload");
+        blob.body[0] ^= 1;
+        assert_eq!(open(&key, &blob), Err(MleError::BadAuthentication));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let blob = seal(&[5u8; 32], &[1u8; 16], b"payload");
+        assert_eq!(open(&[6u8; 32], &blob), Err(MleError::BadAuthentication));
+    }
+
+    #[test]
+    fn sealed_recipe_end_to_end() {
+        let user_key = [9u8; 32];
+        let recipe = sample_recipe();
+        let blob = seal(&user_key, &[3u8; 16], &recipe.to_bytes());
+        let opened = FileRecipe::from_bytes(&open(&user_key, &blob).unwrap()).unwrap();
+        assert_eq!(opened, recipe);
+    }
+}

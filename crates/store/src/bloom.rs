@@ -1,0 +1,190 @@
+//! Bloom filter over chunk fingerprints.
+//!
+//! The paper configures a false-positive rate of 0.01, for which the optimal
+//! construction uses 7 hash functions (§7.4.2: "we set the Bloom filter with
+//! a false positive rate of 0.01 \[67\] ... we use 7 hash functions").
+//! Membership bits are derived from the fingerprint by double hashing.
+
+use freqdedup_trace::Fingerprint;
+
+/// A fixed-size Bloom filter keyed by [`Fingerprint`].
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected_items` at the target false-positive
+    /// rate, using the standard optima `m = -n·ln p / (ln 2)²` and
+    /// `k = (m/n)·ln 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fp_rate < 1` and `expected_items > 0`.
+    #[must_use]
+    pub fn with_capacity(expected_items: u64, fp_rate: f64) -> Self {
+        assert!(expected_items > 0, "expected_items must be positive");
+        assert!(
+            fp_rate > 0.0 && fp_rate < 1.0,
+            "false-positive rate must be in (0, 1)"
+        );
+        let n = expected_items as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * fp_rate.ln() / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let k = ((m as f64 / n) * ln2).round().max(1.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; (m as usize).div_ceil(64)],
+            num_bits: m,
+            num_hashes: k,
+            inserted: 0,
+        }
+    }
+
+    /// The paper's configuration: 1% false positives (7 hash functions).
+    #[must_use]
+    pub fn paper_default(expected_items: u64) -> Self {
+        Self::with_capacity(expected_items, 0.01)
+    }
+
+    /// Inserts a fingerprint.
+    pub fn insert(&mut self, fp: Fingerprint) {
+        let (h1, h2) = hash_pair(fp);
+        for i in 0..self.num_hashes {
+            let bit = self.bit_for(h1, h2, i);
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests membership. May return `true` for items never inserted (false
+    /// positive) but never `false` for inserted items.
+    #[must_use]
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        let (h1, h2) = hash_pair(fp);
+        (0..self.num_hashes).all(|i| {
+            let bit = self.bit_for(h1, h2, i);
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    fn bit_for(&self, h1: u64, h2: u64, i: u32) -> u64 {
+        // Kirsch–Mitzenmacher double hashing.
+        h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits
+    }
+
+    /// Number of hash functions in use.
+    #[must_use]
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Size of the bit array in bits.
+    #[must_use]
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Size of the bit array in bytes (the paper's "Bloom filter size is
+    /// around 74 MB" for 65M fingerprints).
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.num_bits.div_ceil(8)
+    }
+
+    /// Number of insert operations performed.
+    #[must_use]
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+}
+
+/// Two independent 64-bit hashes of a fingerprint (splitmix64 finalizers with
+/// distinct stream constants).
+fn hash_pair(fp: Fingerprint) -> (u64, u64) {
+    (splitmix(fp.value() ^ 0x9e37_79b9_7f4a_7c15), splitmix(fp.value() ^ 0xbf58_476d_1ce4_e5b9) | 1)
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = BloomFilter::paper_default(10_000);
+        for i in 0..10_000u64 {
+            bloom.insert(Fingerprint(i * 2654435761));
+        }
+        for i in 0..10_000u64 {
+            assert!(bloom.contains(Fingerprint(i * 2654435761)));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let n = 50_000u64;
+        let mut bloom = BloomFilter::paper_default(n);
+        for i in 0..n {
+            bloom.insert(Fingerprint(i));
+        }
+        let probes = 100_000u64;
+        let fps = (0..probes)
+            .filter(|&i| bloom.contains(Fingerprint(u64::MAX - i)))
+            .count();
+        let rate = fps as f64 / probes as f64;
+        assert!(rate < 0.03, "observed false-positive rate {rate}");
+    }
+
+    #[test]
+    fn paper_configuration_seven_hashes() {
+        let bloom = BloomFilter::paper_default(65_000_000);
+        assert_eq!(bloom.num_hashes(), 7);
+        // ≈ 9.6 bits/element → ~78 MB for 65M items, matching the paper's
+        // "around 74 MB" figure (they round differently).
+        let mb = bloom.size_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((60.0..90.0).contains(&mb), "bloom size {mb} MB");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_mostly() {
+        let bloom = BloomFilter::paper_default(1000);
+        let hits = (0..1000u64).filter(|&i| bloom.contains(Fingerprint(i))).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn insert_counter() {
+        let mut bloom = BloomFilter::paper_default(100);
+        bloom.insert(Fingerprint(1));
+        bloom.insert(Fingerprint(1));
+        assert_eq!(bloom.inserted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "false-positive rate")]
+    fn rejects_bad_rate() {
+        let _ = BloomFilter::with_capacity(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected_items")]
+    fn rejects_zero_capacity() {
+        let _ = BloomFilter::with_capacity(0, 0.01);
+    }
+
+    #[test]
+    fn tiny_filter_still_works() {
+        let mut bloom = BloomFilter::with_capacity(1, 0.5);
+        bloom.insert(Fingerprint(42));
+        assert!(bloom.contains(Fingerprint(42)));
+    }
+}

@@ -1,0 +1,334 @@
+//! The in-memory LRU fingerprint cache (§7.4.1, step S4).
+//!
+//! On an index hit, DDFS prefetches the fingerprints of the whole enclosing
+//! container into this cache, exploiting chunk locality: "the logically
+//! nearby chunks of C are likely to be accessed together". When full, "our
+//! prototype removes the least-recently-used fingerprints".
+//!
+//! Capacity is expressed in fingerprint-metadata entries (the paper accounts
+//! 32 bytes per fingerprint, so a 512 MB cache holds 16 Mi entries).
+//!
+//! Implemented as a hash map into an intrusive doubly-linked list arena —
+//! O(1) lookup, touch, insert and eviction with no unsafe code.
+
+use std::collections::HashMap;
+
+use freqdedup_trace::Fingerprint;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    fp: Fingerprint,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU set of fingerprints with O(1) operations.
+#[derive(Clone, Debug)]
+pub struct FingerprintCache {
+    map: HashMap<Fingerprint, usize>,
+    arena: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FingerprintCache {
+    /// Creates a cache holding at most `capacity` fingerprints.
+    ///
+    /// A zero-capacity cache is permitted and simply never holds anything
+    /// (useful for ablations that disable caching).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FingerprintCache {
+            map: HashMap::with_capacity(capacity.min(1 << 22)),
+            arena: Vec::with_capacity(capacity.min(1 << 22)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Sizes the cache from a byte budget and a per-entry metadata size
+    /// (the paper uses 32-byte entries).
+    #[must_use]
+    pub fn with_byte_budget(bytes: u64, entry_bytes: u64) -> Self {
+        assert!(entry_bytes > 0, "entry size must be positive");
+        Self::new((bytes / entry_bytes) as usize)
+    }
+
+    /// Number of fingerprints currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a fingerprint; on a hit the entry becomes most recently
+    /// used. Hit/miss counters are updated.
+    pub fn lookup(&mut self, fp: Fingerprint) -> bool {
+        match self.map.get(&fp).copied() {
+            Some(node) => {
+                self.touch(node);
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Tests membership without updating recency or counters.
+    #[must_use]
+    pub fn peek(&self, fp: Fingerprint) -> bool {
+        self.map.contains_key(&fp)
+    }
+
+    /// Inserts one fingerprint as most recently used, evicting the LRU entry
+    /// if the cache is full. Re-inserting an existing entry only refreshes
+    /// its recency.
+    pub fn insert(&mut self, fp: Fingerprint) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&node) = self.map.get(&fp) {
+            self.touch(node);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let node = self.alloc(fp);
+        self.push_front(node);
+        self.map.insert(fp, node);
+    }
+
+    /// Bulk-inserts the fingerprints of a prefetched container (step S4).
+    pub fn insert_container(&mut self, fps: &[Fingerprint]) {
+        for &fp in fps {
+            self.insert(fp);
+        }
+    }
+
+    /// Cache hits observed so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of evicted entries so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn alloc(&mut self, fp: Fingerprint) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.arena[i] = Node {
+                fp,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.arena.push(Node {
+                fp,
+                prev: NIL,
+                next: NIL,
+            });
+            self.arena.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, node: usize) {
+        self.arena[node].prev = NIL;
+        self.arena[node].next = self.head;
+        if self.head != NIL {
+            self.arena[self.head].prev = node;
+        }
+        self.head = node;
+        if self.tail == NIL {
+            self.tail = node;
+        }
+    }
+
+    fn unlink(&mut self, node: usize) {
+        let (prev, next) = (self.arena[node].prev, self.arena[node].next);
+        if prev != NIL {
+            self.arena[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.arena[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn touch(&mut self, node: usize) {
+        if self.head == node {
+            return;
+        }
+        self.unlink(node);
+        self.push_front(node);
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict on empty cache");
+        self.unlink(victim);
+        let fp = self.arena[victim].fp;
+        self.map.remove(&fp);
+        self.free.push(victim);
+        self.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint(v)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = FingerprintCache::new(4);
+        c.insert(fp(1));
+        assert!(c.lookup(fp(1)));
+        assert!(!c.lookup(fp(2)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = FingerprintCache::new(3);
+        c.insert(fp(1));
+        c.insert(fp(2));
+        c.insert(fp(3));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(fp(1)));
+        c.insert(fp(4));
+        assert!(c.peek(fp(1)));
+        assert!(!c.peek(fp(2)), "2 should have been evicted");
+        assert!(c.peek(fp(3)));
+        assert!(c.peek(fp(4)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut c = FingerprintCache::new(2);
+        c.insert(fp(1));
+        c.insert(fp(2));
+        c.insert(fp(1)); // refresh
+        c.insert(fp(3)); // evicts 2, not 1
+        assert!(c.peek(fp(1)));
+        assert!(!c.peek(fp(2)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = FingerprintCache::new(10);
+        for i in 0..1000 {
+            c.insert(fp(i));
+            assert!(c.len() <= 10);
+        }
+        assert_eq!(c.len(), 10);
+        // The survivors are the 10 most recent.
+        for i in 990..1000 {
+            assert!(c.peek(fp(i)));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_inert() {
+        let mut c = FingerprintCache::new(0);
+        c.insert(fp(1));
+        assert!(!c.lookup(fp(1)));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn container_bulk_insert() {
+        let mut c = FingerprintCache::new(100);
+        let fps: Vec<Fingerprint> = (0..50).map(fp).collect();
+        c.insert_container(&fps);
+        assert_eq!(c.len(), 50);
+        assert!(c.peek(fp(0)));
+        assert!(c.peek(fp(49)));
+    }
+
+    #[test]
+    fn byte_budget_sizing() {
+        let c = FingerprintCache::with_byte_budget(512 * 1024 * 1024, 32);
+        assert_eq!(c.capacity(), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn arena_slots_reused_after_eviction() {
+        let mut c = FingerprintCache::new(2);
+        for i in 0..100 {
+            c.insert(fp(i));
+        }
+        // Arena should not have grown past capacity + O(1).
+        assert!(c.arena.len() <= 3, "arena grew to {}", c.arena.len());
+    }
+
+    #[test]
+    fn heavy_random_workload_consistency() {
+        // Cross-check against a naive model.
+        let mut c = FingerprintCache::new(16);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 48) % 64;
+            let hit = c.lookup(fp(v));
+            let model_hit = model.contains(&v);
+            assert_eq!(hit, model_hit, "divergence on {v}");
+            if model_hit {
+                model.retain(|&m| m != v);
+                model.insert(0, v);
+            } else {
+                c.insert(fp(v));
+                if model.len() >= 16 {
+                    model.pop();
+                }
+                model.insert(0, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Containers: the on-disk unit of chunk storage (§7.4.1).
+//!
+//! Unique chunks are appended to an in-memory open container in logical
+//! order; when the container reaches its size limit (4 MB by default, vs.
+//! kilobyte-scale chunks) it is sealed and its fingerprint list becomes the
+//! prefetch unit for the cache. Chunk payloads are optional: trace-driven
+//! workloads store metadata only, content workloads store real bytes.
+
+use std::collections::HashMap;
+
+use freqdedup_trace::{ChunkRecord, Fingerprint};
+
+/// Identifier of a sealed container.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ContainerId(pub u32);
+
+/// A sealed, immutable container.
+#[derive(Clone, Debug)]
+pub struct Container {
+    /// This container's id.
+    pub id: ContainerId,
+    /// Fingerprints of the chunks in the container, in append order.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Total chunk bytes in the container.
+    pub data_bytes: u64,
+    payload: Option<ContainerPayload>,
+}
+
+#[derive(Clone, Debug)]
+struct ContainerPayload {
+    bytes: Vec<u8>,
+    /// Offset and length per chunk, index-aligned with `fingerprints`.
+    extents: Vec<(u32, u32)>,
+}
+
+impl Container {
+    /// Number of chunks in the container.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether the container holds no chunks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Reads a chunk payload by position, if payloads are stored.
+    #[must_use]
+    pub fn chunk_payload(&self, position: usize) -> Option<&[u8]> {
+        let payload = self.payload.as_ref()?;
+        let &(off, len) = payload.extents.get(position)?;
+        Some(&payload.bytes[off as usize..(off + len) as usize])
+    }
+}
+
+/// The open (being-filled) container plus the catalog of sealed ones.
+#[derive(Debug)]
+pub struct ContainerStore {
+    capacity_bytes: u64,
+    sealed: Vec<Container>,
+    open_records: Vec<ChunkRecord>,
+    open_bytes: u64,
+    open_payload: Option<(Vec<u8>, Vec<(u32, u32)>)>,
+    /// Fast membership test for chunks still in the open container.
+    open_set: HashMap<Fingerprint, usize>,
+}
+
+impl ContainerStore {
+    /// Creates a store with the given container capacity in bytes (the paper
+    /// uses 4 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    #[must_use]
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "container capacity must be positive");
+        ContainerStore {
+            capacity_bytes,
+            sealed: Vec::new(),
+            open_records: Vec::new(),
+            open_bytes: 0,
+            open_payload: None,
+            open_set: HashMap::new(),
+        }
+    }
+
+    /// The paper's 4 MB configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(4 * 1024 * 1024)
+    }
+
+    /// Appends a unique chunk to the open container; seals the container
+    /// first when it is full. Returns the id of the container sealed by this
+    /// call, if any.
+    pub fn append(&mut self, record: ChunkRecord, payload: Option<&[u8]>) -> Option<ContainerId> {
+        let mut sealed_id = None;
+        if self.open_bytes > 0 && self.open_bytes + u64::from(record.size) > self.capacity_bytes {
+            sealed_id = Some(self.seal_open());
+        }
+        if let Some(bytes) = payload {
+            debug_assert_eq!(bytes.len() as u32, record.size, "payload/size mismatch");
+            let (buf, extents) = self
+                .open_payload
+                .get_or_insert_with(|| (Vec::new(), Vec::new()));
+            let off = buf.len() as u32;
+            buf.extend_from_slice(bytes);
+            extents.push((off, record.size));
+        }
+        self.open_set.insert(record.fp, self.open_records.len());
+        self.open_records.push(record);
+        self.open_bytes += u64::from(record.size);
+        sealed_id
+    }
+
+    /// Seals the open container (no-op when empty). Returns the id of the
+    /// sealed container, if one was produced.
+    pub fn flush(&mut self) -> Option<ContainerId> {
+        if self.open_records.is_empty() {
+            None
+        } else {
+            Some(self.seal_open())
+        }
+    }
+
+    fn seal_open(&mut self) -> ContainerId {
+        let id = ContainerId(self.sealed.len() as u32);
+        let payload = self
+            .open_payload
+            .take()
+            .map(|(bytes, extents)| ContainerPayload { bytes, extents });
+        let records = std::mem::take(&mut self.open_records);
+        self.open_set.clear();
+        self.sealed.push(Container {
+            id,
+            fingerprints: records.iter().map(|r| r.fp).collect(),
+            data_bytes: self.open_bytes,
+            payload,
+        });
+        self.open_bytes = 0;
+        id
+    }
+
+    /// Whether `fp` is in the *open* (not yet sealed) container.
+    #[must_use]
+    pub fn open_contains(&self, fp: Fingerprint) -> bool {
+        self.open_set.contains_key(&fp)
+    }
+
+    /// Reads a chunk payload from the open container, if present.
+    #[must_use]
+    pub fn open_payload_of(&self, fp: Fingerprint) -> Option<&[u8]> {
+        let &pos = self.open_set.get(&fp)?;
+        let (buf, extents) = self.open_payload.as_ref()?;
+        let (off, len) = *extents.get(pos)?;
+        Some(&buf[off as usize..(off + len) as usize])
+    }
+
+    /// A sealed container by id.
+    #[must_use]
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.sealed.get(id.0 as usize)
+    }
+
+    /// Number of sealed containers.
+    #[must_use]
+    pub fn sealed_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Total bytes in sealed containers plus the open container.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        self.sealed.iter().map(|c| c.data_bytes).sum::<u64>() + self.open_bytes
+    }
+
+    /// Iterates over sealed containers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Container> {
+        self.sealed.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fp: u64, size: u32) -> ChunkRecord {
+        ChunkRecord::new(fp, size)
+    }
+
+    #[test]
+    fn seals_when_full() {
+        let mut store = ContainerStore::new(100);
+        assert_eq!(store.append(rec(1, 60), None), None);
+        // 60 + 60 > 100 → seal container 0 first.
+        let sealed = store.append(rec(2, 60), None);
+        assert_eq!(sealed, Some(ContainerId(0)));
+        assert_eq!(store.sealed_count(), 1);
+        let c = store.get(ContainerId(0)).unwrap();
+        assert_eq!(c.fingerprints, vec![Fingerprint(1)]);
+        assert_eq!(c.data_bytes, 60);
+    }
+
+    #[test]
+    fn oversized_chunk_gets_own_container() {
+        let mut store = ContainerStore::new(100);
+        assert_eq!(store.append(rec(1, 250), None), None);
+        let sealed = store.append(rec(2, 10), None);
+        assert_eq!(sealed, Some(ContainerId(0)));
+        assert_eq!(store.get(ContainerId(0)).unwrap().data_bytes, 250);
+    }
+
+    #[test]
+    fn flush_seals_partial() {
+        let mut store = ContainerStore::new(100);
+        store.append(rec(1, 10), None);
+        let id = store.flush().unwrap();
+        assert_eq!(id, ContainerId(0));
+        assert_eq!(store.flush(), None, "double flush is a no-op");
+        assert_eq!(store.stored_bytes(), 10);
+    }
+
+    #[test]
+    fn open_membership_tracks_sealing() {
+        let mut store = ContainerStore::new(100);
+        store.append(rec(1, 10), None);
+        assert!(store.open_contains(Fingerprint(1)));
+        store.flush();
+        assert!(!store.open_contains(Fingerprint(1)));
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let mut store = ContainerStore::new(64);
+        store.append(rec(1, 5), Some(b"hello"));
+        store.append(rec(2, 5), Some(b"world"));
+        assert_eq!(store.open_payload_of(Fingerprint(2)), Some(&b"world"[..]));
+        store.flush();
+        let c = store.get(ContainerId(0)).unwrap();
+        assert_eq!(c.chunk_payload(0), Some(&b"hello"[..]));
+        assert_eq!(c.chunk_payload(1), Some(&b"world"[..]));
+        assert_eq!(c.chunk_payload(2), None);
+    }
+
+    #[test]
+    fn metadata_only_containers_have_no_payload() {
+        let mut store = ContainerStore::new(64);
+        store.append(rec(1, 5), None);
+        store.flush();
+        assert_eq!(store.get(ContainerId(0)).unwrap().chunk_payload(0), None);
+    }
+
+    #[test]
+    fn container_ids_sequential() {
+        let mut store = ContainerStore::new(16);
+        for i in 0..10 {
+            store.append(rec(i, 16), None);
+        }
+        store.flush();
+        let ids: Vec<u32> = store.iter().map(|c| c.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stored_bytes_includes_open() {
+        let mut store = ContainerStore::new(100);
+        store.append(rec(1, 30), None);
+        store.append(rec(2, 30), None);
+        assert_eq!(store.stored_bytes(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ContainerStore::new(0);
+    }
+}

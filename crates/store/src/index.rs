@@ -1,0 +1,174 @@
+//! The fingerprint index: fingerprint → container mapping (§2.1, §7.4.1).
+//!
+//! The index is modelled as **on-disk**: it grows with the number of unique
+//! chunks and cannot be assumed to fit in memory, which is why DDFS fronts it
+//! with the Bloom filter and the fingerprint cache. Every lookup and update
+//! is accounted in bytes of metadata traffic (32 bytes per fingerprint entry
+//! by default), which is exactly the quantity Figures 13–14 report.
+
+use std::collections::HashMap;
+
+use freqdedup_trace::Fingerprint;
+
+use crate::container::ContainerId;
+
+/// The on-disk fingerprint index with byte-level access accounting.
+#[derive(Debug, Default)]
+pub struct FingerprintIndex {
+    map: HashMap<Fingerprint, ContainerId>,
+    entry_bytes: u64,
+    lookup_bytes: u64,
+    update_bytes: u64,
+    lookups: u64,
+    updates: u64,
+}
+
+impl FingerprintIndex {
+    /// Creates an index with the paper's 32-byte entries.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_entry_bytes(32)
+    }
+
+    /// Creates an index with a custom per-entry metadata size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` is zero.
+    #[must_use]
+    pub fn with_entry_bytes(entry_bytes: u64) -> Self {
+        assert!(entry_bytes > 0, "entry size must be positive");
+        FingerprintIndex {
+            map: HashMap::new(),
+            entry_bytes,
+            lookup_bytes: 0,
+            update_bytes: 0,
+            lookups: 0,
+            updates: 0,
+        }
+    }
+
+    /// Looks up the container holding `fp`, accounting one on-disk index
+    /// access (step S3).
+    pub fn lookup(&mut self, fp: Fingerprint) -> Option<ContainerId> {
+        self.lookups += 1;
+        self.lookup_bytes += self.entry_bytes;
+        self.map.get(&fp).copied()
+    }
+
+    /// Inserts (or overwrites) the mapping for `fp`, accounting one on-disk
+    /// update access (steps S2/S3, at container flush time).
+    pub fn insert(&mut self, fp: Fingerprint, container: ContainerId) {
+        self.updates += 1;
+        self.update_bytes += self.entry_bytes;
+        self.map.insert(fp, container);
+    }
+
+    /// Membership test without accounting (test/debug use only — the engine
+    /// never bypasses accounting).
+    #[must_use]
+    pub fn peek(&self, fp: Fingerprint) -> Option<ContainerId> {
+        self.map.get(&fp).copied()
+    }
+
+    /// Number of indexed fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes of on-disk index reads so far ("index access").
+    #[must_use]
+    pub fn lookup_bytes(&self) -> u64 {
+        self.lookup_bytes
+    }
+
+    /// Bytes of on-disk index writes so far ("update access").
+    #[must_use]
+    pub fn update_bytes(&self) -> u64 {
+        self.update_bytes
+    }
+
+    /// Count of lookup operations.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Count of update operations.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The configured per-entry metadata size in bytes.
+    #[must_use]
+    pub fn entry_bytes(&self) -> u64 {
+        self.entry_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_insert() {
+        let mut idx = FingerprintIndex::new();
+        assert_eq!(idx.lookup(Fingerprint(1)), None);
+        idx.insert(Fingerprint(1), ContainerId(7));
+        assert_eq!(idx.lookup(Fingerprint(1)), Some(ContainerId(7)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn accounting_in_bytes() {
+        let mut idx = FingerprintIndex::new();
+        let _ = idx.lookup(Fingerprint(1));
+        let _ = idx.lookup(Fingerprint(2));
+        idx.insert(Fingerprint(2), ContainerId(0));
+        assert_eq!(idx.lookup_bytes(), 64);
+        assert_eq!(idx.update_bytes(), 32);
+        assert_eq!(idx.lookups(), 2);
+        assert_eq!(idx.updates(), 1);
+    }
+
+    #[test]
+    fn custom_entry_size() {
+        let mut idx = FingerprintIndex::with_entry_bytes(48);
+        let _ = idx.lookup(Fingerprint(1));
+        assert_eq!(idx.lookup_bytes(), 48);
+        assert_eq!(idx.entry_bytes(), 48);
+    }
+
+    #[test]
+    fn peek_does_not_account() {
+        let mut idx = FingerprintIndex::new();
+        idx.insert(Fingerprint(1), ContainerId(0));
+        let before = idx.lookup_bytes();
+        assert_eq!(idx.peek(Fingerprint(1)), Some(ContainerId(0)));
+        assert_eq!(idx.lookup_bytes(), before);
+    }
+
+    #[test]
+    fn overwrite_updates_mapping() {
+        let mut idx = FingerprintIndex::new();
+        idx.insert(Fingerprint(1), ContainerId(0));
+        idx.insert(Fingerprint(1), ContainerId(9));
+        assert_eq!(idx.peek(Fingerprint(1)), Some(ContainerId(9)));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.updates(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry size")]
+    fn zero_entry_bytes_rejected() {
+        let _ = FingerprintIndex::with_entry_bytes(0);
+    }
+}

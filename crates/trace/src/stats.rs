@@ -1,0 +1,355 @@
+//! Trace statistics: frequency distributions (Fig. 1), deduplication ratios,
+//! storage savings, and chunk-locality measurements.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{Backup, BackupSeries, Fingerprint};
+
+/// Counts how many times each fingerprint occurs in a backup
+/// (the `COUNT` step of the paper's Algorithm 1, frequency part only).
+#[must_use]
+pub fn frequency_map(backup: &Backup) -> HashMap<Fingerprint, u64> {
+    let mut map = HashMap::with_capacity(backup.len());
+    for record in backup {
+        *map.entry(record.fp).or_insert(0) += 1;
+    }
+    map
+}
+
+/// The frequency distribution of chunks, as plotted in the paper's Figure 1
+/// ("frequency distributions of chunks with duplicate content").
+///
+/// Holds the per-unique-chunk occurrence counts in ascending order, from
+/// which CDF points `(cdf ∈ [0,1], frequency)` can be read.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrequencyCdf {
+    /// Occurrence count of every unique chunk, ascending.
+    freqs: Vec<u64>,
+}
+
+impl FrequencyCdf {
+    /// Builds the distribution over all unique chunks of `backups`.
+    ///
+    /// When `duplicates_only` is set, chunks occurring exactly once are
+    /// excluded — this is Figure 1's "chunks with duplicate content".
+    #[must_use]
+    pub fn from_backups<'a, I>(backups: I, duplicates_only: bool) -> Self
+    where
+        I: IntoIterator<Item = &'a Backup>,
+    {
+        let mut counts: HashMap<Fingerprint, u64> = HashMap::new();
+        for backup in backups {
+            for record in backup {
+                *counts.entry(record.fp).or_insert(0) += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts
+            .into_values()
+            .filter(|&f| !duplicates_only || f > 1)
+            .collect();
+        freqs.sort_unstable();
+        FrequencyCdf { freqs }
+    }
+
+    /// Number of unique chunks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the distribution is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The frequency at CDF position `q` (0 ≤ q ≤ 1), i.e. the occurrence
+    /// count such that a fraction `q` of unique chunks occur at most that
+    /// often. Returns `None` on an empty distribution.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.freqs.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.freqs.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.freqs[idx])
+    }
+
+    /// Fraction of unique chunks occurring strictly more than `threshold`
+    /// times (e.g. the paper's "0.00007% of chunks occur over 10,000 times").
+    #[must_use]
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.freqs.is_empty() {
+            return 0.0;
+        }
+        let above = self
+            .freqs
+            .partition_point(|&f| f <= threshold);
+        (self.freqs.len() - above) as f64 / self.freqs.len() as f64
+    }
+
+    /// Evenly spaced `(cdf, frequency)` points suitable for plotting Fig. 1.
+    #[must_use]
+    pub fn points(&self, n: usize) -> Vec<(f64, u64)> {
+        if self.freqs.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                (q, self.quantile(q).expect("non-empty"))
+            })
+            .collect()
+    }
+
+    /// The maximum chunk frequency.
+    #[must_use]
+    pub fn max_frequency(&self) -> u64 {
+        self.freqs.last().copied().unwrap_or(0)
+    }
+}
+
+/// Cumulative deduplication accounting over a series of backups, matching the
+/// paper's storage-saving measurements (Fig. 11): backups are added in
+/// creation order and after each backup the logical vs. physical byte totals
+/// are recorded.
+#[derive(Clone, Debug, Default)]
+pub struct DedupAccumulator {
+    seen: HashSet<Fingerprint>,
+    logical_bytes: u64,
+    physical_bytes: u64,
+}
+
+impl DedupAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one backup; every fingerprint not seen before in the whole
+    /// history is stored physically.
+    pub fn add_backup(&mut self, backup: &Backup) {
+        for record in backup {
+            self.logical_bytes += u64::from(record.size);
+            if self.seen.insert(record.fp) {
+                self.physical_bytes += u64::from(record.size);
+            }
+        }
+    }
+
+    /// Logical bytes ingested so far.
+    #[must_use]
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Physical bytes stored so far (after deduplication).
+    #[must_use]
+    pub fn physical_bytes(&self) -> u64 {
+        self.physical_bytes
+    }
+
+    /// Number of unique chunks stored.
+    #[must_use]
+    pub fn unique_chunks(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Storage saving so far: `1 - physical/logical` (in `[0,1]`).
+    /// Returns 0 when nothing has been ingested.
+    #[must_use]
+    pub fn storage_saving(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.physical_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Deduplication ratio so far: `logical/physical`.
+    /// Returns 1 when nothing has been stored.
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+}
+
+/// Overall deduplication ratio of a whole series (logical bytes over unique
+/// bytes), e.g. the paper's "the overall deduplication ratio is 7.6x".
+#[must_use]
+pub fn dedup_ratio(series: &BackupSeries) -> f64 {
+    let mut acc = DedupAccumulator::new();
+    for backup in series {
+        acc.add_backup(backup);
+    }
+    acc.dedup_ratio()
+}
+
+/// Measures chunk locality between two adjacent backup versions: the fraction
+/// of adjacent fingerprint pairs `(a, b)` in `newer` that also appear as an
+/// adjacent pair in `older`.
+///
+/// This is the property the locality-based attack exploits (§4.2: "chunks are
+/// likely to re-occur together with their neighboring chunks across different
+/// versions of backups"); the dataset generators are calibrated against it.
+#[must_use]
+pub fn locality_overlap(older: &Backup, newer: &Backup) -> f64 {
+    if newer.len() < 2 {
+        return 0.0;
+    }
+    let mut old_pairs: HashSet<(Fingerprint, Fingerprint)> = HashSet::new();
+    for w in older.chunks.windows(2) {
+        old_pairs.insert((w[0].fp, w[1].fp));
+    }
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for w in newer.chunks.windows(2) {
+        total += 1;
+        if old_pairs.contains(&(w[0].fp, w[1].fp)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / total as f64
+}
+
+/// Fraction of `newer`'s unique fingerprints that already exist in `older`
+/// (content redundancy between versions).
+#[must_use]
+pub fn content_overlap(older: &Backup, newer: &Backup) -> f64 {
+    let new_unique = newer.unique_fingerprints();
+    if new_unique.is_empty() {
+        return 0.0;
+    }
+    let old_unique = older.unique_fingerprints();
+    let shared = new_unique.iter().filter(|fp| old_unique.contains(fp)).count();
+    shared as f64 / new_unique.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChunkRecord;
+
+    fn rec(fp: u64, size: u32) -> ChunkRecord {
+        ChunkRecord::new(fp, size)
+    }
+
+    fn backup(fps: &[u64]) -> Backup {
+        Backup::from_chunks("t", fps.iter().map(|&f| rec(f, 8)).collect())
+    }
+
+    #[test]
+    fn frequency_map_counts_duplicates() {
+        let b = backup(&[1, 2, 1, 1, 3]);
+        let f = frequency_map(&b);
+        assert_eq!(f[&Fingerprint(1)], 3);
+        assert_eq!(f[&Fingerprint(2)], 1);
+        assert_eq!(f[&Fingerprint(3)], 1);
+    }
+
+    #[test]
+    fn cdf_duplicates_only_excludes_singletons() {
+        let b = backup(&[1, 1, 2, 3, 3, 3]);
+        let all = FrequencyCdf::from_backups([&b], false);
+        let dups = FrequencyCdf::from_backups([&b], true);
+        assert_eq!(all.len(), 3);
+        assert_eq!(dups.len(), 2);
+        assert_eq!(dups.max_frequency(), 3);
+    }
+
+    #[test]
+    fn cdf_quantiles_monotone() {
+        let b = backup(&[1, 1, 1, 1, 2, 2, 3]);
+        let cdf = FrequencyCdf::from_backups([&b], false);
+        assert_eq!(cdf.quantile(0.0), Some(1));
+        assert_eq!(cdf.quantile(1.0), Some(4));
+        let pts = cdf.points(5);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cdf_fraction_above() {
+        let b = backup(&[1, 1, 1, 2, 3]);
+        let cdf = FrequencyCdf::from_backups([&b], false);
+        // freqs = [1,1,3]; above 1 → only the chunk with freq 3.
+        assert!((cdf.fraction_above(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_above(3), 0.0);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = FrequencyCdf::from_backups(std::iter::empty(), false);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.fraction_above(0), 0.0);
+        assert!(cdf.points(3).is_empty());
+    }
+
+    #[test]
+    fn accumulator_cross_backup_dedup() {
+        let mut acc = DedupAccumulator::new();
+        acc.add_backup(&backup(&[1, 2, 3]));
+        assert_eq!(acc.physical_bytes(), 24);
+        acc.add_backup(&backup(&[1, 2, 4]));
+        assert_eq!(acc.logical_bytes(), 48);
+        assert_eq!(acc.physical_bytes(), 32); // only fp 4 is new
+        assert_eq!(acc.unique_chunks(), 4);
+        assert!((acc.dedup_ratio() - 1.5).abs() < 1e-12);
+        assert!((acc.storage_saving() - (1.0 - 32.0 / 48.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_empty_is_neutral() {
+        let acc = DedupAccumulator::new();
+        assert_eq!(acc.storage_saving(), 0.0);
+        assert_eq!(acc.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn dedup_ratio_of_series() {
+        let mut s = BackupSeries::new("s");
+        s.push(backup(&[1, 2]));
+        s.push(backup(&[1, 2]));
+        assert!((dedup_ratio(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_overlap_full_and_none() {
+        let a = backup(&[1, 2, 3, 4]);
+        assert!((locality_overlap(&a, &a) - 1.0).abs() < 1e-12);
+        let b = backup(&[4, 3, 2, 1]);
+        assert_eq!(locality_overlap(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn locality_overlap_partial() {
+        let old = backup(&[1, 2, 3, 4, 5]);
+        // Pairs kept: (1,2) (4,5). Pairs (2,9),(9,4) are new.
+        let new = backup(&[1, 2, 9, 4, 5]);
+        assert!((locality_overlap(&old, &new) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_overlap_degenerate() {
+        assert_eq!(locality_overlap(&backup(&[1]), &backup(&[1])), 0.0);
+        assert_eq!(locality_overlap(&backup(&[]), &backup(&[])), 0.0);
+    }
+
+    #[test]
+    fn content_overlap_counts_unique_share() {
+        let old = backup(&[1, 2, 3]);
+        let new = backup(&[2, 3, 4, 4]);
+        // unique(new) = {2,3,4}; shared = {2,3}.
+        assert!((content_overlap(&old, &new) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(content_overlap(&old, &backup(&[])), 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # freqdedup — umbrella crate
+//!
+//! Re-exports the whole workspace so examples, integration tests and
+//! downstream users can depend on a single crate.
+//!
+//! See the README for the architecture overview and DESIGN.md for the
+//! per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use freqdedup_chunking as chunking;
+pub use freqdedup_core as core;
+pub use freqdedup_crypto as crypto;
+pub use freqdedup_datasets as datasets;
+pub use freqdedup_mle as mle;
+pub use freqdedup_store as store;
+pub use freqdedup_trace as trace;

@@ -1,0 +1,129 @@
+//! Integration of the DDFS-like engine with generated workloads and the
+//! defense pipeline: engine accounting must agree with the analytic
+//! deduplication model, and the metadata-access structure must match the
+//! paper's observations.
+
+use freqdedup::chunking::segment::SegmentParams;
+use freqdedup::core::defense::DefenseScheme;
+use freqdedup::datasets::fsl::{generate, FslConfig};
+use freqdedup::store::engine::{DedupConfig, DedupEngine};
+use freqdedup::trace::stats::DedupAccumulator;
+
+#[test]
+fn engine_agrees_with_analytic_dedup() {
+    let series = generate(&FslConfig::scaled(2_000));
+    let mut engine = DedupEngine::new(DedupConfig::paper(64 * 1024 * 1024, 200_000)).unwrap();
+    let mut model = DedupAccumulator::new();
+    for backup in &series {
+        engine.ingest_backup(backup);
+        model.add_backup(backup);
+    }
+    engine.finish();
+    let stats = engine.stats();
+    assert_eq!(stats.unique_chunks as usize, model.unique_chunks());
+    assert_eq!(stats.unique_bytes, model.physical_bytes());
+    assert_eq!(stats.logical_bytes, model.logical_bytes());
+}
+
+#[test]
+fn loading_access_dominates_with_small_cache() {
+    let series = generate(&FslConfig::scaled(2_000));
+    // Cache sized at ~10% of the fingerprint population: heavy prefetching.
+    let unique = {
+        let mut acc = DedupAccumulator::new();
+        for b in &series {
+            acc.add_backup(b);
+        }
+        acc.unique_chunks()
+    };
+    let mut engine = DedupEngine::new(DedupConfig {
+        container_bytes: 4 * 1024 * 1024,
+        cache_entries: unique / 10,
+        entry_bytes: 32,
+        bloom_expected: unique as u64,
+        bloom_fp_rate: 0.01,
+    })
+    .unwrap();
+    for backup in &series {
+        engine.ingest_backup(backup);
+    }
+    engine.finish();
+    let m = engine.metadata_access();
+    assert!(
+        m.loading_fraction() > 0.5,
+        "loading fraction {} with a small cache",
+        m.loading_fraction()
+    );
+}
+
+#[test]
+fn large_cache_reduces_loading_access() {
+    let series = generate(&FslConfig::scaled(2_000));
+    let unique = {
+        let mut acc = DedupAccumulator::new();
+        for b in &series {
+            acc.add_backup(b);
+        }
+        acc.unique_chunks()
+    };
+    let run = |cache_entries: usize| {
+        let mut engine = DedupEngine::new(DedupConfig {
+            container_bytes: 4 * 1024 * 1024,
+            cache_entries,
+            entry_bytes: 32,
+            bloom_expected: unique as u64,
+            bloom_fp_rate: 0.01,
+        })
+        .unwrap();
+        for backup in &series {
+            engine.ingest_backup(backup);
+        }
+        engine.finish();
+        engine.metadata_access().loading_bytes
+    };
+    let small = run(unique / 10);
+    let large = run(unique * 2);
+    assert!(
+        large < small,
+        "loading bytes should shrink with a big cache ({large} vs {small})"
+    );
+}
+
+#[test]
+fn combined_scheme_metadata_overhead_is_bounded() {
+    // Fig. 13's headline: the combined scheme's metadata overhead stays
+    // within a few percent of MLE with a constrained cache.
+    let series = generate(&FslConfig::scaled(2_000));
+    let scheme = DefenseScheme::combined(SegmentParams::paper_default(8192), 3);
+    let (defended, _) = scheme.encrypt_series(&series);
+
+    let unique = {
+        let mut acc = DedupAccumulator::new();
+        for b in &series {
+            acc.add_backup(b);
+        }
+        acc.unique_chunks()
+    };
+    let ingest = |s: &freqdedup::trace::BackupSeries| {
+        let mut engine = DedupEngine::new(DedupConfig {
+            container_bytes: 4 * 1024 * 1024,
+            cache_entries: unique / 4,
+            entry_bytes: 32,
+            bloom_expected: 4 * unique as u64,
+            bloom_fp_rate: 0.01,
+        })
+        .unwrap();
+        for backup in s {
+            engine.ingest_backup(backup);
+        }
+        engine.finish();
+        engine.metadata_access().total_bytes()
+    };
+    let mle = ingest(&series) as f64;
+    let combined = ingest(&defended) as f64;
+    let overhead = (combined - mle) / mle;
+    assert!(
+        overhead.abs() < 0.25,
+        "combined metadata overhead {overhead:+.2} out of band"
+    );
+}

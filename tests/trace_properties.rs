@@ -1,0 +1,103 @@
+//! Property-based integration tests over the trace, chunking and defense
+//! layers.
+
+use freqdedup::chunking::cdc::{chunk_spans, CdcParams};
+use freqdedup::chunking::segment::{segment_spans, SegmentParams};
+use freqdedup::core::defense::DefenseScheme;
+use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
+use freqdedup::trace::{io, Backup, BackupSeries, ChunkRecord, Fingerprint};
+use proptest::prelude::*;
+
+fn arb_backup() -> impl Strategy<Value = Backup> {
+    prop::collection::vec((any::<u64>(), 1u32..100_000), 0..200).prop_map(|chunks| {
+        Backup::from_chunks(
+            "prop",
+            chunks
+                .into_iter()
+                .map(|(fp, size)| ChunkRecord::new(fp % 512, size))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn trace_io_round_trips(backups in prop::collection::vec(arb_backup(), 0..4)) {
+        let mut series = BackupSeries::new("prop");
+        for b in backups {
+            series.push(b);
+        }
+        let bytes = io::to_bytes(&series);
+        let back = io::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, series);
+    }
+
+    #[test]
+    fn cdc_partitions_any_input(data in prop::collection::vec(any::<u8>(), 0..50_000)) {
+        let params = CdcParams::with_avg_size(1024);
+        let spans = chunk_spans(&data, &params);
+        let mut pos = 0;
+        for s in &spans {
+            prop_assert_eq!(s.start, pos);
+            prop_assert!(s.end > s.start);
+            pos = s.end;
+        }
+        prop_assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn segmentation_partitions_any_stream(backup in arb_backup()) {
+        let params = SegmentParams::derived(1_000, 10_000, 100_000, 64);
+        let spans = segment_spans(&backup.chunks, &params);
+        let covered: usize = spans.iter().map(|s| s.end - s.start).sum();
+        prop_assert_eq!(covered, backup.len());
+    }
+
+    #[test]
+    fn deterministic_encryption_is_consistent(backup in arb_backup()) {
+        let enc = DeterministicTraceEncryptor::new(b"prop-secret");
+        let a = enc.encrypt_backup(&backup);
+        let b = enc.encrypt_backup(&backup);
+        prop_assert_eq!(&a.backup, &b.backup);
+        // Truth inverts every output chunk.
+        for (c, p) in a.backup.iter().zip(backup.iter()) {
+            prop_assert_eq!(a.truth.plain_of(c.fp), Some(p.fp));
+        }
+    }
+
+    #[test]
+    fn combined_defense_truth_is_complete(backup in arb_backup()) {
+        let scheme = DefenseScheme::combined(
+            SegmentParams::derived(1_000, 10_000, 100_000, 64),
+            9,
+        );
+        let enc = scheme.encrypt_backup(&backup);
+        prop_assert_eq!(enc.backup.len(), backup.len());
+        prop_assert_eq!(enc.backup.logical_bytes(), backup.logical_bytes());
+        let plain_set = backup.unique_fingerprints();
+        for rec in &enc.backup {
+            let m = enc.truth.plain_of(rec.fp);
+            prop_assert!(m.is_some());
+            prop_assert!(plain_set.contains(&m.unwrap()));
+        }
+    }
+
+    #[test]
+    fn scramble_never_loses_chunks(backup in arb_backup()) {
+        let scheme = DefenseScheme::combined(
+            SegmentParams::derived(1_000, 10_000, 100_000, 64),
+            11,
+        );
+        let enc = scheme.encrypt_backup(&backup);
+        // Multiset of decoded plaintext fingerprints == original multiset.
+        let mut decoded: Vec<Fingerprint> = enc
+            .backup
+            .iter()
+            .map(|c| enc.truth.plain_of(c.fp).unwrap())
+            .collect();
+        let mut original: Vec<Fingerprint> = backup.iter().map(|c| c.fp).collect();
+        decoded.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(decoded, original);
+    }
+}
