@@ -11,7 +11,9 @@ fn pseudo_random(len: usize) -> Vec<u8> {
     let mut x = 0x243f_6a88_85a3_08d3u64;
     (0..len)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u8
         })
         .collect()

@@ -33,16 +33,12 @@ fn bench_aes_ctr(c: &mut Criterion) {
     let mut group = c.benchmark_group("aes256_ctr");
     for size in [4096usize, 8192] {
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(size),
-            &size,
-            |b, &size| {
-                let mut buf = vec![0u8; size];
-                b.iter(|| {
-                    Aes256Ctr::new(&[1u8; 32], &[0u8; 16]).apply_keystream(&mut buf);
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                Aes256Ctr::new(&[1u8; 32], &[0u8; 16]).apply_keystream(&mut buf);
+            });
+        });
     }
     group.finish();
 }

@@ -20,12 +20,7 @@ const USAGE: &str = "ablation_tiebreak [--scale f] [--seed n] [--csv]";
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
     println!("# Ablation: neighbour-table tie-break policy (locality attack, ciphertext-only)");
-    let mut table = output::Table::new(&[
-        "dataset",
-        "aux_backup",
-        "stream_order_%",
-        "key_order_%",
-    ]);
+    let mut table = output::Table::new(&["dataset", "aux_backup", "stream_order_%", "key_order_%"]);
     for dataset in [data::Dataset::Fsl, data::Dataset::Vm] {
         let series = data::series(dataset, args.scale, args.seed);
         let target = series.latest().expect("non-empty");
@@ -35,8 +30,7 @@ fn main() {
             let aux = series.get(aux_idx).expect("aux");
             let mut rates = Vec::new();
             for policy in [TiePolicy::StreamOrder, TiePolicy::KeyOrder] {
-                let attack =
-                    LocalityAttack::new(harness::co_params().tie_policy(policy));
+                let attack = LocalityAttack::new(harness::co_params().tie_policy(policy));
                 let inferred = attack.run_ciphertext_only(&observed.backup, aux);
                 rates.push(metrics::score(&inferred, &observed.backup, &observed.truth).rate);
             }

@@ -17,7 +17,11 @@ const USAGE: &str = "fig05_vary_aux [--scale f] [--seed n] [--csv]";
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
     println!("# Figure 5: ciphertext-only inference rate, varying auxiliary backup");
-    for dataset in [data::Dataset::Fsl, data::Dataset::Synthetic, data::Dataset::Vm] {
+    for dataset in [
+        data::Dataset::Fsl,
+        data::Dataset::Synthetic,
+        data::Dataset::Vm,
+    ] {
         let series = data::series(dataset, args.scale, args.seed);
         let target = series.latest().expect("non-empty series");
         let mut table = output::Table::new(&[
@@ -30,10 +34,8 @@ fn main() {
         for aux_idx in 0..series.len() - 1 {
             let aux = series.get(aux_idx).expect("aux");
             let params = harness::co_params();
-            let basic =
-                harness::run_ciphertext_only(AttackKind::Basic, aux, target, &params);
-            let locality =
-                harness::run_ciphertext_only(AttackKind::Locality, aux, target, &params);
+            let basic = harness::run_ciphertext_only(AttackKind::Basic, aux, target, &params);
+            let locality = harness::run_ciphertext_only(AttackKind::Locality, aux, target, &params);
             // On fixed-size chunking the advanced attack is identical.
             let advanced = if dataset == data::Dataset::Vm {
                 locality

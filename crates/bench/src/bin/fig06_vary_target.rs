@@ -13,7 +13,11 @@ const USAGE: &str = "fig06_vary_target [--scale f] [--seed n] [--csv]";
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
     println!("# Figure 6: ciphertext-only inference rate, varying target backup");
-    for dataset in [data::Dataset::Fsl, data::Dataset::Synthetic, data::Dataset::Vm] {
+    for dataset in [
+        data::Dataset::Fsl,
+        data::Dataset::Synthetic,
+        data::Dataset::Vm,
+    ] {
         let series = data::series(dataset, args.scale, args.seed);
         let aux = series.get(0).expect("non-empty");
         let mut table = output::Table::new(&[
@@ -27,8 +31,7 @@ fn main() {
             let target = series.get(target_idx).expect("target");
             let params = harness::co_params();
             let basic = harness::run_ciphertext_only(AttackKind::Basic, aux, target, &params);
-            let locality =
-                harness::run_ciphertext_only(AttackKind::Locality, aux, target, &params);
+            let locality = harness::run_ciphertext_only(AttackKind::Locality, aux, target, &params);
             let advanced = if dataset == data::Dataset::Vm {
                 locality
             } else {

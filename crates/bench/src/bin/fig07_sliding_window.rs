@@ -13,20 +13,19 @@ const USAGE: &str = "fig07_sliding_window [--scale f] [--seed n] [--csv]";
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
     println!("# Figure 7: ciphertext-only inference rate over a sliding window");
-    for dataset in [data::Dataset::Fsl, data::Dataset::Synthetic, data::Dataset::Vm] {
+    for dataset in [
+        data::Dataset::Fsl,
+        data::Dataset::Synthetic,
+        data::Dataset::Vm,
+    ] {
         let series = data::series(dataset, args.scale, args.seed);
         let windows: &[usize] = if dataset == data::Dataset::Vm {
             &[1, 2, 3]
         } else {
             &[1, 2]
         };
-        let mut table = output::Table::new(&[
-            "dataset",
-            "aux_backup",
-            "s",
-            "locality_%",
-            "advanced_%",
-        ]);
+        let mut table =
+            output::Table::new(&["dataset", "aux_backup", "s", "locality_%", "advanced_%"]);
         for &s in windows {
             for t in 0..series.len().saturating_sub(s) {
                 let aux = series.get(t).expect("aux");

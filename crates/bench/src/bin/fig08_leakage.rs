@@ -20,12 +20,7 @@ pub const PAIRS: [(data::Dataset, usize, usize); 3] = [
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
     println!("# Figure 8: known-plaintext mode, varying leakage rate");
-    let mut table = output::Table::new(&[
-        "dataset",
-        "leakage_%",
-        "locality_%",
-        "advanced_%",
-    ]);
+    let mut table = output::Table::new(&["dataset", "leakage_%", "locality_%", "advanced_%"]);
     for (dataset, aux_idx, target_idx) in PAIRS {
         let series = data::series(dataset, args.scale, args.seed);
         let aux = series.get(aux_idx).expect("aux");

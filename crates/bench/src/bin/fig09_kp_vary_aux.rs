@@ -25,12 +25,7 @@ fn main() {
         let series = data::series(dataset, args.scale, args.seed);
         let target = series.get(target_idx).expect("target");
         let params = harness::kp_params();
-        let mut table = output::Table::new(&[
-            "dataset",
-            "aux_backup",
-            "locality_%",
-            "advanced_%",
-        ]);
+        let mut table = output::Table::new(&["dataset", "aux_backup", "locality_%", "advanced_%"]);
         for aux_idx in 0..target_idx {
             let aux = series.get(aux_idx).expect("aux");
             let locality = harness::run_known_plaintext(

@@ -14,7 +14,11 @@ const USAGE: &str = "fig11_storage_saving [--scale f] [--seed n] [--csv]";
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
     println!("# Figure 11: cumulative storage saving, MLE vs Combined");
-    for dataset in [data::Dataset::Fsl, data::Dataset::Synthetic, data::Dataset::Vm] {
+    for dataset in [
+        data::Dataset::Fsl,
+        data::Dataset::Synthetic,
+        data::Dataset::Vm,
+    ] {
         let series = data::series(dataset, args.scale, args.seed);
         let scheme =
             DefenseScheme::combined(harness::segment_params(dataset.avg_chunk_size()), 0xdef);

@@ -34,7 +34,9 @@ pub fn parse(args: impl Iterator<Item = String>, usage: &str) -> CommonArgs {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().unwrap_or_else(|| die(usage, "--scale needs a value"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die(usage, "--scale needs a value"));
                 out.scale = v
                     .parse()
                     .unwrap_or_else(|_| die(usage, "--scale must be a number"));
@@ -43,7 +45,9 @@ pub fn parse(args: impl Iterator<Item = String>, usage: &str) -> CommonArgs {
                 }
             }
             "--seed" => {
-                let v = it.next().unwrap_or_else(|| die(usage, "--seed needs a value"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die(usage, "--seed needs a value"));
                 out.seed = Some(
                     v.parse()
                         .unwrap_or_else(|_| die(usage, "--seed must be an integer")),
@@ -72,7 +76,10 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> impl Iterator<Item = String> {
-        v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>().into_iter()
+        v.iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Dataset construction at a configurable scale.
 //!
-//! `scale = 1.0` is the default reproduction scale (see EXPERIMENTS.md for
+//! `scale = 1.0` is the default reproduction scale (see DESIGN.md §4 for
 //! the sizes); smaller scales run faster for smoke tests, larger scales
 //! approach the paper's population sizes.
 
@@ -72,8 +72,9 @@ pub fn vm_series(scale: f64, seed: Option<u64>) -> BackupSeries {
 /// (initial volume = 32 MiB·scale), chunked at 8 KB average.
 #[must_use]
 pub fn synthetic_series(scale: f64, seed: Option<u64>) -> BackupSeries {
-    let mut cfg =
-        synthetic::SyntheticConfig::scaled(((32.0 * 1024.0 * 1024.0 * scale) as usize).max(256 * 1024));
+    let mut cfg = synthetic::SyntheticConfig::scaled(
+        ((32.0 * 1024.0 * 1024.0 * scale) as usize).max(256 * 1024),
+    );
     if let Some(s) = seed {
         cfg.seed = s;
     }

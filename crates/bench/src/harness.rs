@@ -55,8 +55,7 @@ pub fn run_known_plaintext(
     let enc = DeterministicTraceEncryptor::new(MLE_SECRET);
     let observed = enc.encrypt_backup(target_plain);
     let leaked = metrics::leak_pairs(&observed.backup, &observed.truth, leakage_rate, leak_seed);
-    let inferred =
-        attacks::run_known_plaintext(kind, &observed.backup, aux_plain, &leaked, params);
+    let inferred = attacks::run_known_plaintext(kind, &observed.backup, aux_plain, &leaked, params);
     metrics::score(&inferred, &observed.backup, &observed.truth)
 }
 

@@ -20,7 +20,10 @@ impl MetadataRun {
     /// Total metadata bytes across all backups.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.per_backup.iter().map(MetadataAccess::total_bytes).sum()
+        self.per_backup
+            .iter()
+            .map(MetadataAccess::total_bytes)
+            .sum()
     }
 }
 
@@ -98,12 +101,7 @@ pub fn run(scale: f64, seed: Option<u64>, cache_frac: f64, csv: bool) {
     let mle = ingest(&series, cache_entries);
     let comb = ingest(&defended, cache_entries);
 
-    let mut overall = output::Table::new(&[
-        "backup",
-        "mle_MiB",
-        "combined_MiB",
-        "overhead_%",
-    ]);
+    let mut overall = output::Table::new(&["backup", "mle_MiB", "combined_MiB", "overhead_%"]);
     for i in 0..mle.labels.len() {
         let m = mle.per_backup[i].total_bytes();
         let c = comb.per_backup[i].total_bytes();

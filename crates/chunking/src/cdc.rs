@@ -36,7 +36,10 @@ impl CdcParams {
     /// Panics if `avg_size < 64`.
     #[must_use]
     pub fn with_avg_size(avg_size: usize) -> Self {
-        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        assert!(
+            avg_size >= 64,
+            "average chunk size must be at least 64 bytes"
+        );
         CdcParams {
             min_size: avg_size / 4,
             avg_size,
@@ -85,7 +88,11 @@ impl CdcParams {
     fn mask(&self) -> u64 {
         let gap = (self.avg_size.saturating_sub(self.min_size)).max(1);
         let bits = 64 - (gap as u64).leading_zeros();
-        let bits = if gap.is_power_of_two() { bits - 1 } else { bits };
+        let bits = if gap.is_power_of_two() {
+            bits - 1
+        } else {
+            bits
+        };
         (1u64 << bits) - 1
     }
 }
@@ -185,7 +192,9 @@ mod tests {
         let mut x = seed | 1;
         (0..len)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect()
@@ -252,8 +261,7 @@ mod tests {
         let spans_b = chunk_spans(&shifted, &params);
 
         // Compare boundary positions in original coordinates.
-        let ends_a: std::collections::HashSet<usize> =
-            spans_a.iter().map(|s| s.end).collect();
+        let ends_a: std::collections::HashSet<usize> = spans_a.iter().map(|s| s.end).collect();
         let realigned = spans_b
             .iter()
             .map(|s| s.end.wrapping_sub(1))
@@ -303,17 +311,27 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_params() {
-        let mut p = CdcParams::default();
-        p.min_size = 0;
+        let p = CdcParams {
+            min_size: 0,
+            ..CdcParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = CdcParams::default();
-        p.min_size = p.avg_size + 1;
+        let d = CdcParams::default();
+        let p = CdcParams {
+            min_size: d.avg_size + 1,
+            ..d
+        };
         assert!(p.validate().is_err());
-        let mut p = CdcParams::default();
-        p.max_size = p.avg_size - 1;
+        let d = CdcParams::default();
+        let p = CdcParams {
+            max_size: d.avg_size - 1,
+            ..d
+        };
         assert!(p.validate().is_err());
-        let mut p = CdcParams::default();
-        p.window = 0;
+        let p = CdcParams {
+            window: 0,
+            ..CdcParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

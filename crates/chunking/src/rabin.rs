@@ -176,7 +176,12 @@ impl RabinHasher {
         if self.pos == self.window.len() {
             self.pos = 0;
         }
-        self.fingerprint = append8(self.fingerprint ^ self.u[out as usize], byte, self.shift, &self.t);
+        self.fingerprint = append8(
+            self.fingerprint ^ self.u[out as usize],
+            byte,
+            self.shift,
+            &self.t,
+        );
         self.fingerprint
     }
 
@@ -242,10 +247,7 @@ mod tests {
         for &v in &vals {
             assert_eq!(polymmult(v, 1, DEFAULT_POLY), polymod(0, v, DEFAULT_POLY));
             for &w in &vals {
-                assert_eq!(
-                    polymmult(v, w, DEFAULT_POLY),
-                    polymmult(w, v, DEFAULT_POLY)
-                );
+                assert_eq!(polymmult(v, w, DEFAULT_POLY), polymmult(w, v, DEFAULT_POLY));
             }
         }
     }
@@ -333,7 +335,9 @@ mod tests {
         let mut x = 42u64;
         let n = 65536;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let fp = h.slide((x >> 33) as u8);
             counts[(fp & 0xf) as usize] += 1;
         }

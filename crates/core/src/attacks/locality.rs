@@ -186,10 +186,7 @@ mod tests {
     use freqdedup_trace::ChunkRecord;
 
     fn backup(fps: &[u64]) -> Backup {
-        Backup::from_chunks(
-            "t",
-            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
-        )
+        Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
     }
 
     fn small_params() -> LocalityParams {
@@ -257,10 +254,7 @@ mod tests {
         let plain = backup(&fps);
         let enc = DeterministicTraceEncryptor::new(b"s");
         let observed = enc.encrypt_backup(&plain);
-        let leaked = vec![(
-            observed.backup.chunks[100].fp,
-            plain.chunks[100].fp,
-        )];
+        let leaked = vec![(observed.backup.chunks[100].fp, plain.chunks[100].fp)];
         let attack = LocalityAttack::new(LocalityParams::known_plaintext_default());
         let inferred = attack.run_known_plaintext(&observed.backup, &plain, &leaked);
         let report = score(&inferred, &observed.backup, &observed.truth);
@@ -292,8 +286,11 @@ mod tests {
         let leaked = vec![(observed.backup.chunks[50].fp, plain.chunks[50].fp)];
         let unbounded = LocalityAttack::new(LocalityParams::new(1, 15, 100_000))
             .run_known_plaintext(&observed.backup, &plain, &leaked);
-        let bounded = LocalityAttack::new(LocalityParams::new(1, 15, 0))
-            .run_known_plaintext(&observed.backup, &plain, &leaked);
+        let bounded = LocalityAttack::new(LocalityParams::new(1, 15, 0)).run_known_plaintext(
+            &observed.backup,
+            &plain,
+            &leaked,
+        );
         assert!(bounded.len() < unbounded.len());
     }
 
@@ -302,8 +299,8 @@ mod tests {
         let plain = backup(&[1, 2, 3]);
         let enc = DeterministicTraceEncryptor::new(b"s");
         let observed = enc.encrypt_backup(&plain);
-        let inferred = LocalityAttack::new(small_params())
-            .run_ciphertext_only(&observed.backup, &backup(&[]));
+        let inferred =
+            LocalityAttack::new(small_params()).run_ciphertext_only(&observed.backup, &backup(&[]));
         assert!(inferred.is_empty());
     }
 

@@ -21,7 +21,11 @@ pub enum AttackKind {
 
 impl AttackKind {
     /// All attacks, in the paper's presentation order.
-    pub const ALL: [AttackKind; 3] = [AttackKind::Basic, AttackKind::Locality, AttackKind::Advanced];
+    pub const ALL: [AttackKind; 3] = [
+        AttackKind::Basic,
+        AttackKind::Locality,
+        AttackKind::Advanced,
+    ];
 
     /// Human-readable name as used in the figures.
     #[must_use]
@@ -53,8 +57,9 @@ pub fn run_ciphertext_only(
         AttackKind::Basic => basic::BasicAttack::new().run(cipher, plain_aux),
         AttackKind::Locality => locality::LocalityAttack::new(params.clone().size_aware(false))
             .run_ciphertext_only(cipher, plain_aux),
-        AttackKind::Advanced => advanced::AdvancedAttack::new(params.clone())
-            .run_ciphertext_only(cipher, plain_aux),
+        AttackKind::Advanced => {
+            advanced::AdvancedAttack::new(params.clone()).run_ciphertext_only(cipher, plain_aux)
+        }
     }
 }
 

@@ -176,10 +176,7 @@ mod tests {
     use freqdedup_trace::ChunkRecord;
 
     fn backup(fps: &[u64]) -> Backup {
-        Backup::from_chunks(
-            "t",
-            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
-        )
+        Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
     }
 
     fn fp(v: u64) -> Fingerprint {

@@ -138,8 +138,7 @@ mod tests {
     fn minhash_only_keeps_order_combined_does_not() {
         let plain = stream(5000, 9);
         let mh = DefenseScheme::minhash_only(SegmentParams::default()).encrypt_backup(&plain);
-        let cb =
-            DefenseScheme::combined(SegmentParams::default(), 1).encrypt_backup(&plain);
+        let cb = DefenseScheme::combined(SegmentParams::default(), 1).encrypt_backup(&plain);
         // MinHash-only: i-th ciphertext decodes to i-th plaintext.
         for (p, c) in plain.iter().zip(mh.backup.iter()) {
             assert_eq!(mh.truth.plain_of(c.fp), Some(p.fp));

@@ -152,13 +152,14 @@ mod tests {
         // The same plaintext fingerprint in two segments with different
         // minima yields different ciphertexts — the rank disturbance that
         // defeats frequency analysis.
-        let mut chunks = Vec::new();
         // Segment A: minimum 1. Segment B: minimum 2. Shared chunk 1000.
         // Force tiny segments via params with max_bytes small.
-        chunks.push(ChunkRecord::new(Fingerprint(1), 100));
-        chunks.push(ChunkRecord::new(Fingerprint(1000), 100));
-        chunks.push(ChunkRecord::new(Fingerprint(2), 100));
-        chunks.push(ChunkRecord::new(Fingerprint(1000), 100));
+        let chunks = vec![
+            ChunkRecord::new(Fingerprint(1), 100),
+            ChunkRecord::new(Fingerprint(1000), 100),
+            ChunkRecord::new(Fingerprint(2), 100),
+            ChunkRecord::new(Fingerprint(1000), 100),
+        ];
         let plain = Backup::from_chunks("t", chunks);
         let params = SegmentParams {
             min_bytes: 0,

@@ -93,8 +93,7 @@ pub fn min_cost_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
     }
 
     let mut assignment = vec![usize::MAX; n];
-    for j in 1..=m {
-        let row = matched_row[j];
+    for (j, &row) in matched_row.iter().enumerate().take(m + 1).skip(1) {
         if row != 0 {
             assignment[row - 1] = j - 1;
         }
@@ -131,9 +130,7 @@ pub fn lp_optimization_attack(
         .iter()
         .map(|&(_, fc_i)| {
             rm.iter()
-                .map(|&(_, fm_j)| {
-                    ((fc_i.count as f64) - (fm_j.count as f64)).abs().powf(p)
-                })
+                .map(|&(_, fm_j)| ((fc_i.count as f64) - (fm_j.count as f64)).abs().powf(p))
                 .collect()
         })
         .collect();
@@ -152,10 +149,7 @@ mod tests {
     use freqdedup_trace::ChunkRecord;
 
     fn backup(fps: &[u64]) -> Backup {
-        Backup::from_chunks(
-            "t",
-            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
-        )
+        Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
     }
 
     #[test]

@@ -36,9 +36,7 @@ fn better(a: (Fingerprint, FreqEntry), b: (Fingerprint, FreqEntry)) -> bool {
 #[must_use]
 pub fn rank(table: &FreqTable) -> Vec<(Fingerprint, FreqEntry)> {
     let mut rows: Vec<(Fingerprint, FreqEntry)> = table.iter().map(|(&f, &e)| (f, e)).collect();
-    rows.sort_unstable_by(|&a, &b| {
-        (b.1.count, a.1.order, a.0).cmp(&(a.1.count, b.1.order, b.0))
-    });
+    rows.sort_unstable_by(|&a, &b| (b.1.count, a.1.order, a.0).cmp(&(a.1.count, b.1.order, b.0)));
     rows
 }
 

@@ -174,10 +174,7 @@ mod tests {
     }
 
     fn backup(fps: &[u64]) -> Backup {
-        Backup::from_chunks(
-            "t",
-            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
-        )
+        Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
     }
 
     fn truth_of(pairs: &[(u64, u64)]) -> GroundTruth {

@@ -156,7 +156,15 @@ pub fn generate(config: &FslConfig) -> BackupSeries {
         .map(|_| {
             let mut stream = Vec::with_capacity(config.chunks_per_user + 64);
             while stream.len() < config.chunks_per_user {
-                append_run(&mut stream, config, &hot, &cold, &fillers, &mut fresh, &mut rng);
+                append_run(
+                    &mut stream,
+                    config,
+                    &hot,
+                    &cold,
+                    &fillers,
+                    &mut fresh,
+                    &mut rng,
+                );
             }
             stream
         })
@@ -169,11 +177,19 @@ pub fn generate(config: &FslConfig) -> BackupSeries {
     for b in 0..config.backups {
         if b > 0 {
             for stream in &mut streams {
-                let mut next = evolve(stream, &edit_model, &mut fresh, &config.size_model, &mut rng);
+                let mut next = evolve(
+                    stream,
+                    &edit_model,
+                    &mut fresh,
+                    &config.size_model,
+                    &mut rng,
+                );
                 let grow_target =
                     next.len() + (config.growth_frac * next.len() as f64).round() as usize;
                 while next.len() < grow_target {
-                    append_run(&mut next, config, &hot, &cold, &fillers, &mut fresh, &mut rng);
+                    append_run(
+                        &mut next, config, &hot, &cold, &fillers, &mut fresh, &mut rng,
+                    );
                 }
                 *stream = next;
             }
@@ -237,7 +253,7 @@ fn push_filler(stream: &mut Vec<ChunkRecord>, fillers: &[ChunkRecord], rng: &mut
         idx += 1;
     }
     let reps = rng.gen_range(1..=4);
-    stream.extend(std::iter::repeat(fillers[idx]).take(reps));
+    stream.extend(std::iter::repeat_n(fillers[idx], reps));
 }
 
 #[cfg(test)]
@@ -256,7 +272,11 @@ mod tests {
         assert_eq!(s.get(0).unwrap().label, "Jan 22");
         assert_eq!(s.latest().unwrap().label, "May 21");
         let latest = s.latest().unwrap();
-        assert!(latest.len() >= 6 * 5000, "latest has {} chunks", latest.len());
+        assert!(
+            latest.len() >= 6 * 5000,
+            "latest has {} chunks",
+            latest.len()
+        );
     }
 
     #[test]

@@ -263,11 +263,7 @@ mod tests {
     #[test]
     fn all_chunks_fixed_size() {
         let s = small();
-        assert!(s
-            .latest()
-            .unwrap()
-            .iter()
-            .all(|c| c.size == 4096));
+        assert!(s.latest().unwrap().iter().all(|c| c.size == 4096));
     }
 
     #[test]

@@ -77,8 +77,8 @@ impl Rce {
             return Err(MleError::BadAuthentication);
         }
         let mut l = [0u8; 32];
-        for i in 0..32 {
-            l[i] = ct.wrapped_key[i] ^ key.0[i];
+        for (li, (w, k)) in l.iter_mut().zip(ct.wrapped_key.iter().zip(key.0.iter())) {
+            *li = w ^ k;
         }
         let mut out = ct.body.clone();
         Aes256Ctr::new(&l, &[0u8; 16]).apply_keystream(&mut out);
@@ -103,7 +103,10 @@ mod tests {
         let rce = Rce::new();
         let c1 = rce.encrypt(b"chunk", &[1u8; 32]);
         let c2 = rce.encrypt(b"chunk", &[2u8; 32]);
-        assert_ne!(c1.body, c2.body, "bodies must differ under fresh randomness");
+        assert_ne!(
+            c1.body, c2.body,
+            "bodies must differ under fresh randomness"
+        );
         assert_ne!(c1.wrapped_key, c2.wrapped_key);
         // The deterministic tag is the frequency-analysis foothold.
         assert_eq!(c1.tag, c2.tag);

@@ -163,17 +163,20 @@ mod tests {
     use super::*;
 
     fn backup(fps: &[u64]) -> Backup {
-        Backup::from_chunks(
-            "t",
-            fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect(),
-        )
+        Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
     }
 
     #[test]
     fn deterministic_mapping() {
         let enc = DeterministicTraceEncryptor::new(b"k");
-        assert_eq!(enc.encrypt_fp(Fingerprint(5)), enc.encrypt_fp(Fingerprint(5)));
-        assert_ne!(enc.encrypt_fp(Fingerprint(5)), enc.encrypt_fp(Fingerprint(6)));
+        assert_eq!(
+            enc.encrypt_fp(Fingerprint(5)),
+            enc.encrypt_fp(Fingerprint(5))
+        );
+        assert_ne!(
+            enc.encrypt_fp(Fingerprint(5)),
+            enc.encrypt_fp(Fingerprint(6))
+        );
     }
 
     #[test]

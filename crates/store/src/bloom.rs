@@ -104,7 +104,10 @@ impl BloomFilter {
 /// Two independent 64-bit hashes of a fingerprint (splitmix64 finalizers with
 /// distinct stream constants).
 fn hash_pair(fp: Fingerprint) -> (u64, u64) {
-    (splitmix(fp.value() ^ 0x9e37_79b9_7f4a_7c15), splitmix(fp.value() ^ 0xbf58_476d_1ce4_e5b9) | 1)
+    (
+        splitmix(fp.value() ^ 0x9e37_79b9_7f4a_7c15),
+        splitmix(fp.value() ^ 0xbf58_476d_1ce4_e5b9) | 1,
+    )
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -157,7 +160,9 @@ mod tests {
     #[test]
     fn empty_filter_contains_nothing_mostly() {
         let bloom = BloomFilter::paper_default(1000);
-        let hits = (0..1000u64).filter(|&i| bloom.contains(Fingerprint(i))).count();
+        let hits = (0..1000u64)
+            .filter(|&i| bloom.contains(Fingerprint(i)))
+            .count();
         assert_eq!(hits, 0);
     }
 

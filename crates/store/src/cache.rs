@@ -314,7 +314,9 @@ mod tests {
         let mut model: Vec<u64> = Vec::new(); // front = MRU
         let mut x = 12345u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 48) % 64;
             let hit = c.lookup(fp(v));
             let model_hit = model.contains(&v);

@@ -55,6 +55,10 @@ impl Container {
     }
 }
 
+/// Payload bytes of the open container plus the `(offset, len)` range of
+/// each chunk within them.
+type OpenPayload = (Vec<u8>, Vec<(u32, u32)>);
+
 /// The open (being-filled) container plus the catalog of sealed ones.
 #[derive(Debug)]
 pub struct ContainerStore {
@@ -62,7 +66,7 @@ pub struct ContainerStore {
     sealed: Vec<Container>,
     open_records: Vec<ChunkRecord>,
     open_bytes: u64,
-    open_payload: Option<(Vec<u8>, Vec<(u32, u32)>)>,
+    open_payload: Option<OpenPayload>,
     /// Fast membership test for chunks still in the open container.
     open_set: HashMap<Fingerprint, usize>,
 }

@@ -446,11 +446,15 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut c = DedupConfig::default();
-        c.container_bytes = 0;
+        let c = DedupConfig {
+            container_bytes: 0,
+            ..DedupConfig::default()
+        };
         assert!(DedupEngine::new(c).is_err());
-        let mut c = DedupConfig::default();
-        c.bloom_fp_rate = 0.0;
+        let c = DedupConfig {
+            bloom_fp_rate: 0.0,
+            ..DedupConfig::default()
+        };
         assert!(DedupEngine::new(c).is_err());
     }
 

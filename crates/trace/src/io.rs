@@ -165,7 +165,8 @@ impl<W: Write> CrcWriter<W> {
     }
 
     fn write_str(&mut self, s: &str) -> Result<(), TraceIoError> {
-        let len = u32::try_from(s.len()).map_err(|_| TraceIoError::LengthOverflow(s.len() as u64))?;
+        let len =
+            u32::try_from(s.len()).map_err(|_| TraceIoError::LengthOverflow(s.len() as u64))?;
         self.write_u32(len)?;
         self.write_all(s.as_bytes())
     }

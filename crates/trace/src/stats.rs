@@ -83,9 +83,7 @@ impl FrequencyCdf {
         if self.freqs.is_empty() {
             return 0.0;
         }
-        let above = self
-            .freqs
-            .partition_point(|&f| f <= threshold);
+        let above = self.freqs.partition_point(|&f| f <= threshold);
         (self.freqs.len() - above) as f64 / self.freqs.len() as f64
     }
 
@@ -227,7 +225,10 @@ pub fn content_overlap(older: &Backup, newer: &Backup) -> f64 {
         return 0.0;
     }
     let old_unique = older.unique_fingerprints();
-    let shared = new_unique.iter().filter(|fp| old_unique.contains(fp)).count();
+    let shared = new_unique
+        .iter()
+        .filter(|fp| old_unique.contains(fp))
+        .count();
     shared as f64 / new_unique.len() as f64
 }
 

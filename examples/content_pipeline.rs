@@ -44,9 +44,12 @@ fn main() {
     // Ciphertext-only attack using the PUBLIC initial image as auxiliary
     // information (no private leak needed at all).
     let params = attacks::locality::LocalityParams::default();
-    for kind in [AttackKind::Basic, AttackKind::Locality, AttackKind::Advanced] {
-        let inferred =
-            attacks::run_ciphertext_only(kind, &observed.backup, &public_image, &params);
+    for kind in [
+        AttackKind::Basic,
+        AttackKind::Locality,
+        AttackKind::Advanced,
+    ] {
+        let inferred = attacks::run_ciphertext_only(kind, &observed.backup, &public_image, &params);
         let report = metrics::score(&inferred, &observed.backup, &observed.truth);
         println!(
             "{kind:<24} infers {:6.2}% of the latest snapshot from the public image",

@@ -9,7 +9,7 @@
 use freqdedup::chunking::{cdc::CdcParams, content_fingerprint, records_from_bytes};
 use freqdedup::mle::rce::Rce;
 use freqdedup::mle::recipes::{open, seal, FileRecipe, KeyRecipe};
-use freqdedup::mle::{convergent::Convergent, ChunkKey, Mle};
+use freqdedup::mle::{convergent::Convergent, Mle};
 use freqdedup::store::engine::{DedupConfig, DedupEngine};
 use freqdedup::trace::ChunkRecord;
 use std::collections::HashMap;
@@ -23,7 +23,9 @@ fn main() {
         let mut x = 0x1234_5678_9abc_def0u64;
         (0..100 * 1024)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect()
@@ -38,6 +40,11 @@ fn main() {
     // Chunk, encrypt with convergent MLE, store ciphertext payloads.
     let cdc = CdcParams::with_avg_size(4096);
     let records = records_from_bytes(&file, &cdc);
+    println!(
+        "chunked: {} plaintext chunks, {} B average",
+        records.len(),
+        file.len() / records.len()
+    );
     let mle = Convergent::new();
     let mut engine = DedupEngine::new(DedupConfig::paper(8 * 1024 * 1024, 100_000)).unwrap();
 
@@ -99,5 +106,4 @@ fn main() {
          frequency distribution survives randomized encryption",
         tag_counts.len()
     );
-    let _ = ChunkKey([0u8; 32]);
 }

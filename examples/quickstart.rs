@@ -7,12 +7,12 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use freqdedup::chunking::segment::SegmentParams;
 use freqdedup::core::attacks::{self, AttackKind};
 use freqdedup::core::defense::DefenseScheme;
 use freqdedup::core::metrics;
 use freqdedup::datasets::fsl::{generate, FslConfig};
 use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
-use freqdedup::chunking::segment::SegmentParams;
 
 fn main() {
     // 1. A backup workload: 6 users, 5 monthly full backups.
@@ -53,9 +53,6 @@ fn main() {
     for kind in [AttackKind::Locality, AttackKind::Advanced] {
         let inferred = attacks::run_ciphertext_only(kind, &defended.backup, aux, &params);
         let report = metrics::score(&inferred, &defended.backup, &defended.truth);
-        println!(
-            "  {kind:<24} inference rate {:6.3}%",
-            report.rate * 100.0
-        );
+        println!("  {kind:<24} inference rate {:6.3}%", report.rate * 100.0);
     }
 }

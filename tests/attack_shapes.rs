@@ -1,6 +1,6 @@
 //! Integration shape assertions: the paper's headline qualitative results
 //! must hold on freshly generated workloads (loose bounds — exact values are
-//! recorded in EXPERIMENTS.md).
+//! recorded in DESIGN.md §4).
 
 use freqdedup::chunking::segment::SegmentParams;
 use freqdedup::core::attacks::locality::LocalityParams;

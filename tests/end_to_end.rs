@@ -14,7 +14,9 @@ fn sample_file(len: usize, seed: u64) -> Vec<u8> {
     let mut x = seed | 1;
     (0..len)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u8
         })
         .collect()
@@ -38,11 +40,19 @@ fn store_and_restore(mle: &impl Mle, file: &[u8]) -> Vec<u8> {
     // Seal and re-open the recipes under a user key (metadata protection).
     let user_key = [9u8; 32];
     let fr = FileRecipe::from_bytes(
-        &open(&user_key, &seal(&user_key, &[1; 16], &file_recipe.to_bytes())).unwrap(),
+        &open(
+            &user_key,
+            &seal(&user_key, &[1; 16], &file_recipe.to_bytes()),
+        )
+        .unwrap(),
     )
     .unwrap();
     let kr = KeyRecipe::from_bytes(
-        &open(&user_key, &seal(&user_key, &[2; 16], &key_recipe.to_bytes())).unwrap(),
+        &open(
+            &user_key,
+            &seal(&user_key, &[2; 16], &key_recipe.to_bytes()),
+        )
+        .unwrap(),
     )
     .unwrap();
 

@@ -1,0 +1,256 @@
+//! Vendored, dependency-free subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking API.
+//!
+//! The build environment is offline, so this crate provides the slice of
+//! criterion's surface the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`Throughput`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! wall-clock measurement loop instead of criterion's full statistical
+//! machinery.
+//!
+//! Each `Bencher::iter` call runs a short warm-up, then a measured batch,
+//! and prints `benchmark  median-ish mean time  (throughput)` to stdout.
+//! That keeps `cargo bench` usable for smoke-level performance tracking
+//! while remaining a drop-in compile target for real criterion later.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, created by [`criterion_main!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(id.to_string(), None, 10);
+        f(&mut bencher);
+        bencher.report();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sizing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the amount of work one iteration represents, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of measured samples (a hint; the stub scales its
+    /// measured batch with this value).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(
+            format!("{}/{}", self.name, id.label),
+            self.throughput.clone(),
+            self.sample_size,
+        );
+        f(&mut bencher);
+        bencher.report();
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(
+            format!("{}/{}", self.name, id.label),
+            self.throughput.clone(),
+            self.sample_size,
+        );
+        f(&mut bencher, input);
+        bencher.report();
+        self
+    }
+
+    /// Finish the group (printing nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    label: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(label: String, throughput: Option<Throughput>, sample_size: usize) -> Self {
+        Self {
+            label,
+            throughput,
+            sample_size,
+            mean: None,
+        }
+    }
+
+    /// Measure `routine`: warm up briefly, then time a batch sized to the
+    /// group's sample size and record the mean per-iteration duration.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run until ~20ms have elapsed (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() > Duration::from_millis(20) {
+                break;
+            }
+        }
+        // Aim for a measured batch of similar length, scaled by sample size.
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target = Duration::from_millis(5 * self.sample_size as u64);
+        let iters = if per_iter.is_zero() {
+            self.sample_size as u64
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / iters as u32);
+    }
+
+    fn report(&self) {
+        let Some(mean) = self.mean else {
+            println!("  {:<40} (no measurement)", self.label);
+            return;
+        };
+        let rate = match &self.throughput {
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                let mib = *n as f64 / (1024.0 * 1024.0) / mean.as_secs_f64();
+                format!("  {mib:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                let k = *n as f64 / 1000.0 / mean.as_secs_f64();
+                format!("  {k:>10.1} Kelem/s")
+            }
+            _ => String::new(),
+        };
+        println!("  {:<40} {:>12.3?}{rate}", self.label, mean);
+    }
+}
+
+/// Declare a benchmark group function from a list of `fn(&mut Criterion)`
+/// targets, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generate a `main` that runs each declared [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

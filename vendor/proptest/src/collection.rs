@@ -1,0 +1,31 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// A strategy producing `Vec`s of `element` with a length drawn from
+/// `size` (`Range<usize>`, exclusive upper bound, as upstream).
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

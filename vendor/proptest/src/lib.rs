@@ -1,0 +1,141 @@
+//! Vendored, minimal subset of the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing API.
+//!
+//! The build environment is offline, so this crate re-implements the slice
+//! of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`];
+//! * [`arbitrary::any`] for primitive integers;
+//! * integer range strategies (`1u32..100_000`) and tuple strategies;
+//! * [`collection::vec`] with a `Range<usize>` size;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is **no shrinking**: each `#[test]` runs a
+//! fixed number of deterministic cases (seeded ChaCha8 per test), and a
+//! failing case panics with the standard assertion message. That preserves
+//! the property-test *coverage* semantics while keeping the vendored code
+//! small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+/// Number of random cases each [`proptest!`]-generated test executes.
+pub const DEFAULT_CASES: usize = 64;
+
+/// The RNG driving strategy generation (deterministic per test).
+pub type TestRng = ChaCha8Rng;
+
+pub use strategy::Strategy;
+
+/// The `prop` namespace mirrored from upstream (`prop::collection::vec`,
+/// …); re-exported via [`prelude`].
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Derive a stable per-test RNG seed from the test's name.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, good enough for seeding.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Strategy for `Range<T>`: uniform value in `[start, end)`.
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: rand::SampleUniform + PartialOrd + Clone + core::fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for a pair of strategies: generates a tuple.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+/// Strategy for a triple of strategies.
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Run `cases` iterations of a property body with a per-test deterministic
+/// RNG. Used by the [`proptest!`] macro expansion.
+pub fn run_cases<F: FnMut(&mut TestRng)>(test_name: &str, cases: usize, mut body: F) {
+    use rand::SeedableRng;
+    let mut rng = TestRng::seed_from_u64(seed_for(test_name));
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+/// Define property tests: each function runs [`DEFAULT_CASES`] times with
+/// inputs drawn from the given strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), $crate::DEFAULT_CASES, |rng| {
+                    let ($($arg,)+) = ($($crate::Strategy::generate(&($strategy), rng),)+);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a boolean property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,6 @@
+//! One-stop import mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

@@ -1,0 +1,21 @@
+//! Minimal mirror of `rand::distributions`: the [`Distribution`] trait and
+//! the [`Standard`] distribution, enough for `Distribution<T>`-bounded
+//! helper code.
+
+use crate::{RngCore, StandardSample};
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: full range for integers, `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl<T: StandardSample> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

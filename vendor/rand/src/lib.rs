@@ -1,0 +1,275 @@
+//! Vendored, dependency-free subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API.
+//!
+//! The build environment for this workspace is fully offline, so instead of
+//! pulling `rand` from crates.io we vendor the small slice of its surface the
+//! workspace actually uses:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the core generator traits, with the same
+//!   SplitMix64-based [`SeedableRng::seed_from_u64`] derivation as
+//!   `rand_core` 0.6;
+//! * [`Rng`] — `gen`, `gen_range` (over `Range` / `RangeInclusive` of the
+//!   primitive integer types), `gen_bool` and `fill`;
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! Sampling algorithms follow the upstream semantics (unbiased rejection
+//! sampling for integer ranges, 53-bit mantissa construction for `f64`), so
+//! seeded streams are deterministic and statistically equivalent to upstream
+//! even where the exact bit-stream differs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod seq;
+
+/// The core of a random number generator: a source of random words.
+///
+/// Mirror of `rand_core::RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+///
+/// Mirror of `rand_core::SeedableRng`; `seed_from_u64` uses the same
+/// SplitMix64 expansion as `rand_core` 0.6 so seeded generators match
+/// upstream construction.
+pub trait SeedableRng: Sized {
+    /// The raw seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Derive a full seed from a `u64` via SplitMix64 and construct the
+    /// generator from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's full output
+/// range by [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+
+impl StandardSample for i16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+
+impl StandardSample for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for isize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, as upstream's
+    /// `Standard` distribution for `f64`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+/// Integer types that support unbiased uniform sampling from a sub-range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)`; `high > low` must hold.
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased `u64` in `[0, n)` via rejection sampling.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Largest multiple of n that fits in u64; values at or above it would
+    // bias the modulo, so reject and redraw.
+    let zone = u64::MAX - (u64::MAX % n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_below<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    debug_assert!(low < high);
+                    let span = (high as i128 - low as i128) as u64;
+                    let offset = uniform_u64_below(rng, span);
+                    (low as i128 + offset as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range argument accepted by [`Rng::gen_range`]: `low..high` or
+/// `low..=high`.
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (low, high) = (*self.start(), *self.end());
+                    assert!(low <= high, "cannot sample empty range");
+                    let span = (high as i128 - low as i128 + 1) as u64;
+                    // span == 0 only if the range covers the whole u64
+                    // domain, which no call site uses; guard anyway.
+                    if span == 0 {
+                        return <$t as StandardSample>::sample_standard(rng);
+                    }
+                    let offset = uniform_u64_below(rng, span);
+                    (low as i128 + offset as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from the type's standard distribution
+    /// (full integer range; `[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (`low..high` or `low..=high`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fill `dest` with random data (alias of [`RngCore::fill_bytes`] for
+    /// byte slices).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

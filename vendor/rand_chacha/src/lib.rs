@@ -1,0 +1,207 @@
+//! Vendored ChaCha random number generators implementing the traits of the
+//! vendored [`rand`] crate.
+//!
+//! The build environment is offline, so this crate replaces
+//! [`rand_chacha`](https://crates.io/crates/rand_chacha) with a from-scratch
+//! implementation of the ChaCha stream cipher used as an RNG:
+//!
+//! * real ChaCha quarter-round core (Bernstein's construction, IETF word
+//!   layout: 4 constant words, 8 key words, 2 counter words, 2 nonce words);
+//! * [`ChaCha8Rng`], [`ChaCha12Rng`] and [`ChaCha20Rng`] type aliases over
+//!   the generic [`ChaChaRng`] with the corresponding double-round counts;
+//! * 32-byte seeds via `SeedableRng`, with `seed_from_u64` inherited from
+//!   the vendored `rand`'s SplitMix64 expansion.
+//!
+//! Output is a deterministic function of the seed, suitable for the seeded,
+//! reproducible experiment pipelines in this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds (4 column/diagonal double rounds).
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds (the original cipher strength).
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+/// A ChaCha-based RNG generic over the number of double rounds
+/// (`DOUBLE_ROUNDS = 4` gives ChaCha8, `10` gives ChaCha20).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key words 4..12 of the initial state.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// Nonce / stream id (state words 14–15).
+    stream: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means exhausted.
+    index: usize,
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    /// Set the 64-bit stream id (nonce words), restarting the block counter.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = 16;
+    }
+
+    /// Current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Run the block function for the current counter and advance it.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_word().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_word().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(xs, (0..64).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chacha20_block_matches_rfc8439_vector() {
+        // RFC 8439 §2.4.2 keystream block: key 00..1f, block counter 1,
+        // nonce 00 00 00 09 00 00 00 4a 00 00 00 00 (96-bit IETF layout).
+        // Our layout is the original 64-bit counter + 64-bit nonce, so we
+        // reproduce the vector by placing the IETF nonce words in the
+        // counter-hi and stream slots directly. Expected words checked
+        // against `openssl enc -chacha20`.
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        rng.counter = 1 | (0x0900_0000u64 << 32);
+        rng.stream = 0x4a00_0000;
+        rng.index = 16;
+        let first_words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            first_words,
+            vec![0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3]
+        );
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let mut buf = [0u8; 11];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..], &w2[..3]);
+    }
+}
