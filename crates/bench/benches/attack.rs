@@ -6,6 +6,7 @@ use freqdedup_bench::harness;
 use freqdedup_core::attacks::basic::BasicAttack;
 use freqdedup_core::attacks::locality::{LocalityAttack, LocalityParams};
 use freqdedup_core::counting::ChunkStats;
+use freqdedup_core::dense::DenseStats;
 use freqdedup_core::ext::lp_opt::lp_optimization_attack;
 use freqdedup_core::freq_analysis::freq_analysis;
 use freqdedup_datasets::fsl::{generate, FslConfig};
@@ -25,8 +26,12 @@ fn bench_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("count");
     group.throughput(Throughput::Elements(aux.len() as u64));
     group.bench_function("full", |b| b.iter(|| ChunkStats::full(&aux)));
+    group.bench_function("full_dense", |b| b.iter(|| DenseStats::full(&aux)));
     group.bench_function("frequencies_only", |b| {
         b.iter(|| ChunkStats::frequencies_only(&aux))
+    });
+    group.bench_function("frequencies_only_dense", |b| {
+        b.iter(|| DenseStats::frequencies_only(&aux))
     });
     group.finish();
 }
@@ -55,6 +60,10 @@ fn bench_attacks(c: &mut Criterion) {
     group.bench_function("locality", |b| {
         let attack = LocalityAttack::new(LocalityParams::default());
         b.iter(|| attack.run_ciphertext_only(&target, &aux));
+    });
+    group.bench_function("locality_reference", |b| {
+        let attack = LocalityAttack::new(LocalityParams::default());
+        b.iter(|| attack.run_ciphertext_only_reference(&target, &aux));
     });
     group.bench_function("advanced", |b| {
         let attack = LocalityAttack::new(LocalityParams::default().size_aware(true));

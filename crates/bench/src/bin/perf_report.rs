@@ -1,0 +1,186 @@
+//! `perf_report` — machine-readable performance trajectory of the attack
+//! hot path.
+//!
+//! Runs the locality attack end-to-end (COUNT + crawl, ciphertext-only) on
+//! a synthetic FSL-like backup pair over **both** implementations:
+//!
+//! * the fingerprint-keyed reference path (`ChunkStats` + hash-map crawl,
+//!   the pre-dense layout), and
+//! * the dense-id/CSR path (`DenseStats`, interning + one-sort
+//!   co-occurrence tables),
+//!
+//! checks that the two inference sets are identical, and writes the
+//! timings plus the speedup to `BENCH_attack.json` so every PR's CI run
+//! leaves a comparable perf artifact.
+//!
+//! Usage: `perf_report [--quick] [--chunks N] [--out PATH]`
+//!
+//! * `--quick` — CI-sized run (~60k logical chunks per backup);
+//! * `--chunks N` — logical chunks per backup (default 1,000,000);
+//! * `--out PATH` — output path (default `BENCH_attack.json`).
+
+use std::time::Instant;
+
+use freqdedup_bench::harness;
+use freqdedup_core::attacks::locality::{LocalityAttack, LocalityParams};
+use freqdedup_core::counting::ChunkStats;
+use freqdedup_core::dense::DenseStats;
+use freqdedup_core::metrics::Inference;
+use freqdedup_datasets::fsl::{self, FslConfig};
+use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
+use freqdedup_trace::{Backup, Fingerprint};
+
+const USAGE: &str = "usage: perf_report [--quick] [--chunks N] [--out PATH]
+Times the locality attack (COUNT + crawl) on a synthetic backup pair over
+the reference hash-map path and the dense-id/CSR path, verifies identical
+inference output, and writes BENCH_attack.json.";
+
+const DEFAULT_CHUNKS: usize = 1_000_000;
+const QUICK_CHUNKS: usize = 60_000;
+
+struct Args {
+    chunks: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        chunks: DEFAULT_CHUNKS,
+        quick: false,
+        out: "BENCH_attack.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.chunks = QUICK_CHUNKS;
+            }
+            "--chunks" => {
+                let v = it.next().unwrap_or_else(|| die("--chunks needs a value"));
+                args.chunks = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--chunks must be an integer"));
+                if args.chunks == 0 {
+                    die("--chunks must be positive");
+                }
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf_report: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Milliseconds spent in `f`, plus its result.
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+fn sorted_pairs(inf: &Inference) -> Vec<(Fingerprint, Fingerprint)> {
+    let mut v: Vec<_> = inf.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Builds the benchmark pair: two consecutive FSL-like monthly backups of
+/// ~`chunks` logical chunks each; the newer one is deterministically
+/// encrypted (the adversary's tap), the older one is the plaintext aux.
+fn build_pair(chunks: usize) -> (Backup, Backup) {
+    let cfg = FslConfig {
+        backups: 2,
+        ..FslConfig::scaled((chunks / 6).max(100))
+    };
+    let series = fsl::generate(&cfg);
+    let aux = series.get(0).expect("two backups generated").clone();
+    let target = series.get(1).expect("two backups generated");
+    let enc = DeterministicTraceEncryptor::new(harness::MLE_SECRET);
+    (aux, enc.encrypt_backup(target).backup)
+}
+
+fn main() {
+    let args = parse_args();
+    let params = LocalityParams::default();
+    let attack = LocalityAttack::new(params.clone());
+
+    eprintln!(
+        "perf_report: generating pair (~{} chunks per backup)...",
+        args.chunks
+    );
+    let (aux, cipher) = build_pair(args.chunks);
+    eprintln!(
+        "perf_report: cipher {} logical / {} unique chunks; aux {} logical",
+        cipher.len(),
+        cipher.unique_count(),
+        aux.len()
+    );
+
+    // Warm the allocator and page cache once per path, so the timed runs
+    // below don't charge first-touch page faults to whichever path goes
+    // first.
+    drop(ChunkStats::full_with_policy(&cipher, params.tie_policy));
+    drop(DenseStats::full_with_policy(&cipher, params.tie_policy));
+
+    // COUNT in isolation (both sides), then the attack end-to-end (COUNT +
+    // seed + crawl — what Algorithm 2 actually costs).
+    let (ref_count_ms, _) = timed(|| {
+        (
+            ChunkStats::full_with_policy(&cipher, params.tie_policy),
+            ChunkStats::full_with_policy(&aux, params.tie_policy),
+        )
+    });
+    let (ref_e2e_ms, ref_inference) = timed(|| attack.run_ciphertext_only_reference(&cipher, &aux));
+
+    let (dense_count_ms, _) = timed(|| {
+        (
+            DenseStats::full_with_policy(&cipher, params.tie_policy),
+            DenseStats::full_with_policy(&aux, params.tie_policy),
+        )
+    });
+    let (dense_e2e_ms, dense_inference) = timed(|| attack.run_ciphertext_only(&cipher, &aux));
+
+    let identical = sorted_pairs(&ref_inference) == sorted_pairs(&dense_inference);
+    let speedup_e2e = ref_e2e_ms / dense_e2e_ms;
+    let speedup_count = ref_count_ms / dense_count_ms;
+
+    let json = format!(
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"dense\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        args.quick,
+        cipher.len(),
+        cipher.unique_count(),
+        ref_count_ms,
+        ref_e2e_ms,
+        dense_count_ms,
+        dense_e2e_ms,
+        speedup_count,
+        speedup_e2e,
+        identical,
+        dense_inference.len(),
+    );
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", args.out)));
+    print!("{json}");
+
+    if !identical {
+        eprintln!("perf_report: FAIL — reference and dense inference sets differ");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf_report: dense path is {speedup_e2e:.2}x end-to-end ({speedup_count:.2}x on COUNT); wrote {}",
+        args.out
+    );
+}

@@ -13,8 +13,8 @@
 
 use freqdedup_trace::Backup;
 
-use crate::counting::ChunkStats;
-use crate::freq_analysis::freq_analysis;
+use crate::dense::DenseStats;
+use crate::freq_analysis::freq_analysis_dense;
 use crate::metrics::Inference;
 
 /// Classical frequency analysis (Algorithm 1).
@@ -29,15 +29,24 @@ impl BasicAttack {
     }
 
     /// Runs the attack: `T ← FREQ-ANALYSIS(COUNT(C), COUNT(M))`, pairing
-    /// every rank up to the smaller table.
+    /// every rank up to the smaller table. Counts and ranks on the dense-id
+    /// layer (identical output to the fingerprint-keyed path).
     #[must_use]
     pub fn run(&self, cipher: &Backup, plain_aux: &Backup) -> Inference {
-        let fc = ChunkStats::frequencies_only(cipher);
-        let fm = ChunkStats::frequencies_only(plain_aux);
-        let limit = fc.freq.len().min(fm.freq.len());
-        freq_analysis(&fc.freq, &fm.freq, limit)
-            .into_iter()
-            .collect()
+        let sc = DenseStats::frequencies_only(cipher);
+        let sm = DenseStats::frequencies_only(plain_aux);
+        let limit = sc.unique_chunks().min(sm.unique_chunks());
+        let mut t = Inference::with_capacity(limit);
+        for (c, m) in freq_analysis_dense(
+            &sc.global_rows(),
+            &sm.global_rows(),
+            limit,
+            sc.interner.fingerprints(),
+            sm.interner.fingerprints(),
+        ) {
+            t.insert(sc.interner.fingerprint(c), sm.interner.fingerprint(m));
+        }
+        t
     }
 }
 

@@ -14,13 +14,26 @@
 //! * `u` — pairs seeded by global frequency analysis (ciphertext-only mode);
 //! * `v` — pairs taken from each neighbour-table frequency analysis;
 //! * `w` — capacity bound of the inferred set `G` (memory guard).
+//!
+//! The attack runs on the dense-id/CSR layer of [`crate::dense`] — `COUNT`
+//! interns fingerprints to contiguous `u32` ids and builds the neighbour
+//! tables with one sort, and the crawl walks contiguous CSR rows. The
+//! fingerprint-keyed reference implementation
+//! ([`LocalityAttack::run_ciphertext_only_reference`] /
+//! [`LocalityAttack::run_known_plaintext_reference`]) is retained as the
+//! equivalence oracle and benchmark baseline; both paths produce identical
+//! inference sets (see `tests/dense_equivalence.rs`).
 
 use std::collections::VecDeque;
 
 use freqdedup_trace::{Backup, Fingerprint};
 
 use crate::counting::{ChunkStats, FreqTable, TiePolicy};
-use crate::freq_analysis::{freq_analysis, freq_analysis_sized, Pair};
+use crate::dense::{DenseEntry, DenseStats};
+use crate::freq_analysis::{
+    freq_analysis, freq_analysis_dense, freq_analysis_sized, freq_analysis_sized_dense, DensePair,
+    Pair,
+};
 use crate::metrics::Inference;
 
 /// Tunable parameters of the locality-based attack.
@@ -107,18 +120,139 @@ impl LocalityAttack {
 
     /// Ciphertext-only mode: `G` is seeded with the `u` most frequent
     /// ciphertext/plaintext rank matches.
+    ///
+    /// Runs on the dense-id/CSR layer ([`DenseStats`]); output is identical
+    /// to [`Self::run_ciphertext_only_reference`].
     #[must_use]
     pub fn run_ciphertext_only(&self, cipher: &Backup, plain_aux: &Backup) -> Inference {
+        let sc = DenseStats::full_with_policy(cipher, self.params.tie_policy);
+        let sm = DenseStats::full_with_policy(plain_aux, self.params.tie_policy);
+        let seed = self.analyze_dense(
+            &sc,
+            &sm,
+            &sc.global_rows(),
+            &sm.global_rows(),
+            self.params.u,
+        );
+        self.run_from_seed_dense(&sc, &sm, seed)
+    }
+
+    /// Known-plaintext mode: `G` is seeded with the leaked pairs that appear
+    /// in both `C` and `M`.
+    ///
+    /// Runs on the dense-id/CSR layer; output is identical to
+    /// [`Self::run_known_plaintext_reference`].
+    #[must_use]
+    pub fn run_known_plaintext(
+        &self,
+        cipher: &Backup,
+        plain_aux: &Backup,
+        leaked: &[(Fingerprint, Fingerprint)],
+    ) -> Inference {
+        let sc = DenseStats::full_with_policy(cipher, self.params.tie_policy);
+        let sm = DenseStats::full_with_policy(plain_aux, self.params.tie_policy);
+        let seed: Vec<DensePair> = leaked
+            .iter()
+            .filter_map(|&(c, m)| Some((sc.interner.get(c)?, sm.interner.get(m)?)))
+            .collect();
+        self.run_from_seed_dense(&sc, &sm, seed)
+    }
+
+    /// The main loop of Algorithm 2 (lines 9–23) over dense ids.
+    ///
+    /// The inferred set `T` is a flat id-indexed array (`u32::MAX` =
+    /// uninferred), so the duplicate-ciphertext guard is one indexed load
+    /// instead of a hash probe, and each crawl step reads two contiguous
+    /// CSR rows per side.
+    fn run_from_seed_dense(
+        &self,
+        sc: &DenseStats,
+        sm: &DenseStats,
+        seed: Vec<DensePair>,
+    ) -> Inference {
+        const UNINFERRED: u32 = u32::MAX;
+        let mut inferred: Vec<u32> = vec![UNINFERRED; sc.unique_chunks()];
+        let mut total = 0usize;
+        let mut g: VecDeque<DensePair> = VecDeque::new();
+        for (c, m) in seed {
+            if inferred[c as usize] == UNINFERRED {
+                inferred[c as usize] = m;
+                total += 1;
+                g.push_back((c, m));
+            }
+        }
+
+        while let Some((c, m)) = g.pop_front() {
+            let tl = self.analyze_dense(sc, sm, sc.left.row(c), sm.left.row(m), self.params.v);
+            let tr = self.analyze_dense(sc, sm, sc.right.row(c), sm.right.row(m), self.params.v);
+            for (c2, m2) in tl.into_iter().chain(tr) {
+                if inferred[c2 as usize] == UNINFERRED {
+                    inferred[c2 as usize] = m2;
+                    total += 1;
+                    if g.len() <= self.params.w {
+                        g.push_back((c2, m2));
+                    }
+                }
+            }
+        }
+
+        let mut t = Inference::with_capacity(total);
+        for (c, &m) in inferred.iter().enumerate() {
+            if m != UNINFERRED {
+                t.insert(
+                    sc.interner.fingerprint(c as u32),
+                    sm.interner.fingerprint(m),
+                );
+            }
+        }
+        t
+    }
+
+    /// Dispatches to plain or size-classified dense frequency analysis.
+    fn analyze_dense(
+        &self,
+        sc: &DenseStats,
+        sm: &DenseStats,
+        yc: &[DenseEntry],
+        ym: &[DenseEntry],
+        x: usize,
+    ) -> Vec<DensePair> {
+        if self.params.size_aware {
+            freq_analysis_sized_dense(yc, ym, x, sc, sm)
+        } else {
+            freq_analysis_dense(
+                yc,
+                ym,
+                x,
+                sc.interner.fingerprints(),
+                sm.interner.fingerprints(),
+            )
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Reference implementation (pre-dense, fingerprint-keyed).
+    //
+    // Retained on purpose: it is the baseline `perf_report` measures the
+    // dense layer against, and the oracle the `dense_equivalence` property
+    // tests compare with. Not deprecated — it is the readable, paper-shaped
+    // form of Algorithm 2.
+    // -----------------------------------------------------------------------
+
+    /// Ciphertext-only mode over the fingerprint-keyed [`ChunkStats`]
+    /// tables (the reference implementation).
+    #[must_use]
+    pub fn run_ciphertext_only_reference(&self, cipher: &Backup, plain_aux: &Backup) -> Inference {
         let sc = ChunkStats::full_with_policy(cipher, self.params.tie_policy);
         let sm = ChunkStats::full_with_policy(plain_aux, self.params.tie_policy);
         let seed = self.analyze(&sc, &sm, &sc.freq, &sm.freq, self.params.u);
         self.run_from_seed(&sc, &sm, seed)
     }
 
-    /// Known-plaintext mode: `G` is seeded with the leaked pairs that appear
-    /// in both `C` and `M`.
+    /// Known-plaintext mode over the fingerprint-keyed [`ChunkStats`]
+    /// tables (the reference implementation).
     #[must_use]
-    pub fn run_known_plaintext(
+    pub fn run_known_plaintext_reference(
         &self,
         cipher: &Backup,
         plain_aux: &Backup,
@@ -134,7 +268,7 @@ impl LocalityAttack {
         self.run_from_seed(&sc, &sm, seed)
     }
 
-    /// The main loop of Algorithm 2 (lines 9–23).
+    /// The main loop of Algorithm 2 (lines 9–23), fingerprint-keyed.
     fn run_from_seed(&self, sc: &ChunkStats, sm: &ChunkStats, seed: Vec<Pair>) -> Inference {
         let mut t = Inference::new();
         let mut g: VecDeque<Pair> = VecDeque::new();
@@ -161,7 +295,8 @@ impl LocalityAttack {
         t
     }
 
-    /// Dispatches to plain or size-classified frequency analysis.
+    /// Dispatches to plain or size-classified frequency analysis
+    /// (fingerprint-keyed).
     fn analyze(
         &self,
         sc: &ChunkStats,
@@ -292,6 +427,30 @@ mod tests {
             &leaked,
         );
         assert!(bounded.len() < unbounded.len());
+    }
+
+    #[test]
+    fn dense_path_matches_reference() {
+        // The dense/CSR crawl and the fingerprint-keyed reference crawl
+        // must produce the same inference set, pair for pair.
+        let mut fps: Vec<u64> = Vec::new();
+        for _ in 0..40 {
+            fps.extend([1u64, 2, 2, 3]);
+        }
+        fps.extend(1000..1400u64);
+        let plain = backup(&fps);
+        let enc = DeterministicTraceEncryptor::new(b"s");
+        let observed = enc.encrypt_backup(&plain);
+        for policy in [TiePolicy::StreamOrder, TiePolicy::KeyOrder] {
+            let attack = LocalityAttack::new(LocalityParams::new(2, 5, 10_000).tie_policy(policy));
+            let dense = attack.run_ciphertext_only(&observed.backup, &plain);
+            let reference = attack.run_ciphertext_only_reference(&observed.backup, &plain);
+            let mut dp: Vec<_> = dense.iter().collect();
+            let mut rp: Vec<_> = reference.iter().collect();
+            dp.sort_unstable();
+            rp.sort_unstable();
+            assert_eq!(dp, rp, "policy {policy:?}");
+        }
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   order-based ties keep the ciphertext and plaintext neighbour rankings
 //!   *aligned* — this is what lets the locality crawl walk chains of
 //!   once-occurring chunks.
+//!
+//! This module is the paper-faithful, fingerprint-keyed layout. The attack
+//! hot path runs on the dense-id/CSR layer of [`crate::dense`], which
+//! produces bit-identical statistics; [`ChunkStats`] remains the
+//! compatibility surface for figure binaries and tests (and the baseline
+//! the `perf_report` benchmark measures against).
 
 use std::collections::HashMap;
 
@@ -55,6 +61,31 @@ fn bump(table: &mut FreqTable, fp: Fingerprint, position: u32) {
 /// the fingerprint comparison (LevelDB key order).
 const GLOBAL_ORDER: u32 = 0;
 
+/// Cheap unique-chunk estimate used to pre-size the tables: the distinct
+/// count of a small prefix sample, scaled to the full stream.
+///
+/// The old `len/2` heuristic massively over-allocated on high-dedup traces
+/// (a backup with 1M logical but 50k unique chunks reserved half a million
+/// slots in **four** maps). Sampling the first few thousand chunks bounds
+/// the estimate by the observed dedup ratio instead; repeated growth stays
+/// amortized O(n) if the sample underestimates.
+fn unique_estimate(backup: &Backup) -> usize {
+    const SAMPLE: usize = 2048;
+    let n = backup.len();
+    if n <= SAMPLE {
+        return n;
+    }
+    let distinct = backup.chunks[..SAMPLE]
+        .iter()
+        .map(|rec| rec.fp)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    // Scale the sampled distinct ratio to the whole stream; duplicates are
+    // usually *more* common later (re-seen chunks), so this over-estimates
+    // mildly rather than wildly.
+    (distinct * n) / SAMPLE
+}
+
 /// Tie-break policy for **neighbour** tables (the global table always uses
 /// key order, like a fingerprint-keyed LevelDB).
 ///
@@ -84,7 +115,8 @@ pub struct ChunkStats {
     /// `R[X]` — right-neighbour co-occurrence counts per unique chunk.
     pub right: HashMap<Fingerprint, NeighborCounts>,
     /// Observed size in bytes per unique chunk (sizes are deterministic per
-    /// content, so the last observation wins and equals every observation).
+    /// content, so the first observation is kept and equals every
+    /// observation).
     pub sizes: HashMap<Fingerprint, u32>,
 }
 
@@ -93,14 +125,15 @@ impl ChunkStats {
     /// basic attack).
     #[must_use]
     pub fn frequencies_only(backup: &Backup) -> Self {
+        let cap = unique_estimate(backup);
         let mut stats = ChunkStats {
-            freq: HashMap::with_capacity(backup.len() / 2),
-            sizes: HashMap::with_capacity(backup.len() / 2),
+            freq: HashMap::with_capacity(cap),
+            sizes: HashMap::with_capacity(cap),
             ..ChunkStats::default()
         };
         for rec in &backup.chunks {
             bump(&mut stats.freq, rec.fp, GLOBAL_ORDER);
-            stats.sizes.insert(rec.fp, rec.size);
+            stats.sizes.entry(rec.fp).or_insert(rec.size);
         }
         stats
     }
@@ -117,11 +150,12 @@ impl ChunkStats {
     /// policy.
     #[must_use]
     pub fn full_with_policy(backup: &Backup, policy: TiePolicy) -> Self {
+        let cap = unique_estimate(backup);
         let mut stats = ChunkStats {
-            freq: HashMap::with_capacity(backup.len() / 2),
-            left: HashMap::with_capacity(backup.len() / 2),
-            right: HashMap::with_capacity(backup.len() / 2),
-            sizes: HashMap::with_capacity(backup.len() / 2),
+            freq: HashMap::with_capacity(cap),
+            left: HashMap::with_capacity(cap),
+            right: HashMap::with_capacity(cap),
+            sizes: HashMap::with_capacity(cap),
         };
         let chunks = &backup.chunks;
         for (i, rec) in chunks.iter().enumerate() {
@@ -130,7 +164,7 @@ impl ChunkStats {
                 TiePolicy::KeyOrder => GLOBAL_ORDER,
             };
             bump(&mut stats.freq, rec.fp, GLOBAL_ORDER);
-            stats.sizes.insert(rec.fp, rec.size);
+            stats.sizes.entry(rec.fp).or_insert(rec.size);
             if i > 0 {
                 let left_fp = chunks[i - 1].fp;
                 bump(stats.left.entry(rec.fp).or_default(), left_fp, order);

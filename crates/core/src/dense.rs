@@ -1,0 +1,532 @@
+//! Dense chunk-ID interning and CSR co-occurrence tables — the data layer
+//! the attack hot path runs on.
+//!
+//! The fingerprint-keyed [`ChunkStats`] tables of [`crate::counting`] are a
+//! faithful model of the paper's LevelDB layout, but a poor fit for the
+//! `COUNT` + crawl hot path at scale: every unique chunk owns two
+//! heap-allocated `HashMap`s (left and right neighbours), every probe pays
+//! SipHash over a 64-bit key, and the crawl's memory accesses are scattered
+//! across millions of tiny maps. This module replaces that layout with
+//! three flat structures:
+//!
+//! * [`ChunkInterner`] — one pass over the backup maps each fingerprint to
+//!   a contiguous `u32` id (first-seen order), backed by the vendored
+//!   FxHash hasher. Fingerprints are outputs of a cryptographic hash, so
+//!   the fast multiply-rotate mix loses nothing.
+//! * [`CooccurrenceCsr`] — the left/right neighbour tables as CSR
+//!   (compressed sparse row) arrays: all `(chunk, neighbour)` adjacencies
+//!   are collected as packed `u64` keys, sorted **once**, and run-length
+//!   aggregated into per-chunk rows of [`DenseEntry`]. Zero per-chunk maps;
+//!   one sort replaces millions of hash probes; each crawl step reads a
+//!   contiguous row.
+//! * [`DenseStats`] — the dense analogue of [`ChunkStats`]: a global
+//!   frequency array indexed by id plus the two CSR tables.
+//!
+//! **Tie-break equivalence.** The canonical ranking order — higher count,
+//! then earlier first-seen stream position, then smaller fingerprint — is
+//! preserved bit-for-bit. Counts and orders are aggregated from exactly the
+//! same `(position, adjacency)` events the hash-map path observes (the
+//! sort key includes the position, so a run's first element carries the
+//! minimum, i.e. first-seen, position), and the final fingerprint tie-break
+//! resolves through the interner's id→fingerprint table rather than the id
+//! itself, so interning cannot reorder ties. The property tests in
+//! `tests/dense_equivalence.rs` verify identity against the fingerprint
+//! -keyed path on randomized backups under both [`TiePolicy`] variants.
+
+use std::collections::HashMap;
+
+use freqdedup_trace::{Backup, Fingerprint};
+use rustc_hash::FxHashMap;
+
+use crate::counting::{ChunkStats, FreqEntry, TiePolicy};
+
+/// A dense chunk id: index into the interner's fingerprint/size tables.
+pub type ChunkId = u32;
+
+/// Maps 64-bit fingerprints to contiguous `u32` ids in first-seen order.
+///
+/// Also records each unique chunk's observed size (first observation wins;
+/// sizes are deterministic per content, so every observation is equal).
+#[derive(Clone, Debug, Default)]
+pub struct ChunkInterner {
+    map: FxHashMap<Fingerprint, ChunkId>,
+    fps: Vec<Fingerprint>,
+    sizes: Vec<u32>,
+}
+
+impl ChunkInterner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `fp`, returning its dense id (allocating the next id on
+    /// first sight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` unique chunks are interned.
+    pub fn intern(&mut self, fp: Fingerprint, size: u32) -> ChunkId {
+        if let Some(&id) = self.map.get(&fp) {
+            return id;
+        }
+        let id = u32::try_from(self.fps.len()).expect("more than u32::MAX unique chunks");
+        self.map.insert(fp, id);
+        self.fps.push(fp);
+        self.sizes.push(size);
+        id
+    }
+
+    /// The id of `fp`, if it has been interned.
+    #[must_use]
+    pub fn get(&self, fp: Fingerprint) -> Option<ChunkId> {
+        self.map.get(&fp).copied()
+    }
+
+    /// Number of unique chunks interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// The fingerprint of a dense id.
+    #[must_use]
+    pub fn fingerprint(&self, id: ChunkId) -> Fingerprint {
+        self.fps[id as usize]
+    }
+
+    /// The observed size in bytes of a dense id.
+    #[must_use]
+    pub fn size(&self, id: ChunkId) -> u32 {
+        self.sizes[id as usize]
+    }
+
+    /// The id→fingerprint table (for tie-break comparisons).
+    #[must_use]
+    pub fn fingerprints(&self) -> &[Fingerprint] {
+        &self.fps
+    }
+}
+
+/// One aggregated row entry of a dense table: a chunk id with its
+/// occurrence count and first-seen order (the tie-break key).
+///
+/// Counts are `u32`: stream positions are already tracked as `u32`
+/// throughout the workspace (a single backup holds well under 2^32 logical
+/// chunks), so per-table counts fit a fortiori.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DenseEntry {
+    /// Dense chunk id (a neighbour id in CSR rows, a chunk id in the
+    /// global table).
+    pub id: ChunkId,
+    /// Number of occurrences.
+    pub count: u32,
+    /// Stream position of the first occurrence (tie-break key; 0 under
+    /// [`TiePolicy::KeyOrder`] and in the global table).
+    pub order: u32,
+}
+
+impl DenseEntry {
+    /// The fingerprint-keyed equivalent of this entry.
+    #[must_use]
+    pub fn to_freq_entry(self) -> FreqEntry {
+        FreqEntry {
+            count: u64::from(self.count),
+            order: self.order,
+        }
+    }
+}
+
+/// Left or right neighbour co-occurrence tables in compressed-sparse-row
+/// form: `row(x)` is the aggregated neighbour list of chunk `x`.
+#[derive(Clone, Debug, Default)]
+pub struct CooccurrenceCsr {
+    /// `offsets[x]..offsets[x+1]` delimits chunk `x`'s row in `entries`.
+    offsets: Vec<u32>,
+    entries: Vec<DenseEntry>,
+}
+
+impl CooccurrenceCsr {
+    /// An empty table over `num_ids` chunks.
+    #[must_use]
+    fn empty(num_ids: usize) -> Self {
+        CooccurrenceCsr {
+            offsets: vec![0; num_ids + 1],
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds the table from raw adjacency events.
+    ///
+    /// Each event is `(key, position)` with `key = chunk << 32 | neighbour`
+    /// and `position` the tie-break order of that event. One unstable sort
+    /// groups equal adjacencies into runs (the position participates in the
+    /// sort key, so each run leads with its minimum — first-seen —
+    /// position); a linear scan then aggregates runs into rows.
+    fn build(num_ids: usize, mut adjacencies: Vec<(u64, u32)>) -> Self {
+        adjacencies.sort_unstable();
+        let mut offsets = vec![0u32; num_ids + 1];
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i < adjacencies.len() {
+            let (key, first_pos) = adjacencies[i];
+            let mut j = i + 1;
+            while j < adjacencies.len() && adjacencies[j].0 == key {
+                j += 1;
+            }
+            entries.push(DenseEntry {
+                id: key as u32,
+                count: (j - i) as u32,
+                order: first_pos,
+            });
+            let chunk = (key >> 32) as usize;
+            offsets[chunk + 1] = entries.len() as u32;
+            i = j;
+        }
+        // Chunks without neighbours on this side leave zero gaps; forward-
+        // fill so every row is a valid (possibly empty) range.
+        for k in 1..offsets.len() {
+            if offsets[k] < offsets[k - 1] {
+                offsets[k] = offsets[k - 1];
+            }
+        }
+        CooccurrenceCsr { offsets, entries }
+    }
+
+    /// The aggregated neighbour row of chunk `id` (empty slice if the chunk
+    /// has no neighbours on this side).
+    #[must_use]
+    pub fn row(&self, id: ChunkId) -> &[DenseEntry] {
+        let start = self.offsets[id as usize] as usize;
+        let end = self.offsets[id as usize + 1] as usize;
+        &self.entries[start..end]
+    }
+
+    /// Number of chunks the table covers.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of distinct `(chunk, neighbour)` adjacencies.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The output of `COUNT` in dense form: the id-indexed analogue of
+/// [`ChunkStats`].
+#[derive(Clone, Debug, Default)]
+pub struct DenseStats {
+    /// Fingerprint ⇄ id mapping plus per-id sizes.
+    pub interner: ChunkInterner,
+    /// `F[x]` — occurrence count per dense id (global order is always 0:
+    /// the global table is fingerprint-keyed, so ties fall through to the
+    /// fingerprint comparison, exactly like the hash-map path).
+    pub freq: Vec<u32>,
+    /// `L[x]` — left-neighbour rows.
+    pub left: CooccurrenceCsr,
+    /// `R[x]` — right-neighbour rows.
+    pub right: CooccurrenceCsr,
+}
+
+impl DenseStats {
+    /// Runs `COUNT` over a backup, frequencies only (the basic attack's
+    /// cheap path): interning plus a single counting pass, no CSR build.
+    #[must_use]
+    pub fn frequencies_only(backup: &Backup) -> Self {
+        let (interner, ids) = intern_stream(backup);
+        let freq = count_ids(&ids, interner.len());
+        let unique = interner.len();
+        DenseStats {
+            interner,
+            freq,
+            left: CooccurrenceCsr::empty(unique),
+            right: CooccurrenceCsr::empty(unique),
+        }
+    }
+
+    /// Runs the full `COUNT` of Algorithm 2 with the default
+    /// [`TiePolicy::StreamOrder`].
+    #[must_use]
+    pub fn full(backup: &Backup) -> Self {
+        Self::full_with_policy(backup, TiePolicy::StreamOrder)
+    }
+
+    /// Runs the full `COUNT` of Algorithm 2: interning, global frequencies
+    /// and both CSR neighbour tables, with an explicit neighbour tie-break
+    /// policy.
+    #[must_use]
+    pub fn full_with_policy(backup: &Backup, policy: TiePolicy) -> Self {
+        let (interner, ids) = intern_stream(backup);
+        let unique = interner.len();
+        let freq = count_ids(&ids, unique);
+
+        let n = ids.len();
+        let mut left_adj = Vec::with_capacity(n.saturating_sub(1));
+        let mut right_adj = Vec::with_capacity(n.saturating_sub(1));
+        for i in 1..n {
+            let order = match policy {
+                TiePolicy::StreamOrder => i as u32,
+                TiePolicy::KeyOrder => 0,
+            };
+            left_adj.push(((u64::from(ids[i]) << 32) | u64::from(ids[i - 1]), order));
+        }
+        for i in 0..n.saturating_sub(1) {
+            let order = match policy {
+                TiePolicy::StreamOrder => i as u32,
+                TiePolicy::KeyOrder => 0,
+            };
+            right_adj.push(((u64::from(ids[i]) << 32) | u64::from(ids[i + 1]), order));
+        }
+
+        DenseStats {
+            interner,
+            freq,
+            left: CooccurrenceCsr::build(unique, left_adj),
+            right: CooccurrenceCsr::build(unique, right_adj),
+        }
+    }
+
+    /// Number of unique chunks counted.
+    #[must_use]
+    pub fn unique_chunks(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The global frequency table materialized as dense rows (id order;
+    /// ranking is canonical, so row order is irrelevant).
+    #[must_use]
+    pub fn global_rows(&self) -> Vec<DenseEntry> {
+        self.freq
+            .iter()
+            .enumerate()
+            .map(|(id, &count)| DenseEntry {
+                id: id as u32,
+                count,
+                order: 0,
+            })
+            .collect()
+    }
+
+    /// Size in 16-byte cipher blocks of a counted chunk (`ceil(size/16)`),
+    /// the advanced attack's classification key.
+    #[must_use]
+    pub fn blocks_of(&self, id: ChunkId) -> u32 {
+        self.interner.size(id).div_ceil(16)
+    }
+
+    /// Exports to the fingerprint-keyed [`ChunkStats`] representation (the
+    /// compatibility surface for figure binaries and older call sites).
+    #[must_use]
+    pub fn to_chunk_stats(&self) -> ChunkStats {
+        let unique = self.unique_chunks();
+        let mut stats = ChunkStats {
+            freq: HashMap::with_capacity(unique),
+            left: HashMap::with_capacity(unique),
+            right: HashMap::with_capacity(unique),
+            sizes: HashMap::with_capacity(unique),
+        };
+        for id in 0..unique as u32 {
+            let fp = self.interner.fingerprint(id);
+            stats.freq.insert(
+                fp,
+                FreqEntry {
+                    count: u64::from(self.freq[id as usize]),
+                    order: 0,
+                },
+            );
+            stats.sizes.insert(fp, self.interner.size(id));
+            for (csr, table) in [
+                (&self.left, &mut stats.left),
+                (&self.right, &mut stats.right),
+            ] {
+                let row = csr.row(id);
+                if !row.is_empty() {
+                    table.insert(
+                        fp,
+                        row.iter()
+                            .map(|e| (self.interner.fingerprint(e.id), e.to_freq_entry()))
+                            .collect(),
+                    );
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Interns a backup's chunk stream, returning the interner and the stream
+/// as dense ids.
+fn intern_stream(backup: &Backup) -> (ChunkInterner, Vec<ChunkId>) {
+    let mut interner = ChunkInterner::new();
+    let ids = backup
+        .chunks
+        .iter()
+        .map(|rec| interner.intern(rec.fp, rec.size))
+        .collect();
+    (interner, ids)
+}
+
+/// Counts occurrences per dense id.
+fn count_ids(ids: &[ChunkId], unique: usize) -> Vec<u32> {
+    let mut freq = vec![0u32; unique];
+    for &id in ids {
+        freq[id as usize] += 1;
+    }
+    freq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::ChunkRecord;
+
+    fn backup(fps: &[u64]) -> Backup {
+        Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
+    }
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint(v)
+    }
+
+    #[test]
+    fn interner_assigns_first_seen_order() {
+        let mut it = ChunkInterner::new();
+        assert_eq!(it.intern(fp(9), 1), 0);
+        assert_eq!(it.intern(fp(3), 2), 1);
+        assert_eq!(it.intern(fp(9), 1), 0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.fingerprint(1), fp(3));
+        assert_eq!(it.size(1), 2);
+        assert_eq!(it.get(fp(3)), Some(1));
+        assert_eq!(it.get(fp(4)), None);
+    }
+
+    #[test]
+    fn interner_keeps_first_size() {
+        let mut it = ChunkInterner::new();
+        it.intern(fp(1), 100);
+        it.intern(fp(1), 200);
+        assert_eq!(it.size(0), 100);
+    }
+
+    #[test]
+    fn dense_frequencies_match() {
+        let s = DenseStats::full(&backup(&[1, 2, 1, 1]));
+        let id1 = s.interner.get(fp(1)).unwrap();
+        let id2 = s.interner.get(fp(2)).unwrap();
+        assert_eq!(s.freq[id1 as usize], 3);
+        assert_eq!(s.freq[id2 as usize], 1);
+        assert_eq!(s.unique_chunks(), 2);
+    }
+
+    #[test]
+    fn csr_rows_aggregate_counts_and_first_seen_order() {
+        // Sequence: 1 2 1 2 — chunk 2 has left neighbour 1 twice (first at
+        // stream position 1); chunk 1 has left neighbour 2 once (position 2).
+        let s = DenseStats::full(&backup(&[1, 2, 1, 2]));
+        let id1 = s.interner.get(fp(1)).unwrap();
+        let id2 = s.interner.get(fp(2)).unwrap();
+        let row2 = s.left.row(id2);
+        assert_eq!(row2.len(), 1);
+        assert_eq!(
+            row2[0],
+            DenseEntry {
+                id: id1,
+                count: 2,
+                order: 1
+            }
+        );
+        let row1 = s.left.row(id1);
+        assert_eq!(
+            row1[0],
+            DenseEntry {
+                id: id2,
+                count: 1,
+                order: 2
+            }
+        );
+        let r1 = s.right.row(id1);
+        assert_eq!(
+            r1[0],
+            DenseEntry {
+                id: id2,
+                count: 2,
+                order: 0
+            }
+        );
+    }
+
+    #[test]
+    fn key_order_policy_zeroes_orders() {
+        let s = DenseStats::full_with_policy(&backup(&[1, 2, 1, 2]), TiePolicy::KeyOrder);
+        for id in 0..s.unique_chunks() as u32 {
+            for e in s.left.row(id).iter().chain(s.right.row(id)) {
+                assert_eq!(e.order, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_chunks_have_one_sided_rows() {
+        let s = DenseStats::full(&backup(&[1, 2]));
+        let id1 = s.interner.get(fp(1)).unwrap();
+        let id2 = s.interner.get(fp(2)).unwrap();
+        assert!(s.left.row(id1).is_empty());
+        assert!(s.right.row(id2).is_empty());
+        assert_eq!(s.left.row(id2).len(), 1);
+        assert_eq!(s.right.row(id1).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_backups() {
+        let s = DenseStats::full(&backup(&[]));
+        assert_eq!(s.unique_chunks(), 0);
+        assert!(s.global_rows().is_empty());
+        let s = DenseStats::full(&backup(&[42]));
+        assert_eq!(s.unique_chunks(), 1);
+        assert!(s.left.row(0).is_empty());
+        assert!(s.right.row(0).is_empty());
+    }
+
+    #[test]
+    fn to_chunk_stats_round_trips_paper_example() {
+        // C = ⟨C1 C2 C5 C2 C1 C2 C3 C4 C2 C3 C4 C4⟩ (§4.2).
+        let b = backup(&[1, 2, 5, 2, 1, 2, 3, 4, 2, 3, 4, 4]);
+        let dense = DenseStats::full(&b).to_chunk_stats();
+        let legacy = ChunkStats::full(&b);
+        assert_eq!(dense.freq, legacy.freq);
+        assert_eq!(dense.left, legacy.left);
+        assert_eq!(dense.right, legacy.right);
+        assert_eq!(dense.sizes, legacy.sizes);
+    }
+
+    #[test]
+    fn frequencies_only_skips_csr() {
+        let s = DenseStats::frequencies_only(&backup(&[1, 2, 1]));
+        assert_eq!(s.freq[0], 2);
+        assert_eq!(s.left.num_entries(), 0);
+        assert_eq!(s.right.num_entries(), 0);
+        assert_eq!(s.left.num_rows(), 2);
+    }
+
+    #[test]
+    fn blocks_of_rounds_up() {
+        let b = Backup::from_chunks(
+            "t",
+            vec![ChunkRecord::new(1u64, 17), ChunkRecord::new(2u64, 16)],
+        );
+        let s = DenseStats::full(&b);
+        assert_eq!(s.blocks_of(s.interner.get(fp(1)).unwrap()), 2);
+        assert_eq!(s.blocks_of(s.interner.get(fp(2)).unwrap()), 1);
+    }
+}

@@ -15,12 +15,26 @@
 //! The [sized](freq_analysis_sized) variant implements Algorithm 3's
 //! refinement: chunks are first classified by their size in 16-byte cipher
 //! blocks and rank-matching happens within each size class.
+//!
+//! Two parallel implementations exist:
+//!
+//! * the **fingerprint-keyed** functions below operate on [`FreqTable`]s
+//!   (the paper-faithful LevelDB-style layout; retained as the reference
+//!   implementation and compatibility surface);
+//! * the **dense** functions ([`rank_dense`], [`top_k_dense`],
+//!   [`freq_analysis_dense`], [`freq_analysis_sized_dense`]) operate on
+//!   id-indexed [`DenseEntry`] slices from [`crate::dense`] with heap-based
+//!   top-k selection — the hot path of the locality crawl. Both produce
+//!   identical rankings under the canonical order (verified by the
+//!   `dense_equivalence` property tests).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use freqdedup_trace::Fingerprint;
 
 use crate::counting::{FreqEntry, FreqTable};
+use crate::dense::{ChunkId, DenseEntry, DenseStats};
 
 /// An inferred ciphertext→plaintext pair.
 pub type Pair = (Fingerprint, Fingerprint);
@@ -123,6 +137,127 @@ fn classify(
         if let Some(s) = blocks(f) {
             out.entry(s).or_default().insert(f, e);
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Dense (id-indexed) variants — the attack hot path.
+// ---------------------------------------------------------------------------
+
+/// An inferred ciphertext→plaintext pair in dense-id space.
+pub type DensePair = (ChunkId, ChunkId);
+
+/// The canonical sort key of a dense row: ascending order = better rank
+/// (higher count, earlier first occurrence, smaller fingerprint).
+///
+/// The fingerprint — not the dense id — is the final tie-break, so interning
+/// cannot perturb the canonical order.
+#[inline]
+fn dense_key(e: &DenseEntry, fps: &[Fingerprint]) -> (Reverse<u32>, u32, u64) {
+    (Reverse(e.count), e.order, fps[e.id as usize].0)
+}
+
+/// Sorts dense rows under the canonical order (best first). `fps` is the
+/// id→fingerprint table of the side the rows belong to.
+#[must_use]
+pub fn rank_dense(rows: &[DenseEntry], fps: &[Fingerprint]) -> Vec<DenseEntry> {
+    let mut sorted = rows.to_vec();
+    sorted.sort_unstable_by_key(|e| dense_key(e, fps));
+    sorted
+}
+
+/// Returns the top-`k` dense rows under the canonical order using a bounded
+/// max-heap: `O(n·log k)` and no full materialization when `k ≪ n` — the
+/// common case in the locality crawl (`v = 15` against neighbour rows and
+/// `u = 1` against the global table).
+#[must_use]
+pub fn top_k_dense(rows: &[DenseEntry], k: usize, fps: &[Fingerprint]) -> Vec<DenseEntry> {
+    if k == 0 || rows.is_empty() {
+        return Vec::new();
+    }
+    if k * 8 >= rows.len() {
+        let mut sorted = rank_dense(rows, fps);
+        sorted.truncate(k);
+        return sorted;
+    }
+    // Max-heap on the canonical key: the root is the *worst* of the k best
+    // rows kept so far, evicted whenever a better candidate arrives.
+    let mut heap: BinaryHeap<(Reverse<u32>, u32, u64, u32)> = BinaryHeap::with_capacity(k + 1);
+    for e in rows {
+        let (c, o, f) = dense_key(e, fps);
+        let key = (c, o, f, e.id);
+        if heap.len() < k {
+            heap.push(key);
+        } else if key < *heap.peek().expect("non-empty heap") {
+            heap.pop();
+            heap.push(key);
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|(Reverse(count), order, _fp, id)| DenseEntry { id, count, order })
+        .collect()
+}
+
+/// Plain `FREQ-ANALYSIS` over dense rows: pairs the top `x` ranks of both
+/// sides. Mirrors [`freq_analysis`] bit-for-bit in fingerprint space.
+#[must_use]
+pub fn freq_analysis_dense(
+    yc: &[DenseEntry],
+    ym: &[DenseEntry],
+    x: usize,
+    fps_c: &[Fingerprint],
+    fps_m: &[Fingerprint],
+) -> Vec<DensePair> {
+    let take = x.min(yc.len()).min(ym.len());
+    if take == 0 {
+        return Vec::new();
+    }
+    let rc = top_k_dense(yc, take, fps_c);
+    let rm = top_k_dense(ym, take, fps_m);
+    rc.into_iter().zip(rm).map(|(c, m)| (c.id, m.id)).collect()
+}
+
+/// Size-classified `FREQ-ANALYSIS` over dense rows (Algorithm 3): buckets
+/// both sides by block count, then rank-matches the top `x` of every class
+/// present on both sides, classes in ascending order. Mirrors
+/// [`freq_analysis_sized`] bit-for-bit in fingerprint space.
+#[must_use]
+pub fn freq_analysis_sized_dense(
+    yc: &[DenseEntry],
+    ym: &[DenseEntry],
+    x: usize,
+    sc: &DenseStats,
+    sm: &DenseStats,
+) -> Vec<DensePair> {
+    if x == 0 || yc.is_empty() || ym.is_empty() {
+        return Vec::new();
+    }
+    let bc = classify_dense(yc, sc);
+    let bm = classify_dense(ym, sm);
+    let mut pairs = Vec::new();
+    for (class, rows_c) in &bc {
+        let Some(rows_m) = bm.get(class) else {
+            continue;
+        };
+        pairs.extend(freq_analysis_dense(
+            rows_c,
+            rows_m,
+            x,
+            sc.interner.fingerprints(),
+            sm.interner.fingerprints(),
+        ));
+    }
+    pairs
+}
+
+/// `CLASSIFY` over dense rows: buckets by block count, ascending class
+/// iteration for determinism.
+fn classify_dense(rows: &[DenseEntry], stats: &DenseStats) -> BTreeMap<u32, Vec<DenseEntry>> {
+    let mut out: BTreeMap<u32, Vec<DenseEntry>> = BTreeMap::new();
+    for &e in rows {
+        out.entry(stats.blocks_of(e.id)).or_default().push(e);
     }
     out
 }
@@ -267,5 +402,82 @@ mod tests {
         let plain = freq_analysis(&yc, &ym, 10);
         let sized = freq_analysis_sized(&yc, &ym, 10, &|_| Some(256), &|_| Some(256));
         assert_eq!(plain, sized);
+    }
+
+    /// Dense rows plus a synthetic fps table where id i ↔ fingerprint
+    /// `fp_of[i]`.
+    fn dense_rows(rows: &[(u64, u32, u32)]) -> (Vec<DenseEntry>, Vec<Fingerprint>) {
+        let fps: Vec<Fingerprint> = rows.iter().map(|&(f, _, _)| fp(f)).collect();
+        let entries = rows
+            .iter()
+            .enumerate()
+            .map(|(id, &(_, c, o))| DenseEntry {
+                id: id as u32,
+                count: c,
+                order: o,
+            })
+            .collect();
+        (entries, fps)
+    }
+
+    #[test]
+    fn dense_rank_matches_fingerprint_rank() {
+        let rows = [(3u64, 5u32, 10u32), (1, 5, 2), (2, 9, 50), (7, 5, 2)];
+        let (entries, fps) = dense_rows(&rows);
+        let table: FreqTable = rows
+            .iter()
+            .map(|&(f, c, o)| {
+                (
+                    fp(f),
+                    FreqEntry {
+                        count: u64::from(c),
+                        order: o,
+                    },
+                )
+            })
+            .collect();
+        let legacy: Vec<u64> = rank(&table).into_iter().map(|(f, _)| f.0).collect();
+        let dense: Vec<u64> = rank_dense(&entries, &fps)
+            .into_iter()
+            .map(|e| fps[e.id as usize].0)
+            .collect();
+        assert_eq!(legacy, dense);
+    }
+
+    #[test]
+    fn dense_top_k_matches_dense_full_sort() {
+        let mut rows = Vec::new();
+        let mut x = 7u64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rows.push((i * 31 % 997, (x % 50) as u32, (x % 1000) as u32));
+        }
+        let (entries, fps) = dense_rows(&rows);
+        let full = rank_dense(&entries, &fps);
+        for k in [1usize, 3, 10, 100, 500] {
+            assert_eq!(
+                top_k_dense(&entries, k, &fps),
+                full[..k.min(full.len())].to_vec(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_top_k_edge_cases() {
+        let (entries, fps) = dense_rows(&[(1, 4, 0), (2, 2, 1)]);
+        assert!(top_k_dense(&entries, 0, &fps).is_empty());
+        assert!(top_k_dense(&[], 5, &fps).is_empty());
+        assert_eq!(top_k_dense(&entries, 10, &fps).len(), 2);
+    }
+
+    #[test]
+    fn dense_pairs_by_rank() {
+        let (yc, fps_c) = dense_rows(&[(101, 10, 0), (102, 5, 1), (103, 1, 2)]);
+        let (ym, fps_m) = dense_rows(&[(201, 8, 0), (202, 4, 1), (203, 2, 2)]);
+        let pairs = freq_analysis_dense(&yc, &ym, 10, &fps_c, &fps_m);
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(freq_analysis_dense(&yc, &ym, 1, &fps_c, &fps_m).len(), 1);
+        assert!(freq_analysis_dense(&yc, &[], 5, &fps_c, &fps_m).is_empty());
     }
 }

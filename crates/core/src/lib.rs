@@ -73,10 +73,12 @@
 pub mod attacks;
 pub mod counting;
 pub mod defense;
+pub mod dense;
 pub mod ext;
 pub mod freq_analysis;
 pub mod metrics;
 
 pub use attacks::AttackKind;
 pub use counting::ChunkStats;
+pub use dense::{ChunkInterner, CooccurrenceCsr, DenseEntry, DenseStats};
 pub use metrics::{Inference, InferenceReport};

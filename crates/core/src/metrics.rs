@@ -23,6 +23,15 @@ impl Inference {
         Self::default()
     }
 
+    /// Creates an empty result set sized for `capacity` pairs (used by the
+    /// dense attack path, which knows the final size before conversion).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Inference {
+            pairs: HashMap::with_capacity(capacity),
+        }
+    }
+
     /// Records an inferred pair. Returns `false` (and keeps the original)
     /// when the ciphertext chunk was already inferred — matching Algorithm
     /// 2's "if (C, ∗) is not in T" guard.

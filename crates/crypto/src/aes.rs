@@ -54,23 +54,44 @@ const RCON: [u8; 15] = [
 
 /// Multiplication by x in GF(2^8) with the AES polynomial.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
-/// Generic GF(2^8) multiplication (used by InvMixColumns).
-#[inline]
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+/// Generic GF(2^8) multiplication. Compile-time only: runtime InvMixColumns
+/// reads the precomputed [`MUL9`]/[`MUL11`]/[`MUL13`]/[`MUL14`] tables
+/// instead of running this 8-iteration loop per byte.
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
+
+/// Builds the 256-entry GF(2^8) multiplication table of a constant factor.
+const fn gmul_table(factor: u8) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = gmul(i as u8, factor);
+        i += 1;
+    }
+    table
+}
+
+/// InvMixColumns multiplication tables for the four matrix coefficients
+/// ({9, 11, 13, 14}); 1 KiB total, resident in L1 on the decryption path.
+const MUL9: [u8; 256] = gmul_table(9);
+const MUL11: [u8; 256] = gmul_table(11);
+const MUL13: [u8; 256] = gmul_table(13);
+const MUL14: [u8; 256] = gmul_table(14);
 
 /// Key size variants supported by [`Aes`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -303,10 +324,11 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
             state[4 * c + 2],
             state[4 * c + 3],
         ];
-        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        let [a, b, d, e] = col.map(usize::from);
+        state[4 * c] = MUL14[a] ^ MUL11[b] ^ MUL13[d] ^ MUL9[e];
+        state[4 * c + 1] = MUL9[a] ^ MUL14[b] ^ MUL11[d] ^ MUL13[e];
+        state[4 * c + 2] = MUL13[a] ^ MUL9[b] ^ MUL14[d] ^ MUL11[e];
+        state[4 * c + 3] = MUL11[a] ^ MUL13[b] ^ MUL9[d] ^ MUL14[e];
     }
 }
 
@@ -319,6 +341,16 @@ mod tests {
             .step_by(2)
             .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
             .collect()
+    }
+
+    #[test]
+    fn inv_mix_tables_match_gmul() {
+        for i in 0..=255u8 {
+            assert_eq!(MUL9[i as usize], gmul(i, 9));
+            assert_eq!(MUL11[i as usize], gmul(i, 11));
+            assert_eq!(MUL13[i as usize], gmul(i, 13));
+            assert_eq!(MUL14[i as usize], gmul(i, 14));
+        }
     }
 
     // FIPS-197 Appendix C.1.
