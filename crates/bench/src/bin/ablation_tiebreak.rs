@@ -15,7 +15,7 @@ use freqdedup_core::counting::TiePolicy;
 use freqdedup_core::metrics;
 use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
 
-const USAGE: &str = "ablation_tiebreak [--scale f] [--seed n] [--csv]";
+const USAGE: &str = "ablation_tiebreak [--scale f] [--seed n] [--threads t] [--csv]";
 
 fn main() {
     let args = cli::parse(std::env::args().skip(1), USAGE);
@@ -30,7 +30,11 @@ fn main() {
             let aux = series.get(aux_idx).expect("aux");
             let mut rates = Vec::new();
             for policy in [TiePolicy::StreamOrder, TiePolicy::KeyOrder] {
-                let attack = LocalityAttack::new(harness::co_params().tie_policy(policy));
+                let attack = LocalityAttack::new(
+                    harness::co_params()
+                        .threads(args.threads)
+                        .tie_policy(policy),
+                );
                 let inferred = attack.run_ciphertext_only(&observed.backup, aux);
                 rates.push(metrics::score(&inferred, &observed.backup, &observed.truth).rate);
             }

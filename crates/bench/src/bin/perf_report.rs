@@ -1,22 +1,27 @@
 //! `perf_report` — machine-readable performance trajectory of the attack
-//! hot path.
+//! pipeline.
 //!
-//! Runs the locality attack end-to-end (COUNT + crawl, ciphertext-only) on
-//! a synthetic FSL-like backup pair over **both** implementations:
+//! Runs the full pipeline — MLE trace encryption, dedup-store ingest, and
+//! the locality attack (COUNT + crawl, ciphertext-only) — on a synthetic
+//! FSL-like backup pair over **three** implementations:
 //!
 //! * the fingerprint-keyed reference path (`ChunkStats` + hash-map crawl,
-//!   the pre-dense layout), and
-//! * the dense-id/CSR path (`DenseStats`, interning + one-sort
-//!   co-occurrence tables),
+//!   the pre-dense layout),
+//! * the sequential dense-id/CSR path (`DenseStats`, interning + one-sort
+//!   co-occurrence tables), and
+//! * the sharded parallel path (`freqdedup_core::par`: sharded COUNT/CSR,
+//!   batch-parallel encryption, prefix-sharded store ingest) at
+//!   `--threads` workers,
 //!
-//! checks that the two inference sets are identical, and writes the
-//! timings plus the speedup to `BENCH_attack.json` so every PR's CI run
-//! leaves a comparable perf artifact.
+//! checks that all inference sets are identical, and writes the timings
+//! plus the speedups to `BENCH_attack.json` so every PR's CI run leaves a
+//! comparable perf artifact with thread metadata.
 //!
-//! Usage: `perf_report [--quick] [--chunks N] [--out PATH]`
+//! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
+//! * `--threads T` — parallel-path worker threads (default 0 = auto);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -26,13 +31,17 @@ use freqdedup_core::attacks::locality::{LocalityAttack, LocalityParams};
 use freqdedup_core::counting::ChunkStats;
 use freqdedup_core::dense::DenseStats;
 use freqdedup_core::metrics::Inference;
+use freqdedup_core::par::ParConfig;
 use freqdedup_datasets::fsl::{self, FslConfig};
 use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
+use freqdedup_store::engine::{DedupConfig, DedupEngine};
+use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
-const USAGE: &str = "usage: perf_report [--quick] [--chunks N] [--out PATH]
-Times the locality attack (COUNT + crawl) on a synthetic backup pair over
-the reference hash-map path and the dense-id/CSR path, verifies identical
+const USAGE: &str = "usage: perf_report [--quick] [--chunks N] [--threads T] [--out PATH]
+Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
+on a synthetic backup pair over the reference hash-map path, the sequential
+dense-id/CSR path and the sharded parallel path, verifies identical
 inference output, and writes BENCH_attack.json.";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
@@ -41,6 +50,7 @@ const QUICK_CHUNKS: usize = 60_000;
 struct Args {
     chunks: usize,
     quick: bool,
+    threads: usize,
     out: String,
 }
 
@@ -48,6 +58,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         chunks: DEFAULT_CHUNKS,
         quick: false,
+        threads: 0,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -65,6 +76,12 @@ fn parse_args() -> Args {
                 if args.chunks == 0 {
                     die("--chunks must be positive");
                 }
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
+                args.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads must be an integer (0 = auto)"));
             }
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
@@ -98,8 +115,8 @@ fn sorted_pairs(inf: &Inference) -> Vec<(Fingerprint, Fingerprint)> {
 }
 
 /// Builds the benchmark pair: two consecutive FSL-like monthly backups of
-/// ~`chunks` logical chunks each; the newer one is deterministically
-/// encrypted (the adversary's tap), the older one is the plaintext aux.
+/// ~`chunks` logical chunks each. The newer one is the encryption target
+/// (the adversary's tap), the older one is the plaintext aux.
 fn build_pair(chunks: usize) -> (Backup, Backup) {
     let cfg = FslConfig {
         backups: 2,
@@ -107,21 +124,56 @@ fn build_pair(chunks: usize) -> (Backup, Backup) {
     };
     let series = fsl::generate(&cfg);
     let aux = series.get(0).expect("two backups generated").clone();
-    let target = series.get(1).expect("two backups generated");
-    let enc = DeterministicTraceEncryptor::new(harness::MLE_SECRET);
-    (aux, enc.encrypt_backup(target).backup)
+    let target = series.get(1).expect("two backups generated").clone();
+    (aux, target)
+}
+
+/// Store configuration sized for the benchmark stream.
+fn store_config(unique: usize) -> DedupConfig {
+    DedupConfig {
+        cache_entries: unique / 4,
+        bloom_expected: (unique as u64).max(1024),
+        ..DedupConfig::default()
+    }
 }
 
 fn main() {
     let args = parse_args();
-    let params = LocalityParams::default();
-    let attack = LocalityAttack::new(params.clone());
+    let threads = ParConfig::with_threads(args.threads).resolve();
+    let seq_params = LocalityParams::default();
+    let par_params = LocalityParams::default().threads(threads);
+    let seq_attack = LocalityAttack::new(seq_params.clone());
+    let par_attack = LocalityAttack::new(par_params);
 
     eprintln!(
-        "perf_report: generating pair (~{} chunks per backup)...",
-        args.chunks
+        "perf_report: generating pair (~{} chunks per backup), {} worker thread(s)...",
+        args.chunks, threads
     );
-    let (aux, cipher) = build_pair(args.chunks);
+    let (aux, target) = build_pair(args.chunks);
+    let enc = DeterministicTraceEncryptor::new(harness::MLE_SECRET);
+
+    // --- MLE layer: sequential vs batch-parallel trace encryption. ---
+    let (seq_encrypt_ms, observed) = timed(|| enc.encrypt_backup(&target));
+    let (par_encrypt_ms, observed_par) =
+        timed(|| enc.encrypt_backup_par(&target, ParConfig::with_threads(threads)));
+    let cipher = observed.backup;
+    // Compare cheaply: a full-vector assert_eq would Debug-format two
+    // million-element vectors into the panic message on divergence.
+    assert_eq!(
+        cipher.chunks.len(),
+        observed_par.backup.chunks.len(),
+        "parallel encryption diverged from sequential (stream length)"
+    );
+    if let Some(i) =
+        (0..cipher.chunks.len()).find(|&i| cipher.chunks[i] != observed_par.backup.chunks[i])
+    {
+        panic!(
+            "parallel encryption diverged from sequential at chunk {i}: {:?} vs {:?}",
+            cipher.chunks[i], observed_par.backup.chunks[i]
+        );
+    }
+    drop(observed_par);
+
     eprintln!(
         "perf_report: cipher {} logical / {} unique chunks; aux {} logical",
         cipher.len(),
@@ -129,58 +181,105 @@ fn main() {
         aux.len()
     );
 
-    // Warm the allocator and page cache once per path, so the timed runs
-    // below don't charge first-touch page faults to whichever path goes
-    // first.
-    drop(ChunkStats::full_with_policy(&cipher, params.tie_policy));
-    drop(DenseStats::full_with_policy(&cipher, params.tie_policy));
+    // --- Store layer: single-engine vs prefix-sharded parallel ingest. ---
+    let unique = cipher.unique_count();
+    let (seq_ingest_ms, seq_stats) = timed(|| {
+        let mut engine = DedupEngine::new(store_config(unique)).expect("valid config");
+        engine.ingest_backup(&cipher);
+        engine.finish();
+        engine.stats()
+    });
+    let (par_ingest_ms, par_stats) = timed(|| {
+        let mut engine =
+            ShardedDedupEngine::new(store_config(unique), threads.max(1)).expect("valid config");
+        engine.ingest_backup(&cipher, ParConfig::with_threads(threads));
+        engine.finish();
+        engine.stats()
+    });
+    assert_eq!(
+        (seq_stats.logical_chunks, seq_stats.unique_chunks),
+        (par_stats.logical_chunks, par_stats.unique_chunks),
+        "sharded ingest diverged from single-engine totals"
+    );
+
+    // --- Attack layer. Warm the allocator and page cache once per path,
+    // so the timed runs below don't charge first-touch page faults to
+    // whichever path goes first. ---
+    drop(ChunkStats::full_with_policy(&cipher, seq_params.tie_policy));
+    drop(DenseStats::full_with_policy(&cipher, seq_params.tie_policy));
 
     // COUNT in isolation (both sides), then the attack end-to-end (COUNT +
     // seed + crawl — what Algorithm 2 actually costs).
     let (ref_count_ms, _) = timed(|| {
         (
-            ChunkStats::full_with_policy(&cipher, params.tie_policy),
-            ChunkStats::full_with_policy(&aux, params.tie_policy),
+            ChunkStats::full_with_policy(&cipher, seq_params.tie_policy),
+            ChunkStats::full_with_policy(&aux, seq_params.tie_policy),
         )
     });
-    let (ref_e2e_ms, ref_inference) = timed(|| attack.run_ciphertext_only_reference(&cipher, &aux));
+    let (ref_e2e_ms, ref_inference) =
+        timed(|| seq_attack.run_ciphertext_only_reference(&cipher, &aux));
 
-    let (dense_count_ms, _) = timed(|| {
+    let (seq_count_ms, _) = timed(|| {
         (
-            DenseStats::full_with_policy(&cipher, params.tie_policy),
-            DenseStats::full_with_policy(&aux, params.tie_policy),
+            DenseStats::full_with_policy(&cipher, seq_params.tie_policy),
+            DenseStats::full_with_policy(&aux, seq_params.tie_policy),
         )
     });
-    let (dense_e2e_ms, dense_inference) = timed(|| attack.run_ciphertext_only(&cipher, &aux));
+    let (seq_e2e_ms, seq_inference) = timed(|| seq_attack.run_ciphertext_only(&cipher, &aux));
 
-    let identical = sorted_pairs(&ref_inference) == sorted_pairs(&dense_inference);
-    let speedup_e2e = ref_e2e_ms / dense_e2e_ms;
-    let speedup_count = ref_count_ms / dense_count_ms;
+    let par_cfg = ParConfig::with_threads(threads);
+    let (par_count_ms, _) = timed(|| {
+        (
+            DenseStats::full_with_policy_par(&cipher, seq_params.tie_policy, par_cfg),
+            DenseStats::full_with_policy_par(&aux, seq_params.tie_policy, par_cfg),
+        )
+    });
+    let (par_e2e_ms, par_inference) = timed(|| par_attack.run_ciphertext_only(&cipher, &aux));
+
+    let ref_pairs = sorted_pairs(&ref_inference);
+    let identical =
+        ref_pairs == sorted_pairs(&seq_inference) && ref_pairs == sorted_pairs(&par_inference);
+    let speedup_count = ref_count_ms / seq_count_ms;
+    let speedup_e2e = ref_e2e_ms / seq_e2e_ms;
+    let par_speedup_count = seq_count_ms / par_count_ms;
+    let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"dense\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
+        threads,
         cipher.len(),
-        cipher.unique_count(),
+        unique,
         ref_count_ms,
         ref_e2e_ms,
-        dense_count_ms,
-        dense_e2e_ms,
+        seq_count_ms,
+        seq_e2e_ms,
+        seq_encrypt_ms,
+        seq_ingest_ms,
+        threads,
+        par_count_ms,
+        par_e2e_ms,
+        par_encrypt_ms,
+        par_ingest_ms,
+        par_speedup_count,
+        par_speedup_e2e,
         speedup_count,
         speedup_e2e,
         identical,
-        dense_inference.len(),
+        seq_inference.len(),
     );
     std::fs::write(&args.out, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", args.out)));
     print!("{json}");
 
     if !identical {
-        eprintln!("perf_report: FAIL — reference and dense inference sets differ");
+        eprintln!("perf_report: FAIL — reference, sequential and parallel inference sets differ");
         std::process::exit(1);
     }
     eprintln!(
-        "perf_report: dense path is {speedup_e2e:.2}x end-to-end ({speedup_count:.2}x on COUNT); wrote {}",
+        "perf_report: dense path is {speedup_e2e:.2}x end-to-end over reference; \
+         {threads}-thread parallel path is {par_speedup_e2e:.2}x over sequential dense \
+         ({par_speedup_count:.2}x on COUNT); wrote {}",
         args.out
     );
 }

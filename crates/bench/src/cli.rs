@@ -9,6 +9,9 @@ pub struct CommonArgs {
     pub seed: Option<u64>,
     /// Emit machine-readable CSV instead of the aligned table.
     pub csv: bool,
+    /// Worker threads for the parallel pipeline stages (1 = sequential,
+    /// 0 = auto-detect; results are bit-identical at any value).
+    pub threads: usize,
 }
 
 impl Default for CommonArgs {
@@ -17,12 +20,13 @@ impl Default for CommonArgs {
             scale: 1.0,
             seed: None,
             csv: false,
+            threads: 1,
         }
     }
 }
 
-/// Parses `--scale <f64>`, `--seed <u64>` and `--csv` from an argument
-/// iterator; unknown flags abort with a usage message.
+/// Parses `--scale <f64>`, `--seed <u64>`, `--threads <usize>` and `--csv`
+/// from an argument iterator; unknown flags abort with a usage message.
 ///
 /// # Panics
 ///
@@ -52,6 +56,14 @@ pub fn parse(args: impl Iterator<Item = String>, usage: &str) -> CommonArgs {
                     v.parse()
                         .unwrap_or_else(|_| die(usage, "--seed must be an integer")),
                 );
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die(usage, "--threads needs a value"));
+                out.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| die(usage, "--threads must be an integer (0 = auto)"));
             }
             "--csv" => out.csv = true,
             "--help" | "-h" => {
@@ -88,13 +100,24 @@ mod tests {
         assert!((a.scale - 1.0).abs() < 1e-12);
         assert_eq!(a.seed, None);
         assert!(!a.csv);
+        assert_eq!(a.threads, 1);
     }
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(args(&["--scale", "0.5", "--seed", "7", "--csv"]), "u");
+        let a = parse(
+            args(&["--scale", "0.5", "--seed", "7", "--csv", "--threads", "8"]),
+            "u",
+        );
         assert!((a.scale - 0.5).abs() < 1e-12);
         assert_eq!(a.seed, Some(7));
         assert!(a.csv);
+        assert_eq!(a.threads, 8);
+    }
+
+    #[test]
+    fn threads_zero_means_auto() {
+        let a = parse(args(&["--threads", "0"]), "u");
+        assert_eq!(a.threads, 0);
     }
 }

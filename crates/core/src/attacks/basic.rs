@@ -16,6 +16,7 @@ use freqdedup_trace::Backup;
 use crate::dense::DenseStats;
 use crate::freq_analysis::freq_analysis_dense;
 use crate::metrics::Inference;
+use crate::par::ParConfig;
 
 /// Classical frequency analysis (Algorithm 1).
 #[derive(Clone, Copy, Debug, Default)]
@@ -33,8 +34,15 @@ impl BasicAttack {
     /// layer (identical output to the fingerprint-keyed path).
     #[must_use]
     pub fn run(&self, cipher: &Backup, plain_aux: &Backup) -> Inference {
-        let sc = DenseStats::frequencies_only(cipher);
-        let sm = DenseStats::frequencies_only(plain_aux);
+        self.run_par(cipher, plain_aux, ParConfig::sequential())
+    }
+
+    /// [`Self::run`] with the counting passes sharded across worker
+    /// threads; output is bit-identical at every thread count.
+    #[must_use]
+    pub fn run_par(&self, cipher: &Backup, plain_aux: &Backup, par: ParConfig) -> Inference {
+        let sc = DenseStats::frequencies_only_par(cipher, par);
+        let sm = DenseStats::frequencies_only_par(plain_aux, par);
         let limit = sc.unique_chunks().min(sm.unique_chunks());
         let mut t = Inference::with_capacity(limit);
         for (c, m) in freq_analysis_dense(

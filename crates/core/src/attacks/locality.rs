@@ -23,6 +23,11 @@
 //! [`LocalityAttack::run_known_plaintext_reference`]) is retained as the
 //! equivalence oracle and benchmark baseline; both paths produce identical
 //! inference sets (see `tests/dense_equivalence.rs`).
+//!
+//! [`LocalityParams::threads`] shards the `COUNT` phase across worker
+//! threads (via [`crate::par`]); the crawl stays sequential, and inference
+//! output is bit-identical at every thread count (see
+//! `tests/par_determinism.rs`).
 
 use std::collections::VecDeque;
 
@@ -35,6 +40,7 @@ use crate::freq_analysis::{
     Pair,
 };
 use crate::metrics::Inference;
+use crate::par::ParConfig;
 
 /// Tunable parameters of the locality-based attack.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +60,10 @@ pub struct LocalityParams {
     pub size_aware: bool,
     /// Neighbour-table tie-break policy (see [`TiePolicy`]).
     pub tie_policy: TiePolicy,
+    /// Worker threads for the `COUNT` phase (`0` = auto-detect, `1` =
+    /// sequential). The crawl itself is inherently sequential; inference
+    /// output is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl LocalityParams {
@@ -66,6 +76,7 @@ impl LocalityParams {
             w,
             size_aware: false,
             tie_policy: TiePolicy::StreamOrder,
+            threads: 1,
         }
     }
 
@@ -90,6 +101,19 @@ impl LocalityParams {
     pub fn tie_policy(mut self, policy: TiePolicy) -> Self {
         self.tie_policy = policy;
         self
+    }
+
+    /// Sets the `COUNT` worker-thread count (builder style; `0` = auto).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The [`ParConfig`] this parameter set selects.
+    #[must_use]
+    pub fn par_config(&self) -> ParConfig {
+        ParConfig::with_threads(self.threads)
     }
 }
 
@@ -125,8 +149,9 @@ impl LocalityAttack {
     /// to [`Self::run_ciphertext_only_reference`].
     #[must_use]
     pub fn run_ciphertext_only(&self, cipher: &Backup, plain_aux: &Backup) -> Inference {
-        let sc = DenseStats::full_with_policy(cipher, self.params.tie_policy);
-        let sm = DenseStats::full_with_policy(plain_aux, self.params.tie_policy);
+        let par = self.params.par_config();
+        let sc = DenseStats::full_with_policy_par(cipher, self.params.tie_policy, par);
+        let sm = DenseStats::full_with_policy_par(plain_aux, self.params.tie_policy, par);
         let seed = self.analyze_dense(
             &sc,
             &sm,
@@ -149,8 +174,9 @@ impl LocalityAttack {
         plain_aux: &Backup,
         leaked: &[(Fingerprint, Fingerprint)],
     ) -> Inference {
-        let sc = DenseStats::full_with_policy(cipher, self.params.tie_policy);
-        let sm = DenseStats::full_with_policy(plain_aux, self.params.tie_policy);
+        let par = self.params.par_config();
+        let sc = DenseStats::full_with_policy_par(cipher, self.params.tie_policy, par);
+        let sm = DenseStats::full_with_policy_par(plain_aux, self.params.tie_policy, par);
         let seed: Vec<DensePair> = leaked
             .iter()
             .filter_map(|&(c, m)| Some((sc.interner.get(c)?, sm.interner.get(m)?)))

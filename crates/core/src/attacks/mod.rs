@@ -45,7 +45,8 @@ impl std::fmt::Display for AttackKind {
 }
 
 /// Runs `kind` in ciphertext-only mode with the given locality parameters
-/// (`u`, `v`, `w` are ignored by the basic attack).
+/// (`u`, `v`, `w` are ignored by the basic attack; `threads` applies to
+/// every kind's counting phase).
 #[must_use]
 pub fn run_ciphertext_only(
     kind: AttackKind,
@@ -54,7 +55,9 @@ pub fn run_ciphertext_only(
     params: &locality::LocalityParams,
 ) -> Inference {
     match kind {
-        AttackKind::Basic => basic::BasicAttack::new().run(cipher, plain_aux),
+        AttackKind::Basic => {
+            basic::BasicAttack::new().run_par(cipher, plain_aux, params.par_config())
+        }
         AttackKind::Locality => locality::LocalityAttack::new(params.clone().size_aware(false))
             .run_ciphertext_only(cipher, plain_aux),
         AttackKind::Advanced => {
@@ -74,7 +77,9 @@ pub fn run_known_plaintext(
     params: &locality::LocalityParams,
 ) -> Inference {
     match kind {
-        AttackKind::Basic => basic::BasicAttack::new().run(cipher, plain_aux),
+        AttackKind::Basic => {
+            basic::BasicAttack::new().run_par(cipher, plain_aux, params.par_config())
+        }
         AttackKind::Locality => locality::LocalityAttack::new(params.clone().size_aware(false))
             .run_known_plaintext(cipher, plain_aux, leaked),
         AttackKind::Advanced => advanced::AdvancedAttack::new(params.clone())

@@ -34,11 +34,13 @@
 //! -keyed path on randomized backups under both [`TiePolicy`] variants.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use freqdedup_trace::{Backup, Fingerprint};
 use rustc_hash::FxHashMap;
 
 use crate::counting::{ChunkStats, FreqEntry, TiePolicy};
+use crate::par::{self, ParConfig};
 
 /// A dense chunk id: index into the interner's fingerprint/size tables.
 pub type ChunkId = u32;
@@ -47,7 +49,7 @@ pub type ChunkId = u32;
 ///
 /// Also records each unique chunk's observed size (first observation wins;
 /// sizes are deterministic per content, so every observation is equal).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ChunkInterner {
     map: FxHashMap<Fingerprint, ChunkId>,
     fps: Vec<Fingerprint>,
@@ -146,11 +148,40 @@ impl DenseEntry {
 
 /// Left or right neighbour co-occurrence tables in compressed-sparse-row
 /// form: `row(x)` is the aggregated neighbour list of chunk `x`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CooccurrenceCsr {
     /// `offsets[x]..offsets[x+1]` delimits chunk `x`'s row in `entries`.
     offsets: Vec<u32>,
     entries: Vec<DenseEntry>,
+}
+
+/// Which neighbour table a CSR build produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    /// `L[x]` — what precedes `x` in the stream.
+    Left,
+    /// `R[x]` — what follows `x` in the stream.
+    Right,
+}
+
+/// Per-worker state of a sharded CSR build: the shard's id range, its
+/// bucketed adjacency events, and the aggregation output.
+struct CsrShard {
+    rows: Range<usize>,
+    adjacencies: Vec<(u64, u32)>,
+    offsets: Vec<u32>,
+    entries: Vec<DenseEntry>,
+}
+
+impl CsrShard {
+    fn new(rows: Range<usize>) -> Self {
+        CsrShard {
+            rows,
+            adjacencies: Vec::new(),
+            offsets: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
 }
 
 impl CooccurrenceCsr {
@@ -172,30 +203,63 @@ impl CooccurrenceCsr {
     /// position); a linear scan then aggregates runs into rows.
     fn build(num_ids: usize, mut adjacencies: Vec<(u64, u32)>) -> Self {
         adjacencies.sort_unstable();
-        let mut offsets = vec![0u32; num_ids + 1];
-        let mut entries = Vec::new();
-        let mut i = 0;
-        while i < adjacencies.len() {
-            let (key, first_pos) = adjacencies[i];
-            let mut j = i + 1;
-            while j < adjacencies.len() && adjacencies[j].0 == key {
-                j += 1;
-            }
-            entries.push(DenseEntry {
-                id: key as u32,
-                count: (j - i) as u32,
-                order: first_pos,
-            });
-            let chunk = (key >> 32) as usize;
-            offsets[chunk + 1] = entries.len() as u32;
-            i = j;
+        let (offsets, entries) = aggregate_sorted(0..num_ids, &adjacencies);
+        CooccurrenceCsr { offsets, entries }
+    }
+
+    /// Builds the table by sharding the adjacency events **by chunk-id
+    /// range** across up to `threads` workers.
+    ///
+    /// One sequential O(n) pass buckets every event by the id shard its
+    /// *row* chunk belongs to (total bucketing work is independent of the
+    /// thread count); the buckets are then sorted and
+    /// run-length-aggregated in parallel — the expensive part — and the
+    /// per-shard rows stitched together in shard order. Because the
+    /// adjacency sort key leads with the row chunk id, concatenating
+    /// per-range sorted runs reproduces exactly the globally sorted
+    /// adjacency array — so the stitched table is bit-identical to
+    /// [`Self::build`]'s at any thread count.
+    fn build_sharded(
+        num_ids: usize,
+        ids: &[ChunkId],
+        side: Side,
+        policy: TiePolicy,
+        threads: usize,
+    ) -> Self {
+        let ranges = par::shard_ranges(num_ids, threads.max(1));
+        if ranges.len() <= 1 {
+            // Degenerate stream: the bucketing pass would be the whole
+            // cost, so take the sequential build directly.
+            return Self::build(num_ids, adjacency_events(ids, side, policy));
         }
-        // Chunks without neighbours on this side leave zero gaps; forward-
-        // fill so every row is a valid (possibly empty) range.
-        for k in 1..offsets.len() {
-            if offsets[k] < offsets[k - 1] {
-                offsets[k] = offsets[k - 1];
+
+        // Bucket by owning id shard: `starts` is small (≤ threads entries),
+        // so the partition_point probe stays in L1.
+        let starts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        let mut work: Vec<CsrShard> = ranges.into_iter().map(CsrShard::new).collect();
+        for i in 1..ids.len() {
+            let (key, order) = adjacency_event(ids, i, side, policy);
+            let chunk = (key >> 32) as usize;
+            let shard = starts.partition_point(|&s| s <= chunk) - 1;
+            work[shard].adjacencies.push((key, order));
+        }
+
+        par::par_for_each_mut(threads, &mut work, |_, shard| {
+            shard.adjacencies.sort_unstable();
+            let (offsets, entries) = aggregate_sorted(shard.rows.clone(), &shard.adjacencies);
+            shard.offsets = offsets;
+            shard.entries = entries;
+        });
+
+        let total: usize = work.iter().map(|s| s.entries.len()).sum();
+        let mut offsets = vec![0u32; num_ids + 1];
+        let mut entries = Vec::with_capacity(total);
+        for shard in work {
+            let base = entries.len() as u32;
+            for (k, id) in shard.rows.enumerate() {
+                offsets[id + 1] = base + shard.offsets[k + 1];
             }
+            entries.extend(shard.entries);
         }
         CooccurrenceCsr { offsets, entries }
     }
@@ -222,9 +286,81 @@ impl CooccurrenceCsr {
     }
 }
 
+/// The tie-break order an adjacency event at stream position `i` carries.
+fn order_of(i: usize, policy: TiePolicy) -> u32 {
+    match policy {
+        TiePolicy::StreamOrder => i as u32,
+        TiePolicy::KeyOrder => 0,
+    }
+}
+
+/// The adjacency event for stream index `i ∈ 1..n` on `side`: the packed
+/// `(row chunk ≪ 32 | neighbour)` sort key plus its tie-break order.
+///
+/// For [`Side::Left`] the row chunk is `ids[i]` (its left neighbour is
+/// `ids[i-1]`, observed at position `i`); for [`Side::Right`] the row
+/// chunk is `ids[i-1]` (its right neighbour is `ids[i]`, observed at
+/// position `i-1`). This is the **only** place event derivation lives —
+/// the sequential build, the sharded build's degenerate path, and the
+/// sharded bucketing loop all call it, so the two builds cannot drift.
+#[inline]
+fn adjacency_event(ids: &[ChunkId], i: usize, side: Side, policy: TiePolicy) -> (u64, u32) {
+    let (chunk, neighbour, pos) = match side {
+        Side::Left => (ids[i], ids[i - 1], i),
+        Side::Right => (ids[i - 1], ids[i], i - 1),
+    };
+    (
+        (u64::from(chunk) << 32) | u64::from(neighbour),
+        order_of(pos, policy),
+    )
+}
+
+/// All adjacency events of a stream on one side, in stream order.
+fn adjacency_events(ids: &[ChunkId], side: Side, policy: TiePolicy) -> Vec<(u64, u32)> {
+    (1..ids.len())
+        .map(|i| adjacency_event(ids, i, side, policy))
+        .collect()
+}
+
+/// Run-length-aggregates a **sorted** adjacency slice whose row chunks all
+/// fall in `rows`, producing row offsets *relative to `rows.start`* (length
+/// `rows.len() + 1`) and the aggregated entries.
+///
+/// This is the single aggregation kernel shared by the sequential build
+/// (`rows = 0..num_ids`) and every parallel shard — the two paths cannot
+/// drift apart.
+fn aggregate_sorted(rows: Range<usize>, adjacencies: &[(u64, u32)]) -> (Vec<u32>, Vec<DenseEntry>) {
+    let mut offsets = vec![0u32; rows.len() + 1];
+    let mut entries = Vec::new();
+    let mut i = 0;
+    while i < adjacencies.len() {
+        let (key, first_pos) = adjacencies[i];
+        let mut j = i + 1;
+        while j < adjacencies.len() && adjacencies[j].0 == key {
+            j += 1;
+        }
+        entries.push(DenseEntry {
+            id: key as u32,
+            count: (j - i) as u32,
+            order: first_pos,
+        });
+        let chunk = (key >> 32) as usize - rows.start;
+        offsets[chunk + 1] = entries.len() as u32;
+        i = j;
+    }
+    // Chunks without neighbours on this side leave zero gaps; forward-
+    // fill so every row is a valid (possibly empty) range.
+    for k in 1..offsets.len() {
+        if offsets[k] < offsets[k - 1] {
+            offsets[k] = offsets[k - 1];
+        }
+    }
+    (offsets, entries)
+}
+
 /// The output of `COUNT` in dense form: the id-indexed analogue of
 /// [`ChunkStats`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DenseStats {
     /// Fingerprint ⇄ id mapping plus per-id sizes.
     pub interner: ChunkInterner,
@@ -243,9 +379,18 @@ impl DenseStats {
     /// cheap path): interning plus a single counting pass, no CSR build.
     #[must_use]
     pub fn frequencies_only(backup: &Backup) -> Self {
+        Self::frequencies_only_par(backup, ParConfig::sequential())
+    }
+
+    /// [`Self::frequencies_only`] with the counting pass sharded across
+    /// worker threads (per-shard count arrays over contiguous stream
+    /// ranges, summed elementwise in shard order — bit-identical output at
+    /// any thread count).
+    #[must_use]
+    pub fn frequencies_only_par(backup: &Backup, par: ParConfig) -> Self {
         let (interner, ids) = intern_stream(backup);
-        let freq = count_ids(&ids, interner.len());
         let unique = interner.len();
+        let freq = count_ids_par(&ids, unique, par.resolve());
         DenseStats {
             interner,
             freq,
@@ -269,30 +414,43 @@ impl DenseStats {
         let (interner, ids) = intern_stream(backup);
         let unique = interner.len();
         let freq = count_ids(&ids, unique);
-
-        let n = ids.len();
-        let mut left_adj = Vec::with_capacity(n.saturating_sub(1));
-        let mut right_adj = Vec::with_capacity(n.saturating_sub(1));
-        for i in 1..n {
-            let order = match policy {
-                TiePolicy::StreamOrder => i as u32,
-                TiePolicy::KeyOrder => 0,
-            };
-            left_adj.push(((u64::from(ids[i]) << 32) | u64::from(ids[i - 1]), order));
-        }
-        for i in 0..n.saturating_sub(1) {
-            let order = match policy {
-                TiePolicy::StreamOrder => i as u32,
-                TiePolicy::KeyOrder => 0,
-            };
-            right_adj.push(((u64::from(ids[i]) << 32) | u64::from(ids[i + 1]), order));
-        }
-
+        let left = CooccurrenceCsr::build(unique, adjacency_events(&ids, Side::Left, policy));
+        let right = CooccurrenceCsr::build(unique, adjacency_events(&ids, Side::Right, policy));
         DenseStats {
             interner,
             freq,
-            left: CooccurrenceCsr::build(unique, left_adj),
-            right: CooccurrenceCsr::build(unique, right_adj),
+            left,
+            right,
+        }
+    }
+
+    /// The full `COUNT` of Algorithm 2 with the frequency pass and both
+    /// CSR neighbour-table builds sharded across worker threads.
+    ///
+    /// Interning stays sequential — id assignment is first-seen order, an
+    /// inherently serial definition — but it is one hash pass; the sorts
+    /// dominate at scale. Frequencies shard by contiguous stream range and
+    /// merge by elementwise sum; the neighbour tables shard **by chunk-id
+    /// range** (see [`CooccurrenceCsr`] internals), so every merged
+    /// structure is bit-identical to [`Self::full_with_policy`]'s output
+    /// at any thread count. `par` resolving to 1 takes the sequential path
+    /// unchanged.
+    #[must_use]
+    pub fn full_with_policy_par(backup: &Backup, policy: TiePolicy, par: ParConfig) -> Self {
+        let threads = par.resolve();
+        if threads <= 1 {
+            return Self::full_with_policy(backup, policy);
+        }
+        let (interner, ids) = intern_stream(backup);
+        let unique = interner.len();
+        let freq = count_ids_par(&ids, unique, threads);
+        let left = CooccurrenceCsr::build_sharded(unique, &ids, Side::Left, policy, threads);
+        let right = CooccurrenceCsr::build_sharded(unique, &ids, Side::Right, policy, threads);
+        DenseStats {
+            interner,
+            freq,
+            left,
+            right,
         }
     }
 
@@ -383,6 +541,27 @@ fn count_ids(ids: &[ChunkId], unique: usize) -> Vec<u32> {
         freq[id as usize] += 1;
     }
     freq
+}
+
+/// [`count_ids`] sharded over contiguous stream ranges; per-shard count
+/// arrays are summed elementwise in shard order (addition is commutative,
+/// so the result is the sequential count exactly).
+fn count_ids_par(ids: &[ChunkId], unique: usize, threads: usize) -> Vec<u32> {
+    if threads <= 1 {
+        return count_ids(ids, unique);
+    }
+    par::par_fold(
+        threads,
+        ids.len(),
+        |range| count_ids(&ids[range], unique),
+        |mut acc, shard| {
+            for (a, s) in acc.iter_mut().zip(&shard) {
+                *a += s;
+            }
+            acc
+        },
+        vec![0u32; unique],
+    )
 }
 
 #[cfg(test)]
@@ -517,6 +696,46 @@ mod tests {
         assert_eq!(s.left.num_entries(), 0);
         assert_eq!(s.right.num_entries(), 0);
         assert_eq!(s.left.num_rows(), 2);
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        // A skewed stream with heavy duplication: ties, shared
+        // neighbourhoods, and ids spanning several shard ranges.
+        let fps: Vec<u64> = (0..500u64).map(|i| (i * i) % 37).collect();
+        let b = backup(&fps);
+        for policy in [TiePolicy::StreamOrder, TiePolicy::KeyOrder] {
+            let seq = DenseStats::full_with_policy(&b, policy);
+            for t in [1usize, 2, 3, 8, 64] {
+                let par = DenseStats::full_with_policy_par(&b, policy, ParConfig::with_threads(t));
+                assert_eq!(par, seq, "threads {t} policy {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_frequencies_match_sequential() {
+        let fps: Vec<u64> = (0..300u64).map(|i| i % 23).collect();
+        let b = backup(&fps);
+        let seq = DenseStats::frequencies_only(&b);
+        for t in [2usize, 8] {
+            let par = DenseStats::frequencies_only_par(&b, ParConfig::with_threads(t));
+            assert_eq!(par, seq, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_count_handles_degenerate_backups() {
+        for fps in [&[][..], &[42][..], &[7, 7, 7][..]] {
+            let b = backup(fps);
+            let seq = DenseStats::full(&b);
+            let par = DenseStats::full_with_policy_par(
+                &b,
+                TiePolicy::StreamOrder,
+                ParConfig::with_threads(8),
+            );
+            assert_eq!(par, seq);
+        }
     }
 
     #[test]

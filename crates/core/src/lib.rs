@@ -77,8 +77,10 @@ pub mod dense;
 pub mod ext;
 pub mod freq_analysis;
 pub mod metrics;
+pub mod par;
 
 pub use attacks::AttackKind;
 pub use counting::ChunkStats;
 pub use dense::{ChunkInterner, CooccurrenceCsr, DenseEntry, DenseStats};
 pub use metrics::{Inference, InferenceReport};
+pub use par::ParConfig;

@@ -39,6 +39,9 @@ pub struct DedupConfig {
     pub bloom_expected: u64,
     /// Bloom filter target false-positive rate.
     pub bloom_fp_rate: f64,
+    /// Fingerprint-prefix shards of the on-disk index (1 = the paper's
+    /// single-map layout; see [`crate::index::FingerprintIndex`]).
+    pub index_shards: usize,
 }
 
 impl DedupConfig {
@@ -52,6 +55,7 @@ impl DedupConfig {
             entry_bytes: 32,
             bloom_expected,
             bloom_fp_rate: 0.01,
+            index_shards: 1,
         }
     }
 
@@ -72,6 +76,9 @@ impl DedupConfig {
         }
         if !(self.bloom_fp_rate > 0.0 && self.bloom_fp_rate < 1.0) {
             return Err("bloom_fp_rate must be in (0, 1)".into());
+        }
+        if self.index_shards == 0 {
+            return Err("index_shards must be positive".into());
         }
         Ok(())
     }
@@ -144,7 +151,7 @@ impl DedupEngine {
             bloom: BloomFilter::with_capacity(config.bloom_expected, config.bloom_fp_rate),
             cache: FingerprintCache::new(config.cache_entries),
             containers: ContainerStore::new(config.container_bytes),
-            index: FingerprintIndex::with_entry_bytes(config.entry_bytes),
+            index: FingerprintIndex::with_shards(config.entry_bytes, config.index_shards),
             loading_bytes: 0,
             loading_ops: 0,
             stats: StoreStats::default(),
@@ -272,17 +279,19 @@ impl DedupEngine {
         self.loading_ops
     }
 
-    /// Reads back a stored chunk's payload (content mode only).
-    /// Returns `None` for unknown fingerprints or metadata-only ingestion.
+    /// Reads back a stored chunk's payload (content mode only), borrowed
+    /// straight from the container extent — no copy. Returns `None` for
+    /// unknown fingerprints or metadata-only ingestion. Callers needing an
+    /// owned buffer convert with `.map(<[u8]>::to_vec)`.
     #[must_use]
-    pub fn read_chunk(&self, fp: Fingerprint) -> Option<Vec<u8>> {
+    pub fn read_chunk(&self, fp: Fingerprint) -> Option<&[u8]> {
         if let Some(bytes) = self.containers.open_payload_of(fp) {
-            return Some(bytes.to_vec());
+            return Some(bytes);
         }
         let container_id = self.index.peek(fp)?;
         let container = self.containers.get(container_id)?;
         let position = container.fingerprints.iter().position(|&f| f == fp)?;
-        container.chunk_payload(position).map(<[u8]>::to_vec)
+        container.chunk_payload(position)
     }
 
     /// The fingerprint cache (inspection).
@@ -319,6 +328,7 @@ mod tests {
             entry_bytes: 32,
             bloom_expected: 10_000,
             bloom_fp_rate: 0.01,
+            index_shards: 1,
         })
         .unwrap()
     }
@@ -410,15 +420,16 @@ mod tests {
             entry_bytes: 32,
             bloom_expected: 100,
             bloom_fp_rate: 0.01,
+            index_shards: 1,
         })
         .unwrap();
         e.process_with_payload(rec(1, 5), b"hello");
         e.process_with_payload(rec(2, 5), b"world");
-        // Read from open container.
-        assert_eq!(e.read_chunk(Fingerprint(1)).unwrap(), b"hello");
+        // Read from open container (borrowed, no copy).
+        assert_eq!(e.read_chunk(Fingerprint(1)), Some(&b"hello"[..]));
         e.finish();
         // Read from sealed container via the index.
-        assert_eq!(e.read_chunk(Fingerprint(2)).unwrap(), b"world");
+        assert_eq!(e.read_chunk(Fingerprint(2)), Some(&b"world"[..]));
         assert_eq!(e.read_chunk(Fingerprint(9)), None);
     }
 
@@ -471,6 +482,7 @@ mod tests {
             entry_bytes: 32,
             bloom_expected: 10_000,
             bloom_fp_rate: 0.01,
+            index_shards: 1,
         })
         .unwrap();
         for i in 0..1000u64 {

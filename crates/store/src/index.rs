@@ -5,106 +5,188 @@
 //! with the Bloom filter and the fingerprint cache. Every lookup and update
 //! is accounted in bytes of metadata traffic (32 bytes per fingerprint entry
 //! by default), which is exactly the quantity Figures 13–14 report.
+//!
+//! The index is internally split into `N` **prefix shards**: a fingerprint's
+//! leading bits select its shard (range partitioning — shard `s` owns the
+//! fingerprints in `[s·2⁶⁴/N, (s+1)·2⁶⁴/N)`), so any fingerprint maps to
+//! exactly one shard regardless of insertion order. Each shard keeps its own
+//! map and access counters; the aggregate accessors sum over shards. With
+//! the default `N = 1` the behaviour is the classic single-map index.
+//!
+//! Lookup counters are [`Cell`]s so that [`FingerprintIndex::lookup`] takes
+//! `&self`: a read of an on-disk index mutates accounting, not the mapping,
+//! and read paths (and shard-parallel readers, which each own their engine)
+//! should not need `&mut` access.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use freqdedup_trace::Fingerprint;
 
 use crate::container::ContainerId;
 
-/// The on-disk fingerprint index with byte-level access accounting.
+/// One prefix shard: a private map plus its own access counters.
 #[derive(Debug, Default)]
-pub struct FingerprintIndex {
+struct IndexShard {
     map: HashMap<Fingerprint, ContainerId>,
-    entry_bytes: u64,
-    lookup_bytes: u64,
+    lookup_bytes: Cell<u64>,
+    lookups: Cell<u64>,
     update_bytes: u64,
-    lookups: u64,
     updates: u64,
 }
 
+/// Per-shard counter snapshot (for observability and shard-balance checks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexShardStats {
+    /// Fingerprints stored in the shard.
+    pub entries: usize,
+    /// Lookup operations served by the shard.
+    pub lookups: u64,
+    /// Bytes of on-disk reads charged to the shard.
+    pub lookup_bytes: u64,
+    /// Update operations applied to the shard.
+    pub updates: u64,
+    /// Bytes of on-disk writes charged to the shard.
+    pub update_bytes: u64,
+}
+
+/// The on-disk fingerprint index with byte-level access accounting,
+/// split into fingerprint-prefix shards.
+#[derive(Debug)]
+pub struct FingerprintIndex {
+    shards: Vec<IndexShard>,
+    entry_bytes: u64,
+}
+
+impl Default for FingerprintIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl FingerprintIndex {
-    /// Creates an index with the paper's 32-byte entries.
+    /// Creates a single-shard index with the paper's 32-byte entries.
     #[must_use]
     pub fn new() -> Self {
         Self::with_entry_bytes(32)
     }
 
-    /// Creates an index with a custom per-entry metadata size.
+    /// Creates a single-shard index with a custom per-entry metadata size.
     ///
     /// # Panics
     ///
     /// Panics if `entry_bytes` is zero.
     #[must_use]
     pub fn with_entry_bytes(entry_bytes: u64) -> Self {
+        Self::with_shards(entry_bytes, 1)
+    }
+
+    /// Creates an index split into `shards` fingerprint-prefix shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` or `shards` is zero.
+    #[must_use]
+    pub fn with_shards(entry_bytes: u64, shards: usize) -> Self {
         assert!(entry_bytes > 0, "entry size must be positive");
+        assert!(shards > 0, "shard count must be positive");
         FingerprintIndex {
-            map: HashMap::new(),
+            shards: (0..shards).map(|_| IndexShard::default()).collect(),
             entry_bytes,
-            lookup_bytes: 0,
-            update_bytes: 0,
-            lookups: 0,
-            updates: 0,
         }
     }
 
+    /// The prefix shard owning `fp` ([`Fingerprint::prefix_shard`] over
+    /// this index's shard count).
+    #[must_use]
+    pub fn shard_of(&self, fp: Fingerprint) -> usize {
+        fp.prefix_shard(self.shards.len())
+    }
+
     /// Looks up the container holding `fp`, accounting one on-disk index
-    /// access (step S3).
-    pub fn lookup(&mut self, fp: Fingerprint) -> Option<ContainerId> {
-        self.lookups += 1;
-        self.lookup_bytes += self.entry_bytes;
-        self.map.get(&fp).copied()
+    /// access (step S3) against the owning shard.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<ContainerId> {
+        let shard = &self.shards[self.shard_of(fp)];
+        shard.lookups.set(shard.lookups.get() + 1);
+        shard
+            .lookup_bytes
+            .set(shard.lookup_bytes.get() + self.entry_bytes);
+        shard.map.get(&fp).copied()
     }
 
     /// Inserts (or overwrites) the mapping for `fp`, accounting one on-disk
     /// update access (steps S2/S3, at container flush time).
     pub fn insert(&mut self, fp: Fingerprint, container: ContainerId) {
-        self.updates += 1;
-        self.update_bytes += self.entry_bytes;
-        self.map.insert(fp, container);
+        let entry_bytes = self.entry_bytes;
+        let shard_idx = self.shard_of(fp);
+        let shard = &mut self.shards[shard_idx];
+        shard.updates += 1;
+        shard.update_bytes += entry_bytes;
+        shard.map.insert(fp, container);
     }
 
     /// Membership test without accounting (test/debug use only — the engine
     /// never bypasses accounting).
     #[must_use]
     pub fn peek(&self, fp: Fingerprint) -> Option<ContainerId> {
-        self.map.get(&fp).copied()
+        self.shards[self.shard_of(fp)].map.get(&fp).copied()
     }
 
-    /// Number of indexed fingerprints.
+    /// Number of indexed fingerprints (all shards).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| s.map.len()).sum()
     }
 
     /// Whether the index is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shards.iter().all(|s| s.map.is_empty())
     }
 
-    /// Bytes of on-disk index reads so far ("index access").
+    /// Number of prefix shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<IndexShardStats> {
+        self.shards
+            .iter()
+            .map(|s| IndexShardStats {
+                entries: s.map.len(),
+                lookups: s.lookups.get(),
+                lookup_bytes: s.lookup_bytes.get(),
+                updates: s.updates,
+                update_bytes: s.update_bytes,
+            })
+            .collect()
+    }
+
+    /// Bytes of on-disk index reads so far ("index access", all shards).
     #[must_use]
     pub fn lookup_bytes(&self) -> u64 {
-        self.lookup_bytes
+        self.shards.iter().map(|s| s.lookup_bytes.get()).sum()
     }
 
-    /// Bytes of on-disk index writes so far ("update access").
+    /// Bytes of on-disk index writes so far ("update access", all shards).
     #[must_use]
     pub fn update_bytes(&self) -> u64 {
-        self.update_bytes
+        self.shards.iter().map(|s| s.update_bytes).sum()
     }
 
-    /// Count of lookup operations.
+    /// Count of lookup operations (all shards).
     #[must_use]
     pub fn lookups(&self) -> u64 {
-        self.lookups
+        self.shards.iter().map(|s| s.lookups.get()).sum()
     }
 
-    /// Count of update operations.
+    /// Count of update operations (all shards).
     #[must_use]
     pub fn updates(&self) -> u64 {
-        self.updates
+        self.shards.iter().map(|s| s.updates).sum()
     }
 
     /// The configured per-entry metadata size in bytes.
@@ -140,8 +222,19 @@ mod tests {
     }
 
     #[test]
+    fn lookup_takes_shared_reference() {
+        // The accounting counters are interior-mutable: a shared reference
+        // is enough to serve (and account) reads.
+        let mut idx = FingerprintIndex::new();
+        idx.insert(Fingerprint(3), ContainerId(1));
+        let shared: &FingerprintIndex = &idx;
+        assert_eq!(shared.lookup(Fingerprint(3)), Some(ContainerId(1)));
+        assert_eq!(shared.lookups(), 1);
+    }
+
+    #[test]
     fn custom_entry_size() {
-        let mut idx = FingerprintIndex::with_entry_bytes(48);
+        let idx = FingerprintIndex::with_entry_bytes(48);
         let _ = idx.lookup(Fingerprint(1));
         assert_eq!(idx.lookup_bytes(), 48);
         assert_eq!(idx.entry_bytes(), 48);
@@ -167,8 +260,69 @@ mod tests {
     }
 
     #[test]
+    fn prefix_sharding_is_stable_and_total() {
+        let idx = FingerprintIndex::with_shards(32, 4);
+        assert_eq!(idx.num_shards(), 4);
+        // Leading bits select the shard: quarter boundaries of u64 space.
+        assert_eq!(idx.shard_of(Fingerprint(0)), 0);
+        assert_eq!(idx.shard_of(Fingerprint(1 << 62)), 1);
+        assert_eq!(idx.shard_of(Fingerprint(1 << 63)), 2);
+        assert_eq!(idx.shard_of(Fingerprint(u64::MAX)), 3);
+        for v in [0u64, 1, 42, 1 << 40, u64::MAX] {
+            let s = idx.shard_of(Fingerprint(v));
+            assert!(s < 4);
+            assert_eq!(s, idx.shard_of(Fingerprint(v)), "stable");
+        }
+    }
+
+    #[test]
+    fn sharded_counters_aggregate() {
+        let mut idx = FingerprintIndex::with_shards(32, 4);
+        // One fingerprint per quarter of the space.
+        let fps = [0u64, 1 << 62, 1 << 63, (1 << 63) | (1 << 62)];
+        for (i, &v) in fps.iter().enumerate() {
+            idx.insert(Fingerprint(v), ContainerId(i as u32));
+            let _ = idx.lookup(Fingerprint(v));
+        }
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.lookups(), 4);
+        assert_eq!(idx.updates(), 4);
+        assert_eq!(idx.lookup_bytes(), 4 * 32);
+        let per_shard = idx.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        for s in per_shard {
+            assert_eq!(s.entries, 1);
+            assert_eq!(s.lookups, 1);
+            assert_eq!(s.updates, 1);
+            assert_eq!(s.lookup_bytes, 32);
+            assert_eq!(s.update_bytes, 32);
+        }
+    }
+
+    #[test]
+    fn sharded_index_behaves_like_single_shard() {
+        let mut one = FingerprintIndex::with_shards(32, 1);
+        let mut many = FingerprintIndex::with_shards(32, 7);
+        for v in 0..1000u64 {
+            let fp = Fingerprint(v.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            one.insert(fp, ContainerId((v % 13) as u32));
+            many.insert(fp, ContainerId((v % 13) as u32));
+            assert_eq!(one.lookup(fp), many.lookup(fp));
+        }
+        assert_eq!(one.len(), many.len());
+        assert_eq!(one.lookup_bytes(), many.lookup_bytes());
+        assert_eq!(one.update_bytes(), many.update_bytes());
+    }
+
+    #[test]
     #[should_panic(expected = "entry size")]
     fn zero_entry_bytes_rejected() {
         let _ = FingerprintIndex::with_entry_bytes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        let _ = FingerprintIndex::with_shards(32, 0);
     }
 }

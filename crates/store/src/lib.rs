@@ -16,6 +16,9 @@
 //! [`engine::DedupEngine`] wires these together with the exact S1→S4
 //! workflow of §7.4.1 and produces the update / index / loading
 //! metadata-access breakdown of Figures 13–14.
+//! [`sharded::ShardedDedupEngine`] partitions the fingerprint space into
+//! prefix shards — one full engine each — for shard-parallel ingest with
+//! merged counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +28,5 @@ pub mod cache;
 pub mod container;
 pub mod engine;
 pub mod index;
+pub mod sharded;
 pub mod stats;

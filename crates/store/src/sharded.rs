@@ -1,0 +1,279 @@
+//! Shard-parallel deduplication: N independent [`DedupEngine`]s partitioned
+//! by fingerprint prefix.
+//!
+//! Cross-user dedup at "heavy traffic" scale cannot serialize a million-chunk
+//! backup through one engine. [`ShardedDedupEngine`] range-partitions the
+//! fingerprint space into `N` prefix shards (the same partition
+//! [`crate::index::FingerprintIndex`] uses internally) and gives each shard a
+//! complete engine — Bloom filter, cache, containers, index. Because a
+//! fingerprint always routes to the same shard, every chunk still traverses
+//! the exact S1→S4 workflow of §7.4.1 against the one engine that owns it:
+//! [`ChunkOutcome`] semantics are unchanged, and duplicate detection is exact
+//! (two identical chunks can never land in different shards).
+//!
+//! **Determinism.** The shard partition is a pure function of the
+//! fingerprint, and [`ShardedDedupEngine::ingest_backup`] preserves the
+//! stream order *within* each shard, so per-shard engine state — and
+//! therefore the merged [`StoreStats`] / [`MetadataAccess`] totals — is
+//! identical whether the shards are drained sequentially or by parallel
+//! workers, at any thread count. What sharding itself changes versus a
+//! single engine is only the container packing (each shard seals its own
+//! containers) and hence the S1/S4 *split* of duplicate hits; the logical /
+//! unique / duplicate totals are exactly those of the single-engine run.
+
+use freqdedup_trace::par::{self, ParConfig};
+use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
+
+use crate::engine::{ChunkOutcome, DedupConfig, DedupEngine};
+use crate::stats::{MetadataAccess, StoreStats};
+
+/// N fingerprint-prefix shards, each a full [`DedupEngine`].
+#[derive(Debug)]
+pub struct ShardedDedupEngine {
+    engines: Vec<DedupEngine>,
+}
+
+impl ShardedDedupEngine {
+    /// Builds `shards` engines from one aggregate configuration.
+    ///
+    /// `config.bloom_expected` and `config.cache_entries` are interpreted
+    /// as the *total* memory budgets and divided across shards (rounded
+    /// up), so the aggregate Bloom and fingerprint-cache footprints match
+    /// a single-engine deployment with the same configuration — sharded
+    /// vs. single-engine comparisons are resource-equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `shards` is zero or the per-shard
+    /// configuration fails [`DedupConfig::validate`].
+    pub fn new(config: DedupConfig, shards: usize) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("shard count must be positive".into());
+        }
+        let per_shard = DedupConfig {
+            bloom_expected: config.bloom_expected.div_ceil(shards as u64),
+            cache_entries: config.cache_entries.div_ceil(shards),
+            ..config
+        };
+        let engines = (0..shards)
+            .map(|_| DedupEngine::new(per_shard.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedDedupEngine { engines })
+    }
+
+    /// The prefix shard owning `fp` ([`Fingerprint::prefix_shard`] over
+    /// this engine's shard count — the same partition
+    /// [`crate::index::FingerprintIndex`] uses).
+    #[must_use]
+    pub fn shard_of(&self, fp: Fingerprint) -> usize {
+        fp.prefix_shard(self.engines.len())
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Processes one chunk on its owning shard (trace-driven mode).
+    pub fn process(&mut self, record: ChunkRecord) -> ChunkOutcome {
+        let shard = self.shard_of(record.fp);
+        self.engines[shard].process(record)
+    }
+
+    /// Ingests a whole backup: the stream is partitioned by shard
+    /// (preserving stream order within each shard), then the shards are
+    /// drained by up to `par.resolve()` scoped workers, each owning its
+    /// engine exclusively. Merged counters are independent of the thread
+    /// count.
+    pub fn ingest_backup(&mut self, backup: &Backup, par: ParConfig) {
+        let mut streams: Vec<Vec<ChunkRecord>> = vec![Vec::new(); self.engines.len()];
+        for &record in backup {
+            streams[self.shard_of(record.fp)].push(record);
+        }
+        let mut work: Vec<(&mut DedupEngine, Vec<ChunkRecord>)> =
+            self.engines.iter_mut().zip(streams).collect();
+        par::par_for_each_mut(par.resolve(), &mut work, |_, (engine, stream)| {
+            for &record in stream.iter() {
+                engine.process(record);
+            }
+        });
+    }
+
+    /// Seals every shard's open container (call once after the final
+    /// backup; the engine remains usable afterwards).
+    pub fn finish(&mut self) {
+        for engine in &mut self.engines {
+            engine.finish();
+        }
+    }
+
+    /// Deduplication counters merged across shards.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.engines.iter().map(DedupEngine::stats).sum()
+    }
+
+    /// Metadata access totals merged across shards.
+    #[must_use]
+    pub fn metadata_access(&self) -> MetadataAccess {
+        self.engines.iter().map(DedupEngine::metadata_access).sum()
+    }
+
+    /// Total container prefetch operations (S4) across shards.
+    #[must_use]
+    pub fn loading_ops(&self) -> u64 {
+        self.engines.iter().map(DedupEngine::loading_ops).sum()
+    }
+
+    /// Reads back a stored chunk's payload from its owning shard
+    /// (content mode only; borrowed, like [`DedupEngine::read_chunk`]).
+    #[must_use]
+    pub fn read_chunk(&self, fp: Fingerprint) -> Option<&[u8]> {
+        self.engines[self.shard_of(fp)].read_chunk(fp)
+    }
+
+    /// The per-shard engines, in shard order (inspection).
+    #[must_use]
+    pub fn shards(&self) -> &[DedupEngine] {
+        &self.engines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fp: u64, size: u32) -> ChunkRecord {
+        ChunkRecord::new(fp, size)
+    }
+
+    fn config() -> DedupConfig {
+        DedupConfig {
+            container_bytes: 256,
+            cache_entries: 64,
+            entry_bytes: 32,
+            bloom_expected: 10_000,
+            bloom_fp_rate: 0.01,
+            index_shards: 1,
+        }
+    }
+
+    /// A spread-out fingerprint stream with duplicates (multiplicative
+    /// hashing scatters values across the whole u64 space, so every shard
+    /// gets traffic).
+    fn stream(n: u64) -> Vec<ChunkRecord> {
+        (0..n)
+            .map(|i| rec((i % (n / 3).max(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15), 16))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_stable_and_exhaustive() {
+        let e = ShardedDedupEngine::new(config(), 4).unwrap();
+        assert_eq!(e.num_shards(), 4);
+        for v in [0u64, 1, 1 << 62, 1 << 63, u64::MAX] {
+            let s = e.shard_of(Fingerprint(v));
+            assert!(s < 4);
+            assert_eq!(s, e.shard_of(Fingerprint(v)));
+        }
+    }
+
+    #[test]
+    fn totals_match_single_engine() {
+        // logical / unique / duplicate totals are partition-invariant.
+        let records = stream(900);
+        let backup = Backup::from_chunks("b", records.clone());
+
+        let mut single = DedupEngine::new(config()).unwrap();
+        for &r in &records {
+            single.process(r);
+        }
+        single.finish();
+
+        let mut sharded = ShardedDedupEngine::new(config(), 4).unwrap();
+        sharded.ingest_backup(&backup, ParConfig::sequential());
+        sharded.finish();
+
+        let s1 = single.stats();
+        let s4 = sharded.stats();
+        assert_eq!(s1.logical_chunks, s4.logical_chunks);
+        assert_eq!(s1.logical_bytes, s4.logical_bytes);
+        assert_eq!(s1.unique_chunks, s4.unique_chunks);
+        assert_eq!(s1.unique_bytes, s4.unique_bytes);
+        assert_eq!(s1.duplicates(), s4.duplicates());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_state() {
+        let backup = Backup::from_chunks("b", stream(1200));
+        let mut reference: Option<(StoreStats, MetadataAccess, u64)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut e = ShardedDedupEngine::new(config(), 4).unwrap();
+            e.ingest_backup(&backup, ParConfig::with_threads(threads));
+            e.finish();
+            let got = (e.stats(), e.metadata_access(), e.loading_ops());
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "threads {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_equals_sequential_routing() {
+        let records = stream(600);
+        let backup = Backup::from_chunks("b", records.clone());
+
+        let mut routed = ShardedDedupEngine::new(config(), 3).unwrap();
+        for &r in &records {
+            routed.process(r);
+        }
+        routed.finish();
+
+        let mut parallel = ShardedDedupEngine::new(config(), 3).unwrap();
+        parallel.ingest_backup(&backup, ParConfig::with_threads(3));
+        parallel.finish();
+
+        assert_eq!(routed.stats(), parallel.stats());
+        assert_eq!(routed.metadata_access(), parallel.metadata_access());
+    }
+
+    #[test]
+    fn outcome_semantics_preserved_per_shard() {
+        let mut e = ShardedDedupEngine::new(config(), 2).unwrap();
+        assert_eq!(e.process(rec(7, 16)), ChunkOutcome::Unique);
+        assert_eq!(e.process(rec(7, 16)), ChunkOutcome::DuplicateBuffer);
+        e.finish();
+        assert_eq!(e.process(rec(7, 16)), ChunkOutcome::DuplicateIndex);
+        assert_eq!(e.process(rec(7, 16)), ChunkOutcome::DuplicateCache);
+    }
+
+    #[test]
+    fn payload_reads_route_to_owning_shard() {
+        let mut e = ShardedDedupEngine::new(config(), 4).unwrap();
+        let a = Fingerprint(1);
+        let b = Fingerprint(u64::MAX / 2);
+        let shard_a = e.shard_of(a);
+        e.engines[shard_a].process_with_payload(rec(a.value(), 5), b"hello");
+        let shard_b = e.shard_of(b);
+        e.engines[shard_b].process_with_payload(rec(b.value(), 5), b"world");
+        assert_eq!(e.read_chunk(a), Some(&b"hello"[..]));
+        assert_eq!(e.read_chunk(b), Some(&b"world"[..]));
+        assert_eq!(e.read_chunk(Fingerprint(999_999)), None);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ShardedDedupEngine::new(config(), 0).is_err());
+    }
+
+    #[test]
+    fn memory_budgets_divided_across_shards() {
+        let e = ShardedDedupEngine::new(config(), 4).unwrap();
+        for shard in e.shards() {
+            assert_eq!(shard.config().bloom_expected, 2500);
+            assert_eq!(shard.config().cache_entries, 16);
+        }
+    }
+}

@@ -1,6 +1,11 @@
 //! Storage and metadata-access statistics (the measurands of Figs. 11/13/14).
+//!
+//! Both record types are closed under component-wise addition ([`Add`] /
+//! [`AddAssign`] / [`Sum`]): the sharded engine merges its per-shard
+//! counters into one aggregate record with plain `+`.
 
-use std::ops::Sub;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
 
 /// On-disk metadata access totals, in bytes, split into the paper's three
 /// categories (§7.4.2):
@@ -53,6 +58,31 @@ impl Sub for MetadataAccess {
     }
 }
 
+impl Add for MetadataAccess {
+    type Output = MetadataAccess;
+
+    /// Component-wise sum; merges per-shard access records.
+    fn add(self, other: MetadataAccess) -> MetadataAccess {
+        MetadataAccess {
+            update_bytes: self.update_bytes + other.update_bytes,
+            index_bytes: self.index_bytes + other.index_bytes,
+            loading_bytes: self.loading_bytes + other.loading_bytes,
+        }
+    }
+}
+
+impl AddAssign for MetadataAccess {
+    fn add_assign(&mut self, other: MetadataAccess) {
+        *self = *self + other;
+    }
+}
+
+impl Sum for MetadataAccess {
+    fn sum<I: Iterator<Item = MetadataAccess>>(iter: I) -> Self {
+        iter.fold(MetadataAccess::default(), Add::add)
+    }
+}
+
 /// Deduplication outcome counters for an ingest stream.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -101,6 +131,37 @@ impl StoreStats {
         } else {
             self.logical_bytes as f64 / self.unique_bytes as f64
         }
+    }
+}
+
+impl Add for StoreStats {
+    type Output = StoreStats;
+
+    /// Component-wise sum; merges per-shard ingest counters.
+    fn add(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            logical_chunks: self.logical_chunks + other.logical_chunks,
+            logical_bytes: self.logical_bytes + other.logical_bytes,
+            unique_chunks: self.unique_chunks + other.unique_chunks,
+            unique_bytes: self.unique_bytes + other.unique_bytes,
+            dup_cache_hits: self.dup_cache_hits + other.dup_cache_hits,
+            dup_buffer_hits: self.dup_buffer_hits + other.dup_buffer_hits,
+            dup_index_hits: self.dup_index_hits + other.dup_index_hits,
+            bloom_false_positives: self.bloom_false_positives + other.bloom_false_positives,
+            containers_sealed: self.containers_sealed + other.containers_sealed,
+        }
+    }
+}
+
+impl AddAssign for StoreStats {
+    fn add_assign(&mut self, other: StoreStats) {
+        *self = *self + other;
+    }
+}
+
+impl Sum for StoreStats {
+    fn sum<I: Iterator<Item = StoreStats>>(iter: I) -> Self {
+        iter.fold(StoreStats::default(), Add::add)
     }
 }
 
@@ -166,5 +227,39 @@ mod tests {
         let s = StoreStats::default();
         assert_eq!(s.storage_saving(), 0.0);
         assert_eq!(s.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_via_add_and_sum() {
+        let a = StoreStats {
+            logical_chunks: 3,
+            unique_chunks: 2,
+            dup_cache_hits: 1,
+            ..StoreStats::default()
+        };
+        let b = StoreStats {
+            logical_chunks: 5,
+            unique_chunks: 1,
+            containers_sealed: 2,
+            ..StoreStats::default()
+        };
+        let m = a + b;
+        assert_eq!(m.logical_chunks, 8);
+        assert_eq!(m.unique_chunks, 3);
+        assert_eq!(m.dup_cache_hits, 1);
+        assert_eq!(m.containers_sealed, 2);
+        let s: StoreStats = [a, b].into_iter().sum();
+        assert_eq!(s, m);
+
+        let ma = MetadataAccess {
+            update_bytes: 1,
+            index_bytes: 2,
+            loading_bytes: 3,
+        };
+        let mut acc = MetadataAccess::default();
+        acc += ma;
+        acc += ma;
+        assert_eq!(acc, ma + ma);
+        assert_eq!([ma, ma].into_iter().sum::<MetadataAccess>(), acc);
     }
 }

@@ -14,11 +14,14 @@
 //! * [`stats`] — frequency histograms and CDFs (Fig. 1), deduplication
 //!   ratios, storage savings, and chunk-locality measurements.
 //! * [`io`] — a compact, versioned, checksummed binary trace format.
+//! * [`par`] — deterministic sharded parallel-execution primitives shared
+//!   by the counting, encryption and ingest layers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod io;
+pub mod par;
 pub mod stats;
 
 use std::collections::HashSet;
@@ -57,6 +60,21 @@ impl Fingerprint {
     #[must_use]
     pub fn to_bytes(self) -> [u8; 8] {
         self.0.to_le_bytes()
+    }
+
+    /// The prefix shard owning this fingerprint when the `u64` space is
+    /// range-partitioned into `shards` equal intervals: the fingerprint's
+    /// leading bits select the shard, for any shard count. This is the
+    /// single partition function shared by every prefix-sharded structure
+    /// (fingerprint index shards, sharded dedup engines).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `shards` is zero.
+    #[must_use]
+    pub fn prefix_shard(self, shards: usize) -> usize {
+        debug_assert!(shards > 0, "shard count must be positive");
+        ((u128::from(self.0) * shards as u128) >> 64) as usize
     }
 }
 

@@ -82,7 +82,7 @@ fn main() {
     let mut restored = Vec::new();
     for (record, key) in fr.chunks.iter().zip(&kr.keys) {
         let ciphertext = engine.read_chunk(record.fp).expect("chunk stored");
-        restored.extend_from_slice(&mle.decrypt_with_key(key, &ciphertext));
+        restored.extend_from_slice(&mle.decrypt_with_key(key, ciphertext));
     }
     assert_eq!(restored, file);
     println!("restore: OK ({} bytes, byte-identical)", restored.len());

@@ -59,7 +59,7 @@ fn store_and_restore(mle: &impl Mle, file: &[u8]) -> Vec<u8> {
     let mut restored = Vec::new();
     for (record, key) in fr.chunks.iter().zip(&kr.keys) {
         let ct = engine.read_chunk(record.fp).expect("stored chunk");
-        restored.extend_from_slice(&mle.decrypt_with_key(key, &ct));
+        restored.extend_from_slice(&mle.decrypt_with_key(key, ct));
     }
     restored
 }
