@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for perf_report artifacts.
+
+Compares a freshly produced BENCH_attack.json against the committed
+baseline and fails (exit 1) when the sequential dense path's COUNT or
+end-to-end *throughput* (logical chunks per millisecond) regresses by more
+than the threshold.
+
+Throughput, not wall-time, is compared so a --quick fresh run can be held
+against the committed full-size baseline: chunk counts normalize out,
+while a real slowdown of the hot path still shows. The default threshold
+is deliberately loose (30%) because CI runners and the recording machine
+are different hardware generations; the guard is meant to catch
+order-of-magnitude regressions (an accidental O(n^2), a lost fast path),
+not single-digit drift.
+
+Usage:
+    python3 ci/bench_guard.py --baseline BENCH_attack.json \
+        --fresh fresh.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def throughput(report: dict, metric: str) -> float:
+    """Logical chunks per millisecond for a sequential-path metric."""
+    chunks = report["logical_chunks_per_backup"]
+    ms = report["sequential"][metric]
+    if ms <= 0:
+        raise SystemExit(f"bench_guard: non-positive {metric} in report")
+    return chunks / ms
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_attack.json")
+    ap.add_argument("--fresh", required=True, help="freshly produced report")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput regression (default 0.30)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    if not fresh.get("identical_inference", False):
+        print("bench_guard: FAIL — fresh report flags divergent inference")
+        return 1
+
+    failed = False
+    print(f"bench_guard: threshold {args.threshold:.0%} throughput regression")
+    print(f"{'metric':<16} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
+    for label, metric in (("COUNT", "count_ms"), ("end-to-end", "end_to_end_ms")):
+        base_tp = throughput(baseline, metric)
+        fresh_tp = throughput(fresh, metric)
+        ratio = fresh_tp / base_tp
+        verdict = ""
+        if ratio < 1.0 - args.threshold:
+            verdict = "  <-- REGRESSION"
+            failed = True
+        print(
+            f"{label:<16} {base_tp:>9.1f}/ms {fresh_tp:>9.1f}/ms {ratio:>7.2f}x{verdict}"
+        )
+
+    if failed:
+        print("bench_guard: FAIL — throughput regressed beyond the threshold")
+        return 1
+    print("bench_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

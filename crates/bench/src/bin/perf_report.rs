@@ -17,11 +17,20 @@
 //! plus the speedups to `BENCH_attack.json` so every PR's CI run leaves a
 //! comparable perf artifact with thread metadata.
 //!
-//! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--out PATH]`
+//! With `--persist <dir>` the store layer is additionally exercised against
+//! the durable backend: disk-backed ingest + close (fsync-always), then a
+//! timed **cold-open recovery**, with the recovered counters checked
+//! against the in-memory run. The timings land in a `persist` section of
+//! the JSON.
+//!
+//! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--persist DIR]
+//! [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
 //! * `--threads T` — parallel-path worker threads (default 0 = auto);
+//! * `--persist DIR` — also time the durable store backend rooted at DIR
+//!   (the directory is cleared first);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -35,14 +44,18 @@ use freqdedup_core::par::ParConfig;
 use freqdedup_datasets::fsl::{self, FslConfig};
 use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
 use freqdedup_store::engine::{DedupConfig, DedupEngine};
+use freqdedup_store::persist::PersistConfig;
 use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
-const USAGE: &str = "usage: perf_report [--quick] [--chunks N] [--threads T] [--out PATH]
+const USAGE: &str =
+    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--out PATH]
 Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
 on a synthetic backup pair over the reference hash-map path, the sequential
 dense-id/CSR path and the sharded parallel path, verifies identical
-inference output, and writes BENCH_attack.json.";
+inference output, and writes BENCH_attack.json. With --persist DIR the
+durable store backend is also timed (disk ingest, close, cold-open
+recovery).";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
 const QUICK_CHUNKS: usize = 60_000;
@@ -51,6 +64,7 @@ struct Args {
     chunks: usize,
     quick: bool,
     threads: usize,
+    persist: Option<String>,
     out: String,
 }
 
@@ -59,6 +73,7 @@ fn parse_args() -> Args {
         chunks: DEFAULT_CHUNKS,
         quick: false,
         threads: 0,
+        persist: None,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -82,6 +97,9 @@ fn parse_args() -> Args {
                 args.threads = v
                     .parse()
                     .unwrap_or_else(|_| die("--threads must be an integer (0 = auto)"));
+            }
+            "--persist" => {
+                args.persist = Some(it.next().unwrap_or_else(|| die("--persist needs a value")));
             }
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
@@ -202,6 +220,57 @@ fn main() {
         "sharded ingest diverged from single-engine totals"
     );
 
+    // --- Durable store layer (optional): disk-backed ingest + close with
+    // the crash-safe fsync-always policy, then a timed cold-open recovery
+    // checked bit-for-bit against the pre-restart counters. ---
+    let persist_section = args.persist.as_ref().map_or(String::new(), |dir| {
+        eprintln!("perf_report: timing durable store backend under {dir}...");
+        let dir = std::path::PathBuf::from(dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        let pconfig = DedupConfig {
+            persist: Some(PersistConfig::new(&dir)),
+            ..store_config(unique)
+        };
+        let (disk_ingest_ms, engine) = timed(|| {
+            let mut engine = DedupEngine::open(pconfig.clone()).expect("fresh persistent dir");
+            engine.ingest_backup(&cipher);
+            engine.finish();
+            engine
+        });
+        let disk_stats = engine.stats();
+        assert_eq!(
+            (seq_stats.logical_chunks, seq_stats.unique_chunks),
+            (disk_stats.logical_chunks, disk_stats.unique_chunks),
+            "disk-backed ingest diverged from in-memory totals"
+        );
+        let (close_ms, ()) = timed(|| engine.close().expect("close persistent engine"));
+        let (cold_open_ms, recovered) =
+            timed(|| DedupEngine::open(pconfig.clone()).expect("cold-open recovery"));
+        assert_eq!(
+            recovered.stats(),
+            disk_stats,
+            "cold-open recovery diverged from the closed engine"
+        );
+        let containers = recovered.containers().sealed_count();
+        let disk_bytes: u64 = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0);
+        eprintln!(
+            "perf_report: disk ingest {disk_ingest_ms:.1} ms, close {close_ms:.1} ms, \
+             cold-open recovery {cold_open_ms:.1} ms ({containers} containers, {disk_bytes} B)"
+        );
+        format!(
+            "  \"persist\": {{ \"ingest_ms\": {disk_ingest_ms:.1}, \"close_ms\": {close_ms:.1}, \
+             \"cold_open_ms\": {cold_open_ms:.1}, \"containers\": {containers}, \
+             \"disk_bytes\": {disk_bytes} }},\n"
+        )
+    });
+
     // --- Attack layer. Warm the allocator and page cache once per path,
     // so the timed runs below don't charge first-touch page faults to
     // whichever path goes first. ---
@@ -245,7 +314,7 @@ fn main() {
     let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
         threads,
         cipher.len(),

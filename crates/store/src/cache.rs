@@ -150,6 +150,32 @@ impl FingerprintCache {
         self.evictions
     }
 
+    /// The cached fingerprints in least→most recently used order (the
+    /// serialization order of the persistence snapshot: re-inserting them
+    /// front-to-back reproduces the exact recency chain).
+    #[must_use]
+    pub fn lru_to_mru(&self) -> Vec<Fingerprint> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut node = self.tail;
+        while node != NIL {
+            out.push(self.arena[node].fp);
+            node = self.arena[node].prev;
+        }
+        out
+    }
+
+    /// Rebuilds the recency chain from a snapshot: inserts `fps` (given in
+    /// least→most recently used order) and overwrites the observational
+    /// counters with their recovered values.
+    pub(crate) fn restore(&mut self, fps: &[Fingerprint], hits: u64, misses: u64, evictions: u64) {
+        for &fp in fps {
+            self.insert(fp);
+        }
+        self.hits = hits;
+        self.misses = misses;
+        self.evictions = evictions;
+    }
+
     fn alloc(&mut self, fp: Fingerprint) -> usize {
         if let Some(i) = self.free.pop() {
             self.arena[i] = Node {
@@ -305,6 +331,24 @@ mod tests {
         }
         // Arena should not have grown past capacity + O(1).
         assert!(c.arena.len() <= 3, "arena grew to {}", c.arena.len());
+    }
+
+    #[test]
+    fn lru_to_mru_round_trips_recency() {
+        let mut c = FingerprintCache::new(4);
+        for v in [1u64, 2, 3, 4] {
+            c.insert(fp(v));
+        }
+        assert!(c.lookup(fp(2))); // 2 becomes MRU: order 1,3,4,2
+        assert_eq!(c.lru_to_mru(), vec![fp(1), fp(3), fp(4), fp(2)]);
+        let mut rebuilt = FingerprintCache::new(4);
+        rebuilt.restore(&c.lru_to_mru(), c.hits(), c.misses(), c.evictions());
+        assert_eq!(rebuilt.lru_to_mru(), c.lru_to_mru());
+        assert_eq!(rebuilt.hits(), c.hits());
+        // Same next eviction on both.
+        rebuilt.insert(fp(9));
+        c.insert(fp(9));
+        assert_eq!(rebuilt.lru_to_mru(), c.lru_to_mru());
     }
 
     #[test]

@@ -4,15 +4,66 @@
 //! order; when the container reaches its size limit (4 MB by default, vs.
 //! kilobyte-scale chunks) it is sealed and its fingerprint list becomes the
 //! prefetch unit for the cache. Chunk payloads are optional: trace-driven
-//! workloads store metadata only, content workloads store real bytes.
+//! workloads store metadata only, content workloads store real bytes — but
+//! one store never mixes the two modes (see [`PayloadMode`]).
+//!
+//! Sealed containers are the durability unit of the persistent engine: each
+//! one is written to its own append-only log file (see [`crate::log`]) at
+//! seal time, and recovery rebuilds the catalog from those files.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use freqdedup_trace::{ChunkRecord, Fingerprint};
 
 /// Identifier of a sealed container.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct ContainerId(pub u32);
+
+/// Whether a store holds chunk payload bytes or metadata only.
+///
+/// The mode is fixed by the first append (or up front via
+/// [`ContainerStore::with_mode`]); mixing modes afterwards is an error —
+/// silently accepting a metadata-only append into a payload-bearing store
+/// would desynchronize the payload extents from the fingerprint list and
+/// corrupt position-based reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadMode {
+    /// Fingerprint + size records only (trace-driven workloads).
+    Metadata,
+    /// Real chunk bytes stored alongside each record (content workloads).
+    Payload,
+}
+
+impl fmt::Display for PayloadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadMode::Metadata => write!(f, "metadata-only"),
+            PayloadMode::Payload => write!(f, "payload-bearing"),
+        }
+    }
+}
+
+/// An append mixed payload-bearing and metadata-only chunks in one store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixedPayloadModeError {
+    /// The mode the store was fixed to.
+    pub store_mode: PayloadMode,
+    /// The mode of the offending append.
+    pub append_mode: PayloadMode,
+}
+
+impl fmt::Display for MixedPayloadModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mixed payload modes: {} append into a {} store",
+            self.append_mode, self.store_mode
+        )
+    }
+}
+
+impl std::error::Error for MixedPayloadModeError {}
 
 /// A sealed, immutable container.
 #[derive(Clone, Debug)]
@@ -23,6 +74,9 @@ pub struct Container {
     pub fingerprints: Vec<Fingerprint>,
     /// Total chunk bytes in the container.
     pub data_bytes: u64,
+    /// Chunk sizes in bytes, index-aligned with `fingerprints` (kept so the
+    /// container log can frame each record and recovery can rebuild it).
+    sizes: Vec<u32>,
     payload: Option<ContainerPayload>,
 }
 
@@ -46,12 +100,53 @@ impl Container {
         self.fingerprints.is_empty()
     }
 
+    /// Per-chunk sizes in bytes, in append order.
+    #[must_use]
+    pub fn chunk_sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Whether the container stores payload bytes.
+    #[must_use]
+    pub fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
     /// Reads a chunk payload by position, if payloads are stored.
     #[must_use]
     pub fn chunk_payload(&self, position: usize) -> Option<&[u8]> {
         let payload = self.payload.as_ref()?;
         let &(off, len) = payload.extents.get(position)?;
         Some(&payload.bytes[off as usize..(off + len) as usize])
+    }
+
+    /// Rebuilds a sealed container from recovered parts (the container-log
+    /// reader's constructor). `payload` holds the concatenated chunk bytes
+    /// when the store is payload-bearing; extents are derived from `sizes`.
+    pub(crate) fn from_restored(
+        id: ContainerId,
+        fingerprints: Vec<Fingerprint>,
+        sizes: Vec<u32>,
+        payload: Option<Vec<u8>>,
+    ) -> Self {
+        debug_assert_eq!(fingerprints.len(), sizes.len());
+        let data_bytes = sizes.iter().map(|&s| u64::from(s)).sum();
+        let payload = payload.map(|bytes| {
+            let mut extents = Vec::with_capacity(sizes.len());
+            let mut off = 0u32;
+            for &s in &sizes {
+                extents.push((off, s));
+                off += s;
+            }
+            ContainerPayload { bytes, extents }
+        });
+        Container {
+            id,
+            fingerprints,
+            data_bytes,
+            sizes,
+            payload,
+        }
     }
 }
 
@@ -63,6 +158,7 @@ type OpenPayload = (Vec<u8>, Vec<(u32, u32)>);
 #[derive(Debug)]
 pub struct ContainerStore {
     capacity_bytes: u64,
+    mode: Option<PayloadMode>,
     sealed: Vec<Container>,
     open_records: Vec<ChunkRecord>,
     open_bytes: u64,
@@ -73,7 +169,7 @@ pub struct ContainerStore {
 
 impl ContainerStore {
     /// Creates a store with the given container capacity in bytes (the paper
-    /// uses 4 MB).
+    /// uses 4 MB). The payload mode is fixed by the first append.
     ///
     /// # Panics
     ///
@@ -83,6 +179,7 @@ impl ContainerStore {
         assert!(capacity_bytes > 0, "container capacity must be positive");
         ContainerStore {
             capacity_bytes,
+            mode: None,
             sealed: Vec::new(),
             open_records: Vec::new(),
             open_bytes: 0,
@@ -91,16 +188,73 @@ impl ContainerStore {
         }
     }
 
+    /// Creates a store with the payload mode fixed up front, so the first
+    /// append already enforces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    #[must_use]
+    pub fn with_mode(capacity_bytes: u64, mode: PayloadMode) -> Self {
+        let mut store = Self::new(capacity_bytes);
+        store.mode = Some(mode);
+        store
+    }
+
     /// The paper's 4 MB configuration.
     #[must_use]
     pub fn paper_default() -> Self {
         Self::new(4 * 1024 * 1024)
     }
 
+    /// The store's payload mode, once fixed by construction or by the first
+    /// append.
+    #[must_use]
+    pub fn mode(&self) -> Option<PayloadMode> {
+        self.mode
+    }
+
+    /// Rebuilds a store from recovered sealed containers (the recovery
+    /// path). The open container starts empty; ids must be dense from 0.
+    pub(crate) fn restore(
+        capacity_bytes: u64,
+        mode: Option<PayloadMode>,
+        sealed: Vec<Container>,
+    ) -> Self {
+        let mut store = Self::new(capacity_bytes);
+        store.mode = mode;
+        store.sealed = sealed;
+        store
+    }
+
     /// Appends a unique chunk to the open container; seals the container
     /// first when it is full. Returns the id of the container sealed by this
     /// call, if any.
-    pub fn append(&mut self, record: ChunkRecord, payload: Option<&[u8]>) -> Option<ContainerId> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedPayloadModeError`] when `payload` presence disagrees
+    /// with the store's fixed [`PayloadMode`]; the store is left unchanged.
+    pub fn append(
+        &mut self,
+        record: ChunkRecord,
+        payload: Option<&[u8]>,
+    ) -> Result<Option<ContainerId>, MixedPayloadModeError> {
+        let append_mode = if payload.is_some() {
+            PayloadMode::Payload
+        } else {
+            PayloadMode::Metadata
+        };
+        match self.mode {
+            None => self.mode = Some(append_mode),
+            Some(store_mode) if store_mode != append_mode => {
+                return Err(MixedPayloadModeError {
+                    store_mode,
+                    append_mode,
+                })
+            }
+            Some(_) => {}
+        }
         let mut sealed_id = None;
         if self.open_bytes > 0 && self.open_bytes + u64::from(record.size) > self.capacity_bytes {
             sealed_id = Some(self.seal_open());
@@ -117,7 +271,7 @@ impl ContainerStore {
         self.open_set.insert(record.fp, self.open_records.len());
         self.open_records.push(record);
         self.open_bytes += u64::from(record.size);
-        sealed_id
+        Ok(sealed_id)
     }
 
     /// Seals the open container (no-op when empty). Returns the id of the
@@ -142,10 +296,17 @@ impl ContainerStore {
             id,
             fingerprints: records.iter().map(|r| r.fp).collect(),
             data_bytes: self.open_bytes,
+            sizes: records.iter().map(|r| r.size).collect(),
             payload,
         });
         self.open_bytes = 0;
         id
+    }
+
+    /// Number of chunks currently buffered in the open container.
+    #[must_use]
+    pub fn open_len(&self) -> usize {
+        self.open_records.len()
     }
 
     /// Whether `fp` is in the *open* (not yet sealed) container.
@@ -154,7 +315,8 @@ impl ContainerStore {
         self.open_set.contains_key(&fp)
     }
 
-    /// Reads a chunk payload from the open container, if present.
+    /// Reads a chunk payload from the open container, if present. When the
+    /// same fingerprint was appended more than once, the latest append wins.
     #[must_use]
     pub fn open_payload_of(&self, fp: Fingerprint) -> Option<&[u8]> {
         let &pos = self.open_set.get(&fp)?;
@@ -198,21 +360,22 @@ mod tests {
     #[test]
     fn seals_when_full() {
         let mut store = ContainerStore::new(100);
-        assert_eq!(store.append(rec(1, 60), None), None);
+        assert_eq!(store.append(rec(1, 60), None), Ok(None));
         // 60 + 60 > 100 → seal container 0 first.
-        let sealed = store.append(rec(2, 60), None);
+        let sealed = store.append(rec(2, 60), None).unwrap();
         assert_eq!(sealed, Some(ContainerId(0)));
         assert_eq!(store.sealed_count(), 1);
         let c = store.get(ContainerId(0)).unwrap();
         assert_eq!(c.fingerprints, vec![Fingerprint(1)]);
         assert_eq!(c.data_bytes, 60);
+        assert_eq!(c.chunk_sizes(), &[60]);
     }
 
     #[test]
     fn oversized_chunk_gets_own_container() {
         let mut store = ContainerStore::new(100);
-        assert_eq!(store.append(rec(1, 250), None), None);
-        let sealed = store.append(rec(2, 10), None);
+        assert_eq!(store.append(rec(1, 250), None), Ok(None));
+        let sealed = store.append(rec(2, 10), None).unwrap();
         assert_eq!(sealed, Some(ContainerId(0)));
         assert_eq!(store.get(ContainerId(0)).unwrap().data_bytes, 250);
     }
@@ -220,7 +383,7 @@ mod tests {
     #[test]
     fn flush_seals_partial() {
         let mut store = ContainerStore::new(100);
-        store.append(rec(1, 10), None);
+        store.append(rec(1, 10), None).unwrap();
         let id = store.flush().unwrap();
         assert_eq!(id, ContainerId(0));
         assert_eq!(store.flush(), None, "double flush is a no-op");
@@ -228,9 +391,19 @@ mod tests {
     }
 
     #[test]
+    fn flush_on_empty_store_is_noop() {
+        // "Zero-capacity" flush: nothing buffered → no container, no state.
+        let mut store = ContainerStore::new(100);
+        assert_eq!(store.flush(), None);
+        assert_eq!(store.sealed_count(), 0);
+        assert_eq!(store.stored_bytes(), 0);
+        assert_eq!(store.mode(), None, "mode still undecided");
+    }
+
+    #[test]
     fn open_membership_tracks_sealing() {
         let mut store = ContainerStore::new(100);
-        store.append(rec(1, 10), None);
+        store.append(rec(1, 10), None).unwrap();
         assert!(store.open_contains(Fingerprint(1)));
         store.flush();
         assert!(!store.open_contains(Fingerprint(1)));
@@ -239,29 +412,91 @@ mod tests {
     #[test]
     fn payload_round_trip() {
         let mut store = ContainerStore::new(64);
-        store.append(rec(1, 5), Some(b"hello"));
-        store.append(rec(2, 5), Some(b"world"));
+        store.append(rec(1, 5), Some(b"hello")).unwrap();
+        store.append(rec(2, 5), Some(b"world")).unwrap();
         assert_eq!(store.open_payload_of(Fingerprint(2)), Some(&b"world"[..]));
         store.flush();
         let c = store.get(ContainerId(0)).unwrap();
         assert_eq!(c.chunk_payload(0), Some(&b"hello"[..]));
         assert_eq!(c.chunk_payload(1), Some(&b"world"[..]));
         assert_eq!(c.chunk_payload(2), None);
+        assert!(c.has_payload());
+    }
+
+    #[test]
+    fn open_payload_of_after_seal_returns_none() {
+        let mut store = ContainerStore::new(64);
+        store.append(rec(1, 5), Some(b"hello")).unwrap();
+        assert_eq!(store.open_payload_of(Fingerprint(1)), Some(&b"hello"[..]));
+        store.flush();
+        // Sealed: the open-container view no longer serves it (the sealed
+        // container does, by position).
+        assert_eq!(store.open_payload_of(Fingerprint(1)), None);
+        assert_eq!(
+            store.get(ContainerId(0)).unwrap().chunk_payload(0),
+            Some(&b"hello"[..])
+        );
+    }
+
+    #[test]
+    fn duplicate_fingerprint_append_latest_wins() {
+        // The engine never appends the same fingerprint twice (the open-set
+        // buffer check runs first), but the store itself must stay coherent
+        // if a caller does: both records are kept and counted, and the
+        // open-container view resolves the fingerprint to the latest copy.
+        let mut store = ContainerStore::new(1024);
+        store.append(rec(7, 3), Some(b"old")).unwrap();
+        store.append(rec(7, 3), Some(b"new")).unwrap();
+        assert_eq!(store.open_payload_of(Fingerprint(7)), Some(&b"new"[..]));
+        assert_eq!(store.stored_bytes(), 6, "both records counted");
+        store.flush();
+        let c = store.get(ContainerId(0)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.fingerprints, vec![Fingerprint(7), Fingerprint(7)]);
+        assert_eq!(c.chunk_payload(0), Some(&b"old"[..]));
+        assert_eq!(c.chunk_payload(1), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn mixed_mode_append_rejected() {
+        // Payload store refuses a metadata-only append...
+        let mut store = ContainerStore::new(64);
+        store.append(rec(1, 5), Some(b"hello")).unwrap();
+        let err = store.append(rec(2, 5), None).unwrap_err();
+        assert_eq!(err.store_mode, PayloadMode::Payload);
+        assert_eq!(err.append_mode, PayloadMode::Metadata);
+        assert_eq!(store.stored_bytes(), 5, "rejected append left no trace");
+        // ...and vice versa.
+        let mut store = ContainerStore::new(64);
+        store.append(rec(1, 5), None).unwrap();
+        let err = store.append(rec(2, 5), Some(b"world")).unwrap_err();
+        assert_eq!(err.store_mode, PayloadMode::Metadata);
+        assert!(err.to_string().contains("mixed payload modes"));
+    }
+
+    #[test]
+    fn with_mode_enforces_from_first_append() {
+        let mut store = ContainerStore::with_mode(64, PayloadMode::Payload);
+        assert_eq!(store.mode(), Some(PayloadMode::Payload));
+        assert!(store.append(rec(1, 5), None).is_err());
+        assert!(store.append(rec(1, 5), Some(b"hello")).is_ok());
     }
 
     #[test]
     fn metadata_only_containers_have_no_payload() {
         let mut store = ContainerStore::new(64);
-        store.append(rec(1, 5), None);
+        store.append(rec(1, 5), None).unwrap();
         store.flush();
-        assert_eq!(store.get(ContainerId(0)).unwrap().chunk_payload(0), None);
+        let c = store.get(ContainerId(0)).unwrap();
+        assert_eq!(c.chunk_payload(0), None);
+        assert!(!c.has_payload());
     }
 
     #[test]
     fn container_ids_sequential() {
         let mut store = ContainerStore::new(16);
         for i in 0..10 {
-            store.append(rec(i, 16), None);
+            store.append(rec(i, 16), None).unwrap();
         }
         store.flush();
         let ids: Vec<u32> = store.iter().map(|c| c.id.0).collect();
@@ -271,9 +506,28 @@ mod tests {
     #[test]
     fn stored_bytes_includes_open() {
         let mut store = ContainerStore::new(100);
-        store.append(rec(1, 30), None);
-        store.append(rec(2, 30), None);
+        store.append(rec(1, 30), None).unwrap();
+        store.append(rec(2, 30), None).unwrap();
         assert_eq!(store.stored_bytes(), 60);
+    }
+
+    #[test]
+    fn restored_container_matches_sealed_original() {
+        let mut store = ContainerStore::new(64);
+        store.append(rec(1, 5), Some(b"hello")).unwrap();
+        store.append(rec(2, 5), Some(b"world")).unwrap();
+        store.flush();
+        let orig = store.get(ContainerId(0)).unwrap();
+        let rebuilt = Container::from_restored(
+            ContainerId(0),
+            orig.fingerprints.clone(),
+            orig.chunk_sizes().to_vec(),
+            Some(b"helloworld".to_vec()),
+        );
+        assert_eq!(rebuilt.fingerprints, orig.fingerprints);
+        assert_eq!(rebuilt.data_bytes, orig.data_bytes);
+        assert_eq!(rebuilt.chunk_sizes(), orig.chunk_sizes());
+        assert_eq!(rebuilt.chunk_payload(1), orig.chunk_payload(1));
     }
 
     #[test]

@@ -15,18 +15,33 @@
 //! * **S4** — index hit: `C` is a duplicate; prefetch all fingerprints of
 //!   its container into the cache (*loading access*), evicting
 //!   least-recently-used entries when full.
+//!
+//! ## Durability
+//!
+//! With [`DedupConfig::persist`] set, the engine is backed by a directory:
+//! every sealed container is written to its own [log file](crate::log) and
+//! committed by a [manifest journal](crate::manifest) record, and
+//! [`DedupEngine::close`] (or an interval policy applied at
+//! [`DedupEngine::finish`]) writes an index + counters snapshot.
+//! [`DedupEngine::open`] recovers the directory back into a running engine
+//! — bit-identically after a clean close, and to the last consistent
+//! sealed state after a crash (torn tail writes are detected and rolled
+//! back). See `DESIGN.md` §7 for the format and the recovery invariant.
 
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::bloom::BloomFilter;
 use crate::cache::FingerprintCache;
-use crate::container::ContainerStore;
+use crate::container::{ContainerId, ContainerStore, PayloadMode};
 use crate::index::FingerprintIndex;
+use crate::log;
+use crate::manifest::{self, ManifestEvent, ManifestWriter, Snapshot};
+use crate::persist::{self, MetaKind, PersistConfig, PersistError, StoreMeta};
 use crate::stats::{MetadataAccess, StoreStats};
 
 /// Engine configuration. Defaults follow the paper's prototype (§7.4.2):
 /// 4 MB containers, 32-byte fingerprint metadata entries, 1% Bloom
-/// false-positive rate.
+/// false-positive rate, no persistence.
 #[derive(Clone, Debug)]
 pub struct DedupConfig {
     /// Container capacity in bytes.
@@ -42,6 +57,9 @@ pub struct DedupConfig {
     /// Fingerprint-prefix shards of the on-disk index (1 = the paper's
     /// single-map layout; see [`crate::index::FingerprintIndex`]).
     pub index_shards: usize,
+    /// Durable backing directory; `None` keeps the engine purely in-memory
+    /// (the behaviour of every release before the persistence layer).
+    pub persist: Option<PersistConfig>,
 }
 
 impl DedupConfig {
@@ -56,7 +74,15 @@ impl DedupConfig {
             bloom_expected,
             bloom_fp_rate: 0.01,
             index_shards: 1,
+            persist: None,
         }
+    }
+
+    /// Sets the persistence backing (builder style).
+    #[must_use]
+    pub fn persist(mut self, persist: PersistConfig) -> Self {
+        self.persist = Some(persist);
+        self
     }
 
     /// Validates the configuration.
@@ -81,6 +107,17 @@ impl DedupConfig {
             return Err("index_shards must be positive".into());
         }
         Ok(())
+    }
+
+    /// The `store.meta` echo of this configuration for a single engine.
+    fn meta(&self) -> StoreMeta {
+        StoreMeta {
+            kind: MetaKind::Engine,
+            shards: 1,
+            entry_bytes: self.entry_bytes,
+            index_shards: self.index_shards as u32,
+            container_bytes: self.container_bytes,
+        }
     }
 }
 
@@ -111,6 +148,14 @@ impl ChunkOutcome {
     }
 }
 
+/// The live persistence handles of a durable engine.
+#[derive(Debug)]
+struct PersistState {
+    cfg: PersistConfig,
+    manifest: ManifestWriter,
+    seals_since_snapshot: u32,
+}
+
 /// The DDFS-like deduplication engine.
 ///
 /// # Example
@@ -137,17 +182,37 @@ pub struct DedupEngine {
     loading_bytes: u64,
     loading_ops: u64,
     stats: StoreStats,
+    persist: Option<PersistState>,
 }
 
 impl DedupEngine {
-    /// Builds an engine from a validated configuration.
+    /// Builds an engine from a validated configuration ([`Self::open`] with
+    /// the error stringified — kept for source compatibility).
     ///
     /// # Errors
     ///
-    /// Returns the message of [`DedupConfig::validate`] on invalid input.
+    /// Returns the display form of the [`Self::open`] error.
     pub fn new(config: DedupConfig) -> Result<Self, String> {
-        config.validate()?;
-        Ok(DedupEngine {
+        Self::open(config).map_err(|e| e.to_string())
+    }
+
+    /// Opens an engine. With [`DedupConfig::persist`] unset this is a pure
+    /// in-memory construction; with it set, the backing directory is
+    /// created on first use and **recovered** on every later open — the
+    /// engine resumes exactly where [`Self::close`] left it (or at the last
+    /// consistent sealed state after a crash).
+    ///
+    /// # Errors
+    ///
+    /// * [`PersistError::InvalidConfig`] — [`DedupConfig::validate`] failed;
+    /// * [`PersistError::ConfigMismatch`] — the directory was created under
+    ///   an incompatible configuration;
+    /// * [`PersistError::Corrupt`] / [`PersistError::Torn`] — the directory
+    ///   violates the recovery invariant beyond the tolerated torn tail;
+    /// * [`PersistError::Io`] — filesystem failure.
+    pub fn open(config: DedupConfig) -> Result<Self, PersistError> {
+        config.validate().map_err(PersistError::InvalidConfig)?;
+        let engine = DedupEngine {
             bloom: BloomFilter::with_capacity(config.bloom_expected, config.bloom_fp_rate),
             cache: FingerprintCache::new(config.cache_entries),
             containers: ContainerStore::new(config.container_bytes),
@@ -155,11 +220,218 @@ impl DedupEngine {
             loading_bytes: 0,
             loading_ops: 0,
             stats: StoreStats::default(),
+            persist: None,
             config,
-        })
+        };
+        let Some(pcfg) = engine.config.persist.clone() else {
+            return Ok(engine);
+        };
+        std::fs::create_dir_all(&pcfg.dir)?;
+        if manifest::manifest_exists(&pcfg.dir) {
+            Self::recover(engine, pcfg)
+        } else {
+            // Fresh directory (or one that died between meta and manifest
+            // creation, before any data was accepted): initialize it. An
+            // existing meta must agree first — a sharded root, say, has a
+            // meta but no top-level manifest, and blindly re-initializing
+            // would clobber it.
+            persist::ensure_meta(&pcfg.dir, &engine.config.meta(), pcfg.fsync)?;
+            let manifest = ManifestWriter::create(&pcfg.dir, pcfg.fsync)?;
+            let mut engine = engine;
+            engine.persist = Some(PersistState {
+                cfg: pcfg,
+                manifest,
+                seals_since_snapshot: 0,
+            });
+            Ok(engine)
+        }
+    }
+
+    /// Rebuilds a fresh `engine` from the persistent directory state.
+    fn recover(mut engine: DedupEngine, pcfg: PersistConfig) -> Result<Self, PersistError> {
+        let dir = pcfg.dir.clone();
+        let meta = persist::read_meta(&dir)?;
+        let want = engine.config.meta();
+        if meta != want {
+            return Err(PersistError::ConfigMismatch(format!(
+                "directory was created as {meta:?}, opened as {want:?}"
+            )));
+        }
+
+        // 1. The manifest journal is the container catalog: replay it
+        //    (tolerating a torn tail record), requiring dense seal ids.
+        let scan = manifest::scan_manifest(&dir)?;
+        let mut seal_ends = Vec::new();
+        for (event, &end) in scan.events.iter().zip(&scan.record_ends) {
+            match *event {
+                ManifestEvent::Seal { id, .. } => {
+                    if id as usize != seal_ends.len() {
+                        return Err(PersistError::Corrupt(format!(
+                            "manifest seal ids not dense: expected {}, found {id}",
+                            seal_ends.len()
+                        )));
+                    }
+                    seal_ends.push(end);
+                }
+                ManifestEvent::Delete { id } => {
+                    return Err(PersistError::Corrupt(format!(
+                        "manifest records delete of container {id}, which this engine \
+                         version never emits"
+                    )));
+                }
+            }
+        }
+        let n_seals = seal_ends.len();
+
+        // 2. Load the container log files. Only the *last* sealed container
+        //    may be torn or missing (a crash mid-seal); anything earlier is
+        //    hard corruption.
+        let mut containers = Vec::with_capacity(n_seals);
+        for id in 0..n_seals {
+            match log::read_container(&dir, ContainerId(id as u32)) {
+                Ok(c) => containers.push(c),
+                Err(e) => {
+                    let tolerable = matches!(&e, PersistError::Torn { .. })
+                        || matches!(&e, PersistError::Io(io)
+                            if io.kind() == std::io::ErrorKind::NotFound);
+                    if tolerable && id == n_seals - 1 {
+                        break; // roll the torn tail seal back
+                    }
+                    return match e {
+                        PersistError::Torn { file, detail } => Err(PersistError::Corrupt(format!(
+                            "{file}: torn write on a non-tail container ({detail})"
+                        ))),
+                        other => Err(other),
+                    };
+                }
+            }
+        }
+        let recovered_n = containers.len();
+
+        // 3. Truncate the manifest back to the recovered prefix (dropping
+        //    the torn tail record and/or a rolled-back seal), and clear the
+        //    stale log file of a rolled-back container so the next seal of
+        //    that id starts clean.
+        let valid_len = if recovered_n == 0 {
+            6 // header only
+        } else {
+            seal_ends[recovered_n - 1]
+        };
+        let valid_len = if recovered_n == n_seals {
+            scan.valid_len // keep non-seal bytes? (none today) — tail garbage only
+        } else {
+            valid_len
+        };
+        let manifest = ManifestWriter::reopen(&dir, valid_len, pcfg.fsync)?;
+        if recovered_n < n_seals {
+            let _ =
+                std::fs::remove_file(log::container_path(&dir, ContainerId(recovered_n as u32)));
+        }
+
+        // 4. Restore the container catalog (payload mode from the recovered
+        //    files; undecided when the store is still empty).
+        let mode = containers.first().map(|c| {
+            if c.has_payload() {
+                PayloadMode::Payload
+            } else {
+                PayloadMode::Metadata
+            }
+        });
+        engine.containers =
+            ContainerStore::restore(engine.config.container_bytes, mode, containers);
+
+        // 5. Base state from the snapshot — but only when it does not claim
+        //    containers beyond the recovered prefix (a snapshot "from the
+        //    future" relative to a torn store is discarded wholesale: its
+        //    flow counters and cache image describe state that was lost).
+        let snapshot = manifest::read_snapshot(&dir)?;
+        let usable = match snapshot {
+            Some(s) if s.seal_seq <= recovered_n as u64 => Some(s),
+            Some(_) => {
+                // Snapshot "from the future": it describes containers that
+                // did not survive. Remove it — once this id space is
+                // re-sealed with new data, a later recovery could otherwise
+                // adopt the stale image as a valid-looking base.
+                manifest::remove_snapshot(&dir, pcfg.fsync)?;
+                None
+            }
+            None => None,
+        };
+        let base_seq = match usable {
+            Some(s) => {
+                if s.entry_bytes != engine.config.entry_bytes
+                    || s.index_shards as usize != engine.config.index_shards
+                {
+                    return Err(PersistError::ConfigMismatch(
+                        "snapshot was written under a different index configuration".into(),
+                    ));
+                }
+                if s.shard_counters.len() != engine.config.index_shards {
+                    return Err(PersistError::Corrupt(format!(
+                        "snapshot carries {} shard counter rows for {} shards",
+                        s.shard_counters.len(),
+                        engine.config.index_shards
+                    )));
+                }
+                engine.stats = StoreStats::from_array(s.stats);
+                engine.loading_bytes = s.loading_bytes;
+                engine.loading_ops = s.loading_ops;
+                for &(fp, cid) in &s.index_entries {
+                    engine
+                        .index
+                        .restore_entry(Fingerprint(fp), ContainerId(cid));
+                }
+                engine.index.set_shard_counters(&s.shard_counters);
+                let lru: Vec<Fingerprint> = s.cache_lru.iter().map(|&fp| Fingerprint(fp)).collect();
+                engine
+                    .cache
+                    .restore(&lru, s.cache_hits, s.cache_misses, s.cache_evictions);
+                s.seal_seq as usize
+            }
+            None => 0,
+        };
+
+        // 6. Replay containers beyond the snapshot into the index (with
+        //    accounting, mirroring the live seal path) and derive the
+        //    storage-side stat deltas. Flow counters (logical chunks,
+        //    duplicate hits, lookups) for the replayed span are not in the
+        //    container files and stay at their snapshot values — see the
+        //    recovery invariant in DESIGN.md §7.
+        for id in base_seq..recovered_n {
+            let cid = ContainerId(id as u32);
+            let container = engine.containers.get(cid).expect("recovered container");
+            engine.stats.unique_chunks += container.len() as u64;
+            engine.stats.unique_bytes += container.data_bytes;
+            engine.stats.containers_sealed += 1;
+            for &fp in &container.fingerprints {
+                engine.index.insert(fp, cid);
+            }
+        }
+
+        // 7. Rebuild the Bloom filter from every stored fingerprint — the
+        //    bit array is insertion-order-independent, so this reproduces
+        //    the filter of an engine that stored exactly these chunks.
+        for container in engine.containers.iter() {
+            for &fp in &container.fingerprints {
+                engine.bloom.insert(fp);
+            }
+        }
+
+        engine.persist = Some(PersistState {
+            seals_since_snapshot: (recovered_n - base_seq) as u32,
+            cfg: pcfg,
+            manifest,
+        });
+        Ok(engine)
     }
 
     /// Processes one chunk without payload (trace-driven mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine previously stored payload-bearing chunks
+    /// (mixed-mode ingestion, see [`crate::container::PayloadMode`]), or —
+    /// for a persistent engine — when a container/manifest write fails.
     pub fn process(&mut self, record: ChunkRecord) -> ChunkOutcome {
         self.process_inner(record, None)
     }
@@ -168,7 +440,10 @@ impl DedupEngine {
     ///
     /// # Panics
     ///
-    /// Debug-panics when `payload.len() != record.size`.
+    /// Debug-panics when `payload.len() != record.size`. Panics when the
+    /// engine previously stored metadata-only chunks (mixed-mode
+    /// ingestion), or — for a persistent engine — when a container/manifest
+    /// write fails.
     pub fn process_with_payload(&mut self, record: ChunkRecord, payload: &[u8]) -> ChunkOutcome {
         self.process_inner(record, Some(payload))
     }
@@ -223,12 +498,16 @@ impl DedupEngine {
         self.stats.unique_chunks += 1;
         self.stats.unique_bytes += u64::from(record.size);
         self.bloom.insert(record.fp);
-        if let Some(sealed_id) = self.containers.append(record, payload) {
+        let sealed = self
+            .containers
+            .append(record, payload)
+            .unwrap_or_else(|e| panic!("DedupEngine: {e}"));
+        if let Some(sealed_id) = sealed {
             self.on_sealed(sealed_id);
         }
     }
 
-    fn on_sealed(&mut self, id: crate::container::ContainerId) {
+    fn on_sealed(&mut self, id: ContainerId) {
         self.stats.containers_sealed += 1;
         let fps = self
             .containers
@@ -238,6 +517,17 @@ impl DedupEngine {
             .clone();
         for fp in fps {
             self.index.insert(fp, id);
+        }
+        if let Some(p) = &mut self.persist {
+            // Write-ahead ordering: the container file is made durable
+            // first, then the manifest record commits the seal.
+            let container = self.containers.get(id).expect("just sealed");
+            log::write_container(&p.cfg.dir, container, p.cfg.fsync)
+                .unwrap_or_else(|e| panic!("persistent store: container write failed: {e}"));
+            p.manifest
+                .append_seal(id.0, container.len() as u32, container.data_bytes)
+                .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+            p.seals_since_snapshot += 1;
         }
     }
 
@@ -250,10 +540,94 @@ impl DedupEngine {
 
     /// Seals the open container and indexes its chunks. Call once after the
     /// final backup (the engine remains usable afterwards).
+    ///
+    /// For a persistent engine this is also the interval-snapshot point: a
+    /// snapshot is written when [`PersistConfig::snapshot_every_seals`]
+    /// containers have been sealed since the last one (`finish` is the
+    /// first moment the open container is empty, which is what makes the
+    /// snapshot image consistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a persistent engine fails to write the container log,
+    /// manifest record or snapshot.
     pub fn finish(&mut self) {
         if let Some(id) = self.containers.flush() {
             self.on_sealed(id);
         }
+        let due = self.persist.as_ref().is_some_and(|p| {
+            p.cfg.snapshot_every_seals > 0 && p.seals_since_snapshot >= p.cfg.snapshot_every_seals
+        });
+        if due {
+            self.write_snapshot_now()
+                .unwrap_or_else(|e| panic!("persistent store: snapshot write failed: {e}"));
+        }
+    }
+
+    /// Seals the open container and writes a snapshot now (a durable
+    /// checkpoint). No-op beyond [`Self::finish`] for in-memory engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        if let Some(id) = self.containers.flush() {
+            self.on_sealed(id);
+        }
+        self.write_snapshot_now()
+    }
+
+    /// Flushes, snapshots and consumes the engine: after `close` returns,
+    /// [`Self::open`] on the same directory resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn close(mut self) -> Result<(), PersistError> {
+        self.checkpoint()
+    }
+
+    fn write_snapshot_now(&mut self) -> Result<(), PersistError> {
+        let Some(p) = &mut self.persist else {
+            return Ok(());
+        };
+        debug_assert_eq!(
+            self.containers.open_len(),
+            0,
+            "snapshot at an inconsistent point (open container not empty)"
+        );
+        let snapshot = Snapshot {
+            seal_seq: self.containers.sealed_count() as u64,
+            entry_bytes: self.config.entry_bytes,
+            index_shards: self.config.index_shards as u32,
+            stats: self.stats.to_array(),
+            loading_bytes: self.loading_bytes,
+            loading_ops: self.loading_ops,
+            shard_counters: self
+                .index
+                .shard_stats()
+                .iter()
+                .map(|s| [s.lookups, s.lookup_bytes, s.updates, s.update_bytes])
+                .collect(),
+            index_entries: self
+                .index
+                .sorted_entries()
+                .into_iter()
+                .map(|(fp, cid)| (fp.value(), cid.0))
+                .collect(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_lru: self
+                .cache
+                .lru_to_mru()
+                .into_iter()
+                .map(Fingerprint::value)
+                .collect(),
+        };
+        manifest::write_snapshot(&p.cfg.dir, &snapshot, p.cfg.fsync)?;
+        p.seals_since_snapshot = 0;
+        Ok(())
     }
 
     /// Deduplication counters.
@@ -306,6 +680,12 @@ impl DedupEngine {
         &self.containers
     }
 
+    /// The fingerprint index (inspection).
+    #[must_use]
+    pub fn index(&self) -> &FingerprintIndex {
+        &self.index
+    }
+
     /// The engine configuration.
     #[must_use]
     pub fn config(&self) -> &DedupConfig {
@@ -316,21 +696,34 @@ impl DedupEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::persist::FsyncPolicy;
+    use std::path::PathBuf;
 
     fn rec(fp: u64, size: u32) -> ChunkRecord {
         ChunkRecord::new(fp, size)
     }
 
-    fn small_engine(cache_entries: usize) -> DedupEngine {
-        DedupEngine::new(DedupConfig {
+    fn small_config(cache_entries: usize) -> DedupConfig {
+        DedupConfig {
             container_bytes: 64,
             cache_entries,
             entry_bytes: 32,
             bloom_expected: 10_000,
             bloom_fp_rate: 0.01,
             index_shards: 1,
-        })
-        .unwrap()
+            persist: None,
+        }
+    }
+
+    fn small_engine(cache_entries: usize) -> DedupEngine {
+        DedupEngine::new(small_config(cache_entries)).unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("freqdedup-engine-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -421,6 +814,7 @@ mod tests {
             bloom_expected: 100,
             bloom_fp_rate: 0.01,
             index_shards: 1,
+            persist: None,
         })
         .unwrap();
         e.process_with_payload(rec(1, 5), b"hello");
@@ -431,6 +825,14 @@ mod tests {
         // Read from sealed container via the index.
         assert_eq!(e.read_chunk(Fingerprint(2)), Some(&b"world"[..]));
         assert_eq!(e.read_chunk(Fingerprint(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed payload modes")]
+    fn mixed_mode_ingestion_panics() {
+        let mut e = small_engine(16);
+        e.process(rec(1, 16));
+        e.process_with_payload(rec(2, 5), b"hello");
     }
 
     #[test]
@@ -483,6 +885,7 @@ mod tests {
             bloom_expected: 10_000,
             bloom_fp_rate: 0.01,
             index_shards: 1,
+            persist: None,
         })
         .unwrap();
         for i in 0..1000u64 {
@@ -495,5 +898,107 @@ mod tests {
         let s = e.stats();
         assert!(s.dup_cache_hits > 900, "cache hits {}", s.dup_cache_hits);
         assert!(s.dup_index_hits < 100, "index hits {}", s.dup_index_hits);
+    }
+
+    #[test]
+    fn persistent_round_trip_is_bit_identical() {
+        let dir = tmp_dir("round-trip");
+        let pcfg = PersistConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let stream: Vec<ChunkRecord> = (0..300u64)
+            .map(|i| rec((i % 90).wrapping_mul(0x9e37_79b9_7f4a_7c15), 16))
+            .collect();
+
+        // Reference: an engine that never restarts.
+        let mut live = DedupEngine::new(small_config(16)).unwrap();
+        for &r in &stream {
+            live.process(r);
+        }
+        live.finish();
+
+        // Durable twin: same stream, then close + reopen.
+        let mut durable = DedupEngine::open(DedupConfig {
+            persist: Some(pcfg.clone()),
+            ..small_config(16)
+        })
+        .unwrap();
+        for &r in &stream {
+            durable.process(r);
+        }
+        durable.finish();
+        let want_stats = durable.stats();
+        durable.close().unwrap();
+
+        let mut reopened = DedupEngine::open(DedupConfig {
+            persist: Some(pcfg),
+            ..small_config(16)
+        })
+        .unwrap();
+        assert_eq!(reopened.stats(), want_stats);
+        assert_eq!(reopened.stats(), live.stats());
+        assert_eq!(reopened.metadata_access(), live.metadata_access());
+        assert_eq!(
+            reopened.index().sorted_entries(),
+            live.index().sorted_entries()
+        );
+        assert_eq!(reopened.cache().lru_to_mru(), live.cache().lru_to_mru());
+
+        // Subsequent ingest behaves identically on both.
+        for &r in &stream {
+            assert_eq!(reopened.process(r), live.process(r));
+        }
+        assert_eq!(reopened.stats(), live.stats());
+        assert_eq!(reopened.metadata_access(), live.metadata_access());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_under_different_config_rejected() {
+        let dir = tmp_dir("config-mismatch");
+        let pcfg = PersistConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let e = DedupEngine::open(DedupConfig {
+            persist: Some(pcfg.clone()),
+            ..small_config(16)
+        })
+        .unwrap();
+        e.close().unwrap();
+        let err = DedupEngine::open(DedupConfig {
+            container_bytes: 128, // was 64
+            persist: Some(pcfg),
+            ..small_config(16)
+        })
+        .unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_without_close_recovers_sealed_prefix() {
+        let dir = tmp_dir("no-close");
+        let pcfg = PersistConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let mut e = DedupEngine::open(DedupConfig {
+            persist: Some(pcfg.clone()),
+            ..small_config(16)
+        })
+        .unwrap();
+        // 9 unique 16-byte chunks: two sealed containers (4 chunks each)
+        // plus one chunk left in the open container, then "crash" (drop).
+        for i in 0..9u64 {
+            e.process(rec(i, 16));
+        }
+        assert_eq!(e.stats().containers_sealed, 2);
+        drop(e);
+
+        let r = DedupEngine::open(DedupConfig {
+            persist: Some(pcfg),
+            ..small_config(16)
+        })
+        .unwrap();
+        // The open-container chunk is gone; the sealed state survives.
+        assert_eq!(r.stats().containers_sealed, 2);
+        assert_eq!(r.stats().unique_chunks, 8);
+        assert_eq!(r.stats().unique_bytes, 8 * 16);
+        assert_eq!(r.index().len(), 8);
+        assert_eq!(r.containers().sealed_count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

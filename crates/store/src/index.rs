@@ -125,6 +125,48 @@ impl FingerprintIndex {
         shard.map.insert(fp, container);
     }
 
+    /// Re-inserts a recovered mapping **without** accounting: recovery
+    /// rebuilds the in-memory map from the snapshot, whose counters already
+    /// include the original accounted insertions.
+    pub(crate) fn restore_entry(&mut self, fp: Fingerprint, container: ContainerId) {
+        let shard_idx = self.shard_of(fp);
+        self.shards[shard_idx].map.insert(fp, container);
+    }
+
+    /// Overwrites the per-shard access counters with recovered values
+    /// (`[lookups, lookup_bytes, updates, update_bytes]` per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counters` does not cover every shard exactly once —
+    /// recovery validates the shard count before calling.
+    pub(crate) fn set_shard_counters(&mut self, counters: &[[u64; 4]]) {
+        assert_eq!(counters.len(), self.shards.len(), "shard count mismatch");
+        for (shard, c) in self.shards.iter_mut().zip(counters) {
+            shard.lookups.set(c[0]);
+            shard.lookup_bytes.set(c[1]);
+            shard.updates = c[2];
+            shard.update_bytes = c[3];
+        }
+    }
+
+    /// All `(fingerprint, container)` entries sorted by fingerprint.
+    ///
+    /// Prefix shards own contiguous fingerprint ranges, so sorting each
+    /// shard and concatenating in shard order yields the global order —
+    /// this is the snapshot serialization order, and a deterministic basis
+    /// for index-content comparisons.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<(Fingerprint, ContainerId)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let start = out.len();
+            out.extend(shard.map.iter().map(|(&fp, &cid)| (fp, cid)));
+            out[start..].sort_unstable_by_key(|&(fp, _)| fp);
+        }
+        out
+    }
+
     /// Membership test without accounting (test/debug use only — the engine
     /// never bypasses accounting).
     #[must_use]
@@ -312,6 +354,32 @@ mod tests {
         assert_eq!(one.len(), many.len());
         assert_eq!(one.lookup_bytes(), many.lookup_bytes());
         assert_eq!(one.update_bytes(), many.update_bytes());
+    }
+
+    #[test]
+    fn sorted_entries_global_order() {
+        let mut idx = FingerprintIndex::with_shards(32, 4);
+        let fps = [u64::MAX, 3, 1 << 63, 1 << 62, 0, (1 << 63) | 7];
+        for (i, &v) in fps.iter().enumerate() {
+            idx.insert(Fingerprint(v), ContainerId(i as u32));
+        }
+        let entries = idx.sorted_entries();
+        let order: Vec<u64> = entries.iter().map(|&(fp, _)| fp.value()).collect();
+        let mut want = fps.to_vec();
+        want.sort_unstable();
+        assert_eq!(order, want);
+    }
+
+    #[test]
+    fn restore_entry_bypasses_accounting() {
+        let mut idx = FingerprintIndex::with_shards(32, 2);
+        idx.restore_entry(Fingerprint(1), ContainerId(3));
+        assert_eq!(idx.peek(Fingerprint(1)), Some(ContainerId(3)));
+        assert_eq!(idx.updates(), 0);
+        assert_eq!(idx.update_bytes(), 0);
+        idx.set_shard_counters(&[[1, 32, 2, 64], [0, 0, 0, 0]]);
+        assert_eq!(idx.lookups(), 1);
+        assert_eq!(idx.update_bytes(), 64);
     }
 
     #[test]

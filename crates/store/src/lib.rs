@@ -19,6 +19,12 @@
 //! [`sharded::ShardedDedupEngine`] partitions the fingerprint space into
 //! prefix shards — one full engine each — for shard-parallel ingest with
 //! merged counters.
+//!
+//! Both engines can be **durable**: with [`persist::PersistConfig`] set on
+//! the configuration, sealed containers are written to append-only [log
+//! files](log), committed through a write-ahead [manifest journal +
+//! snapshot](manifest), and recovered on reopen — bit-identically after a
+//! clean close, and to the last consistent sealed state after a crash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +34,8 @@ pub mod cache;
 pub mod container;
 pub mod engine;
 pub mod index;
+pub mod log;
+pub mod manifest;
+pub mod persist;
 pub mod sharded;
 pub mod stats;

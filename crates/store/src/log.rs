@@ -1,0 +1,352 @@
+//! The on-disk container log: one append-only file per sealed container.
+//!
+//! Sealed containers are immutable, so each one is serialized into its own
+//! `container-NNNNNNNN.clog` file the moment it is sealed — the file *is*
+//! the durable copy of the container, written before the seal is recorded
+//! in the [manifest journal](crate::manifest) (write-ahead ordering: the
+//! manifest record commits the container).
+//!
+//! ## Format (all integers little-endian)
+//!
+//! ```text
+//! magic        b"FQCL"                          4 bytes
+//! version      u16 (= 1)                        2 bytes
+//! flags        u8 (bit 0: payload present)      1 byte
+//! reserved     u8 (= 0)                         1 byte
+//! container id u32                              4 bytes
+//! chunk count  u32                              4 bytes
+//! data bytes   u64                              8 bytes
+//! record*      u32 record length (= 12 + payload length)
+//!              u64 fingerprint
+//!              u32 chunk size
+//!              payload bytes (payload mode only)
+//! crc          u32 CRC-32 (IEEE) of everything before it
+//! ```
+//!
+//! A file that ends mid-record, or whose CRC does not match, is a **torn
+//! write** ([`PersistError::Torn`]): the process died while the file was
+//! being written. Recovery tolerates this only on the *last* sealed
+//! container (see `DESIGN.md` §7); a torn file earlier in the sequence is
+//! hard corruption.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use freqdedup_trace::Fingerprint;
+
+use crate::container::{Container, ContainerId};
+use crate::persist::{maybe_sync, maybe_sync_dir, CrcSink, CrcSource, FsyncPolicy, PersistError};
+
+const LOG_MAGIC: &[u8; 4] = b"FQCL";
+const LOG_VERSION: u16 = 1;
+const FLAG_PAYLOAD: u8 = 0b0000_0001;
+/// Fixed per-record framing ahead of the payload: fingerprint + size.
+const RECORD_HEADER: u32 = 12;
+
+/// The log file path of container `id` under `dir`.
+#[must_use]
+pub fn container_path(dir: &Path, id: ContainerId) -> PathBuf {
+    dir.join(format!("container-{:08}.clog", id.0))
+}
+
+/// Serializes a sealed container into its log file under `dir`,
+/// overwriting any stale file of the same id.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn write_container(
+    dir: &Path,
+    container: &Container,
+    policy: FsyncPolicy,
+) -> Result<(), PersistError> {
+    let file = File::create(container_path(dir, container.id))?;
+    let mut w = CrcSink::new(BufWriter::new(file));
+    let flags = if container.has_payload() {
+        FLAG_PAYLOAD
+    } else {
+        0
+    };
+    w.write_all(LOG_MAGIC)?;
+    w.write_u16(LOG_VERSION)?;
+    w.write_u8(flags)?;
+    w.write_u8(0)?;
+    w.write_u32(container.id.0)?;
+    w.write_u32(container.len() as u32)?;
+    w.write_u64(container.data_bytes)?;
+    for (i, (&fp, &size)) in container
+        .fingerprints
+        .iter()
+        .zip(container.chunk_sizes())
+        .enumerate()
+    {
+        let payload = container.chunk_payload(i);
+        let payload_len = payload.map_or(0, <[u8]>::len) as u32;
+        w.write_u32(RECORD_HEADER + payload_len)?;
+        w.write_u64(fp.value())?;
+        w.write_u32(size)?;
+        if let Some(bytes) = payload {
+            w.write_all(bytes)?;
+        }
+    }
+    let mut buf = w.finish()?;
+    buf.flush()?;
+    maybe_sync(buf.get_ref(), policy)?;
+    // The directory entry must be durable too, or a manifest-committed
+    // container could vanish in a crash despite its data being fsynced.
+    maybe_sync_dir(dir, policy)?;
+    Ok(())
+}
+
+/// Reads and verifies the log file of container `id` under `dir`,
+/// rebuilding the in-memory [`Container`].
+///
+/// # Errors
+///
+/// * [`PersistError::Torn`] — the file ends mid-record or fails its CRC
+///   (recovery treats this as a torn tail write when `id` is the last
+///   sealed container);
+/// * [`PersistError::Io`] — the file is missing or unreadable;
+/// * [`PersistError::BadMagic`] / [`PersistError::BadVersion`] /
+///   [`PersistError::Corrupt`] — the file is not a container log or its
+///   structure is inconsistent with its header.
+pub fn read_container(dir: &Path, id: ContainerId) -> Result<Container, PersistError> {
+    let path = container_path(dir, id);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let file = File::open(&path)?;
+    // The CrcSource error paths want a 'static file tag; keep the dynamic
+    // name for the structural errors and rewrite the torn/magic ones below.
+    let mut r = CrcSource::new(BufReader::new(file), "container log");
+    let rename = |e: PersistError| match e {
+        PersistError::Torn { detail, .. } => PersistError::Torn {
+            file: name.clone(),
+            detail,
+        },
+        PersistError::BadMagic { .. } => PersistError::BadMagic { file: name.clone() },
+        PersistError::BadVersion { version, .. } => PersistError::BadVersion {
+            file: name.clone(),
+            version,
+        },
+        other => other,
+    };
+    read_container_inner(&mut r, id, &name).map_err(rename)
+}
+
+fn read_container_inner<R: std::io::Read>(
+    r: &mut CrcSource<R>,
+    id: ContainerId,
+    name: &str,
+) -> Result<Container, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic, "magic")?;
+    if &magic != LOG_MAGIC {
+        return Err(PersistError::BadMagic {
+            file: name.to_string(),
+        });
+    }
+    let version = r.read_u16("version")?;
+    if version != LOG_VERSION {
+        return Err(PersistError::BadVersion {
+            file: name.to_string(),
+            version,
+        });
+    }
+    let flags = r.read_u8("flags")?;
+    let _reserved = r.read_u8("reserved")?;
+    let has_payload = flags & FLAG_PAYLOAD != 0;
+    let file_id = r.read_u32("container id")?;
+    if file_id != id.0 {
+        return Err(PersistError::Corrupt(format!(
+            "{name}: header claims container id {file_id}"
+        )));
+    }
+    let count = r.read_u32("chunk count")? as usize;
+    let data_bytes = r.read_u64("data bytes")?;
+    let mut fingerprints = Vec::with_capacity(count);
+    let mut sizes = Vec::with_capacity(count);
+    let mut payload = has_payload.then(Vec::new);
+    for _ in 0..count {
+        let rec_len = r.read_u32("record length")?;
+        if rec_len < RECORD_HEADER {
+            return Err(PersistError::Corrupt(format!(
+                "{name}: record length {rec_len} shorter than framing"
+            )));
+        }
+        let payload_len = (rec_len - RECORD_HEADER) as usize;
+        fingerprints.push(Fingerprint(r.read_u64("record fingerprint")?));
+        let size = r.read_u32("record size")?;
+        sizes.push(size);
+        match &mut payload {
+            Some(buf) => {
+                if payload_len != size as usize {
+                    return Err(PersistError::Corrupt(format!(
+                        "{name}: payload length {payload_len} disagrees with chunk size {size}"
+                    )));
+                }
+                let start = buf.len();
+                buf.resize(start + payload_len, 0);
+                r.read_exact(&mut buf[start..], "record payload")?;
+            }
+            None => {
+                if payload_len != 0 {
+                    return Err(PersistError::Corrupt(format!(
+                        "{name}: metadata-only container carries {payload_len} payload bytes"
+                    )));
+                }
+            }
+        }
+    }
+    r.expect_crc()?;
+    let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+    if total != data_bytes {
+        return Err(PersistError::Corrupt(format!(
+            "{name}: header claims {data_bytes} data bytes, records sum to {total}"
+        )));
+    }
+    Ok(Container::from_restored(id, fingerprints, sizes, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ContainerStore;
+    use freqdedup_trace::ChunkRecord;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("freqdedup-clog-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sealed_payload_container() -> Container {
+        let mut store = ContainerStore::new(64);
+        store
+            .append(ChunkRecord::new(11u64, 5), Some(b"hello"))
+            .unwrap();
+        store
+            .append(ChunkRecord::new(22u64, 6), Some(b"world!"))
+            .unwrap();
+        let id = store.flush().unwrap();
+        store.get(id).unwrap().clone()
+    }
+
+    fn sealed_metadata_container() -> Container {
+        let mut store = ContainerStore::new(64);
+        for i in 0..4u64 {
+            store.append(ChunkRecord::new(i, 16), None).unwrap();
+        }
+        let id = store.flush().unwrap();
+        store.get(id).unwrap().clone()
+    }
+
+    #[test]
+    fn payload_container_round_trips() {
+        let dir = tmp_dir("payload-rt");
+        let c = sealed_payload_container();
+        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        let back = read_container(&dir, c.id).unwrap();
+        assert_eq!(back.fingerprints, c.fingerprints);
+        assert_eq!(back.chunk_sizes(), c.chunk_sizes());
+        assert_eq!(back.data_bytes, c.data_bytes);
+        assert_eq!(back.chunk_payload(0), Some(&b"hello"[..]));
+        assert_eq!(back.chunk_payload(1), Some(&b"world!"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metadata_container_round_trips() {
+        let dir = tmp_dir("meta-rt");
+        let c = sealed_metadata_container();
+        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        let back = read_container(&dir, c.id).unwrap();
+        assert_eq!(back.fingerprints, c.fingerprints);
+        assert_eq!(back.chunk_sizes(), c.chunk_sizes());
+        assert!(!back.has_payload());
+        assert_eq!(back.chunk_payload(0), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_reports_torn() {
+        let dir = tmp_dir("torn");
+        let c = sealed_payload_container();
+        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        let path = container_path(&dir, c.id);
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file off mid-record (and mid-CRC, and mid-header):
+        // every truncation point must surface as Torn, never as Ok.
+        for cut in [full.len() - 1, full.len() - 3, full.len() / 2, 9, 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match read_container(&dir, c.id) {
+                Err(PersistError::Torn { .. }) => {}
+                other => panic!("cut at {cut}: expected Torn, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_reports_torn_checksum() {
+        let dir = tmp_dir("bitflip");
+        let c = sealed_metadata_container();
+        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        let path = container_path(&dir, c.id);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 6; // inside the last record
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_container(&dir, c.id),
+            Err(PersistError::Torn { .. } | PersistError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_id_reports_corrupt() {
+        let dir = tmp_dir("wrong-id");
+        let c = sealed_metadata_container();
+        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        // Ask for id 0's file under id 5's name.
+        std::fs::rename(
+            container_path(&dir, c.id),
+            container_path(&dir, ContainerId(5)),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_container(&dir, ContainerId(5)),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_io() {
+        let dir = tmp_dir("missing");
+        assert!(matches!(
+            read_container(&dir, ContainerId(0)),
+            Err(PersistError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn not_a_container_log_reports_bad_magic() {
+        let dir = tmp_dir("magic");
+        std::fs::write(
+            container_path(&dir, ContainerId(0)),
+            b"NOPE----------------",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_container(&dir, ContainerId(0)),
+            Err(PersistError::BadMagic { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

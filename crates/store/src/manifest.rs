@@ -1,0 +1,651 @@
+//! The write-ahead manifest journal and the index snapshot.
+//!
+//! ## Manifest journal (`manifest.log`)
+//!
+//! An append-only record of container lifecycle events. A container's log
+//! file is written **and fsynced first**; the manifest record appended
+//! afterwards is what *commits* the seal — a container file without a
+//! manifest record is invisible to recovery. Each record carries its own
+//! CRC, so a tail record torn by a crash is detected and dropped (the
+//! journal is truncated back to its last good record on reopen).
+//!
+//! ```text
+//! header    magic b"FQMJ" (4) + version u16 (= 1)
+//! record*   kind u8 (1 = seal, 2 = delete)
+//!           payload length u32
+//!           payload bytes
+//!           crc u32 over kind + length + payload
+//! ```
+//!
+//! Seal payload: container id `u32`, chunk count `u32`, data bytes `u64`.
+//! Delete payload: container id `u32` (reserved for future garbage
+//! collection — the engine never emits one today, but the format and
+//! replay already understand it).
+//!
+//! ## Snapshot (`index.snap`)
+//!
+//! A point-in-time image of the engine's *derived* state — fingerprint
+//! index entries, dedup/metadata counters, and the LRU cache order — taken
+//! only at consistent points (after [`crate::engine::DedupEngine::finish`],
+//! when the open container is empty). The snapshot is written to a
+//! temporary file and atomically renamed, so it is always either the old
+//! or the new complete image. Recovery loads the snapshot, then replays
+//! manifest-committed containers beyond `seal_seq` into the index.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use freqdedup_trace::io::Crc32;
+
+use crate::persist::{maybe_sync, maybe_sync_dir, CrcSink, CrcSource, FsyncPolicy, PersistError};
+
+pub(crate) const MANIFEST_FILE: &str = "manifest.log";
+pub(crate) const SNAPSHOT_FILE: &str = "index.snap";
+const MANIFEST_MAGIC: &[u8; 4] = b"FQMJ";
+const MANIFEST_VERSION: u16 = 1;
+const SNAPSHOT_MAGIC: &[u8; 4] = b"FQSN";
+const SNAPSHOT_VERSION: u16 = 1;
+
+const KIND_SEAL: u8 = 1;
+const KIND_DELETE: u8 = 2;
+
+/// One manifest journal event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManifestEvent {
+    /// A container was sealed and its log file made durable.
+    Seal {
+        /// Sealed container id.
+        id: u32,
+        /// Chunks in the container.
+        chunk_count: u32,
+        /// Data bytes in the container.
+        data_bytes: u64,
+    },
+    /// A container was deleted (reserved for future garbage collection).
+    Delete {
+        /// Deleted container id.
+        id: u32,
+    },
+}
+
+/// The result of scanning a manifest journal: the valid event prefix and
+/// the byte offset where it ends (everything after is a torn tail).
+#[derive(Debug)]
+pub struct ManifestScan {
+    /// Valid events in journal order.
+    pub events: Vec<ManifestEvent>,
+    /// End offset of each valid record, index-aligned with `events`.
+    pub record_ends: Vec<u64>,
+    /// Byte length of the valid prefix (header included).
+    pub valid_len: u64,
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+/// Whether `dir` contains an initialized manifest journal.
+#[must_use]
+pub fn manifest_exists(dir: &Path) -> bool {
+    manifest_path(dir).exists()
+}
+
+/// Scans the manifest journal under `dir`, tolerating a torn tail: the
+/// scan stops at the first record that is truncated or fails its CRC, and
+/// reports the valid prefix.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] when the journal is missing or unreadable,
+/// [`PersistError::BadMagic`] / [`PersistError::BadVersion`] when the
+/// header itself is foreign (a journal with a torn *header* is corrupt —
+/// the header is written at creation time, before any data is accepted).
+pub fn scan_manifest(dir: &Path) -> Result<ManifestScan, PersistError> {
+    let file = File::open(manifest_path(dir))?;
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; 6];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            // The header is written at creation, before any data is
+            // accepted — a short header is corruption, not a torn tail.
+            PersistError::Corrupt("manifest.log: truncated header".to_string())
+        } else {
+            PersistError::Io(e)
+        }
+    })?;
+    if &header[..4] != MANIFEST_MAGIC {
+        return Err(PersistError::BadMagic {
+            file: MANIFEST_FILE.to_string(),
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != MANIFEST_VERSION {
+        return Err(PersistError::BadVersion {
+            file: MANIFEST_FILE.to_string(),
+            version,
+        });
+    }
+    let mut events = Vec::new();
+    let mut record_ends = Vec::new();
+    let mut offset = 6u64;
+    loop {
+        match read_record(&mut r) {
+            Ok(Some((event, len))) => {
+                offset += len;
+                events.push(event);
+                record_ends.push(offset);
+            }
+            Ok(None) => break,                 // clean end of journal
+            Err(RecordFailure::Torn) => break, // torn tail: drop it, keep the prefix
+            // A real read error is NOT a torn tail: classifying it as one
+            // would let recovery truncate away durably committed records.
+            Err(RecordFailure::Io(e)) => return Err(PersistError::Io(e)),
+        }
+    }
+    Ok(ManifestScan {
+        events,
+        record_ends,
+        valid_len: offset,
+    })
+}
+
+/// Why one journal record could not be read.
+enum RecordFailure {
+    /// Truncation, CRC mismatch or tail garbage — the torn-write signature.
+    Torn,
+    /// A genuine I/O failure; the journal's true contents are unknown.
+    Io(std::io::Error),
+}
+
+fn classify(e: std::io::Error) -> RecordFailure {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        RecordFailure::Torn
+    } else {
+        RecordFailure::Io(e)
+    }
+}
+
+/// Reads one record; `Ok(None)` at clean EOF, `Err` on a torn/invalid tail
+/// record or a hard read failure.
+fn read_record<R: Read>(r: &mut R) -> Result<Option<(ManifestEvent, u64)>, RecordFailure> {
+    let mut kind = [0u8; 1];
+    match r.read_exact(&mut kind) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(RecordFailure::Io(e)),
+    }
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes).map_err(classify)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > 1 << 20 {
+        return Err(RecordFailure::Torn); // absurd length: tail garbage
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(classify)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes).map_err(classify)?;
+    let mut crc = Crc32::new();
+    crc.update(&kind);
+    crc.update(&len_bytes);
+    crc.update(&payload);
+    if crc.finalize() != u32::from_le_bytes(crc_bytes) {
+        return Err(RecordFailure::Torn);
+    }
+    let event = match kind[0] {
+        KIND_SEAL if payload.len() == 16 => ManifestEvent::Seal {
+            id: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            chunk_count: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            data_bytes: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+        },
+        KIND_DELETE if payload.len() == 4 => ManifestEvent::Delete {
+            id: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+        },
+        _ => return Err(RecordFailure::Torn), // unknown kind or malformed payload
+    };
+    Ok(Some((event, 1 + 4 + u64::from(len) + 4)))
+}
+
+/// An open handle appending records to the manifest journal.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    file: File,
+    policy: FsyncPolicy,
+}
+
+impl ManifestWriter {
+    /// Creates a fresh journal (header only) under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn create(dir: &Path, policy: FsyncPolicy) -> Result<Self, PersistError> {
+        let mut file = File::create(manifest_path(dir))?;
+        file.write_all(MANIFEST_MAGIC)?;
+        file.write_all(&MANIFEST_VERSION.to_le_bytes())?;
+        maybe_sync(&file, policy)?;
+        maybe_sync_dir(dir, policy)?;
+        Ok(ManifestWriter { file, policy })
+    }
+
+    /// Reopens an existing journal for appending, first truncating it to
+    /// `valid_len` (discarding any torn tail and any records the caller
+    /// has rolled back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on failure.
+    pub fn reopen(dir: &Path, valid_len: u64, policy: FsyncPolicy) -> Result<Self, PersistError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(manifest_path(dir))?;
+        file.set_len(valid_len)?;
+        maybe_sync(&file, policy)?;
+        // Append mode would also work, but an explicit seek keeps the write
+        // position unambiguous after the truncation.
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(ManifestWriter { file, policy })
+    }
+
+    fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), PersistError> {
+        let len = payload.len() as u32;
+        let mut crc = Crc32::new();
+        crc.update(&[kind]);
+        crc.update(&len.to_le_bytes());
+        crc.update(payload);
+        let mut record = Vec::with_capacity(9 + payload.len());
+        record.push(kind);
+        record.extend_from_slice(&len.to_le_bytes());
+        record.extend_from_slice(payload);
+        record.extend_from_slice(&crc.finalize().to_le_bytes());
+        self.file.write_all(&record)?;
+        maybe_sync(&self.file, self.policy)?;
+        Ok(())
+    }
+
+    /// Appends (and per policy fsyncs) a seal record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn append_seal(
+        &mut self,
+        id: u32,
+        chunk_count: u32,
+        data_bytes: u64,
+    ) -> Result<(), PersistError> {
+        let mut payload = [0u8; 16];
+        payload[0..4].copy_from_slice(&id.to_le_bytes());
+        payload[4..8].copy_from_slice(&chunk_count.to_le_bytes());
+        payload[8..16].copy_from_slice(&data_bytes.to_le_bytes());
+        self.append(KIND_SEAL, &payload)
+    }
+
+    /// Appends (and per policy fsyncs) a delete record.
+    ///
+    /// Crate-private until garbage collection exists: engine recovery
+    /// rejects delete records today, so letting external callers write one
+    /// into a live journal would make the store unopenable.
+    #[allow(dead_code)] // exercised by tests; live callers arrive with GC
+    pub(crate) fn append_delete(&mut self, id: u32) -> Result<(), PersistError> {
+        self.append(KIND_DELETE, &id.to_le_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A point-in-time image of the engine's derived state, taken at a
+/// consistent point (open container empty). Plain data — the engine
+/// assembles and consumes it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Number of sealed containers the snapshot reflects (containers
+    /// `0..seal_seq` are fully accounted in every field below).
+    pub seal_seq: u64,
+    /// Config echo: metadata entry size.
+    pub entry_bytes: u64,
+    /// Config echo: fingerprint-index prefix shards.
+    pub index_shards: u32,
+    /// [`crate::stats::StoreStats`] as its canonical array form.
+    pub stats: [u64; 9],
+    /// Engine-level container-prefetch byte counter.
+    pub loading_bytes: u64,
+    /// Engine-level container-prefetch op counter.
+    pub loading_ops: u64,
+    /// Per-index-shard `(lookups, lookup_bytes, updates, update_bytes)`.
+    pub shard_counters: Vec<[u64; 4]>,
+    /// Fingerprint → container id entries, sorted by fingerprint.
+    pub index_entries: Vec<(u64, u32)>,
+    /// Cache hit counter.
+    pub cache_hits: u64,
+    /// Cache miss counter.
+    pub cache_misses: u64,
+    /// Cache eviction counter.
+    pub cache_evictions: u64,
+    /// Cached fingerprints in least→most recently used order.
+    pub cache_lru: Vec<u64>,
+}
+
+fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Removes the snapshot file (recovery calls this when discarding a
+/// snapshot that describes lost state — leaving it on disk would let a
+/// later recovery resurrect it after its container-id space is reused).
+pub(crate) fn remove_snapshot(dir: &Path, policy: FsyncPolicy) -> Result<(), PersistError> {
+    match std::fs::remove_file(snapshot_path(dir)) {
+        Ok(()) => {
+            maybe_sync_dir(dir, policy)?;
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Writes `snapshot` atomically (temp file + rename) under `dir`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn write_snapshot(
+    dir: &Path,
+    snapshot: &Snapshot,
+    policy: FsyncPolicy,
+) -> Result<(), PersistError> {
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let file = File::create(&tmp)?;
+    let mut w = CrcSink::new(BufWriter::new(file));
+    w.write_all(SNAPSHOT_MAGIC)?;
+    w.write_u16(SNAPSHOT_VERSION)?;
+    w.write_u64(snapshot.seal_seq)?;
+    w.write_u64(snapshot.entry_bytes)?;
+    w.write_u32(snapshot.index_shards)?;
+    for &v in &snapshot.stats {
+        w.write_u64(v)?;
+    }
+    w.write_u64(snapshot.loading_bytes)?;
+    w.write_u64(snapshot.loading_ops)?;
+    w.write_u32(snapshot.shard_counters.len() as u32)?;
+    for counters in &snapshot.shard_counters {
+        for &v in counters {
+            w.write_u64(v)?;
+        }
+    }
+    w.write_u64(snapshot.index_entries.len() as u64)?;
+    for &(fp, cid) in &snapshot.index_entries {
+        w.write_u64(fp)?;
+        w.write_u32(cid)?;
+    }
+    w.write_u64(snapshot.cache_hits)?;
+    w.write_u64(snapshot.cache_misses)?;
+    w.write_u64(snapshot.cache_evictions)?;
+    w.write_u64(snapshot.cache_lru.len() as u64)?;
+    for &fp in &snapshot.cache_lru {
+        w.write_u64(fp)?;
+    }
+    let mut buf = w.finish()?;
+    buf.flush()?;
+    maybe_sync(buf.get_ref(), policy)?;
+    drop(buf);
+    std::fs::rename(&tmp, snapshot_path(dir))?;
+    maybe_sync_dir(dir, policy)?;
+    Ok(())
+}
+
+/// Reads the snapshot under `dir`; `Ok(None)` when none has been written
+/// yet.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Torn`] on truncation/CRC failure (should be
+/// impossible under the atomic-rename discipline — its presence means
+/// outside interference), plus the usual magic/version errors.
+pub fn read_snapshot(dir: &Path) -> Result<Option<Snapshot>, PersistError> {
+    let file = match File::open(snapshot_path(dir)) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = CrcSource::new(BufReader::new(file), SNAPSHOT_FILE);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic, "magic")?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic {
+            file: SNAPSHOT_FILE.to_string(),
+        });
+    }
+    let version = r.read_u16("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::BadVersion {
+            file: SNAPSHOT_FILE.to_string(),
+            version,
+        });
+    }
+    let mut snapshot = Snapshot {
+        seal_seq: r.read_u64("seal_seq")?,
+        entry_bytes: r.read_u64("entry_bytes")?,
+        index_shards: r.read_u32("index_shards")?,
+        ..Snapshot::default()
+    };
+    for v in &mut snapshot.stats {
+        *v = r.read_u64("stats")?;
+    }
+    snapshot.loading_bytes = r.read_u64("loading_bytes")?;
+    snapshot.loading_ops = r.read_u64("loading_ops")?;
+    let nshards = r.read_u32("shard counter count")? as usize;
+    if nshards > 1 << 20 {
+        return Err(PersistError::Corrupt(format!(
+            "index.snap: absurd shard count {nshards}"
+        )));
+    }
+    snapshot.shard_counters = (0..nshards)
+        .map(|_| -> Result<[u64; 4], PersistError> {
+            Ok([
+                r.read_u64("shard lookups")?,
+                r.read_u64("shard lookup bytes")?,
+                r.read_u64("shard updates")?,
+                r.read_u64("shard update bytes")?,
+            ])
+        })
+        .collect::<Result<_, _>>()?;
+    let entries = r.read_u64("index entry count")?;
+    if entries > 1 << 40 {
+        return Err(PersistError::Corrupt(format!(
+            "index.snap: absurd entry count {entries}"
+        )));
+    }
+    snapshot.index_entries = (0..entries)
+        .map(|_| -> Result<(u64, u32), PersistError> {
+            Ok((
+                r.read_u64("entry fingerprint")?,
+                r.read_u32("entry container")?,
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    snapshot.cache_hits = r.read_u64("cache hits")?;
+    snapshot.cache_misses = r.read_u64("cache misses")?;
+    snapshot.cache_evictions = r.read_u64("cache evictions")?;
+    let cached = r.read_u64("cache entry count")?;
+    if cached > 1 << 40 {
+        return Err(PersistError::Corrupt(format!(
+            "index.snap: absurd cache count {cached}"
+        )));
+    }
+    snapshot.cache_lru = (0..cached)
+        .map(|_| r.read_u64("cache fingerprint"))
+        .collect::<Result<_, _>>()?;
+    r.expect_crc()?;
+    Ok(Some(snapshot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("freqdedup-manifest-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journal_round_trips_events() {
+        let dir = tmp_dir("journal-rt");
+        let mut w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        w.append_seal(0, 4, 64).unwrap();
+        w.append_seal(1, 2, 32).unwrap();
+        w.append_delete(0).unwrap();
+        drop(w);
+        let scan = scan_manifest(&dir).unwrap();
+        assert_eq!(
+            scan.events,
+            vec![
+                ManifestEvent::Seal {
+                    id: 0,
+                    chunk_count: 4,
+                    data_bytes: 64
+                },
+                ManifestEvent::Seal {
+                    id: 1,
+                    chunk_count: 2,
+                    data_bytes: 32
+                },
+                ManifestEvent::Delete { id: 0 },
+            ]
+        );
+        assert_eq!(scan.record_ends.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped() {
+        let dir = tmp_dir("journal-torn");
+        let mut w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        w.append_seal(0, 4, 64).unwrap();
+        w.append_seal(1, 2, 32).unwrap();
+        drop(w);
+        let path = dir.join(MANIFEST_FILE);
+        let full = std::fs::read(&path).unwrap();
+        // Truncate into the middle of the second record.
+        let cut = full.len() - 7;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let scan = scan_manifest(&dir).unwrap();
+        assert_eq!(scan.events.len(), 1, "only the first record survives");
+        assert_eq!(
+            scan.events[0],
+            ManifestEvent::Seal {
+                id: 0,
+                chunk_count: 4,
+                data_bytes: 64
+            }
+        );
+        // Reopen truncates the garbage; a new append then scans cleanly.
+        let mut w = ManifestWriter::reopen(&dir, scan.valid_len, FsyncPolicy::Never).unwrap();
+        w.append_seal(1, 8, 128).unwrap();
+        drop(w);
+        let scan = scan_manifest(&dir).unwrap();
+        assert_eq!(scan.events.len(), 2);
+        assert_eq!(
+            scan.events[1],
+            ManifestEvent::Seal {
+                id: 1,
+                chunk_count: 8,
+                data_bytes: 128
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_record_is_dropped() {
+        let dir = tmp_dir("journal-bitflip");
+        let mut w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        w.append_seal(0, 4, 64).unwrap();
+        w.append_seal(1, 2, 32).unwrap();
+        drop(w);
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xff; // inside the second record's payload
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_manifest(&dir).unwrap();
+        assert_eq!(scan.events.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_journal_scans_empty() {
+        let dir = tmp_dir("journal-empty");
+        let w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        drop(w);
+        let scan = scan_manifest(&dir).unwrap();
+        assert!(scan.events.is_empty());
+        assert_eq!(scan.valid_len, 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_io_error() {
+        let dir = tmp_dir("journal-missing");
+        assert!(matches!(scan_manifest(&dir), Err(PersistError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = tmp_dir("snap-rt");
+        let snapshot = Snapshot {
+            seal_seq: 3,
+            entry_bytes: 32,
+            index_shards: 2,
+            stats: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            loading_bytes: 10,
+            loading_ops: 11,
+            shard_counters: vec![[1, 32, 2, 64], [3, 96, 4, 128]],
+            index_entries: vec![(5, 0), (9, 1), (u64::MAX, 2)],
+            cache_hits: 12,
+            cache_misses: 13,
+            cache_evictions: 14,
+            cache_lru: vec![9, 5],
+        };
+        write_snapshot(&dir, &snapshot, FsyncPolicy::Never).unwrap();
+        assert_eq!(read_snapshot(&dir).unwrap(), Some(snapshot.clone()));
+        // Overwrite atomically with a newer image.
+        let newer = Snapshot {
+            seal_seq: 4,
+            ..snapshot
+        };
+        write_snapshot(&dir, &newer, FsyncPolicy::Never).unwrap();
+        assert_eq!(read_snapshot(&dir).unwrap().unwrap().seal_seq, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absent_snapshot_is_none() {
+        let dir = tmp_dir("snap-none");
+        assert_eq!(read_snapshot(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_detected() {
+        let dir = tmp_dir("snap-corrupt");
+        write_snapshot(&dir, &Snapshot::default(), FsyncPolicy::Never).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 9] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,6 +25,7 @@ use freqdedup_trace::par::{self, ParConfig};
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::engine::{ChunkOutcome, DedupConfig, DedupEngine};
+use crate::persist::{self, MetaKind, PersistConfig, PersistError, StoreMeta};
 use crate::stats::{MetadataAccess, StoreStats};
 
 /// N fingerprint-prefix shards, each a full [`DedupEngine`].
@@ -34,7 +35,9 @@ pub struct ShardedDedupEngine {
 }
 
 impl ShardedDedupEngine {
-    /// Builds `shards` engines from one aggregate configuration.
+    /// Builds `shards` engines from one aggregate configuration
+    /// ([`Self::open`] with the error stringified — kept for source
+    /// compatibility).
     ///
     /// `config.bloom_expected` and `config.cache_entries` are interpreted
     /// as the *total* memory budgets and divided across shards (rounded
@@ -47,18 +50,87 @@ impl ShardedDedupEngine {
     /// Returns a message when `shards` is zero or the per-shard
     /// configuration fails [`DedupConfig::validate`].
     pub fn new(config: DedupConfig, shards: usize) -> Result<Self, String> {
+        Self::open(config, shards).map_err(|e| e.to_string())
+    }
+
+    /// Opens a sharded engine. With [`DedupConfig::persist`] set, the
+    /// directory holds a *sharded* `store.meta` plus one engine directory
+    /// per prefix shard (`shard-NNN/`); each shard engine persists — and
+    /// recovers — independently under its subdirectory, so parallel ingest
+    /// never contends on a shared file.
+    ///
+    /// # Errors
+    ///
+    /// As [`DedupEngine::open`], plus [`PersistError::ConfigMismatch`]
+    /// when the directory was created with a different shard count.
+    pub fn open(config: DedupConfig, shards: usize) -> Result<Self, PersistError> {
         if shards == 0 {
-            return Err("shard count must be positive".into());
+            return Err(PersistError::InvalidConfig(
+                "shard count must be positive".into(),
+            ));
         }
         let per_shard = DedupConfig {
             bloom_expected: config.bloom_expected.div_ceil(shards as u64),
             cache_entries: config.cache_entries.div_ceil(shards),
-            ..config
+            persist: None,
+            ..config.clone()
         };
-        let engines = (0..shards)
-            .map(|_| DedupEngine::new(per_shard.clone()))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedDedupEngine { engines })
+        if let Some(pcfg) = &config.persist {
+            per_shard.validate().map_err(PersistError::InvalidConfig)?;
+            std::fs::create_dir_all(&pcfg.dir)?;
+            let meta = StoreMeta {
+                kind: MetaKind::Sharded,
+                shards: shards as u32,
+                entry_bytes: config.entry_bytes,
+                index_shards: config.index_shards as u32,
+                container_bytes: config.container_bytes,
+            };
+            persist::ensure_meta(&pcfg.dir, &meta, pcfg.fsync)?;
+            let engines = (0..shards)
+                .map(|i| {
+                    let shard_dir = pcfg.dir.join(format!("shard-{i:03}"));
+                    DedupEngine::open(DedupConfig {
+                        persist: Some(PersistConfig {
+                            dir: shard_dir,
+                            ..pcfg.clone()
+                        }),
+                        ..per_shard.clone()
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ShardedDedupEngine { engines })
+        } else {
+            let engines = (0..shards)
+                .map(|_| DedupEngine::open(per_shard.clone()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ShardedDedupEngine { engines })
+        }
+    }
+
+    /// Seals every shard and writes every shard's snapshot now (a durable
+    /// checkpoint across the whole sharded store).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's [`PersistError`] on write failure.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        for engine in &mut self.engines {
+            engine.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes, snapshots and consumes the sharded engine; a later
+    /// [`Self::open`] on the same directory resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's [`PersistError`] on write failure.
+    pub fn close(self) -> Result<(), PersistError> {
+        for engine in self.engines {
+            engine.close()?;
+        }
+        Ok(())
     }
 
     /// The prefix shard owning `fp` ([`Fingerprint::prefix_shard`] over
@@ -156,6 +228,7 @@ mod tests {
             bloom_expected: 10_000,
             bloom_fp_rate: 0.01,
             index_shards: 1,
+            persist: None,
         }
     }
 

@@ -132,6 +132,40 @@ impl StoreStats {
             self.logical_bytes as f64 / self.unique_bytes as f64
         }
     }
+
+    /// The canonical fixed-order array form (the persistence snapshot's
+    /// serialization of the record). Field order is part of the on-disk
+    /// format — append-only.
+    #[must_use]
+    pub fn to_array(&self) -> [u64; 9] {
+        [
+            self.logical_chunks,
+            self.logical_bytes,
+            self.unique_chunks,
+            self.unique_bytes,
+            self.dup_cache_hits,
+            self.dup_buffer_hits,
+            self.dup_index_hits,
+            self.bloom_false_positives,
+            self.containers_sealed,
+        ]
+    }
+
+    /// Rebuilds a record from its [`Self::to_array`] form.
+    #[must_use]
+    pub fn from_array(a: [u64; 9]) -> Self {
+        StoreStats {
+            logical_chunks: a[0],
+            logical_bytes: a[1],
+            unique_chunks: a[2],
+            unique_bytes: a[3],
+            dup_cache_hits: a[4],
+            dup_buffer_hits: a[5],
+            dup_index_hits: a[6],
+            bloom_false_positives: a[7],
+            containers_sealed: a[8],
+        }
+    }
 }
 
 impl Add for StoreStats {
@@ -227,6 +261,23 @@ mod tests {
         let s = StoreStats::default();
         assert_eq!(s.storage_saving(), 0.0);
         assert_eq!(s.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn array_form_round_trips() {
+        let s = StoreStats {
+            logical_chunks: 1,
+            logical_bytes: 2,
+            unique_chunks: 3,
+            unique_bytes: 4,
+            dup_cache_hits: 5,
+            dup_buffer_hits: 6,
+            dup_index_hits: 7,
+            bloom_false_positives: 8,
+            containers_sealed: 9,
+        };
+        assert_eq!(s.to_array(), [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(StoreStats::from_array(s.to_array()), s);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! A complete encrypted-deduplication store session on real bytes:
-//! convergent-MLE encryption, DDFS-style deduplicated storage with payloads,
-//! sealed file/key recipes, and a verified restore — including the RCE
-//! baseline demonstration that even *randomized* MLE leaks frequencies
-//! through its deduplication tags (§8).
+//! convergent-MLE encryption, DDFS-style deduplicated storage with payloads
+//! **persisted to disk**, sealed file/key recipes, and a verified restore
+//! *after a full store restart* — plus the RCE baseline demonstration that
+//! even *randomized* MLE leaks frequencies through its deduplication tags
+//! (§8).
 //!
 //! Run with: `cargo run --release --example encrypted_store`
 
@@ -11,6 +12,7 @@ use freqdedup::mle::rce::Rce;
 use freqdedup::mle::recipes::{open, seal, FileRecipe, KeyRecipe};
 use freqdedup::mle::{convergent::Convergent, Mle};
 use freqdedup::store::engine::{DedupConfig, DedupEngine};
+use freqdedup::store::persist::PersistConfig;
 use freqdedup::trace::ChunkRecord;
 use std::collections::HashMap;
 
@@ -37,7 +39,9 @@ fn main() {
     file.extend((0..50 * 1024).map(|i| (i % 251) as u8));
     println!("file: {} bytes", file.len());
 
-    // Chunk, encrypt with convergent MLE, store ciphertext payloads.
+    // Chunk, encrypt with convergent MLE, store ciphertext payloads in a
+    // *durable* engine: sealed containers land in per-container log files
+    // under `store_dir`, committed through the manifest journal.
     let cdc = CdcParams::with_avg_size(4096);
     let records = records_from_bytes(&file, &cdc);
     println!(
@@ -46,7 +50,15 @@ fn main() {
         file.len() / records.len()
     );
     let mle = Convergent::new();
-    let mut engine = DedupEngine::new(DedupConfig::paper(8 * 1024 * 1024, 100_000)).unwrap();
+    let store_dir =
+        std::env::temp_dir().join(format!("freqdedup-encrypted-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = DedupConfig {
+        container_bytes: 64 * 1024, // small containers so the demo seals several
+        persist: Some(PersistConfig::new(&store_dir)),
+        ..DedupConfig::paper(8 * 1024 * 1024, 100_000)
+    };
+    let mut engine = DedupEngine::open(config.clone()).unwrap();
 
     let mut file_recipe = FileRecipe::new("demo/file.bin");
     let mut key_recipe = KeyRecipe::new();
@@ -76,7 +88,22 @@ fn main() {
     let sealed_fr = seal(&user_key, &[1u8; 16], &file_recipe.to_bytes());
     let sealed_kr = seal(&user_key, &[2u8; 16], &key_recipe.to_bytes());
 
-    // Restore: open recipes, fetch ciphertext chunks, decrypt, reassemble.
+    // Shut the store down... and recover it from disk: `close()` flushes
+    // the open container and snapshots the index; `open()` replays the
+    // manifest journal and resumes exactly where the old process stopped.
+    let stats_before = engine.stats();
+    let containers_before = engine.containers().sealed_count();
+    engine.close().unwrap();
+    let engine = DedupEngine::open(config).unwrap();
+    assert_eq!(engine.stats(), stats_before);
+    println!(
+        "restart: recovered {} sealed containers from {} (stats bit-identical)",
+        containers_before,
+        store_dir.display()
+    );
+
+    // Restore: open recipes, fetch ciphertext chunks from the *recovered*
+    // store, decrypt, reassemble.
     let fr = FileRecipe::from_bytes(&open(&user_key, &sealed_fr).unwrap()).unwrap();
     let kr = KeyRecipe::from_bytes(&open(&user_key, &sealed_kr).unwrap()).unwrap();
     let mut restored = Vec::new();
@@ -85,7 +112,11 @@ fn main() {
         restored.extend_from_slice(&mle.decrypt_with_key(key, ciphertext));
     }
     assert_eq!(restored, file);
-    println!("restore: OK ({} bytes, byte-identical)", restored.len());
+    println!(
+        "restore: OK ({} bytes, byte-identical after restart)",
+        restored.len()
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // RCE baseline: randomized bodies, but deterministic dedup tags still
     // expose the frequency distribution (§8).

@@ -43,6 +43,7 @@ fn loading_access_dominates_with_small_cache() {
         bloom_expected: unique as u64,
         bloom_fp_rate: 0.01,
         index_shards: 1,
+        persist: None,
     })
     .unwrap();
     for backup in &series {
@@ -75,6 +76,7 @@ fn large_cache_reduces_loading_access() {
             bloom_expected: unique as u64,
             bloom_fp_rate: 0.01,
             index_shards: 1,
+            persist: None,
         })
         .unwrap();
         for backup in &series {
@@ -114,6 +116,7 @@ fn combined_scheme_metadata_overhead_is_bounded() {
             bloom_expected: 4 * unique as u64,
             bloom_fp_rate: 0.01,
             index_shards: 1,
+            persist: None,
         })
         .unwrap();
         for backup in s {
