@@ -23,14 +23,23 @@
 //! against the in-memory run. The timings land in a `persist` section of
 //! the JSON.
 //!
+//! With `--serve` the network service is also measured on loopback:
+//! multi-client ingest throughput at 1, 4 and 8 concurrent clients
+//! (each uploading its contiguous slice of the cipher stream through
+//! `freqdedup_server::client::Client`) plus single-client restore
+//! latency of a committed manifest. The timings land in a `serve`
+//! section of the JSON and are guarded by `ci/bench_guard.py`.
+//!
 //! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--persist DIR]
-//! [--out PATH]`
+//! [--serve] [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
 //! * `--threads T` — parallel-path worker threads (default 0 = auto);
 //! * `--persist DIR` — also time the durable store backend rooted at DIR
 //!   (the directory is cleared first);
+//! * `--serve` — also time the loopback network service (multi-client
+//!   ingest throughput + restore latency);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -49,13 +58,14 @@ use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
 const USAGE: &str =
-    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--out PATH]
+    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--out PATH]
 Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
 on a synthetic backup pair over the reference hash-map path, the sequential
 dense-id/CSR path and the sharded parallel path, verifies identical
 inference output, and writes BENCH_attack.json. With --persist DIR the
 durable store backend is also timed (disk ingest, close, cold-open
-recovery).";
+recovery); with --serve the loopback network service is also timed
+(multi-client ingest throughput at 1/4/8 clients, restore latency).";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
 const QUICK_CHUNKS: usize = 60_000;
@@ -65,6 +75,7 @@ struct Args {
     quick: bool,
     threads: usize,
     persist: Option<String>,
+    serve: bool,
     out: String,
 }
 
@@ -74,6 +85,7 @@ fn parse_args() -> Args {
         quick: false,
         threads: 0,
         persist: None,
+        serve: false,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -101,6 +113,7 @@ fn parse_args() -> Args {
             "--persist" => {
                 args.persist = Some(it.next().unwrap_or_else(|| die("--persist needs a value")));
             }
+            "--serve" => args.serve = true,
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
             }
@@ -153,6 +166,88 @@ fn store_config(unique: usize) -> DedupConfig {
         bloom_expected: (unique as u64).max(1024),
         ..DedupConfig::default()
     }
+}
+
+/// Times the loopback network service: N concurrent clients each upload
+/// a contiguous slice of the cipher stream (metadata mode, pipelined
+/// batches) and commit, then a single client restores one committed
+/// manifest. Returns the `serve` JSON section.
+fn bench_serve(cipher: &Backup, unique: usize) -> String {
+    use freqdedup_server::client::Client;
+    use freqdedup_server::server::{Server, ServerConfig};
+
+    let mut client_rows = Vec::new();
+    for clients in [1usize, 4, 8] {
+        eprintln!("perf_report: serve ingest, {clients} loopback client(s)...");
+        let server = Server::bind(ServerConfig {
+            workers: clients,
+            engine: store_config(unique),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback bench server");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        let slices = freqdedup_core::par::shard_ranges(cipher.chunks.len(), clients);
+        let (ingest_ms, ()) = timed(|| {
+            std::thread::scope(|scope| {
+                for (i, range) in slices.iter().cloned().enumerate() {
+                    let chunks = &cipher.chunks[range];
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr, &format!("bench-{i}"))
+                            .expect("connect bench client");
+                        let part = Backup::from_chunks(format!("part-{i:02}"), chunks.to_vec());
+                        client.upload_backup(&part).expect("upload");
+                        client.commit(&part.label).expect("commit");
+                    });
+                }
+            });
+        });
+        let mut closer = Client::connect(addr, "bench-closer").expect("connect closer");
+        let stats = closer.stats().expect("stats");
+        assert_eq!(
+            stats.logical_chunks,
+            cipher.len() as u64,
+            "serve ingest lost chunks"
+        );
+        closer.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+        let tput = cipher.len() as f64 / ingest_ms;
+        eprintln!("perf_report: serve ingest x{clients}: {ingest_ms:.1} ms ({tput:.1} chunks/ms)");
+        client_rows.push(format!(
+            "{{ \"n\": {clients}, \"ingest_ms\": {ingest_ms:.1}, \"chunks_per_ms\": {tput:.1} }}"
+        ));
+    }
+
+    // Restore latency: one committed manifest streamed back whole.
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        engine: store_config(unique),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback bench server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let restore_chunks = {
+        let mut client = Client::connect(addr, "bench-restore").expect("connect");
+        let whole = Backup::from_chunks("whole", cipher.chunks.clone());
+        client.upload_backup(&whole).expect("upload");
+        client.commit("whole").expect("commit");
+        let (restore_ms, restored) = timed(|| client.restore("whole").expect("restore"));
+        assert_eq!(restored.backup.chunks, whole.chunks, "restore diverged");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+        eprintln!(
+            "perf_report: serve restore: {restore_ms:.1} ms for {} chunks",
+            whole.len()
+        );
+        format!(
+            "  \"serve\": {{ \"clients\": [{}], \"restore_ms\": {restore_ms:.1}, \
+             \"restore_chunks\": {} }},\n",
+            client_rows.join(", "),
+            whole.len()
+        )
+    };
+    restore_chunks
 }
 
 fn main() {
@@ -271,6 +366,14 @@ fn main() {
         )
     });
 
+    // --- Network service layer (optional): loopback multi-client ingest
+    // throughput and restore latency through the full wire stack. ---
+    let serve_section = if args.serve {
+        bench_serve(&cipher, unique)
+    } else {
+        String::new()
+    };
+
     // --- Attack layer. Warm the allocator and page cache once per path,
     // so the timed runs below don't charge first-touch page faults to
     // whichever path goes first. ---
@@ -314,7 +417,7 @@ fn main() {
     let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
         threads,
         cipher.len(),

@@ -6,6 +6,7 @@ pub mod locality;
 
 use freqdedup_trace::{Backup, Fingerprint};
 
+use crate::counting::TiePolicy;
 use crate::metrics::Inference;
 
 /// Which attack to run — used by the experiment harness to sweep all three.
@@ -66,6 +67,30 @@ pub fn run_ciphertext_only(
     }
 }
 
+/// Runs `kind` in ciphertext-only mode under **both** neighbour-table
+/// tie-break policies (`params.tie_policy` is overridden per run).
+///
+/// This is the attack entry point for provider-side tapped traces: the
+/// live-traffic equivalence criterion requires that an adversary tap's
+/// inference matches offline ingest under *either* [`TiePolicy`], so the
+/// tap consumers (service example, integration tests, serve bench) sweep
+/// the pair through this helper.
+#[must_use]
+pub fn run_ciphertext_only_both_policies(
+    kind: AttackKind,
+    cipher: &Backup,
+    plain_aux: &Backup,
+    params: &locality::LocalityParams,
+) -> [(TiePolicy, Inference); 2] {
+    [TiePolicy::StreamOrder, TiePolicy::KeyOrder].map(|policy| {
+        let per_policy = params.clone().tie_policy(policy);
+        (
+            policy,
+            run_ciphertext_only(kind, cipher, plain_aux, &per_policy),
+        )
+    })
+}
+
 /// Runs `kind` in known-plaintext mode with leaked pairs. The basic attack
 /// has no known-plaintext variant in the paper and ignores the leakage.
 #[must_use]
@@ -96,5 +121,32 @@ mod tests {
         assert_eq!(AttackKind::Basic.name(), "Basic Attack");
         assert_eq!(AttackKind::Locality.to_string(), "Locality-based Attack");
         assert_eq!(AttackKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn both_policies_match_single_policy_runs() {
+        use freqdedup_trace::ChunkRecord;
+        let backup = |fps: &[u64]| -> Backup {
+            Backup::from_chunks("t", fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
+        };
+        let aux = backup(&[1, 2, 1, 2, 3, 4, 2, 3, 4]);
+        let cipher = backup(&[101, 102, 105, 102, 101, 102, 103, 104, 102, 103, 104, 104]);
+        let params = locality::LocalityParams::new(1, 1, 1000);
+        let both = run_ciphertext_only_both_policies(AttackKind::Locality, &cipher, &aux, &params);
+        assert_eq!(both[0].0, TiePolicy::StreamOrder);
+        assert_eq!(both[1].0, TiePolicy::KeyOrder);
+        for (policy, inference) in both {
+            let single = run_ciphertext_only(
+                AttackKind::Locality,
+                &cipher,
+                &aux,
+                &params.clone().tie_policy(policy),
+            );
+            let mut a: Vec<_> = inference.iter().collect();
+            let mut b: Vec<_> = single.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "policy {policy:?}");
+        }
     }
 }

@@ -1,0 +1,450 @@
+//! Client library: batched, pipelined uploads and verified restore.
+//!
+//! [`Client`] speaks the [`crate::proto`] message set over one TCP
+//! connection. Uploads are *pipelined*: up to [`Client::window`] PUT
+//! batches are in flight before the client starts consuming acks, so a
+//! loopback round-trip never serializes the stream (acks are tiny and
+//! cannot back up the socket buffers against the much larger data
+//! direction). Acks arrive strictly in batch order — the server handles
+//! a session sequentially — so matching them is a simple window drain.
+//!
+//! The client never sends plaintext: it uploads `(fingerprint, size)`
+//! records of **MLE-encrypted** chunks (and, in content mode, the
+//! ciphertext bytes). What the provider can nevertheless infer from that
+//! stream is exactly what the rest of this workspace measures.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
+
+use crate::frame::{read_frame, write_frame, WireError};
+use crate::proto::{ChunkStatus, Message, ServerStats, WIRE_VERSION};
+
+/// A ciphertext-payload provider: maps a chunk record to its exact
+/// `record.size` ciphertext bytes.
+pub type PayloadFn<'a> = &'a dyn Fn(&ChunkRecord) -> Vec<u8>;
+
+/// Default chunks per PUT batch.
+pub const DEFAULT_BATCH: usize = 512;
+/// Default pipeline window (unacked batches in flight).
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// Errors surfaced by the client library.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server answered with a protocol error.
+    Server {
+        /// One of the [`crate::proto::code`] constants.
+        code: u16,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with the wrong message type, or restore
+    /// verification failed.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// Totals of one [`Client::upload_backup`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UploadSummary {
+    /// Logical chunks sent.
+    pub chunks: u64,
+    /// Chunks the server stored as unique.
+    pub unique: u64,
+    /// Chunks the server deduplicated.
+    pub duplicate: u64,
+    /// PUT batches sent.
+    pub batches: u32,
+}
+
+/// A backup streamed back by [`Client::restore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RestoredBackup {
+    /// The restored record stream (label = manifest label).
+    pub backup: Backup,
+    /// Ciphertext payloads parallel to `backup.chunks` (content-mode
+    /// stores only).
+    pub payloads: Option<Vec<Vec<u8>>>,
+}
+
+/// One client session against a [`crate::server::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Negotiated protocol version.
+    version: u16,
+    next_seq: u32,
+    batch: usize,
+    window: usize,
+}
+
+impl Client {
+    /// Connects and performs HELLO version negotiation.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on connect failure, [`ClientError::Server`]
+    /// when the server refuses the protocol version.
+    pub fn connect(addr: impl ToSocketAddrs, name: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            stream,
+            version: WIRE_VERSION,
+            next_seq: 0,
+            batch: DEFAULT_BATCH,
+            window: DEFAULT_WINDOW,
+        };
+        let reply = client.call(&Message::Hello {
+            version: WIRE_VERSION,
+            client: name.to_string(),
+        })?;
+        match reply {
+            Message::HelloAck { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// The negotiated protocol version.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Sets the PUT batch size (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn batch(mut self, chunks: usize) -> Self {
+        self.batch = chunks.max(1);
+        self
+    }
+
+    /// Sets the pipeline window in batches (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn window(mut self, batches: usize) -> Self {
+        self.window = batches.max(1);
+        self
+    }
+
+    /// Uploads a backup's chunk stream metadata-only (trace mode), in
+    /// logical order, pipelined.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; the session should be dropped afterwards.
+    pub fn upload_backup(&mut self, backup: &Backup) -> Result<UploadSummary, ClientError> {
+        self.upload_inner(backup, None::<fn(&ChunkRecord) -> Vec<u8>>)
+    }
+
+    /// Uploads a backup with ciphertext payload bytes (content mode);
+    /// `payload_of` supplies the MLE ciphertext of each record and must
+    /// return exactly `record.size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; the session should be dropped afterwards.
+    pub fn upload_backup_payloads(
+        &mut self,
+        backup: &Backup,
+        payload_of: impl Fn(&ChunkRecord) -> Vec<u8>,
+    ) -> Result<UploadSummary, ClientError> {
+        self.upload_inner(backup, Some(payload_of))
+    }
+
+    fn upload_inner(
+        &mut self,
+        backup: &Backup,
+        payload_of: Option<impl Fn(&ChunkRecord) -> Vec<u8>>,
+    ) -> Result<UploadSummary, ClientError> {
+        let mut summary = UploadSummary::default();
+        let mut inflight: u32 = 0;
+        for chunk_batch in backup.chunks.chunks(self.batch) {
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            let payloads = payload_of
+                .as_ref()
+                .map(|f| chunk_batch.iter().map(f).collect());
+            self.send(&Message::PutChunkBatch {
+                seq,
+                chunks: chunk_batch.to_vec(),
+                payloads,
+            })?;
+            summary.batches += 1;
+            summary.chunks += chunk_batch.len() as u64;
+            inflight += 1;
+            if inflight as usize >= self.window {
+                self.drain_ack(&mut summary)?;
+                inflight -= 1;
+            }
+        }
+        while inflight > 0 {
+            self.drain_ack(&mut summary)?;
+            inflight -= 1;
+        }
+        Ok(summary)
+    }
+
+    fn drain_ack(&mut self, summary: &mut UploadSummary) -> Result<(), ClientError> {
+        match self.recv()? {
+            Message::PutAck {
+                unique, duplicate, ..
+            } => {
+                summary.unique += u64::from(unique);
+                summary.duplicate += u64::from(duplicate);
+                Ok(())
+            }
+            other => Err(unexpected("PutAck", &other)),
+        }
+    }
+
+    /// Commits everything uploaded since the last commit as one backup
+    /// manifest; returns the committed chunk count.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; [`ClientError::Protocol`] when `label`
+    /// exceeds the wire limit (it would otherwise be silently clipped,
+    /// committing under a different name than requested).
+    pub fn commit(&mut self, label: &str) -> Result<u64, ClientError> {
+        check_label(label)?;
+        match self.call(&Message::CommitManifest {
+            label: label.to_string(),
+        })? {
+            Message::CommitAck { chunks, .. } => Ok(chunks),
+            other => Err(unexpected("CommitAck", &other)),
+        }
+    }
+
+    /// Fetches one stored chunk's ciphertext payload (`None` when the
+    /// fingerprint is unknown or the store is metadata-only).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn get_chunk(&mut self, fp: Fingerprint) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.call(&Message::GetChunk { fp: fp.value() })? {
+            Message::ChunkResp {
+                status, payload, ..
+            } => Ok((status == ChunkStatus::Payload).then_some(payload)),
+            other => Err(unexpected("ChunkResp", &other)),
+        }
+    }
+
+    /// Restores a committed backup: the full record stream in logical
+    /// order, plus payload bytes when the store holds content.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`crate::proto::code::UNKNOWN_LABEL`]
+    /// for unknown manifests; [`ClientError::Protocol`] if the stream
+    /// contains missing chunks.
+    pub fn restore(&mut self, label: &str) -> Result<RestoredBackup, ClientError> {
+        check_label(label)?;
+        let count = match self.call(&Message::RestoreBackup {
+            label: label.to_string(),
+        })? {
+            Message::RestoreHeader { count, .. } => count,
+            other => return Err(unexpected("RestoreHeader", &other)),
+        };
+        let mut backup = Backup::new(label);
+        let mut payloads: Option<Vec<Vec<u8>>> = None;
+        for i in 0..count {
+            match self.recv()? {
+                Message::ChunkResp {
+                    fp,
+                    status,
+                    size,
+                    payload,
+                } => match status {
+                    ChunkStatus::Missing => {
+                        return Err(ClientError::Protocol(format!(
+                            "restore {label:?}: chunk {i} (fp {fp:016x}) missing from store"
+                        )))
+                    }
+                    ChunkStatus::Payload => {
+                        backup.push(ChunkRecord::new(Fingerprint(fp), size));
+                        payloads.get_or_insert_with(Vec::new).push(payload);
+                    }
+                    ChunkStatus::Metadata => {
+                        backup.push(ChunkRecord::new(Fingerprint(fp), size));
+                    }
+                },
+                other => return Err(unexpected("ChunkResp", &other)),
+            }
+        }
+        Ok(RestoredBackup { backup, payloads })
+    }
+
+    /// Restores `original.label` and verifies it: record stream equal to
+    /// `original`, and — when `payload_of` is given — every payload byte
+    /// equal to the recomputed ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] describing the first divergence.
+    pub fn verify_restore(
+        &mut self,
+        original: &Backup,
+        payload_of: Option<PayloadFn<'_>>,
+    ) -> Result<(), ClientError> {
+        let restored = self.restore(&original.label)?;
+        if restored.backup.chunks != original.chunks {
+            return Err(ClientError::Protocol(format!(
+                "restore {:?}: record stream diverges (got {} chunks, want {})",
+                original.label,
+                restored.backup.len(),
+                original.len()
+            )));
+        }
+        if let Some(payload_of) = payload_of {
+            let Some(payloads) = &restored.payloads else {
+                return Err(ClientError::Protocol(format!(
+                    "restore {:?}: expected payloads, store is metadata-only",
+                    original.label
+                )));
+            };
+            for (i, (rec, bytes)) in original.chunks.iter().zip(payloads).enumerate() {
+                if *bytes != payload_of(rec) {
+                    return Err(ClientError::Protocol(format!(
+                        "restore {:?}: payload {i} (fp {}) diverges",
+                        original.label, rec.fp
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches the aggregate service counters.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Message::StatsReq)? {
+            Message::StatsResp(stats) => Ok(stats),
+            other => Err(unexpected("StatsResp", &other)),
+        }
+    }
+
+    /// Asks the server to drain, checkpoint and stop.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Message::Shutdown)? {
+            Message::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &msg.encode())?;
+        Ok(())
+    }
+
+    /// Receives one message, surfacing server-side errors as
+    /// [`ClientError::Server`].
+    fn recv(&mut self) -> Result<Message, ClientError> {
+        let payload = read_frame(&mut self.stream)?.ok_or(WireError::Truncated)?;
+        match Message::decode(&payload)? {
+            Message::ErrorResp { code, message } => Err(ClientError::Server { code, message }),
+            msg => Ok(msg),
+        }
+    }
+
+    fn call(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        self.send(msg)?;
+        self.recv()
+    }
+}
+
+fn unexpected(wanted: &str, got: &Message) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+/// Manifest labels must survive the wire verbatim — a label longer than
+/// the `u16`-length string field would be silently clipped by the codec
+/// and committed (or looked up) under a different name.
+fn check_label(label: &str) -> Result<(), ClientError> {
+    if label.len() > crate::proto::MAX_STR_BYTES {
+        return Err(ClientError::Protocol(format!(
+            "label of {} bytes exceeds the wire limit of {}",
+            label.len(),
+            crate::proto::MAX_STR_BYTES
+        )));
+    }
+    Ok(())
+}
+
+/// Deterministic synthetic ciphertext for trace-driven content uploads:
+/// `size` pseudo-random bytes expanded from the (ciphertext) fingerprint
+/// with SplitMix64. Models deterministic MLE at the byte level — equal
+/// ciphertext fingerprints imply equal ciphertext bytes, so cross-client
+/// deduplication behaves exactly like a real convergent-encryption
+/// deployment, and a restore can be *verified* by recomputation.
+#[must_use]
+pub fn synthetic_payload(fp: Fingerprint, size: u32) -> Vec<u8> {
+    let mut state = fp.value() ^ 0x9e37_79b9_7f4a_7c15;
+    let mut out = Vec::with_capacity(size as usize);
+    while out.len() < size as usize {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let needed = (size as usize - out.len()).min(8);
+        out.extend_from_slice(&z.to_le_bytes()[..needed]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_payload_deterministic_and_sized() {
+        for size in [0u32, 1, 7, 8, 9, 4096] {
+            let a = synthetic_payload(Fingerprint(42), size);
+            let b = synthetic_payload(Fingerprint(42), size);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), size as usize);
+        }
+        assert_ne!(
+            synthetic_payload(Fingerprint(1), 64),
+            synthetic_payload(Fingerprint(2), 64)
+        );
+    }
+}

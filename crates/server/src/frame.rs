@@ -1,0 +1,299 @@
+//! Length-prefixed, CRC-32-checked wire frames.
+//!
+//! Every protocol message travels in exactly one frame:
+//!
+//! ```text
+//! len      u32 LE   payload byte length (0 < len <= MAX_FRAME_BYTES)
+//! crc      u32 LE   CRC-32 (IEEE) of the payload bytes
+//! payload  len bytes — one encoded [`crate::proto::Message`]
+//! ```
+//!
+//! The length prefix bounds every allocation before it happens (an
+//! oversize prefix is rejected without reading the body), and the CRC
+//! rejects torn or corrupted frames before they reach the message
+//! decoder. The CRC implementation is the workspace-wide
+//! [`freqdedup_trace::io::Crc32`] — the same polynomial the trace format
+//! and the durable store use.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use freqdedup_trace::io::crc32;
+
+/// Hard upper bound on a frame payload (32 MiB). Large enough for a
+/// generously sized chunk batch, small enough that a corrupted length
+/// prefix cannot drive an absurd allocation.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Errors produced by the wire layer (framing and message codec).
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket / stream failure.
+    Io(std::io::Error),
+    /// The connection ended mid-frame (a torn frame).
+    Truncated,
+    /// A length prefix exceeded [`MAX_FRAME_BYTES`] (or was zero).
+    Oversize {
+        /// The offending length prefix.
+        len: u64,
+    },
+    /// The payload failed its CRC — corruption on the wire.
+    BadCrc {
+        /// CRC carried by the frame header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The payload did not decode as a well-formed message.
+    Malformed(&'static str),
+    /// The peer speaks an unsupported protocol version.
+    BadVersion(u16),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::Oversize { len } => write!(f, "frame length {len} exceeds limits"),
+            WireError::BadCrc { expected, actual } => write!(
+                f,
+                "frame checksum mismatch (expected {expected:#010x}, got {actual:#010x})"
+            ),
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame around `payload`.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] for empty or over-limit payloads,
+/// [`WireError::Io`] on write failure.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.is_empty() || payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Oversize {
+            len: payload.len() as u64,
+        });
+    }
+    let mut header = [0u8; 8];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame, verifying its length bound and CRC.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly *at a
+/// frame boundary* (no bytes of a new frame had arrived); end-of-stream
+/// anywhere inside a frame is [`WireError::Truncated`].
+///
+/// A read timeout (`WouldBlock` / `TimedOut`) **before the first byte**
+/// of a frame surfaces as [`WireError::Io`] so a server session can poll
+/// its stop flag between requests; once a frame has started, timeouts are
+/// retried internally (the peer has committed to sending the rest).
+///
+/// # Errors
+///
+/// [`WireError::Oversize`], [`WireError::BadCrc`], [`WireError::Truncated`]
+/// or [`WireError::Io`].
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 8];
+    if !read_full(reader, &mut header)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversize { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    if !read_body(reader, &mut payload)? {
+        return Err(WireError::Truncated);
+    }
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    Ok(Some(payload))
+}
+
+/// A peer that starts a frame but stalls is cut off after this many
+/// consecutive timed-out reads. On server sessions (25 ms socket
+/// timeout) that is ~30 s of mid-frame silence — without the cap, one
+/// stalled client would pin its pool worker forever and a graceful
+/// shutdown could never finish draining. Streams without a read timeout
+/// (the client side) never hit this path.
+const MAX_MID_FRAME_STALLS: u32 = 1200;
+
+/// Fills `buf` completely. `Ok(false)` = clean EOF before the first byte;
+/// EOF after at least one byte = [`WireError::Truncated`]. A timeout
+/// before the first byte is surfaced as `Io`; after the first byte it is
+/// retried (mid-frame data is in flight) up to [`MAX_MID_FRAME_STALLS`]
+/// consecutive stalls, after which the frame counts as torn.
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut got = 0;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match reader.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    Err(WireError::Truncated)
+                }
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if got > 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                stalls += 1;
+                if stalls >= MAX_MID_FRAME_STALLS {
+                    return Err(WireError::Truncated);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// [`read_full`] for the body: a clean EOF here is always a tear, and
+/// the same stall cap applies from the first byte.
+fn read_body<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut got = 0;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match reader.read(&mut buf[got..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stalls += 1;
+                if stalls >= MAX_MID_FRAME_STALLS {
+                    return Err(WireError::Truncated);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let mut cursor = &buf[..];
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(payload, b"hello frame");
+        // Clean EOF at the boundary after the frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"one");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"two");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_corrupt_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_point() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncate me").unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut &buf[..cut]);
+            assert!(
+                matches!(err, Err(WireError::Truncated)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversize_length_prefix() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::Oversize { .. })
+        ));
+        // Zero-length frames are equally invalid.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::Oversize { len: 0 })
+        ));
+        assert!(write_frame(&mut Vec::new(), &[]).is_err());
+    }
+
+    #[test]
+    fn error_display_readable() {
+        assert!(WireError::Truncated.to_string().contains("mid-frame"));
+        assert!(WireError::BadCrc {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("checksum"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Bounded connection worker pool on the workspace's scoped-thread
+//! discipline.
+//!
+//! The server follows the same rules as every parallel stage in the
+//! workspace ([`freqdedup_core::par`]): a *fixed* set of workers, all
+//! scoped (no detached threads), panics propagated to the caller, and a
+//! deterministic join point. [`run_bounded`] literally runs on
+//! [`freqdedup_core::par::par_for_each_mut`]: one slot is the acceptor
+//! (producing jobs), the remaining `workers` slots drain the shared
+//! [`JobQueue`]. The call returns only when the acceptor has stopped
+//! *and* every queued job has been fully processed — which is exactly the
+//! graceful-drain semantics SHUTDOWN needs.
+//!
+//! The pool is *bounded*: at most `workers` jobs run concurrently;
+//! further accepted connections wait in the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use freqdedup_core::par;
+
+/// A closed-able MPMC job queue (mutex + condvar; no channels, no new
+/// dependencies).
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// Creates an empty, open queue.
+    #[must_use]
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job. Returns `false` (dropping the job) if the queue is
+    /// already closed.
+    pub fn push(&self, job: T) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job. Returns `None` once the queue is closed
+    /// *and* drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are refused,
+    /// and blocked workers wake up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of jobs currently waiting (diagnostics).
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+}
+
+/// Runs `accept` on one scoped thread and `worker` on `workers` scoped
+/// threads, all draining `queue`; blocks until the acceptor returns and
+/// the queue is fully drained.
+///
+/// `accept` must call [`JobQueue::close`] before returning (the function
+/// also closes it defensively afterwards). Worker slots call `worker`
+/// once per job until [`JobQueue::pop`] returns `None`.
+///
+/// # Panics
+///
+/// Propagates panics from the acceptor or any worker (the
+/// [`par::par_for_each_mut`] contract).
+pub fn run_bounded<T, A, W>(queue: &JobQueue<T>, workers: usize, accept: A, worker: W)
+where
+    T: Send,
+    A: Fn() + Sync,
+    W: Fn(T) + Sync,
+{
+    #[derive(Clone, Copy)]
+    enum Role {
+        Acceptor,
+        Worker,
+    }
+    let workers = workers.max(1);
+    let mut roles = vec![Role::Acceptor];
+    roles.extend(std::iter::repeat_n(Role::Worker, workers));
+    // One scoped thread per role: the acceptor feeds the queue while the
+    // worker slots drain it. par_for_each_mut with threads == items runs
+    // each slot on its own scoped thread and joins them all.
+    par::par_for_each_mut(roles.len(), &mut roles, |_, role| match role {
+        Role::Acceptor => {
+            accept();
+            queue.close();
+        }
+        Role::Worker => {
+            while let Some(job) = queue.pop() {
+                worker(job);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drains_everything_before_returning() {
+        let queue: JobQueue<usize> = JobQueue::new();
+        let done = AtomicUsize::new(0);
+        run_bounded(
+            &queue,
+            4,
+            || {
+                for i in 0..100 {
+                    assert!(queue.push(i));
+                }
+            },
+            |_job| {
+                done.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+        assert_eq!(queue.backlog(), 0);
+    }
+
+    #[test]
+    fn push_after_close_is_refused() {
+        let queue: JobQueue<u32> = JobQueue::new();
+        assert!(queue.push(1));
+        queue.close();
+        assert!(!queue.push(2));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn workers_exit_on_close_when_empty() {
+        let queue: JobQueue<u32> = JobQueue::new();
+        run_bounded(&queue, 2, || {}, |_| {});
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn bounded_concurrency() {
+        // With 2 workers, at most 2 jobs may be in flight at once.
+        let queue: JobQueue<u32> = JobQueue::new();
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_bounded(
+            &queue,
+            2,
+            || {
+                for i in 0..50 {
+                    queue.push(i);
+                }
+            },
+            |_| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            },
+        );
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+}

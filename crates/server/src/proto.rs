@@ -1,0 +1,624 @@
+//! The wire message set and its binary encoding.
+//!
+//! One encoded message per [frame](crate::frame). The first payload byte
+//! is the message tag; all integers are little-endian; strings are
+//! `u16` length + UTF-8 bytes. See `DESIGN.md` §8 for the full byte
+//! layout of every message.
+//!
+//! The protocol is deliberately session-oriented: a connection performs
+//! `HELLO` version negotiation once, then uploads chunk batches that the
+//! server both deduplicates *and* taps (the provider observes the
+//! pre-dedup logical stream — exactly the paper's adversary model), and
+//! finally commits the stream as a named backup manifest.
+
+use freqdedup_trace::{ChunkRecord, Fingerprint};
+
+use crate::frame::{WireError, MAX_FRAME_BYTES};
+
+/// Current wire protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// Oldest wire protocol version this implementation still accepts.
+pub const MIN_WIRE_VERSION: u16 = 1;
+
+/// Upper bound on chunks per PUT batch (keeps frames well under
+/// [`MAX_FRAME_BYTES`] even with payloads).
+pub const MAX_BATCH_CHUNKS: usize = 65_536;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_PUT_BATCH: u8 = 0x03;
+const TAG_PUT_ACK: u8 = 0x04;
+const TAG_COMMIT: u8 = 0x05;
+const TAG_COMMIT_ACK: u8 = 0x06;
+const TAG_GET_CHUNK: u8 = 0x07;
+const TAG_CHUNK_RESP: u8 = 0x08;
+const TAG_RESTORE: u8 = 0x09;
+const TAG_RESTORE_HEADER: u8 = 0x0a;
+const TAG_STATS: u8 = 0x0b;
+const TAG_STATS_RESP: u8 = 0x0c;
+const TAG_SHUTDOWN: u8 = 0x0d;
+const TAG_SHUTDOWN_ACK: u8 = 0x0e;
+const TAG_ERROR: u8 = 0x0f;
+
+/// Protocol error codes carried by [`Message::ErrorResp`].
+pub mod code {
+    /// The client's protocol version is unsupported.
+    pub const BAD_VERSION: u16 = 1;
+    /// Message invalid in the current session state (e.g. before HELLO).
+    pub const BAD_STATE: u16 = 2;
+    /// Payload-bearing and metadata-only uploads were mixed.
+    pub const MIXED_MODE: u16 = 3;
+    /// RESTORE-BACKUP named an unknown manifest label.
+    pub const UNKNOWN_LABEL: u16 = 4;
+    /// A batch was structurally invalid (counts or sizes disagree).
+    pub const BAD_BATCH: u16 = 5;
+}
+
+/// How a [`Message::ChunkResp`] relates to stored payload bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkStatus {
+    /// The fingerprint is not stored.
+    Missing,
+    /// Stored with payload bytes (content mode); the response carries them.
+    Payload,
+    /// Stored metadata-only (trace mode); the response carries no bytes.
+    Metadata,
+}
+
+impl ChunkStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            ChunkStatus::Missing => 0,
+            ChunkStatus::Payload => 1,
+            ChunkStatus::Metadata => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(ChunkStatus::Missing),
+            1 => Ok(ChunkStatus::Payload),
+            2 => Ok(ChunkStatus::Metadata),
+            _ => Err(WireError::Malformed("chunk status")),
+        }
+    }
+}
+
+/// Aggregate service counters returned by STATS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Logical chunks ingested (duplicates included).
+    pub logical_chunks: u64,
+    /// Logical bytes ingested.
+    pub logical_bytes: u64,
+    /// Unique chunks stored.
+    pub unique_chunks: u64,
+    /// Unique bytes stored.
+    pub unique_bytes: u64,
+    /// S1 duplicate hits (fingerprint cache).
+    pub dup_cache_hits: u64,
+    /// Open-container buffer duplicate hits.
+    pub dup_buffer_hits: u64,
+    /// S4 duplicate hits (on-disk index).
+    pub dup_index_hits: u64,
+    /// Containers sealed across all shards.
+    pub containers_sealed: u64,
+    /// Backup manifests committed since the service started.
+    pub committed_backups: u64,
+    /// Sessions served since the service started.
+    pub sessions_served: u64,
+}
+
+/// One wire protocol message (both directions share the message space).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Client → server: open a session, negotiate the protocol version.
+    Hello {
+        /// Highest version the client speaks.
+        version: u16,
+        /// Client name (diagnostics / server log only).
+        client: String,
+    },
+    /// Server → client: session accepted at the given version
+    /// (`min(client, server)`; the server rejects versions below
+    /// [`MIN_WIRE_VERSION`] with [`code::BAD_VERSION`]).
+    HelloAck {
+        /// Negotiated protocol version.
+        version: u16,
+    },
+    /// Client → server: a batch of MLE-encrypted chunks in logical
+    /// (pre-dedup) stream order. `payloads`, when present, carries the
+    /// ciphertext bytes of every chunk in the batch (all-or-none per
+    /// batch; a service instance must not mix modes).
+    PutChunkBatch {
+        /// Client-assigned batch sequence number (echoed by the ack).
+        seq: u32,
+        /// `(fingerprint, size)` records in stream order.
+        chunks: Vec<ChunkRecord>,
+        /// Ciphertext payloads, parallel to `chunks` (content mode).
+        payloads: Option<Vec<Vec<u8>>>,
+    },
+    /// Server → client: batch processed.
+    PutAck {
+        /// Echo of the batch sequence number.
+        seq: u32,
+        /// Chunks stored as unique.
+        unique: u32,
+        /// Chunks deduplicated.
+        duplicate: u32,
+    },
+    /// Client → server: commit everything uploaded on this session since
+    /// the last commit as one named backup manifest.
+    CommitManifest {
+        /// Backup label (unique per backup; reused labels shadow).
+        label: String,
+    },
+    /// Server → client: manifest committed.
+    CommitAck {
+        /// Echo of the label.
+        label: String,
+        /// Logical chunks in the committed manifest.
+        chunks: u64,
+    },
+    /// Client → server: fetch one stored chunk by fingerprint.
+    GetChunk {
+        /// Fingerprint to fetch.
+        fp: u64,
+    },
+    /// Server → client: one chunk (also the per-chunk unit of a
+    /// RESTORE-BACKUP stream).
+    ChunkResp {
+        /// Fingerprint of the chunk.
+        fp: u64,
+        /// Whether the chunk exists and carries payload bytes.
+        status: ChunkStatus,
+        /// Chunk size in bytes (0 when missing).
+        size: u32,
+        /// Payload bytes ([`ChunkStatus::Payload`] only, else empty).
+        payload: Vec<u8>,
+    },
+    /// Client → server: stream back a committed backup.
+    RestoreBackup {
+        /// Manifest label to restore.
+        label: String,
+    },
+    /// Server → client: restore accepted; exactly `count`
+    /// [`Message::ChunkResp`] frames follow, in logical stream order.
+    RestoreHeader {
+        /// Echo of the label.
+        label: String,
+        /// Number of chunk frames that follow.
+        count: u64,
+    },
+    /// Client → server: request aggregate service counters.
+    StatsReq,
+    /// Server → client: aggregate service counters.
+    StatsResp(ServerStats),
+    /// Client → server: drain in-flight sessions, checkpoint the store,
+    /// stop the service.
+    Shutdown,
+    /// Server → client: shutdown initiated.
+    ShutdownAck,
+    /// Server → client: request failed.
+    ErrorResp {
+        /// One of the [`code`] constants.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Longest string (label, client name, error detail) a message carries.
+pub const MAX_STR_BYTES: usize = u16::MAX as usize;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Over-length strings are clipped at a char boundary so the frame
+    // always decodes; callers that must not silently clip (the client's
+    // manifest labels) validate against MAX_STR_BYTES before encoding.
+    let mut len = s.len().min(MAX_STR_BYTES);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+impl Message {
+    /// Encodes the message into one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { version, client } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_str(&mut out, client);
+            }
+            Message::HelloAck { version } => {
+                out.push(TAG_HELLO_ACK);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Message::PutChunkBatch {
+                seq,
+                chunks,
+                payloads,
+            } => {
+                out.push(TAG_PUT_BATCH);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.push(u8::from(payloads.is_some()));
+                out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+                for (i, rec) in chunks.iter().enumerate() {
+                    out.extend_from_slice(&rec.fp.value().to_le_bytes());
+                    out.extend_from_slice(&rec.size.to_le_bytes());
+                    if let Some(p) = payloads {
+                        let bytes: &[u8] = p.get(i).map_or(&[], Vec::as_slice);
+                        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                        out.extend_from_slice(bytes);
+                    }
+                }
+            }
+            Message::PutAck {
+                seq,
+                unique,
+                duplicate,
+            } => {
+                out.push(TAG_PUT_ACK);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&unique.to_le_bytes());
+                out.extend_from_slice(&duplicate.to_le_bytes());
+            }
+            Message::CommitManifest { label } => {
+                out.push(TAG_COMMIT);
+                put_str(&mut out, label);
+            }
+            Message::CommitAck { label, chunks } => {
+                out.push(TAG_COMMIT_ACK);
+                put_str(&mut out, label);
+                out.extend_from_slice(&chunks.to_le_bytes());
+            }
+            Message::GetChunk { fp } => {
+                out.push(TAG_GET_CHUNK);
+                out.extend_from_slice(&fp.to_le_bytes());
+            }
+            Message::ChunkResp {
+                fp,
+                status,
+                size,
+                payload,
+            } => {
+                out.push(TAG_CHUNK_RESP);
+                out.extend_from_slice(&fp.to_le_bytes());
+                out.push(status.to_byte());
+                out.extend_from_slice(&size.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            Message::RestoreBackup { label } => {
+                out.push(TAG_RESTORE);
+                put_str(&mut out, label);
+            }
+            Message::RestoreHeader { label, count } => {
+                out.push(TAG_RESTORE_HEADER);
+                put_str(&mut out, label);
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            Message::StatsReq => out.push(TAG_STATS),
+            Message::StatsResp(s) => {
+                out.push(TAG_STATS_RESP);
+                for v in [
+                    s.logical_chunks,
+                    s.logical_bytes,
+                    s.unique_chunks,
+                    s.unique_bytes,
+                    s.dup_cache_hits,
+                    s.dup_buffer_hits,
+                    s.dup_index_hits,
+                    s.containers_sealed,
+                    s.committed_backups,
+                    s.sessions_served,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+            Message::ErrorResp { code, message } => {
+                out.push(TAG_ERROR);
+                out.extend_from_slice(&code.to_le_bytes());
+                put_str(&mut out, message);
+            }
+        }
+        debug_assert!(out.len() <= MAX_FRAME_BYTES, "message exceeds frame bound");
+        out
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on unknown tags, truncated fields, or
+    /// structurally invalid batches.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Cursor { buf: payload };
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_HELLO => Message::Hello {
+                version: r.u16()?,
+                client: r.str()?,
+            },
+            TAG_HELLO_ACK => Message::HelloAck { version: r.u16()? },
+            TAG_PUT_BATCH => {
+                let seq = r.u32()?;
+                let has_payloads = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("payload flag")),
+                };
+                let count = r.u32()? as usize;
+                if count > MAX_BATCH_CHUNKS {
+                    return Err(WireError::Malformed("batch chunk count"));
+                }
+                let mut chunks = Vec::with_capacity(count);
+                let mut payloads = has_payloads.then(|| Vec::with_capacity(count));
+                for _ in 0..count {
+                    let fp = r.u64()?;
+                    let size = r.u32()?;
+                    chunks.push(ChunkRecord::new(Fingerprint(fp), size));
+                    if let Some(p) = &mut payloads {
+                        let n = r.u32()? as usize;
+                        p.push(r.bytes(n)?.to_vec());
+                    }
+                }
+                r.finish()?;
+                Message::PutChunkBatch {
+                    seq,
+                    chunks,
+                    payloads,
+                }
+            }
+            TAG_PUT_ACK => Message::PutAck {
+                seq: r.u32()?,
+                unique: r.u32()?,
+                duplicate: r.u32()?,
+            },
+            TAG_COMMIT => Message::CommitManifest { label: r.str()? },
+            TAG_COMMIT_ACK => Message::CommitAck {
+                label: r.str()?,
+                chunks: r.u64()?,
+            },
+            TAG_GET_CHUNK => Message::GetChunk { fp: r.u64()? },
+            TAG_CHUNK_RESP => {
+                let fp = r.u64()?;
+                let status = ChunkStatus::from_byte(r.u8()?)?;
+                let size = r.u32()?;
+                let n = r.u32()? as usize;
+                let payload = r.bytes(n)?.to_vec();
+                Message::ChunkResp {
+                    fp,
+                    status,
+                    size,
+                    payload,
+                }
+            }
+            TAG_RESTORE => Message::RestoreBackup { label: r.str()? },
+            TAG_RESTORE_HEADER => Message::RestoreHeader {
+                label: r.str()?,
+                count: r.u64()?,
+            },
+            TAG_STATS => Message::StatsReq,
+            TAG_STATS_RESP => Message::StatsResp(ServerStats {
+                logical_chunks: r.u64()?,
+                logical_bytes: r.u64()?,
+                unique_chunks: r.u64()?,
+                unique_bytes: r.u64()?,
+                dup_cache_hits: r.u64()?,
+                dup_buffer_hits: r.u64()?,
+                dup_index_hits: r.u64()?,
+                containers_sealed: r.u64()?,
+                committed_backups: r.u64()?,
+                sessions_served: r.u64()?,
+            }),
+            TAG_SHUTDOWN => Message::Shutdown,
+            TAG_SHUTDOWN_ACK => Message::ShutdownAck,
+            TAG_ERROR => Message::ErrorResp {
+                code: r.u16()?,
+                message: r.str()?,
+            },
+            _ => return Err(WireError::Malformed("unknown message tag")),
+        };
+        // Batches already drained their cursor; for everything else,
+        // trailing garbage means a codec mismatch.
+        if !matches!(msg, Message::PutChunkBatch { .. }) {
+            r.finish()?;
+        }
+        Ok(msg)
+    }
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Malformed("field truncated"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        std::str::from_utf8(self.bytes(len)?)
+            .map(str::to_owned)
+            .map_err(|_| WireError::Malformed("string not utf-8"))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(Message::Hello {
+            version: WIRE_VERSION,
+            client: "client-a".into(),
+        });
+        round_trip(Message::HelloAck {
+            version: WIRE_VERSION,
+        });
+        round_trip(Message::PutChunkBatch {
+            seq: 7,
+            chunks: vec![ChunkRecord::new(1u64, 100), ChunkRecord::new(2u64, 50)],
+            payloads: None,
+        });
+        round_trip(Message::PutChunkBatch {
+            seq: 8,
+            chunks: vec![ChunkRecord::new(9u64, 3)],
+            payloads: Some(vec![vec![1, 2, 3]]),
+        });
+        round_trip(Message::PutAck {
+            seq: 7,
+            unique: 1,
+            duplicate: 1,
+        });
+        round_trip(Message::CommitManifest {
+            label: "week-01".into(),
+        });
+        round_trip(Message::CommitAck {
+            label: "week-01".into(),
+            chunks: 1234,
+        });
+        round_trip(Message::GetChunk { fp: 42 });
+        round_trip(Message::ChunkResp {
+            fp: 42,
+            status: ChunkStatus::Payload,
+            size: 3,
+            payload: vec![4, 5, 6],
+        });
+        round_trip(Message::ChunkResp {
+            fp: 43,
+            status: ChunkStatus::Missing,
+            size: 0,
+            payload: Vec::new(),
+        });
+        round_trip(Message::RestoreBackup {
+            label: "week-01".into(),
+        });
+        round_trip(Message::RestoreHeader {
+            label: "week-01".into(),
+            count: 99,
+        });
+        round_trip(Message::StatsReq);
+        round_trip(Message::StatsResp(ServerStats {
+            logical_chunks: 1,
+            logical_bytes: 2,
+            unique_chunks: 3,
+            unique_bytes: 4,
+            dup_cache_hits: 5,
+            dup_buffer_hits: 6,
+            dup_index_hits: 7,
+            containers_sealed: 8,
+            committed_backups: 9,
+            sessions_served: 10,
+        }));
+        round_trip(Message::Shutdown);
+        round_trip(Message::ShutdownAck);
+        round_trip(Message::ErrorResp {
+            code: code::BAD_STATE,
+            message: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        assert!(matches!(
+            Message::decode(&[0xee]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_fields() {
+        let full = Message::CommitAck {
+            label: "x".into(),
+            chunks: 5,
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(
+                Message::decode(&full[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = Message::Shutdown.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversize_batch_count() {
+        let mut bytes = vec![TAG_PUT_BATCH];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_payload_flag() {
+        let mut bytes = vec![TAG_PUT_BATCH];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.push(7);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Malformed("payload flag"))
+        ));
+    }
+}

@@ -1,0 +1,342 @@
+//! Per-connection protocol state machine.
+//!
+//! A session is one TCP connection, handled start-to-finish by one pool
+//! worker: HELLO version negotiation, then a request loop until the
+//! client disconnects, the stream errors, or SHUTDOWN arrives. Between
+//! requests the session polls the server's stop flag (the socket carries
+//! a short read timeout), so a graceful shutdown drains in-flight
+//! sessions instead of cutting them.
+//!
+//! Every PUT batch is both deduplicated *and* tapped: the `(fp, size)`
+//! records are appended to the session's pending observed stream, which
+//! COMMIT-MANIFEST snapshots into the [`crate::tap::AdversaryTap`] as one
+//! [`Backup`]. A disconnect with uncommitted chunks records the tail as
+//! an abandoned stream — observed by the adversary, but not restorable.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
+
+use crate::frame::{read_frame, write_frame, WireError};
+use crate::proto::{code, ChunkStatus, Message, MIN_WIRE_VERSION, WIRE_VERSION};
+use crate::server::Shared;
+
+/// Poll interval for the stop flag while a session is idle.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Runs one connection to completion. Never panics the worker on
+/// protocol or socket errors — they are logged and end the session.
+pub(crate) fn serve_connection(mut stream: TcpStream, shared: &Shared, id: u64) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut session = Session {
+        shared,
+        id,
+        hello_done: false,
+        pending: Vec::new(),
+    };
+    let outcome = session.run(&mut stream);
+    if !session.pending.is_empty() {
+        let tail = Backup::from_chunks(
+            format!("session-{id}-uncommitted"),
+            std::mem::take(&mut session.pending),
+        );
+        shared
+            .tap
+            .lock()
+            .expect("tap poisoned")
+            .record_abandoned(tail);
+    }
+    match outcome {
+        Ok(()) => shared.log(&format!("session {id}: closed")),
+        Err(e) => shared.log(&format!("session {id}: error: {e}")),
+    }
+}
+
+struct Session<'a> {
+    shared: &'a Shared,
+    id: u64,
+    hello_done: bool,
+    /// Observed (pre-dedup) stream since the last commit.
+    pending: Vec<ChunkRecord>,
+}
+
+impl Session<'_> {
+    fn run(&mut self, stream: &mut TcpStream) -> Result<(), WireError> {
+        loop {
+            let payload = match read_frame(stream) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return Ok(()), // clean disconnect
+                Err(WireError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle tick: drain on shutdown, else keep waiting.
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e @ (WireError::BadCrc { .. } | WireError::Oversize { .. })) => {
+                    // Torn / corrupt frame: report, then drop the
+                    // connection (an oversize prefix desyncs the stream;
+                    // a CRC failure means the peer's framing is not to
+                    // be trusted either).
+                    self.reply_err(stream, code::BAD_STATE, &e.to_string());
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            };
+            let msg = match Message::decode(&payload) {
+                Ok(msg) => msg,
+                Err(e) => {
+                    // The frame was whole (CRC passed) so the stream is
+                    // still aligned; reject the message and continue.
+                    self.reply_err(stream, code::BAD_STATE, &e.to_string());
+                    continue;
+                }
+            };
+            if !self.hello_done && !matches!(msg, Message::Hello { .. }) {
+                self.reply_err(stream, code::BAD_STATE, "HELLO required first");
+                continue;
+            }
+            match msg {
+                Message::Hello { version, client } => {
+                    if version < MIN_WIRE_VERSION {
+                        self.reply_err(stream, code::BAD_VERSION, "client version too old");
+                        return Err(WireError::BadVersion(version));
+                    }
+                    let negotiated = version.min(WIRE_VERSION);
+                    self.hello_done = true;
+                    self.shared.log(&format!(
+                        "session {}: hello from {client:?} (v{negotiated})",
+                        self.id
+                    ));
+                    self.reply(
+                        stream,
+                        &Message::HelloAck {
+                            version: negotiated,
+                        },
+                    )?;
+                }
+                Message::PutChunkBatch {
+                    seq,
+                    chunks,
+                    payloads,
+                } => self.handle_put(stream, seq, chunks, payloads)?,
+                Message::CommitManifest { label } => {
+                    let backup =
+                        Backup::from_chunks(label.clone(), std::mem::take(&mut self.pending));
+                    let chunks = backup.len() as u64;
+                    self.shared
+                        .tap
+                        .lock()
+                        .expect("tap poisoned")
+                        .record_commit(backup);
+                    self.shared.commits.fetch_add(1, Ordering::SeqCst);
+                    self.shared.log(&format!(
+                        "session {}: commit {label:?} ({chunks} chunks)",
+                        self.id
+                    ));
+                    self.reply(stream, &Message::CommitAck { label, chunks })?;
+                }
+                Message::GetChunk { fp } => {
+                    let resp = self.lookup_chunk(Fingerprint(fp));
+                    self.reply(stream, &resp)?;
+                }
+                Message::RestoreBackup { label } => self.handle_restore(stream, &label)?,
+                Message::StatsReq => {
+                    let stats = self.shared.stats();
+                    self.reply(stream, &Message::StatsResp(stats))?;
+                }
+                Message::Shutdown => {
+                    self.shared
+                        .log(&format!("session {}: shutdown requested", self.id));
+                    self.reply(stream, &Message::ShutdownAck)?;
+                    self.shared.stop.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+                // Server-only messages arriving at the server are a
+                // client bug, not a transport failure.
+                Message::HelloAck { .. }
+                | Message::PutAck { .. }
+                | Message::CommitAck { .. }
+                | Message::ChunkResp { .. }
+                | Message::RestoreHeader { .. }
+                | Message::StatsResp(_)
+                | Message::ShutdownAck
+                | Message::ErrorResp { .. } => {
+                    self.reply_err(stream, code::BAD_STATE, "unexpected server-side message");
+                }
+            }
+        }
+    }
+
+    /// Ingests one batch: dedup through the sharded engine *and* append
+    /// to the session's observed stream (the tap sees the logical
+    /// pre-dedup order, exactly the paper's adversary).
+    fn handle_put(
+        &mut self,
+        stream: &mut TcpStream,
+        seq: u32,
+        chunks: Vec<ChunkRecord>,
+        payloads: Option<Vec<Vec<u8>>>,
+    ) -> Result<(), WireError> {
+        if let Some(p) = &payloads {
+            if p.len() != chunks.len()
+                || p.iter()
+                    .zip(&chunks)
+                    .any(|(bytes, rec)| bytes.len() != rec.size as usize)
+            {
+                self.reply_err(
+                    stream,
+                    code::BAD_BATCH,
+                    "payload sizes disagree with records",
+                );
+                return Ok(());
+            }
+        }
+        let has_payloads = payloads.is_some();
+        let (unique, duplicate) = {
+            let mut slot = self.shared.slot.lock().expect("engine poisoned");
+            match slot.payload_mode {
+                None => slot.payload_mode = Some(has_payloads),
+                Some(mode) if mode != has_payloads => {
+                    drop(slot);
+                    self.reply_err(
+                        stream,
+                        code::MIXED_MODE,
+                        "service already committed to the other payload mode",
+                    );
+                    return Ok(());
+                }
+                Some(_) => {}
+            }
+            let engine = slot.engine.as_mut().expect("engine open while serving");
+            let mut unique = 0u32;
+            let mut duplicate = 0u32;
+            for (i, &rec) in chunks.iter().enumerate() {
+                let outcome = match &payloads {
+                    Some(p) => engine.process_with_payload(rec, &p[i]),
+                    None => engine.process(rec),
+                };
+                if outcome.is_duplicate() {
+                    duplicate += 1;
+                } else {
+                    unique += 1;
+                }
+            }
+            (unique, duplicate)
+        };
+        self.pending.extend(chunks);
+        self.reply(
+            stream,
+            &Message::PutAck {
+                seq,
+                unique,
+                duplicate,
+            },
+        )
+    }
+
+    /// Streams a committed backup back: header, then one chunk frame per
+    /// record in logical order.
+    fn handle_restore(&mut self, stream: &mut TcpStream, label: &str) -> Result<(), WireError> {
+        let records: Option<Vec<ChunkRecord>> = {
+            let tap = self.shared.tap.lock().expect("tap poisoned");
+            tap.backup(label).map(|b| b.chunks.clone())
+        };
+        let Some(records) = records else {
+            self.reply_err(
+                stream,
+                code::UNKNOWN_LABEL,
+                &format!("no manifest {label:?}"),
+            );
+            return Ok(());
+        };
+        self.reply(
+            stream,
+            &Message::RestoreHeader {
+                label: label.to_string(),
+                count: records.len() as u64,
+            },
+        )?;
+        // Stream in bounded batches: each batch's responses (payload
+        // clones included) are materialized under one short engine lock,
+        // then written with the lock released — a multi-GB restore never
+        // buffers the whole backup in memory nor starves other sessions
+        // of the engine for its full duration.
+        const RESTORE_BATCH: usize = 1024;
+        for batch in records.chunks(RESTORE_BATCH) {
+            let responses: Vec<Message> = {
+                let slot = self.shared.slot.lock().expect("engine poisoned");
+                let engine = slot.engine.as_ref().expect("engine open while serving");
+                batch
+                    .iter()
+                    .map(|rec| chunk_resp(engine, rec.fp, rec.size))
+                    .collect()
+            };
+            for resp in &responses {
+                self.reply(stream, resp)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup_chunk(&self, fp: Fingerprint) -> Message {
+        let slot = self.shared.slot.lock().expect("engine poisoned");
+        let engine = slot.engine.as_ref().expect("engine open while serving");
+        chunk_resp(engine, fp, 0)
+    }
+
+    fn reply(&self, stream: &mut TcpStream, msg: &Message) -> Result<(), WireError> {
+        write_frame(stream, &msg.encode())
+    }
+
+    fn reply_err(&self, stream: &mut TcpStream, code: u16, message: &str) {
+        self.shared
+            .log(&format!("session {}: error {code}: {message}", self.id));
+        let _ = write_frame(
+            stream,
+            &Message::ErrorResp {
+                code,
+                message: message.to_string(),
+            }
+            .encode(),
+        );
+    }
+}
+
+/// Builds the [`Message::ChunkResp`] for a fingerprint, distinguishing
+/// payload-bearing, metadata-only, and missing chunks. `known_size`
+/// carries the manifest's size for metadata-only stores (the engine does
+/// not retain per-chunk sizes without payloads).
+fn chunk_resp(
+    engine: &freqdedup_store::sharded::ShardedDedupEngine,
+    fp: Fingerprint,
+    known_size: u32,
+) -> Message {
+    match engine.read_chunk(fp) {
+        Some(bytes) => Message::ChunkResp {
+            fp: fp.value(),
+            status: ChunkStatus::Payload,
+            size: bytes.len() as u32,
+            payload: bytes.to_vec(),
+        },
+        None if engine.contains(fp) => Message::ChunkResp {
+            fp: fp.value(),
+            status: ChunkStatus::Metadata,
+            size: known_size,
+            payload: Vec::new(),
+        },
+        None => Message::ChunkResp {
+            fp: fp.value(),
+            status: ChunkStatus::Missing,
+            size: 0,
+            payload: Vec::new(),
+        },
+    }
+}

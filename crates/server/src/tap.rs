@@ -1,0 +1,201 @@
+//! The provider-side adversary tap.
+//!
+//! The paper's adversary models (§3) give the attacker the storage
+//! provider's view: the logical, pre-deduplication order of ciphertext
+//! chunks of each uploaded backup. In a real deployment this view is not
+//! hypothetical — it is the provider's *own metadata*: the per-session
+//! upload stream the service must read anyway, and the backup manifests
+//! it must keep to serve restores. [`AdversaryTap`] records exactly that:
+//! every session's observed `(fingerprint, size)` stream, segmented at
+//! COMMIT-MANIFEST boundaries into ordinary [`Backup`]s, so
+//! `LocalityAttack` / `AdvancedAttack` run **unchanged** against live
+//! traffic.
+//!
+//! Because a session is one TCP connection handled start-to-finish by one
+//! worker, each committed stream is byte-identical to the order the
+//! client sent — concurrent sessions never interleave *within* a tapped
+//! backup. [`AdversaryTap::series`] therefore returns a deterministic
+//! representation (sorted by label) regardless of which client's commit
+//! raced ahead, which is what makes live-traffic attack output
+//! reproducible against offline ingest.
+//!
+//! The tap doubles as the service's manifest catalog: RESTORE-BACKUP is
+//! served from it. That is the threat model in one line — the metadata
+//! the provider needs in order to function *is* the leak.
+
+use std::path::Path;
+
+use freqdedup_trace::io::{self, TraceIoError};
+use freqdedup_trace::{Backup, BackupSeries};
+
+/// Per-session observed ciphertext streams, segmented by commit.
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryTap {
+    /// Committed backups in commit order (racy across sessions; use
+    /// [`Self::series`] for the deterministic view).
+    committed: Vec<Backup>,
+    /// Streams of sessions that disconnected without committing
+    /// (observed but not restorable).
+    abandoned: Vec<Backup>,
+}
+
+impl AdversaryTap {
+    /// Creates an empty tap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one committed manifest stream.
+    pub fn record_commit(&mut self, backup: Backup) {
+        self.committed.push(backup);
+    }
+
+    /// Records the un-committed tail stream of a closed session.
+    pub fn record_abandoned(&mut self, backup: Backup) {
+        if !backup.is_empty() {
+            self.abandoned.push(backup);
+        }
+    }
+
+    /// The committed backup with the given manifest label (most recent
+    /// commit wins when a label was reused).
+    #[must_use]
+    pub fn backup(&self, label: &str) -> Option<&Backup> {
+        self.committed.iter().rev().find(|b| b.label == label)
+    }
+
+    /// Number of committed manifests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether nothing has been committed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Committed backups in commit order (nondeterministic across
+    /// concurrent sessions — prefer [`Self::series`] for analysis).
+    #[must_use]
+    pub fn committed(&self) -> &[Backup] {
+        &self.committed
+    }
+
+    /// Un-committed session tails (observed traffic that never became a
+    /// manifest).
+    #[must_use]
+    pub fn abandoned(&self) -> &[Backup] {
+        &self.abandoned
+    }
+
+    /// Total logical chunks observed across committed manifests.
+    #[must_use]
+    pub fn observed_chunks(&self) -> u64 {
+        self.committed.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// The deterministic adversary view: committed backups **sorted by
+    /// label** (commit order depends on client scheduling; label order
+    /// does not). This is the series attacks and equivalence tests run
+    /// on.
+    #[must_use]
+    pub fn series(&self, name: impl Into<String>) -> BackupSeries {
+        let mut series = BackupSeries::new(name);
+        let mut sorted = self.committed.clone();
+        sorted.sort_by(|a, b| a.label.cmp(&b.label));
+        for backup in sorted {
+            series.push(backup);
+        }
+        series
+    }
+
+    /// Persists the deterministic view to the workspace trace format
+    /// (used by the server to survive restarts: the tap is also the
+    /// manifest catalog).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on write failure.
+    pub fn save(&self, path: &Path) -> Result<(), TraceIoError> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = std::io::BufWriter::new(file);
+        io::write_series(&self.series("tap"), &mut writer)?;
+        use std::io::Write;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reloads a tap saved by [`Self::save`] (abandoned streams are not
+    /// persisted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on read failure or corruption.
+    pub fn load(path: &Path) -> Result<Self, TraceIoError> {
+        let file = std::fs::File::open(path)?;
+        let series = io::read_series(std::io::BufReader::new(file))?;
+        Ok(AdversaryTap {
+            committed: series.backups,
+            abandoned: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdedup_trace::ChunkRecord;
+
+    fn backup(label: &str, fps: &[u64]) -> Backup {
+        Backup::from_chunks(label, fps.iter().map(|&f| ChunkRecord::new(f, 8)).collect())
+    }
+
+    #[test]
+    fn series_is_label_sorted_regardless_of_commit_order() {
+        let mut a = AdversaryTap::new();
+        a.record_commit(backup("b", &[1]));
+        a.record_commit(backup("a", &[2]));
+        let mut b = AdversaryTap::new();
+        b.record_commit(backup("a", &[2]));
+        b.record_commit(backup("b", &[1]));
+        assert_eq!(a.series("t"), b.series("t"));
+        assert_eq!(a.series("t").get(0).unwrap().label, "a");
+    }
+
+    #[test]
+    fn label_lookup_prefers_latest() {
+        let mut tap = AdversaryTap::new();
+        tap.record_commit(backup("x", &[1]));
+        tap.record_commit(backup("x", &[2, 3]));
+        assert_eq!(tap.backup("x").unwrap().len(), 2);
+        assert!(tap.backup("y").is_none());
+        assert_eq!(tap.observed_chunks(), 3);
+    }
+
+    #[test]
+    fn abandoned_streams_kept_separately() {
+        let mut tap = AdversaryTap::new();
+        tap.record_abandoned(backup("", &[]));
+        tap.record_abandoned(backup("", &[9]));
+        assert_eq!(tap.abandoned().len(), 1);
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("freqdedup-tap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tap.fqdt");
+        let mut tap = AdversaryTap::new();
+        tap.record_commit(backup("m1", &[1, 2, 1]));
+        tap.record_commit(backup("m0", &[7]));
+        tap.save(&path).unwrap();
+        let back = AdversaryTap::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.series("t"), tap.series("t"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -36,7 +36,7 @@ use crate::container::{ContainerId, ContainerStore, PayloadMode};
 use crate::index::FingerprintIndex;
 use crate::log;
 use crate::manifest::{self, ManifestEvent, ManifestWriter, Snapshot};
-use crate::persist::{self, MetaKind, PersistConfig, PersistError, StoreMeta};
+use crate::persist::{self, FsyncPolicy, MetaKind, PersistConfig, PersistError, StoreMeta};
 use crate::stats::{MetadataAccess, StoreStats};
 
 /// Engine configuration. Defaults follow the paper's prototype (§7.4.2):
@@ -580,11 +580,38 @@ impl DedupEngine {
     /// Flushes, snapshots and consumes the engine: after `close` returns,
     /// [`Self::open`] on the same directory resumes bit-identically.
     ///
+    /// A graceful close is also a **durability upgrade**: even under
+    /// [`crate::persist::FsyncPolicy::Never`], every container log, the
+    /// manifest journal, the snapshot and the directory entry are fsynced
+    /// once here — so a SHUTDOWN / Ctrl-C path that reaches `close` never
+    /// relies on crash recovery, regardless of the run-time fsync policy.
+    ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on write failure.
     pub fn close(mut self) -> Result<(), PersistError> {
-        self.checkpoint()
+        self.checkpoint()?;
+        self.sync_for_close()
+    }
+
+    /// One-shot unconditional fsync of all persistence files (see
+    /// [`Self::close`]). No-op for in-memory engines and under
+    /// [`crate::persist::FsyncPolicy::Always`], where every write was
+    /// already durable.
+    fn sync_for_close(&self) -> Result<(), PersistError> {
+        let Some(p) = &self.persist else {
+            return Ok(());
+        };
+        if p.cfg.fsync == FsyncPolicy::Always {
+            return Ok(());
+        }
+        let dir = &p.cfg.dir;
+        for id in 0..self.containers.sealed_count() {
+            let path = log::container_path(dir, ContainerId(id as u32));
+            std::fs::File::open(path)?.sync_data()?;
+        }
+        manifest::sync_manifest_files(dir)?;
+        persist::maybe_sync_dir(dir, FsyncPolicy::Always)
     }
 
     fn write_snapshot_now(&mut self) -> Result<(), PersistError> {

@@ -91,6 +91,19 @@ pub fn manifest_exists(dir: &Path) -> bool {
     manifest_path(dir).exists()
 }
 
+/// Fsyncs the manifest journal (and snapshot, when present)
+/// unconditionally — the graceful-close durability upgrade for
+/// [`FsyncPolicy::Never`] stores (see `DedupEngine::close`).
+pub(crate) fn sync_manifest_files(dir: &Path) -> Result<(), PersistError> {
+    File::open(manifest_path(dir))?.sync_data()?;
+    match File::open(snapshot_path(dir)) {
+        Ok(file) => file.sync_data()?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    Ok(())
+}
+
 /// Scans the manifest journal under `dir`, tolerating a torn tail: the
 /// scan stops at the first record that is truncated or fails its CRC, and
 /// reports the valid prefix.

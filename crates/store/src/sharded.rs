@@ -153,6 +153,26 @@ impl ShardedDedupEngine {
         self.engines[shard].process(record)
     }
 
+    /// Processes one chunk storing its payload bytes on its owning shard
+    /// (content mode; the serving path of the network service).
+    ///
+    /// # Panics
+    ///
+    /// As [`DedupEngine::process_with_payload`] (mixed-mode ingestion or
+    /// a persistent write failure).
+    pub fn process_with_payload(&mut self, record: ChunkRecord, payload: &[u8]) -> ChunkOutcome {
+        let shard = self.shard_of(record.fp);
+        self.engines[shard].process_with_payload(record, payload)
+    }
+
+    /// Whether `fp` is stored at all — in its owning shard's sealed index
+    /// or still in that shard's open container.
+    #[must_use]
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        let engine = &self.engines[self.shard_of(fp)];
+        engine.index().peek(fp).is_some() || engine.containers().open_contains(fp)
+    }
+
     /// Ingests a whole backup: the stream is partitioned by shard
     /// (preserving stream order within each shard), then the shards are
     /// drained by up to `par.resolve()` scoped workers, each owning its
@@ -334,6 +354,29 @@ mod tests {
         assert_eq!(e.read_chunk(a), Some(&b"hello"[..]));
         assert_eq!(e.read_chunk(b), Some(&b"world"[..]));
         assert_eq!(e.read_chunk(Fingerprint(999_999)), None);
+    }
+
+    #[test]
+    fn payload_process_and_contains_route_to_owning_shard() {
+        let mut e = ShardedDedupEngine::new(config(), 4).unwrap();
+        let a = Fingerprint(3);
+        let b = Fingerprint(u64::MAX / 3);
+        assert_eq!(
+            e.process_with_payload(rec(a.value(), 5), b"alpha"),
+            ChunkOutcome::Unique
+        );
+        assert_eq!(
+            e.process_with_payload(rec(b.value(), 4), b"beta"),
+            ChunkOutcome::Unique
+        );
+        assert!(e
+            .process_with_payload(rec(a.value(), 5), b"alpha")
+            .is_duplicate());
+        assert!(e.contains(a) && e.contains(b));
+        assert!(!e.contains(Fingerprint(77)));
+        e.finish();
+        assert!(e.contains(a), "contains must survive sealing");
+        assert_eq!(e.read_chunk(b), Some(&b"beta"[..]));
     }
 
     #[test]

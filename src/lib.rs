@@ -13,5 +13,6 @@ pub use freqdedup_core as core;
 pub use freqdedup_crypto as crypto;
 pub use freqdedup_datasets as datasets;
 pub use freqdedup_mle as mle;
+pub use freqdedup_server as server;
 pub use freqdedup_store as store;
 pub use freqdedup_trace as trace;

@@ -1,0 +1,491 @@
+//! Networked-service integration suite (loopback only, CI-safe).
+//!
+//! The contract under test (DESIGN.md §8):
+//!
+//! * **Protocol round trip** — every message type crosses the wire and
+//!   back; torn, truncated, oversize and CRC-corrupted frames are
+//!   rejected without taking the server down.
+//! * **Live-traffic equivalence** — for a seeded series and client count
+//!   ∈ {1, 4}, the adversary tap's deterministic view equals the offline
+//!   series, its attack inference (both [`TiePolicy`] variants) is
+//!   bit-identical to direct in-process ingest, and the served store's
+//!   partition-invariant totals match a direct `ShardedDedupEngine` run.
+//! * **Restart** — a server restarted on its store directory recovers
+//!   per the PR 4 invariant (graceful shutdown checkpoints, so no crash
+//!   recovery is needed), and clients resume to a verified restore —
+//!   including a client that disconnected mid-backup without committing.
+//!
+//! Test directories (store dirs, server logs, tap traces) live under
+//! `target/server-test/` so CI can upload them when a test fails; they
+//! are removed on success.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use freqdedup::core::attacks::locality::LocalityParams;
+use freqdedup::core::attacks::{self, AttackKind};
+use freqdedup::datasets::fsl::{generate, FslConfig};
+use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
+use freqdedup::server::client::{synthetic_payload, Client, ClientError};
+use freqdedup::server::frame::{read_frame, write_frame};
+use freqdedup::server::proto::{code, Message};
+use freqdedup::server::server::{ServeSummary, Server, ServerConfig};
+use freqdedup::store::engine::DedupConfig;
+use freqdedup::store::persist::{FsyncPolicy, PersistConfig};
+use freqdedup::store::sharded::ShardedDedupEngine;
+use freqdedup::trace::par::ParConfig;
+use freqdedup::trace::{Backup, BackupSeries};
+
+/// A fresh directory under `target/server-test/` (kept on panic so CI can
+/// upload it, removed by [`done`] on success).
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from("target/server-test").join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn done(dir: &PathBuf) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Small engine so containers actually seal during the tests.
+fn small_engine() -> DedupConfig {
+    DedupConfig {
+        container_bytes: 4096,
+        cache_entries: 1024,
+        bloom_expected: 100_000,
+        ..DedupConfig::default()
+    }
+}
+
+/// Binds on an ephemeral loopback port and serves on a background
+/// thread; the server stops when a client sends SHUTDOWN.
+fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<ServeSummary>) {
+    let server = Server::bind(config).expect("bind loopback server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+/// A small seeded FSL-like series, fingerprint-space encrypted: returns
+/// `(plaintext series, ciphertext series)` — clients upload ciphertext.
+fn encrypted_series(backups: usize) -> (BackupSeries, BackupSeries) {
+    let plain = generate(&FslConfig {
+        users: 2,
+        backups,
+        ..FslConfig::scaled(400)
+    });
+    let enc = DeterministicTraceEncryptor::new(b"server-integration-secret");
+    let mut cipher = BackupSeries::new(plain.name.clone());
+    for backup in &plain {
+        cipher.push(enc.encrypt_backup(backup).backup);
+    }
+    (plain, cipher)
+}
+
+// ---------------------------------------------------------------------------
+// Protocol round trip
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_round_trip_every_message_type() {
+    let dir = test_dir("round-trip");
+    let (addr, handle) = start(ServerConfig {
+        engine: small_engine(),
+        log_file: Some(dir.join("server.log")),
+        ..ServerConfig::default()
+    });
+
+    let mut client = Client::connect(addr, "round-trip").unwrap();
+    assert_eq!(client.version(), freqdedup::server::proto::WIRE_VERSION);
+
+    // PUT (payload mode) + COMMIT.
+    let backup = Backup::from_chunks(
+        "b0",
+        (0..300u64)
+            .map(|i| freqdedup::trace::ChunkRecord::new(i % 100, 64))
+            .collect(),
+    );
+    let summary = client
+        .upload_backup_payloads(&backup, |rec| synthetic_payload(rec.fp, rec.size))
+        .unwrap();
+    assert_eq!(summary.chunks, 300);
+    assert_eq!(summary.unique, 100);
+    assert_eq!(summary.duplicate, 200);
+    assert_eq!(client.commit("b0").unwrap(), 300);
+
+    // GET-CHUNK: stored and missing fingerprints.
+    let payload = client
+        .get_chunk(freqdedup::trace::Fingerprint(5))
+        .unwrap()
+        .expect("stored chunk has payload");
+    assert_eq!(
+        payload,
+        synthetic_payload(freqdedup::trace::Fingerprint(5), 64)
+    );
+    assert!(client
+        .get_chunk(freqdedup::trace::Fingerprint(987_654_321))
+        .unwrap()
+        .is_none());
+
+    // RESTORE-BACKUP: stream + payload verification.
+    client
+        .verify_restore(
+            &backup,
+            Some(&|rec: &freqdedup::trace::ChunkRecord| synthetic_payload(rec.fp, rec.size)),
+        )
+        .unwrap();
+
+    // RESTORE of an unknown label: protocol error, session survives.
+    match client.restore("nope") {
+        Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::UNKNOWN_LABEL),
+        other => panic!("expected UNKNOWN_LABEL, got {other:?}"),
+    }
+
+    // STATS.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.logical_chunks, 300);
+    assert_eq!(stats.unique_chunks, 100);
+    assert_eq!(stats.committed_backups, 1);
+
+    // SHUTDOWN (drains and stops the server).
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.commits, 1);
+    assert_eq!(summary.stats.unique_chunks, 100);
+    done(&dir);
+}
+
+#[test]
+fn hello_is_required_and_versions_negotiate() {
+    let dir = test_dir("hello");
+    let (addr, handle) = start(ServerConfig {
+        engine: small_engine(),
+        log_file: Some(dir.join("server.log")),
+        ..ServerConfig::default()
+    });
+
+    // A request before HELLO is refused with BAD_STATE.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, &Message::StatsReq.encode()).unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Message::ErrorResp { code: c, .. } if c == code::BAD_STATE));
+        // The session survives the refusal: HELLO still works.
+        write_frame(
+            &mut raw,
+            &Message::Hello {
+                version: freqdedup::server::proto::WIRE_VERSION,
+                client: "late-hello".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Message::HelloAck { .. }));
+    }
+
+    // A future client version negotiates down to the server's version.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut raw,
+            &Message::Hello {
+                version: 999,
+                client: "futuristic".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert_eq!(
+            reply,
+            Message::HelloAck {
+                version: freqdedup::server::proto::WIRE_VERSION
+            }
+        );
+    }
+
+    let mut client = Client::connect(addr, "closer").unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    done(&dir);
+}
+
+#[test]
+fn torn_and_corrupt_frames_are_rejected() {
+    let dir = test_dir("torn-frames");
+    let (addr, handle) = start(ServerConfig {
+        engine: small_engine(),
+        log_file: Some(dir.join("server.log")),
+        ..ServerConfig::default()
+    });
+
+    // Oversize length prefix: the server reports and drops the session.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        use std::io::Write;
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.write_all(&0u32.to_le_bytes()).unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Message::ErrorResp { code: c, .. } if c == code::BAD_STATE));
+        // ... and the connection is closed afterwards.
+        assert!(matches!(read_frame(&mut raw), Ok(None) | Err(_)));
+    }
+
+    // CRC corruption: reported, connection dropped.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Message::StatsReq.encode()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        use std::io::Write;
+        raw.write_all(&bytes).unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Message::ErrorResp { code: c, .. } if c == code::BAD_STATE));
+    }
+
+    // A truncated frame (client dies mid-frame): the server just drops
+    // the session; a fresh client still works.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        use std::io::Write;
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Message::StatsReq.encode()).unwrap();
+        raw.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        drop(raw);
+    }
+
+    // A well-framed but undecodable message: rejected, session continues.
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, &[0xee, 0x01, 0x02]).unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Message::ErrorResp { code: c, .. } if c == code::BAD_STATE));
+        write_frame(
+            &mut raw,
+            &Message::Hello {
+                version: 1,
+                client: "recovered".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let reply = Message::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Message::HelloAck { .. }));
+    }
+
+    let mut client = Client::connect(addr, "closer").unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    done(&dir);
+}
+
+#[test]
+fn mixed_payload_modes_are_refused() {
+    let dir = test_dir("mixed-mode");
+    let (addr, handle) = start(ServerConfig {
+        engine: small_engine(),
+        log_file: Some(dir.join("server.log")),
+        ..ServerConfig::default()
+    });
+    let backup = Backup::from_chunks(
+        "b",
+        (0..10u64)
+            .map(|i| freqdedup::trace::ChunkRecord::new(i, 16))
+            .collect(),
+    );
+    let mut meta_client = Client::connect(addr, "meta").unwrap();
+    meta_client.upload_backup(&backup).unwrap();
+    let mut content_client = Client::connect(addr, "content").unwrap();
+    match content_client.upload_backup_payloads(&backup, |r| synthetic_payload(r.fp, r.size)) {
+        Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::MIXED_MODE),
+        other => panic!("expected MIXED_MODE, got {other:?}"),
+    }
+    meta_client.shutdown().unwrap();
+    handle.join().unwrap();
+    done(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Live-traffic equivalence (the acceptance criterion)
+// ---------------------------------------------------------------------------
+
+/// N concurrent clients through the service produce a store + tap whose
+/// attack inference is identical to the same backups ingested directly
+/// into a `ShardedDedupEngine` — for both TiePolicy variants.
+#[test]
+fn concurrent_clients_equal_direct_ingest() {
+    let (plain, cipher) = encrypted_series(5);
+    let aux = plain.get(3).unwrap();
+    let target_label = cipher.latest().unwrap().label.clone();
+    let params = LocalityParams::new(2, 5, 50_000);
+
+    // Offline reference: direct in-process ingest + attack.
+    let mut direct = ShardedDedupEngine::new(small_engine(), 4).unwrap();
+    for backup in &cipher {
+        direct.ingest_backup(backup, ParConfig::sequential());
+    }
+    direct.finish();
+    let direct_stats = direct.stats();
+    let reference = attacks::run_ciphertext_only_both_policies(
+        AttackKind::Locality,
+        cipher.latest().unwrap(),
+        aux,
+        &params,
+    );
+
+    for clients in [1usize, 4] {
+        let dir = test_dir(&format!("equivalence-{clients}"));
+        let (addr, handle) = start(ServerConfig {
+            workers: clients,
+            engine: small_engine(),
+            log_file: Some(dir.join("server.log")),
+            ..ServerConfig::default()
+        });
+
+        // Round-robin the series over `clients` concurrent sessions.
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let cipher = &cipher;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, &format!("client-{c}")).unwrap();
+                    for (i, backup) in cipher.iter().enumerate() {
+                        if i % clients == c {
+                            client.upload_backup(backup).unwrap();
+                            client.commit(&backup.label).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+
+        // Read the tap back *from the concurrent run* before stopping:
+        // RESTORE-BACKUP is served from the tap's manifest catalog, so
+        // the restored stream is the tap's observed stream for that
+        // label — it must be byte-identical to what the client sent,
+        // regardless of how the concurrent sessions interleaved.
+        let mut closer = Client::connect(addr, "closer").unwrap();
+        let tap_backup = closer.restore(&target_label).unwrap().backup;
+        let stats = closer.stats().unwrap();
+        closer.shutdown().unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.commits, cipher.len() as u64, "{clients} clients");
+        assert_eq!(tap_backup.chunks, cipher.latest().unwrap().chunks);
+
+        // Store equivalence: the partition-invariant totals match direct
+        // ingest (the dup-class split legitimately depends on arrival
+        // interleaving; the logical/unique totals must not).
+        assert_eq!(stats.logical_chunks, direct_stats.logical_chunks);
+        assert_eq!(stats.logical_bytes, direct_stats.logical_bytes);
+        assert_eq!(stats.unique_chunks, direct_stats.unique_chunks);
+        assert_eq!(stats.unique_bytes, direct_stats.unique_bytes);
+
+        // Attack equivalence, both tie policies: live tap vs offline.
+        let live = attacks::run_ciphertext_only_both_policies(
+            AttackKind::Locality,
+            &tap_backup,
+            aux,
+            &params,
+        );
+        for ((policy, live_inf), (_, ref_inf)) in live.iter().zip(&reference) {
+            let mut a: Vec<_> = live_inf.iter().collect();
+            let mut b: Vec<_> = ref_inf.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "policy {policy:?}, {clients} clients");
+        }
+        done(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Restart / resume
+// ---------------------------------------------------------------------------
+
+#[test]
+fn restart_recovers_and_clients_resume_to_verified_restore() {
+    let dir = test_dir("restart");
+    let store_dir = dir.join("store");
+    let persist_engine = || DedupConfig {
+        persist: Some(PersistConfig::new(&store_dir).fsync(FsyncPolicy::Never)),
+        ..small_engine()
+    };
+    let payload = |rec: &freqdedup::trace::ChunkRecord| synthetic_payload(rec.fp, rec.size);
+
+    let (_, cipher) = encrypted_series(3);
+    let b0 = cipher.get(0).unwrap();
+    let b1 = cipher.get(1).unwrap();
+    let b2 = cipher.get(2).unwrap();
+
+    // ---- First server life: two clients, two committed backups, plus a
+    // client that disconnects mid-backup without committing.
+    let (addr, handle) = start(ServerConfig {
+        engine: persist_engine(),
+        log_file: Some(dir.join("server1.log")),
+        ..ServerConfig::default()
+    });
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut c = Client::connect(addr, "alpha").unwrap();
+            c.upload_backup_payloads(b0, payload).unwrap();
+            c.commit(&b0.label).unwrap();
+        });
+        scope.spawn(|| {
+            let mut c = Client::connect(addr, "beta").unwrap();
+            c.upload_backup_payloads(b1, payload).unwrap();
+            c.commit(&b1.label).unwrap();
+        });
+        scope.spawn(|| {
+            // Uploads half of b2 and vanishes mid-workload: observed by
+            // the tap as an abandoned stream, never committed.
+            let mut c = Client::connect(addr, "gamma").unwrap();
+            let half = Backup::from_chunks(b2.label.clone(), b2.chunks[..b2.len() / 2].to_vec());
+            c.upload_backup_payloads(&half, payload).unwrap();
+            // no commit — connection drops here
+        });
+    });
+    let mut closer = Client::connect(addr, "closer").unwrap();
+    let stats_before = closer.stats().unwrap();
+    closer.shutdown().unwrap();
+    let summary1 = handle.join().unwrap();
+    assert_eq!(summary1.commits, 2);
+
+    // ---- Second server life on the same directory: graceful shutdown
+    // checkpointed, so recovery must be bit-identical (PR 4 invariant).
+    let (addr, handle) = start(ServerConfig {
+        engine: persist_engine(),
+        log_file: Some(dir.join("server2.log")),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr, "alpha-again").unwrap();
+    let stats_after = c.stats().unwrap();
+    assert_eq!(stats_after.unique_chunks, stats_before.unique_chunks);
+    assert_eq!(stats_after.unique_bytes, stats_before.unique_bytes);
+    assert_eq!(
+        stats_after.committed_backups, 2,
+        "manifests survive restart"
+    );
+
+    // The interrupted client resumes: re-uploads the whole of b2 (the
+    // first half deduplicates against the stored chunks) and commits.
+    let resume = c.upload_backup_payloads(b2, payload).unwrap();
+    assert!(
+        resume.duplicate > 0,
+        "resumed upload should dedup against the pre-restart half"
+    );
+    c.commit(&b2.label).unwrap();
+
+    // Verified restores across the restart: pre-restart and resumed
+    // backups both come back bit-for-bit.
+    c.verify_restore(b0, Some(&payload)).unwrap();
+    c.verify_restore(b1, Some(&payload)).unwrap();
+    c.verify_restore(b2, Some(&payload)).unwrap();
+
+    c.shutdown().unwrap();
+    let summary2 = handle.join().unwrap();
+    assert_eq!(summary2.commits, 3);
+    done(&dir);
+}

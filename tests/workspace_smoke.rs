@@ -10,6 +10,7 @@ use freqdedup::core::counting::ChunkStats;
 use freqdedup::crypto::sha256;
 use freqdedup::datasets::fsl::FslConfig;
 use freqdedup::mle::convergent::Convergent;
+use freqdedup::server::proto::{Message, WIRE_VERSION};
 use freqdedup::store::engine::{DedupConfig, DedupEngine};
 use freqdedup::trace::{Backup, ChunkRecord};
 
@@ -39,4 +40,11 @@ fn umbrella_reexports_resolve() {
     // store
     let engine = DedupEngine::new(DedupConfig::paper(4 * 1024 * 1024, 1_000)).unwrap();
     assert_eq!(engine.stats().logical_chunks, 0);
+
+    // server
+    let hello = Message::Hello {
+        version: WIRE_VERSION,
+        client: "smoke".into(),
+    };
+    assert_eq!(Message::decode(&hello.encode()).unwrap(), hello);
 }
