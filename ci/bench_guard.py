@@ -7,7 +7,12 @@ end-to-end *throughput* (logical chunks per millisecond) regresses by more
 than the threshold. When both reports carry a `serve` section
 (perf_report --serve), the loopback service numbers are guarded at the
 same threshold: per-client-count ingest throughput and restore
-throughput.
+throughput. When both reports carry a `streaming` section (perf_report
+--streaming), the incremental attack engine's amortized update throughput
+is guarded at the same threshold; worst-case and compaction-stall rows
+print informationally (a single commit's latency is dominated by whether
+it happens to land on a deep segment merge, which depends on epoch count,
+not on a code regression).
 
 Throughput, not wall-time, is compared so a --quick fresh run can be held
 against the committed full-size baseline: chunk counts normalize out,
@@ -76,6 +81,46 @@ def serve_rows(baseline: dict, fresh: dict) -> list:
     return rows
 
 
+def streaming_rows(baseline: dict, fresh: dict) -> list:
+    """(label, baseline_tput, fresh_tput, gated) rows for the streaming
+    section.
+
+    Guarded only when *both* reports carry it, like the serve section. The
+    amortized update throughput (chunks folded per millisecond across the
+    whole tape) *gates*: it is what O(delta) buys and a lost incremental
+    path shows up here as an order-of-magnitude drop. The worst-case
+    single-commit and worst-compaction rows are info-only — which commit
+    absorbs the deepest segment merge is a function of the epoch count and
+    merge schedule, so their latency is lumpy by design.
+    """
+    base, new = baseline.get("streaming"), fresh.get("streaming")
+    if not base or not new:
+        print(
+            "bench_guard: no streaming section in both reports, skipping streaming guard"
+        )
+        return []
+    if not new.get("identical_inference", False):
+        raise SystemExit(
+            "bench_guard: FAIL — fresh streaming inference diverged from batch"
+        )
+    rows = [
+        ("stream update", base["update_chunks_per_ms"], new["update_chunks_per_ms"], True)
+    ]
+    for label, key, invert in (
+        ("stream 2nd half", "second_half_chunks_per_ms", False),
+        ("stream worst", "update_worst_ms", True),
+        ("stream compact", "worst_compaction_ms", True),
+    ):
+        if base.get(key, 0) > 0 and new.get(key, 0) > 0:
+            if invert:
+                # Latency rows: invert into a pseudo-throughput so "lower
+                # ratio = worse" holds uniformly in the table below.
+                rows.append((label, 1.0 / base[key], 1.0 / new[key], False))
+            else:
+                rows.append((label, base[key], new[key], False))
+    return rows
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="committed BENCH_attack.json")
@@ -105,6 +150,7 @@ def main() -> int:
     for label, metric in (("COUNT", "count_ms"), ("end-to-end", "end_to_end_ms")):
         rows.append((label, throughput(baseline, metric), throughput(fresh, metric), True))
     rows.extend(serve_rows(baseline, fresh))
+    rows.extend(streaming_rows(baseline, fresh))
 
     for label, base_tp, fresh_tp, gated in rows:
         ratio = fresh_tp / base_tp
@@ -114,7 +160,7 @@ def main() -> int:
                 verdict = "  <-- REGRESSION"
                 failed = True
             else:
-                verdict = "  (info only: core-count dependent)"
+                verdict = "  (info only: machine/schedule dependent)"
         print(
             f"{label:<16} {base_tp:>9.1f}/ms {fresh_tp:>9.1f}/ms {ratio:>7.2f}x{verdict}"
         )

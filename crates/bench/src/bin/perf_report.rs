@@ -30,8 +30,19 @@
 //! latency of a committed manifest. The timings land in a `serve`
 //! section of the JSON and are guarded by `ci/bench_guard.py`.
 //!
+//! With `--streaming` the incremental attack engine is measured: the
+//! cipher stream is split into 64 committed epochs folded one at a time
+//! into a running `IncrementalStats` (the O(delta) streaming path), with
+//! per-commit update latency recorded — amortized, worst-case, and
+//! worst compaction stall — plus first-half vs second-half throughput
+//! (the sublinearity evidence: per-chunk update cost must not grow with
+//! history) and a final-state inference equivalence check against the
+//! batch series recompute. The timings land in a `streaming` section of
+//! the JSON; amortized update throughput is guarded by
+//! `ci/bench_guard.py`.
+//!
 //! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--persist DIR]
-//! [--serve] [--out PATH]`
+//! [--serve] [--streaming] [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
@@ -40,6 +51,8 @@
 //!   (the directory is cleared first);
 //! * `--serve` — also time the loopback network service (multi-client
 //!   ingest throughput + restore latency);
+//! * `--streaming` — also time the incremental attack engine (per-commit
+//!   update latency over 64 epochs + equivalence check);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -58,14 +71,17 @@ use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
 const USAGE: &str =
-    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--out PATH]
+    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--out PATH]
 Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
 on a synthetic backup pair over the reference hash-map path, the sequential
 dense-id/CSR path and the sharded parallel path, verifies identical
 inference output, and writes BENCH_attack.json. With --persist DIR the
 durable store backend is also timed (disk ingest, close, cold-open
 recovery); with --serve the loopback network service is also timed
-(multi-client ingest throughput at 1/4/8 clients, restore latency).";
+(multi-client ingest throughput at 1/4/8 clients, restore latency); with
+--streaming the incremental attack engine is also timed (per-commit
+update latency over 64 committed epochs, amortized and worst-case, plus
+a streaming-vs-batch inference equivalence check).";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
 const QUICK_CHUNKS: usize = 60_000;
@@ -76,6 +92,7 @@ struct Args {
     threads: usize,
     persist: Option<String>,
     serve: bool,
+    streaming: bool,
     out: String,
 }
 
@@ -86,6 +103,7 @@ fn parse_args() -> Args {
         threads: 0,
         persist: None,
         serve: false,
+        streaming: false,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -114,6 +132,7 @@ fn parse_args() -> Args {
                 args.persist = Some(it.next().unwrap_or_else(|| die("--persist needs a value")));
             }
             "--serve" => args.serve = true,
+            "--streaming" => args.streaming = true,
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
             }
@@ -250,6 +269,87 @@ fn bench_serve(cipher: &Backup, unique: usize) -> String {
     restore_chunks
 }
 
+/// Times the incremental attack engine: the cipher stream is split into 64
+/// committed epochs folded one at a time into a running `IncrementalStats`
+/// (what the adversary tap maintains behind live traffic). Records
+/// per-commit update latency — amortized and worst-case, plus the worst
+/// commit that triggered a CSR segment merge (compaction stall) — and
+/// first-half vs second-half throughput as sublinearity evidence, then
+/// checks the final streaming inference bit-identical against a batch
+/// series recompute of the same tape. Returns the `streaming` JSON section
+/// and whether the equivalence check passed.
+fn bench_streaming(cipher: &Backup, aux: &Backup, threads: usize) -> (String, bool) {
+    use freqdedup_core::attacks::{self, AttackKind};
+    use freqdedup_core::IncrementalStats;
+
+    const EPOCHS: usize = 64;
+    eprintln!("perf_report: streaming attack updates over {EPOCHS} committed epochs...");
+    let tape: Vec<Backup> = freqdedup_core::par::shard_ranges(cipher.chunks.len(), EPOCHS)
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .enumerate()
+        .map(|(i, r)| Backup::from_chunks(format!("epoch-{i:03}"), cipher.chunks[r].to_vec()))
+        .collect();
+    let params = LocalityParams::default().threads(threads);
+
+    let mut stats = IncrementalStats::new(params.tie_policy);
+    let mut per_commit_ms: Vec<f64> = Vec::with_capacity(tape.len());
+    let mut worst_ms = 0.0f64;
+    let mut worst_compaction_ms = 0.0f64;
+    let mut merged_entries: usize = 0;
+    for epoch in &tape {
+        let (ms, receipt) = timed(|| stats.commit(epoch));
+        per_commit_ms.push(ms);
+        worst_ms = worst_ms.max(ms);
+        if receipt.merged_entries > 0 {
+            worst_compaction_ms = worst_compaction_ms.max(ms);
+            merged_entries += receipt.merged_entries;
+        }
+    }
+    let total_ms: f64 = per_commit_ms.iter().sum();
+    let amortized_ms = total_ms / tape.len() as f64;
+    let tput = cipher.len() as f64 / total_ms.max(1e-9);
+    // Sublinearity evidence: per-chunk update cost in the second half of
+    // the tape (deep history) vs the first half (shallow history).
+    let half = tape.len() / 2;
+    let half_tput = |epochs: &[Backup], ms: &[f64]| {
+        let chunks: usize = epochs.iter().map(Backup::len).sum();
+        chunks as f64 / ms.iter().sum::<f64>().max(1e-9)
+    };
+    let first_half_tput = half_tput(&tape[..half], &per_commit_ms[..half]);
+    let second_half_tput = half_tput(&tape[half..], &per_commit_ms[half..]);
+    let csr_merges = stats.left().merges() + stats.right().merges();
+    let segments = stats.left().num_segments() + stats.right().num_segments();
+
+    let (attack_ms, streamed) = timed(|| {
+        attacks::run_ciphertext_only_streaming(AttackKind::Locality, &stats, aux, &params)
+    });
+    let (batch_ms, batch) =
+        timed(|| attacks::run_ciphertext_only_series(AttackKind::Locality, &tape, aux, &params));
+    let identical = sorted_pairs(&streamed) == sorted_pairs(&batch);
+
+    eprintln!(
+        "perf_report: streaming updates {total_ms:.1} ms total over {} commits \
+         ({amortized_ms:.2} ms amortized, {worst_ms:.2} ms worst, {tput:.1} chunks/ms); \
+         halves {first_half_tput:.1} -> {second_half_tput:.1} chunks/ms; \
+         {csr_merges} CSR merges across {segments} live segments; \
+         streaming attack {attack_ms:.1} ms vs batch {batch_ms:.1} ms (identical: {identical})",
+        tape.len()
+    );
+    let section = format!(
+        "  \"streaming\": {{ \"epochs\": {}, \"chunks\": {}, \"update_total_ms\": {total_ms:.1}, \
+         \"update_amortized_ms\": {amortized_ms:.2}, \"update_worst_ms\": {worst_ms:.2}, \
+         \"worst_compaction_ms\": {worst_compaction_ms:.2}, \"update_chunks_per_ms\": {tput:.1}, \
+         \"first_half_chunks_per_ms\": {first_half_tput:.1}, \
+         \"second_half_chunks_per_ms\": {second_half_tput:.1}, \"csr_merges\": {csr_merges}, \
+         \"merged_entries\": {merged_entries}, \"attack_ms\": {attack_ms:.1}, \
+         \"batch_attack_ms\": {batch_ms:.1}, \"identical_inference\": {identical} }},\n",
+        tape.len(),
+        cipher.len(),
+    );
+    (section, identical)
+}
+
 fn main() {
     let args = parse_args();
     let threads = ParConfig::with_threads(args.threads).resolve();
@@ -374,6 +474,15 @@ fn main() {
         String::new()
     };
 
+    // --- Incremental attack engine (optional): per-commit update latency
+    // of the streaming COUNT/CSR state plus a streaming-vs-batch
+    // inference equivalence check. ---
+    let (streaming_section, streaming_identical) = if args.streaming {
+        bench_streaming(&cipher, &aux, threads)
+    } else {
+        (String::new(), true)
+    };
+
     // --- Attack layer. Warm the allocator and page cache once per path,
     // so the timed runs below don't charge first-touch page faults to
     // whichever path goes first. ---
@@ -417,7 +526,7 @@ fn main() {
     let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
         threads,
         cipher.len(),
@@ -446,6 +555,10 @@ fn main() {
 
     if !identical {
         eprintln!("perf_report: FAIL — reference, sequential and parallel inference sets differ");
+        std::process::exit(1);
+    }
+    if !streaming_identical {
+        eprintln!("perf_report: FAIL — streaming inference diverged from the batch recompute");
         std::process::exit(1);
     }
     eprintln!(

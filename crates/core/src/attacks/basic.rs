@@ -13,7 +13,7 @@
 
 use freqdedup_trace::Backup;
 
-use crate::dense::DenseStats;
+use crate::dense::{DenseStats, StatsView};
 use crate::freq_analysis::freq_analysis_dense;
 use crate::metrics::Inference;
 use crate::par::ParConfig;
@@ -43,16 +43,22 @@ impl BasicAttack {
     pub fn run_par(&self, cipher: &Backup, plain_aux: &Backup, par: ParConfig) -> Inference {
         let sc = DenseStats::frequencies_only_par(cipher, par);
         let sm = DenseStats::frequencies_only_par(plain_aux, par);
+        self.run_with_stats(&sc, &sm)
+    }
+
+    /// Runs the attack over pre-built state on both sides — any
+    /// [`StatsView`]: batch [`DenseStats`] (with or without neighbour
+    /// tables; only global frequencies are read) or a streaming
+    /// [`crate::streaming::IncrementalStats`] mid-stream.
+    #[must_use]
+    pub fn run_with_stats<SC: StatsView, SM: StatsView>(&self, sc: &SC, sm: &SM) -> Inference {
         let limit = sc.unique_chunks().min(sm.unique_chunks());
+        let fps_c = sc.fingerprints();
+        let fps_m = sm.fingerprints();
         let mut t = Inference::with_capacity(limit);
-        for (c, m) in freq_analysis_dense(
-            &sc.global_rows(),
-            &sm.global_rows(),
-            limit,
-            sc.interner.fingerprints(),
-            sm.interner.fingerprints(),
-        ) {
-            t.insert(sc.interner.fingerprint(c), sm.interner.fingerprint(m));
+        for (c, m) in freq_analysis_dense(&sc.global_rows(), &sm.global_rows(), limit, fps_c, fps_m)
+        {
+            t.insert(fps_c[c as usize], fps_m[m as usize]);
         }
         t
     }

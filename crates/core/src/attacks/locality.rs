@@ -34,7 +34,7 @@ use std::collections::VecDeque;
 use freqdedup_trace::{Backup, Fingerprint};
 
 use crate::counting::{ChunkStats, FreqTable, TiePolicy};
-use crate::dense::{DenseEntry, DenseStats};
+use crate::dense::{DenseEntry, DenseStats, StatsView};
 use crate::freq_analysis::{
     freq_analysis, freq_analysis_dense, freq_analysis_sized, freq_analysis_sized_dense, DensePair,
     Pair,
@@ -152,14 +152,22 @@ impl LocalityAttack {
         let par = self.params.par_config();
         let sc = DenseStats::full_with_policy_par(cipher, self.params.tie_policy, par);
         let sm = DenseStats::full_with_policy_par(plain_aux, self.params.tie_policy, par);
-        let seed = self.analyze_dense(
-            &sc,
-            &sm,
-            &sc.global_rows(),
-            &sm.global_rows(),
-            self.params.u,
-        );
-        self.run_from_seed_dense(&sc, &sm, seed)
+        self.run_ciphertext_only_with_stats(&sc, &sm)
+    }
+
+    /// Ciphertext-only mode over pre-built attack state on both sides —
+    /// any [`StatsView`]: batch [`DenseStats`] or a streaming
+    /// [`crate::streaming::IncrementalStats`] mid-stream. This is the
+    /// entry the running adversary calls after each commit without
+    /// rebuilding anything.
+    #[must_use]
+    pub fn run_ciphertext_only_with_stats<SC: StatsView, SM: StatsView>(
+        &self,
+        sc: &SC,
+        sm: &SM,
+    ) -> Inference {
+        let seed = self.analyze_view(sc, sm, &sc.global_rows(), &sm.global_rows(), self.params.u);
+        self.run_from_seed_view(sc, sm, seed)
     }
 
     /// Known-plaintext mode: `G` is seeded with the leaked pairs that appear
@@ -177,23 +185,40 @@ impl LocalityAttack {
         let par = self.params.par_config();
         let sc = DenseStats::full_with_policy_par(cipher, self.params.tie_policy, par);
         let sm = DenseStats::full_with_policy_par(plain_aux, self.params.tie_policy, par);
-        let seed: Vec<DensePair> = leaked
-            .iter()
-            .filter_map(|&(c, m)| Some((sc.interner.get(c)?, sm.interner.get(m)?)))
-            .collect();
-        self.run_from_seed_dense(&sc, &sm, seed)
+        self.run_known_plaintext_with_stats(&sc, &sm, leaked)
     }
 
-    /// The main loop of Algorithm 2 (lines 9–23) over dense ids.
+    /// Known-plaintext mode over pre-built attack state on both sides
+    /// (any [`StatsView`]; see [`Self::run_ciphertext_only_with_stats`]).
+    #[must_use]
+    pub fn run_known_plaintext_with_stats<SC: StatsView, SM: StatsView>(
+        &self,
+        sc: &SC,
+        sm: &SM,
+        leaked: &[(Fingerprint, Fingerprint)],
+    ) -> Inference {
+        let seed: Vec<DensePair> = leaked
+            .iter()
+            .filter_map(|&(c, m)| Some((sc.id_of(c)?, sm.id_of(m)?)))
+            .collect();
+        self.run_from_seed_view(sc, sm, seed)
+    }
+
+    /// The main loop of Algorithm 2 (lines 9–23) over dense ids, generic
+    /// over the [`StatsView`] backing each side.
     ///
     /// The inferred set `T` is a flat id-indexed array (`u32::MAX` =
     /// uninferred), so the duplicate-ciphertext guard is one indexed load
-    /// instead of a hash probe, and each crawl step reads two contiguous
-    /// CSR rows per side.
-    fn run_from_seed_dense(
+    /// instead of a hash probe. Neighbour rows are fetched through
+    /// [`StatsView::left_row`]/[`StatsView::right_row`] with two reused
+    /// scratch buffers per side: on [`DenseStats`] these are untouched
+    /// (the CSR row is returned directly), on
+    /// [`crate::streaming::IncrementalStats`] they hold the segment-merged
+    /// row — either way the crawl reads contiguous slices.
+    fn run_from_seed_view<SC: StatsView, SM: StatsView>(
         &self,
-        sc: &DenseStats,
-        sm: &DenseStats,
+        sc: &SC,
+        sm: &SM,
         seed: Vec<DensePair>,
     ) -> Inference {
         const UNINFERRED: u32 = u32::MAX;
@@ -208,9 +233,19 @@ impl LocalityAttack {
             }
         }
 
+        let mut row_c: Vec<DenseEntry> = Vec::new();
+        let mut row_m: Vec<DenseEntry> = Vec::new();
         while let Some((c, m)) = g.pop_front() {
-            let tl = self.analyze_dense(sc, sm, sc.left.row(c), sm.left.row(m), self.params.v);
-            let tr = self.analyze_dense(sc, sm, sc.right.row(c), sm.right.row(m), self.params.v);
+            let tl = {
+                let yc = sc.left_row(c, &mut row_c);
+                let ym = sm.left_row(m, &mut row_m);
+                self.analyze_view(sc, sm, yc, ym, self.params.v)
+            };
+            let tr = {
+                let yc = sc.right_row(c, &mut row_c);
+                let ym = sm.right_row(m, &mut row_m);
+                self.analyze_view(sc, sm, yc, ym, self.params.v)
+            };
             for (c2, m2) in tl.into_iter().chain(tr) {
                 if inferred[c2 as usize] == UNINFERRED {
                     inferred[c2 as usize] = m2;
@@ -222,23 +257,22 @@ impl LocalityAttack {
             }
         }
 
+        let fps_c = sc.fingerprints();
+        let fps_m = sm.fingerprints();
         let mut t = Inference::with_capacity(total);
         for (c, &m) in inferred.iter().enumerate() {
             if m != UNINFERRED {
-                t.insert(
-                    sc.interner.fingerprint(c as u32),
-                    sm.interner.fingerprint(m),
-                );
+                t.insert(fps_c[c], fps_m[m as usize]);
             }
         }
         t
     }
 
     /// Dispatches to plain or size-classified dense frequency analysis.
-    fn analyze_dense(
+    fn analyze_view<SC: StatsView, SM: StatsView>(
         &self,
-        sc: &DenseStats,
-        sm: &DenseStats,
+        sc: &SC,
+        sm: &SM,
         yc: &[DenseEntry],
         ym: &[DenseEntry],
         x: usize,
@@ -246,13 +280,7 @@ impl LocalityAttack {
         if self.params.size_aware {
             freq_analysis_sized_dense(yc, ym, x, sc, sm)
         } else {
-            freq_analysis_dense(
-                yc,
-                ym,
-                x,
-                sc.interner.fingerprints(),
-                sm.interner.fingerprints(),
-            )
+            freq_analysis_dense(yc, ym, x, sc.fingerprints(), sm.fingerprints())
         }
     }
 

@@ -7,7 +7,9 @@ pub mod locality;
 use freqdedup_trace::{Backup, Fingerprint};
 
 use crate::counting::TiePolicy;
+use crate::dense::{DenseStats, StatsView};
 use crate::metrics::Inference;
+use crate::streaming::IncrementalStats;
 
 /// Which attack to run — used by the experiment harness to sweep all three.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -67,6 +69,24 @@ pub fn run_ciphertext_only(
     }
 }
 
+/// Ciphertext-only dispatch of `kind` over pre-built attack state on both
+/// sides (any [`StatsView`] each).
+fn run_ciphertext_only_with_stats_kind<SC: StatsView, SM: StatsView>(
+    kind: AttackKind,
+    sc: &SC,
+    sm: &SM,
+    params: &locality::LocalityParams,
+) -> Inference {
+    match kind {
+        AttackKind::Basic => basic::BasicAttack::new().run_with_stats(sc, sm),
+        AttackKind::Locality => locality::LocalityAttack::new(params.clone().size_aware(false))
+            .run_ciphertext_only_with_stats(sc, sm),
+        AttackKind::Advanced => {
+            advanced::AdvancedAttack::new(params.clone()).run_ciphertext_only_with_stats(sc, sm)
+        }
+    }
+}
+
 /// Runs `kind` in ciphertext-only mode under **both** neighbour-table
 /// tie-break policies (`params.tie_policy` is overridden per run).
 ///
@@ -75,6 +95,12 @@ pub fn run_ciphertext_only(
 /// inference matches offline ingest under *either* [`TiePolicy`], so the
 /// tap consumers (service example, integration tests, serve bench) sweep
 /// the pair through this helper.
+///
+/// Each side's stream is interned and counted **once** and only the
+/// neighbour tables are built per policy
+/// ([`DenseStats::full_both_policies_par`]); the result is bit-identical
+/// to two independent [`run_ciphertext_only`] calls (pinned by
+/// `tests/streaming_equivalence.rs`).
 #[must_use]
 pub fn run_ciphertext_only_both_policies(
     kind: AttackKind,
@@ -82,13 +108,78 @@ pub fn run_ciphertext_only_both_policies(
     plain_aux: &Backup,
     params: &locality::LocalityParams,
 ) -> [(TiePolicy, Inference); 2] {
-    [TiePolicy::StreamOrder, TiePolicy::KeyOrder].map(|policy| {
+    let par = params.par_config();
+    let [sc_stream, sc_key] = DenseStats::full_both_policies_par(cipher, par);
+    let [sm_stream, sm_key] = DenseStats::full_both_policies_par(plain_aux, par);
+    [
+        (TiePolicy::StreamOrder, &sc_stream, &sm_stream),
+        (TiePolicy::KeyOrder, &sc_key, &sm_key),
+    ]
+    .map(|(policy, sc, sm)| {
         let per_policy = params.clone().tie_policy(policy);
         (
             policy,
-            run_ciphertext_only(kind, cipher, plain_aux, &per_policy),
+            run_ciphertext_only_with_stats_kind(kind, sc, sm, &per_policy),
         )
     })
+}
+
+/// Runs `kind` in ciphertext-only mode against a **series** of tapped
+/// ciphertext backups, batch-recomputed from scratch: the whole tape is
+/// interned in commit order, frequencies are summed across backups, and
+/// adjacency stays within each backup (no edges across commit
+/// boundaries). This is the batch oracle the streaming path
+/// ([`run_ciphertext_only_streaming`]) is equivalence-tested against.
+#[must_use]
+pub fn run_ciphertext_only_series(
+    kind: AttackKind,
+    cipher_tape: &[Backup],
+    plain_aux: &Backup,
+    params: &locality::LocalityParams,
+) -> Inference {
+    let sc = DenseStats::full_series_with_policy(cipher_tape, params.tie_policy);
+    let sm = DenseStats::full_with_policy_par(plain_aux, params.tie_policy, params.par_config());
+    run_ciphertext_only_with_stats_kind(kind, &sc, &sm, params)
+}
+
+/// Runs `kind` in ciphertext-only mode against a **running**
+/// [`IncrementalStats`] maintained behind live traffic — the adversary's
+/// O(delta)-per-commit steady state. No ciphertext-side rebuild happens;
+/// the crawl reads the segmented tables directly. `params.tie_policy` is
+/// ignored in favour of the state's own policy (the tables were folded
+/// under it). Bit-identical to [`run_ciphertext_only_series`] over the
+/// committed tape.
+#[must_use]
+pub fn run_ciphertext_only_streaming(
+    kind: AttackKind,
+    cipher: &IncrementalStats,
+    plain_aux: &Backup,
+    params: &locality::LocalityParams,
+) -> Inference {
+    let per_policy = params.clone().tie_policy(cipher.policy());
+    let sm = DenseStats::full_with_policy_par(plain_aux, cipher.policy(), params.par_config());
+    run_ciphertext_only_with_stats_kind(kind, cipher, &sm, &per_policy)
+}
+
+/// Known-plaintext variant of [`run_ciphertext_only_streaming`]. The basic
+/// attack ignores the leakage, as in [`run_known_plaintext`].
+#[must_use]
+pub fn run_known_plaintext_streaming(
+    kind: AttackKind,
+    cipher: &IncrementalStats,
+    plain_aux: &Backup,
+    leaked: &[(Fingerprint, Fingerprint)],
+    params: &locality::LocalityParams,
+) -> Inference {
+    let per_policy = params.clone().tie_policy(cipher.policy());
+    let sm = DenseStats::full_with_policy_par(plain_aux, cipher.policy(), params.par_config());
+    match kind {
+        AttackKind::Basic => basic::BasicAttack::new().run_with_stats(cipher, &sm),
+        AttackKind::Locality => locality::LocalityAttack::new(per_policy.clone().size_aware(false))
+            .run_known_plaintext_with_stats(cipher, &sm, leaked),
+        AttackKind::Advanced => advanced::AdvancedAttack::new(per_policy)
+            .run_known_plaintext_with_stats(cipher, &sm, leaked),
+    }
 }
 
 /// Runs `kind` in known-plaintext mode with leaked pairs. The basic attack

@@ -157,7 +157,7 @@ pub struct CooccurrenceCsr {
 
 /// Which neighbour table a CSR build produces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Side {
+pub(crate) enum Side {
     /// `L[x]` — what precedes `x` in the stream.
     Left,
     /// `R[x]` — what follows `x` in the stream.
@@ -284,6 +284,33 @@ impl CooccurrenceCsr {
     pub fn num_entries(&self) -> usize {
         self.entries.len()
     }
+
+    /// Builds the table from **already aggregated** entries sorted by their
+    /// packed `(chunk ≪ 32 | neighbour)` key — the materialization path of
+    /// the streaming layer ([`crate::streaming`]), whose segment merges
+    /// produce exactly this form. No sort, no run detection: one linear
+    /// pass lays the rows out.
+    pub(crate) fn from_aggregated(
+        num_ids: usize,
+        aggregated: impl Iterator<Item = (u64, u32, u32)>,
+    ) -> Self {
+        let mut offsets = vec![0u32; num_ids + 1];
+        let mut entries = Vec::new();
+        for (key, count, order) in aggregated {
+            entries.push(DenseEntry {
+                id: key as u32,
+                count,
+                order,
+            });
+            offsets[(key >> 32) as usize + 1] = entries.len() as u32;
+        }
+        for k in 1..offsets.len() {
+            if offsets[k] < offsets[k - 1] {
+                offsets[k] = offsets[k - 1];
+            }
+        }
+        CooccurrenceCsr { offsets, entries }
+    }
 }
 
 /// The tie-break order an adjacency event at stream position `i` carries.
@@ -301,17 +328,33 @@ fn order_of(i: usize, policy: TiePolicy) -> u32 {
 /// `ids[i-1]`, observed at position `i`); for [`Side::Right`] the row
 /// chunk is `ids[i-1]` (its right neighbour is `ids[i]`, observed at
 /// position `i-1`). This is the **only** place event derivation lives —
-/// the sequential build, the sharded build's degenerate path, and the
-/// sharded bucketing loop all call it, so the two builds cannot drift.
+/// the sequential build, the sharded build's degenerate path, the sharded
+/// bucketing loop, and the streaming delta builder all call it (the latter
+/// through [`adjacency_event_at`]), so the paths cannot drift.
 #[inline]
 fn adjacency_event(ids: &[ChunkId], i: usize, side: Side, policy: TiePolicy) -> (u64, u32) {
+    adjacency_event_at(ids, i, side, policy, 0)
+}
+
+/// [`adjacency_event`] for a stream that starts at global position `base`
+/// within a larger tape: the tie-break order is the **global** stream
+/// position, so per-backup deltas aggregate to exactly the orders a batch
+/// `COUNT` over the concatenated tape observes.
+#[inline]
+pub(crate) fn adjacency_event_at(
+    ids: &[ChunkId],
+    i: usize,
+    side: Side,
+    policy: TiePolicy,
+    base: usize,
+) -> (u64, u32) {
     let (chunk, neighbour, pos) = match side {
         Side::Left => (ids[i], ids[i - 1], i),
         Side::Right => (ids[i - 1], ids[i], i - 1),
     };
     (
         (u64::from(chunk) << 32) | u64::from(neighbour),
-        order_of(pos, policy),
+        order_of(base + pos, policy),
     )
 }
 
@@ -454,6 +497,85 @@ impl DenseStats {
         }
     }
 
+    /// The full `COUNT` of Algorithm 2 with both frequency and CSR tables
+    /// built for **both** [`TiePolicy`] variants from **one** interning and
+    /// counting pass (returned in `[StreamOrder, KeyOrder]` order).
+    ///
+    /// The policy only affects the tie-break orders carried by adjacency
+    /// events, never the interner or the frequency array, so those are
+    /// shared and cloned — each returned stats value is bit-identical to
+    /// [`Self::full_with_policy_par`] under the same policy.
+    #[must_use]
+    pub fn full_both_policies_par(backup: &Backup, par: ParConfig) -> [Self; 2] {
+        let threads = par.resolve();
+        let (interner, ids) = intern_stream(backup);
+        let unique = interner.len();
+        let freq = count_ids_par(&ids, unique, threads);
+        [TiePolicy::StreamOrder, TiePolicy::KeyOrder].map(|policy| {
+            let (left, right) = if threads <= 1 {
+                (
+                    CooccurrenceCsr::build(unique, adjacency_events(&ids, Side::Left, policy)),
+                    CooccurrenceCsr::build(unique, adjacency_events(&ids, Side::Right, policy)),
+                )
+            } else {
+                (
+                    CooccurrenceCsr::build_sharded(unique, &ids, Side::Left, policy, threads),
+                    CooccurrenceCsr::build_sharded(unique, &ids, Side::Right, policy, threads),
+                )
+            };
+            DenseStats {
+                interner: interner.clone(),
+                freq: freq.clone(),
+                left,
+                right,
+            }
+        })
+    }
+
+    /// Batch `COUNT` over a **tape** of backups — the full-recompute oracle
+    /// the streaming layer ([`crate::streaming`]) is property-tested
+    /// against.
+    ///
+    /// Tape semantics: ids are interned first-seen across the whole tape in
+    /// tape order; frequencies sum over all backups; adjacency events exist
+    /// only *within* each backup (the last chunk of one backup is not the
+    /// left neighbour of the next backup's first chunk); and under
+    /// [`TiePolicy::StreamOrder`] the tie-break order of an event is its
+    /// **global** stream position (the backup's cumulative chunk offset
+    /// plus the local position). For a single-backup tape this is exactly
+    /// [`Self::full_with_policy`].
+    #[must_use]
+    pub fn full_series_with_policy(tape: &[Backup], policy: TiePolicy) -> Self {
+        let mut interner = ChunkInterner::new();
+        let mut left_events = Vec::new();
+        let mut right_events = Vec::new();
+        let mut freq_ids: Vec<ChunkId> = Vec::new();
+        let mut base = 0usize;
+        for backup in tape {
+            let ids: Vec<ChunkId> = backup
+                .chunks
+                .iter()
+                .map(|rec| interner.intern(rec.fp, rec.size))
+                .collect();
+            for i in 1..ids.len() {
+                left_events.push(adjacency_event_at(&ids, i, Side::Left, policy, base));
+                right_events.push(adjacency_event_at(&ids, i, Side::Right, policy, base));
+            }
+            base += ids.len();
+            freq_ids.extend(ids);
+        }
+        let unique = interner.len();
+        let freq = count_ids(&freq_ids, unique);
+        let left = CooccurrenceCsr::build(unique, left_events);
+        let right = CooccurrenceCsr::build(unique, right_events);
+        DenseStats {
+            interner,
+            freq,
+            left,
+            right,
+        }
+    }
+
     /// Number of unique chunks counted.
     #[must_use]
     pub fn unique_chunks(&self) -> usize {
@@ -519,6 +641,73 @@ impl DenseStats {
             }
         }
         stats
+    }
+}
+
+/// Read access to `COUNT` output in dense-id space — the surface the
+/// attack crawl runs on.
+///
+/// Two implementations exist: [`DenseStats`] (batch: rows are contiguous
+/// CSR slices, returned without touching the scratch buffer — zero cost
+/// over direct field access) and [`crate::streaming::IncrementalStats`]
+/// (streaming: rows are merged on the fly from CSR segments into the
+/// caller's scratch buffer). Both expose the *same* aggregated rows for
+/// the same observed stream, which is what makes streaming inference
+/// bit-identical to the batch path.
+pub trait StatsView {
+    /// Number of unique chunks counted.
+    fn unique_chunks(&self) -> usize;
+
+    /// The id→fingerprint table (for canonical tie-breaking).
+    fn fingerprints(&self) -> &[Fingerprint];
+
+    /// The dense id of `fp`, if it has been counted.
+    fn id_of(&self, fp: Fingerprint) -> Option<ChunkId>;
+
+    /// Size of a counted chunk in 16-byte cipher blocks (`ceil(size/16)`).
+    fn blocks_of(&self, id: ChunkId) -> u32;
+
+    /// The global frequency table materialized as dense rows (order always
+    /// 0 — global ties fall through to the fingerprint comparison).
+    fn global_rows(&self) -> Vec<DenseEntry>;
+
+    /// The aggregated left-neighbour row of `id`. `scratch` is merge space
+    /// for implementations without contiguous rows; callers must treat it
+    /// as invalidated by the next `*_row` call.
+    fn left_row<'a>(&'a self, id: ChunkId, scratch: &'a mut Vec<DenseEntry>) -> &'a [DenseEntry];
+
+    /// The aggregated right-neighbour row of `id` (same scratch contract
+    /// as [`Self::left_row`]).
+    fn right_row<'a>(&'a self, id: ChunkId, scratch: &'a mut Vec<DenseEntry>) -> &'a [DenseEntry];
+}
+
+impl StatsView for DenseStats {
+    fn unique_chunks(&self) -> usize {
+        DenseStats::unique_chunks(self)
+    }
+
+    fn fingerprints(&self) -> &[Fingerprint] {
+        self.interner.fingerprints()
+    }
+
+    fn id_of(&self, fp: Fingerprint) -> Option<ChunkId> {
+        self.interner.get(fp)
+    }
+
+    fn blocks_of(&self, id: ChunkId) -> u32 {
+        DenseStats::blocks_of(self, id)
+    }
+
+    fn global_rows(&self) -> Vec<DenseEntry> {
+        DenseStats::global_rows(self)
+    }
+
+    fn left_row<'a>(&'a self, id: ChunkId, _scratch: &'a mut Vec<DenseEntry>) -> &'a [DenseEntry] {
+        self.left.row(id)
+    }
+
+    fn right_row<'a>(&'a self, id: ChunkId, _scratch: &'a mut Vec<DenseEntry>) -> &'a [DenseEntry] {
+        self.right.row(id)
     }
 }
 
@@ -736,6 +925,99 @@ mod tests {
             );
             assert_eq!(par, seq);
         }
+    }
+
+    #[test]
+    fn both_policies_share_one_build_and_match_individual_builds() {
+        let fps: Vec<u64> = (0..400u64).map(|i| (i * 7) % 61).collect();
+        let b = backup(&fps);
+        for t in [1usize, 4] {
+            let [stream, key] = DenseStats::full_both_policies_par(&b, ParConfig::with_threads(t));
+            assert_eq!(
+                stream,
+                DenseStats::full_with_policy_par(
+                    &b,
+                    TiePolicy::StreamOrder,
+                    ParConfig::with_threads(t)
+                ),
+                "threads {t}"
+            );
+            assert_eq!(
+                key,
+                DenseStats::full_with_policy_par(
+                    &b,
+                    TiePolicy::KeyOrder,
+                    ParConfig::with_threads(t)
+                ),
+                "threads {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_of_one_backup_equals_single_batch() {
+        let b = backup(&[1, 2, 5, 2, 1, 2, 3, 4, 2, 3, 4, 4]);
+        for policy in [TiePolicy::StreamOrder, TiePolicy::KeyOrder] {
+            let series = DenseStats::full_series_with_policy(std::slice::from_ref(&b), policy);
+            assert_eq!(series, DenseStats::full_with_policy(&b, policy));
+        }
+    }
+
+    #[test]
+    fn series_keeps_backups_adjacency_separate_but_frequencies_summed() {
+        // Tape ⟨1 2⟩, ⟨2 3⟩: each backup is its own stream, so the backup
+        // boundary 2|2 contributes no adjacency — 2's right neighbour 3
+        // comes only from the second backup's interior edge.
+        let tape = [backup(&[1, 2]), backup(&[2, 3])];
+        let s = DenseStats::full_series_with_policy(&tape, TiePolicy::StreamOrder);
+        let id1 = s.interner.get(fp(1)).unwrap();
+        let id2 = s.interner.get(fp(2)).unwrap();
+        let id3 = s.interner.get(fp(3)).unwrap();
+        assert_eq!(s.freq[id2 as usize], 2);
+        // Within-backup edges only: R[1] = {2}, R[2] = {3}; no R[2] = {2}.
+        assert_eq!(s.right.row(id1).len(), 1);
+        let row2 = s.right.row(id2);
+        assert_eq!(row2.len(), 1);
+        // Global stream position: the ⟨2 3⟩ edge sits at tape position 2.
+        assert_eq!(
+            row2[0],
+            DenseEntry {
+                id: id3,
+                count: 1,
+                order: 2
+            }
+        );
+    }
+
+    #[test]
+    fn from_aggregated_reproduces_built_table() {
+        let fps: Vec<u64> = (0..300u64).map(|i| (i * 13) % 41).collect();
+        let b = backup(&fps);
+        let s = DenseStats::full(&b);
+        for csr in [&s.left, &s.right] {
+            let rebuilt = CooccurrenceCsr::from_aggregated(
+                csr.num_rows(),
+                (0..csr.num_rows() as u32).flat_map(|row| {
+                    csr.row(row)
+                        .iter()
+                        .map(move |e| ((u64::from(row) << 32) | u64::from(e.id), e.count, e.order))
+                }),
+            );
+            assert_eq!(&rebuilt, csr);
+        }
+    }
+
+    #[test]
+    fn stats_view_rows_match_direct_access() {
+        let b = backup(&[1, 2, 1, 2, 3]);
+        let s = DenseStats::full(&b);
+        let mut scratch = Vec::new();
+        for id in 0..s.unique_chunks() as u32 {
+            assert_eq!(StatsView::left_row(&s, id, &mut scratch), s.left.row(id));
+            assert_eq!(StatsView::right_row(&s, id, &mut scratch), s.right.row(id));
+        }
+        assert_eq!(StatsView::id_of(&s, fp(3)), s.interner.get(fp(3)));
+        assert_eq!(StatsView::global_rows(&s), s.global_rows());
     }
 
     #[test]

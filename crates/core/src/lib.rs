@@ -78,9 +78,11 @@ pub mod ext;
 pub mod freq_analysis;
 pub mod metrics;
 pub mod par;
+pub mod streaming;
 
 pub use attacks::AttackKind;
 pub use counting::ChunkStats;
-pub use dense::{ChunkInterner, CooccurrenceCsr, DenseEntry, DenseStats};
+pub use dense::{ChunkInterner, CooccurrenceCsr, DenseEntry, DenseStats, StatsView};
 pub use metrics::{Inference, InferenceReport};
 pub use par::ParConfig;
+pub use streaming::{CommitReceipt, IncrementalStats, StatsDelta};

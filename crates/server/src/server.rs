@@ -41,6 +41,11 @@ use crate::tap::AdversaryTap;
 /// directory.
 pub const TAP_FILE: &str = "tap.fqdt";
 
+/// File name of the persisted incremental attack state, beside
+/// [`TAP_FILE`]. When present at bind time, the tap resumes its running
+/// inference state bit-identically without replaying the catalog.
+pub const STREAM_FILE: &str = "tap.fqis";
+
 /// Service configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -202,6 +207,24 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: usize,
     tap_path: Option<PathBuf>,
+    stream_path: Option<PathBuf>,
+}
+
+/// A read handle on a running server's adversary tap, for observing the
+/// live attack state (catalog + running inference) from another thread —
+/// e.g. to snapshot mid-stream inference between commits.
+#[derive(Clone, Debug)]
+pub struct TapView {
+    shared: Arc<Shared>,
+}
+
+impl TapView {
+    /// Runs `f` under the tap lock and returns its result. Keep `f`
+    /// short: commits block on the same lock.
+    pub fn with_tap<R>(&self, f: impl FnOnce(&AdversaryTap) -> R) -> R {
+        let tap = self.shared.tap.lock().expect("tap poisoned");
+        f(&tap)
+    }
 }
 
 impl Server {
@@ -223,8 +246,20 @@ impl Server {
             .find_map(|shard| shard.containers().mode())
             .map(|mode| mode == PayloadMode::Payload);
         let tap_path = config.engine.persist.as_ref().map(|p| p.dir.join(TAP_FILE));
-        let tap = match &tap_path {
-            Some(path) if path.exists() => AdversaryTap::load(path)?,
+        let stream_path = config
+            .engine
+            .persist
+            .as_ref()
+            .map(|p| p.dir.join(STREAM_FILE));
+        let tap = match (&tap_path, &stream_path) {
+            // Resume path: catalog + persisted incremental state, no
+            // history replay.
+            (Some(path), Some(stream)) if path.exists() && stream.exists() => {
+                AdversaryTap::load_resuming(path, stream)?
+            }
+            // Bootstrap path: catalog only — replay it to rebuild the
+            // running state.
+            (Some(path), _) if path.exists() => AdversaryTap::load(path)?,
             _ => AdversaryTap::new(),
         };
         let commits = tap.len() as u64;
@@ -262,6 +297,7 @@ impl Server {
             shared,
             workers: config.workers.max(1),
             tap_path,
+            stream_path,
         })
     }
 
@@ -278,6 +314,15 @@ impl Server {
     #[must_use]
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A read handle on the adversary tap, valid while (and after) the
+    /// server runs.
+    #[must_use]
+    pub fn tap_handle(&self) -> TapView {
+        TapView {
             shared: Arc::clone(&self.shared),
         }
     }
@@ -342,15 +387,23 @@ impl Server {
         // silently fall back to crash recovery). The engine's result
         // takes precedence in the report.
         let tap_result = match &self.tap_path {
-            Some(path) => shared
-                .tap
-                .lock()
-                .expect("tap poisoned")
-                .save(path)
-                .map_err(|e| {
+            Some(path) => {
+                let tap = shared.tap.lock().expect("tap poisoned");
+                let catalog = tap.save(path).map_err(|e| {
                     shared.log(&format!("shutdown: tap save failed: {e}"));
                     ServeError::from(e)
-                }),
+                });
+                // The incremental state is saved even if the catalog
+                // failed (and vice versa); first error wins.
+                let streaming = match &self.stream_path {
+                    Some(stream) => tap.streaming().save(stream).map_err(|e| {
+                        shared.log(&format!("shutdown: streaming state save failed: {e}"));
+                        ServeError::from(e)
+                    }),
+                    None => Ok(()),
+                };
+                catalog.and(streaming)
+            }
             None => Ok(()),
         };
         let engine = shared

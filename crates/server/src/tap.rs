@@ -22,11 +22,165 @@
 //! The tap doubles as the service's manifest catalog: RESTORE-BACKUP is
 //! served from it. That is the threat model in one line — the metadata
 //! the provider needs in order to function *is* the leak.
+//!
+//! Since PR 6 the tap also keeps the adversary's **running attack
+//! state**: a [`TapStreaming`] pair of
+//! [`IncrementalStats`] (one per [`TiePolicy`])
+//! folded forward on every [`AdversaryTap::record_commit`] in O(delta)
+//! amortized — the attacker never rebuilds `COUNT` from the full tape.
+//! The streaming state follows **commit order** (the order the provider
+//! actually observed), and is bit-identical at every commit point to a
+//! batch recompute over [`AdversaryTap::committed`]. It persists beside
+//! the catalog (`tap.fqis` next to `tap.fqdt`), so a restarted tap
+//! resumes the exact same state without replaying history; when only the
+//! catalog survives, the state is rebuilt by replaying the label-sorted
+//! series (deterministic, but equal to the live state only when commit
+//! order matched label order — `StreamOrder` tie-breaks are
+//! position-dependent).
 
 use std::path::Path;
+use std::time::Instant;
 
+use freqdedup_core::attacks::locality::LocalityParams;
+use freqdedup_core::attacks::{self, AttackKind};
+use freqdedup_core::counting::TiePolicy;
+use freqdedup_core::{IncrementalStats, Inference};
 use freqdedup_trace::io::{self, TraceIoError};
 use freqdedup_trace::{Backup, BackupSeries};
+
+/// The two tie-break policies the tap tracks, in storage order.
+const POLICIES: [TiePolicy; 2] = [TiePolicy::StreamOrder, TiePolicy::KeyOrder];
+
+/// The adversary's running attack state behind the tap: one
+/// [`IncrementalStats`] per [`TiePolicy`], plus the per-commit update
+/// latency log.
+///
+/// Equality ([`PartialEq`]) compares the attack state only — the latency
+/// log is diagnostic, is not persisted, and resets on restart.
+#[derive(Clone, Debug)]
+pub struct TapStreaming {
+    /// `[StreamOrder, KeyOrder]` running states (see [`POLICIES`]).
+    stats: [IncrementalStats; 2],
+    /// Wall-clock cost of each [`Self::commit`] (both policies), in
+    /// microseconds. Diagnostic only; not persisted.
+    update_micros: Vec<u64>,
+}
+
+impl Default for TapStreaming {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for TapStreaming {
+    fn eq(&self, other: &Self) -> bool {
+        self.stats == other.stats
+    }
+}
+
+impl Eq for TapStreaming {}
+
+impl TapStreaming {
+    /// Creates empty running state for both policies.
+    #[must_use]
+    pub fn new() -> Self {
+        TapStreaming {
+            stats: POLICIES.map(IncrementalStats::new),
+            update_micros: Vec::new(),
+        }
+    }
+
+    /// Folds one committed backup into both policy states; returns the
+    /// wall-clock cost in microseconds (also appended to
+    /// [`Self::update_micros`]).
+    pub fn commit(&mut self, backup: &Backup) -> u64 {
+        let start = Instant::now();
+        for stats in &mut self.stats {
+            stats.commit(backup);
+        }
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.update_micros.push(micros);
+        micros
+    }
+
+    /// The running state under `policy`.
+    #[must_use]
+    pub fn stats(&self, policy: TiePolicy) -> &IncrementalStats {
+        match policy {
+            TiePolicy::StreamOrder => &self.stats[0],
+            TiePolicy::KeyOrder => &self.stats[1],
+        }
+    }
+
+    /// Per-commit update cost in microseconds since this state was
+    /// constructed or loaded (restarts reset the log, not the state).
+    #[must_use]
+    pub fn update_micros(&self) -> &[u64] {
+        &self.update_micros
+    }
+
+    /// Backups folded in so far.
+    #[must_use]
+    pub fn commits(&self) -> u64 {
+        self.stats[0].commits()
+    }
+
+    /// Logical chunks folded in so far.
+    #[must_use]
+    pub fn logical_chunks(&self) -> u64 {
+        self.stats[0].logical_chunks()
+    }
+
+    /// Rebuilds running state by replaying `committed` in the given
+    /// order (the bootstrap path when no persisted state exists).
+    #[must_use]
+    pub fn rebuild(committed: &[Backup]) -> Self {
+        let mut streaming = TapStreaming::new();
+        for backup in committed {
+            streaming.commit(backup);
+        }
+        streaming
+    }
+
+    /// Persists both policy states (two self-delimiting blobs in one
+    /// file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on write failure.
+    pub fn save(&self, path: &Path) -> Result<(), TraceIoError> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = std::io::BufWriter::new(file);
+        for stats in &self.stats {
+            stats.write_to(&mut writer)?;
+        }
+        use std::io::Write;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reloads state saved by [`Self::save`]. The result is
+    /// bit-identical to the saved state (segment layout included); the
+    /// latency log starts empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on read failure, corruption, or when the
+    /// file's policy pair is not `[StreamOrder, KeyOrder]`.
+    pub fn load(path: &Path) -> Result<Self, TraceIoError> {
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let first = IncrementalStats::read_from(&mut reader)?;
+        let second = IncrementalStats::read_from(&mut reader)?;
+        if first.policy() != TiePolicy::StreamOrder || second.policy() != TiePolicy::KeyOrder {
+            return Err(TraceIoError::BadMagic);
+        }
+        Ok(TapStreaming {
+            stats: [first, second],
+            update_micros: Vec::new(),
+        })
+    }
+}
 
 /// Per-session observed ciphertext streams, segmented by commit.
 #[derive(Clone, Debug, Default)]
@@ -37,6 +191,8 @@ pub struct AdversaryTap {
     /// Streams of sessions that disconnected without committing
     /// (observed but not restorable).
     abandoned: Vec<Backup>,
+    /// Running attack state, folded forward on every commit.
+    streaming: TapStreaming,
 }
 
 impl AdversaryTap {
@@ -46,8 +202,11 @@ impl AdversaryTap {
         Self::default()
     }
 
-    /// Records one committed manifest stream.
+    /// Records one committed manifest stream, folding it into the
+    /// running attack state (O(delta) amortized) before appending it to
+    /// the catalog.
     pub fn record_commit(&mut self, backup: Backup) {
+        self.streaming.commit(&backup);
         self.committed.push(backup);
     }
 
@@ -97,6 +256,48 @@ impl AdversaryTap {
         self.committed.iter().map(|b| b.len() as u64).sum()
     }
 
+    /// The adversary's running attack state (kept in lockstep with
+    /// [`Self::committed`] by [`Self::record_commit`]).
+    #[must_use]
+    pub fn streaming(&self) -> &TapStreaming {
+        &self.streaming
+    }
+
+    /// Whether the running state covers exactly the committed catalog
+    /// (commit count and logical chunk count agree). Always true for a
+    /// tap built through [`Self::record_commit`]; checked after a resume
+    /// from separately persisted state.
+    #[must_use]
+    pub fn streaming_consistent(&self) -> bool {
+        self.streaming.commits() == self.committed.len() as u64
+            && self.streaming.logical_chunks() == self.observed_chunks()
+    }
+
+    /// Runs `kind` in ciphertext-only mode against the **running** state
+    /// under both tie-break policies — the live mirror of
+    /// [`attacks::run_ciphertext_only_both_policies`], with no
+    /// ciphertext-side rebuild. Bit-identical to a batch recompute over
+    /// [`Self::committed`] at this commit point.
+    #[must_use]
+    pub fn streaming_inference_both_policies(
+        &self,
+        kind: AttackKind,
+        plain_aux: &Backup,
+        params: &LocalityParams,
+    ) -> [(TiePolicy, Inference); 2] {
+        POLICIES.map(|policy| {
+            (
+                policy,
+                attacks::run_ciphertext_only_streaming(
+                    kind,
+                    self.streaming.stats(policy),
+                    plain_aux,
+                    params,
+                ),
+            )
+        })
+    }
+
     /// The deterministic adversary view: committed backups **sorted by
     /// label** (commit order depends on client scheduling; label order
     /// does not). This is the series attacks and equivalence tests run
@@ -129,18 +330,53 @@ impl AdversaryTap {
     }
 
     /// Reloads a tap saved by [`Self::save`] (abandoned streams are not
-    /// persisted).
+    /// persisted). The running attack state is **rebuilt by replaying**
+    /// the reloaded catalog — deterministic, but O(history); prefer
+    /// [`Self::load_resuming`] when the separately persisted state file
+    /// exists.
     ///
     /// # Errors
     ///
     /// Returns [`TraceIoError`] on read failure or corruption.
     pub fn load(path: &Path) -> Result<Self, TraceIoError> {
+        let committed = Self::load_catalog(path)?;
+        let streaming = TapStreaming::rebuild(&committed);
+        Ok(AdversaryTap {
+            committed,
+            abandoned: Vec::new(),
+            streaming,
+        })
+    }
+
+    /// Reloads a tap together with its persisted running attack state
+    /// ([`TapStreaming::save`]) — the O(1)-replay resume path: the state
+    /// comes back bit-identical to the one saved, with no history
+    /// replay. Falls back to a replay rebuild when the persisted state
+    /// does not cover the catalog (e.g. the two files are from different
+    /// shutdowns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] when either file fails to read.
+    pub fn load_resuming(path: &Path, stream_path: &Path) -> Result<Self, TraceIoError> {
+        let committed = Self::load_catalog(path)?;
+        let streaming = TapStreaming::load(stream_path)?;
+        let mut tap = AdversaryTap {
+            committed,
+            abandoned: Vec::new(),
+            streaming,
+        };
+        if !tap.streaming_consistent() {
+            tap.streaming = TapStreaming::rebuild(&tap.committed);
+        }
+        Ok(tap)
+    }
+
+    /// Reads the committed-backup catalog of a saved tap.
+    fn load_catalog(path: &Path) -> Result<Vec<Backup>, TraceIoError> {
         let file = std::fs::File::open(path)?;
         let series = io::read_series(std::io::BufReader::new(file))?;
-        Ok(AdversaryTap {
-            committed: series.backups,
-            abandoned: Vec::new(),
-        })
+        Ok(series.backups)
     }
 }
 
@@ -197,5 +433,91 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back.series("t"), tap.series("t"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_commit_keeps_streaming_in_lockstep() {
+        let mut tap = AdversaryTap::new();
+        tap.record_commit(backup("m0", &[1, 2, 1, 3]));
+        tap.record_commit(backup("m1", &[2, 3, 9]));
+        assert!(tap.streaming_consistent());
+        assert_eq!(tap.streaming().commits(), 2);
+        assert_eq!(tap.streaming().logical_chunks(), 7);
+        assert_eq!(tap.streaming().update_micros().len(), 2);
+        // The running state equals a batch recompute over the committed
+        // tape, per policy.
+        use freqdedup_core::DenseStats;
+        for policy in [TiePolicy::StreamOrder, TiePolicy::KeyOrder] {
+            assert_eq!(
+                tap.streaming().stats(policy).to_dense(),
+                DenseStats::full_series_with_policy(tap.committed(), policy),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_resume_is_bit_identical_and_fallback_replays() {
+        let dir = std::env::temp_dir().join(format!("freqdedup-tapstream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tap_path = dir.join("tap.fqdt");
+        let stream_path = dir.join("tap.fqis");
+        let mut tap = AdversaryTap::new();
+        // Commit order deliberately differs from label order.
+        tap.record_commit(backup("m1", &[1, 2, 1, 3]));
+        tap.record_commit(backup("m0", &[2, 3, 9]));
+        tap.save(&tap_path).unwrap();
+        tap.streaming().save(&stream_path).unwrap();
+
+        // Resume path: exact state back, segment layout and all.
+        let resumed = AdversaryTap::load_resuming(&tap_path, &stream_path).unwrap();
+        assert_eq!(resumed.streaming(), tap.streaming());
+        assert!(resumed.streaming_consistent());
+
+        // Fallback path: consistent, but rebuilt from the label-sorted
+        // catalog (KeyOrder state matches exactly; StreamOrder may
+        // differ from the live commit order — here it does, since the
+        // labels were committed out of order).
+        let rebuilt = AdversaryTap::load(&tap_path).unwrap();
+        assert!(rebuilt.streaming_consistent());
+        assert_eq!(
+            rebuilt.streaming().stats(TiePolicy::KeyOrder).freq().len(),
+            tap.streaming().stats(TiePolicy::KeyOrder).freq().len()
+        );
+
+        // A stale state file (one commit behind) triggers the replay
+        // fallback instead of resuming inconsistent state.
+        let mut newer = tap.clone();
+        newer.record_commit(backup("m2", &[5]));
+        newer.save(&tap_path).unwrap();
+        let fell_back = AdversaryTap::load_resuming(&tap_path, &stream_path).unwrap();
+        assert!(fell_back.streaming_consistent());
+        assert_eq!(fell_back.streaming().commits(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_inference_matches_batch_both_policies() {
+        use freqdedup_core::attacks::run_ciphertext_only_series;
+        let mut tap = AdversaryTap::new();
+        tap.record_commit(backup("m0", &[101, 102, 101, 102, 103, 104]));
+        tap.record_commit(backup("m1", &[102, 103, 104, 104]));
+        let aux = backup("aux", &[1, 2, 1, 2, 3, 4, 2, 3, 4]);
+        let params = LocalityParams::new(1, 1, 1000);
+        for (policy, streamed) in
+            tap.streaming_inference_both_policies(AttackKind::Locality, &aux, &params)
+        {
+            let batch = run_ciphertext_only_series(
+                AttackKind::Locality,
+                tap.committed(),
+                &aux,
+                &params.clone().tie_policy(policy),
+            );
+            let mut a: Vec<_> = streamed.iter().collect();
+            let mut b: Vec<_> = batch.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{policy:?}");
+        }
     }
 }

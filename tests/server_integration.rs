@@ -14,6 +14,11 @@
 //!   per the PR 4 invariant (graceful shutdown checkpoints, so no crash
 //!   recovery is needed), and clients resume to a verified restore —
 //!   including a client that disconnected mid-backup without committing.
+//! * **Streaming tap** (DESIGN.md §9) — for 1 and 4 interleaved clients,
+//!   the tap's running incremental inference snapshotted after **every**
+//!   commit equals a batch recompute of the committed prefix, and a
+//!   restarted server resumes the incremental state from `tap.fqis`
+//!   bit-identically and keeps folding further commits.
 //!
 //! Test directories (store dirs, server logs, tap traces) live under
 //! `target/server-test/` so CI can upload them when a test fails; they
@@ -488,4 +493,165 @@ fn restart_recovers_and_clients_resume_to_verified_restore() {
     let summary2 = handle.join().unwrap();
     assert_eq!(summary2.commits, 3);
     done(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming tap (incremental attack engine behind live traffic)
+// ---------------------------------------------------------------------------
+
+/// N ∈ {1, 4} clients commit interleaved backups in a deterministic global
+/// order (ticket lock); after **every** commit the tap's running streaming
+/// inference (both tie policies) is snapshotted through
+/// [`freqdedup::server::server::TapView`] and must equal a batch series
+/// recompute of exactly the committed prefix. The server then restarts on
+/// its store directory: the tap resumes its incremental state from
+/// `tap.fqis` bit-identically — segment layout and merge counters
+/// included — and keeps folding further commits with the same
+/// per-commit equivalence.
+#[test]
+fn streaming_tap_snapshots_match_batch_and_survive_restart() {
+    use std::sync::{Condvar, Mutex};
+
+    let (plain, cipher) = encrypted_series(6);
+    let aux = plain.get(3).unwrap();
+    let params = LocalityParams::new(2, 5, 50_000);
+    let tape: Vec<Backup> = cipher.iter().cloned().collect();
+    // Four backups committed before the restart, two after it.
+    let (first, rest) = tape.split_at(4);
+
+    // Sorted inference snapshot vs the batch recompute of the committed
+    // prefix, for one (policy, inference) pair.
+    let check = |live: &[(
+        freqdedup::core::counting::TiePolicy,
+        freqdedup::core::Inference,
+    ); 2],
+                 prefix: &[Backup],
+                 ctx: &str| {
+        for (policy, live_inf) in live {
+            let batch = attacks::run_ciphertext_only_series(
+                AttackKind::Locality,
+                prefix,
+                aux,
+                &params.clone().tie_policy(*policy),
+            );
+            let mut a: Vec<_> = live_inf.iter().collect();
+            let mut b: Vec<_> = batch.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "policy {policy:?}, {ctx}");
+        }
+    };
+
+    for clients in [1usize, 4] {
+        let dir = test_dir(&format!("streaming-tap-{clients}"));
+        let store_dir = dir.join("store");
+        let persist_engine = || DedupConfig {
+            persist: Some(PersistConfig::new(&store_dir).fsync(FsyncPolicy::Never)),
+            ..small_engine()
+        };
+
+        // ---- First server life: interleaved commits in ticket order,
+        // with a live snapshot check after every single commit.
+        let server = Server::bind(ServerConfig {
+            workers: clients,
+            engine: persist_engine(),
+            log_file: Some(dir.join("server1.log")),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let tap = server.tap_handle();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+        let turn = (Mutex::new(0usize), Condvar::new());
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let (turn, tap, check, params) = (&turn, &tap, &check, &params);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, &format!("stream-{c}")).unwrap();
+                    for (i, backup) in first.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        // Wait for this backup's globally-ordered turn, so
+                        // the commit order (and therefore the streaming
+                        // state) is deterministic across client counts.
+                        let mut t = turn.0.lock().unwrap();
+                        while *t != i {
+                            t = turn.1.wait(t).unwrap();
+                        }
+                        drop(t);
+                        client.upload_backup(backup).unwrap();
+                        client.commit(&backup.label).unwrap();
+                        // Mid-stream snapshot at this exact commit point.
+                        let live = tap.with_tap(|t| {
+                            assert!(t.streaming_consistent());
+                            assert_eq!(t.committed().len(), i + 1);
+                            t.streaming_inference_both_policies(AttackKind::Locality, aux, params)
+                        });
+                        check(
+                            &live,
+                            &first[..=i],
+                            &format!("commit {i}, {clients} clients"),
+                        );
+                        *turn.0.lock().unwrap() += 1;
+                        turn.1.notify_all();
+                    }
+                });
+            }
+        });
+        let pre_restart = tap.with_tap(|t| t.streaming().clone());
+        let mut closer = Client::connect(addr, "closer").unwrap();
+        closer.shutdown().unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.commits, first.len() as u64);
+
+        // ---- Second life on the same directory: the tap resumes from
+        // the persisted incremental state without replaying history.
+        assert!(
+            store_dir
+                .join(freqdedup::server::server::STREAM_FILE)
+                .exists(),
+            "graceful shutdown must persist the incremental state"
+        );
+        let server = Server::bind(ServerConfig {
+            workers: clients,
+            engine: persist_engine(),
+            log_file: Some(dir.join("server2.log")),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let tap = server.tap_handle();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        tap.with_tap(|t| {
+            assert!(t.streaming_consistent());
+            assert_eq!(
+                t.streaming(),
+                &pre_restart,
+                "resumed incremental state must be bit-identical, {clients} clients"
+            );
+        });
+
+        // The resumed state keeps folding commits with the same
+        // per-commit batch equivalence over the whole tape so far.
+        let mut client = Client::connect(addr, "resumer").unwrap();
+        for (j, backup) in rest.iter().enumerate() {
+            client.upload_backup(backup).unwrap();
+            client.commit(&backup.label).unwrap();
+            let committed = first.len() + j + 1;
+            let live = tap.with_tap(|t| {
+                assert!(t.streaming_consistent());
+                t.streaming_inference_both_policies(AttackKind::Locality, aux, &params)
+            });
+            check(
+                &live,
+                &tape[..committed],
+                &format!("post-restart commit {committed}, {clients} clients"),
+            );
+        }
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        done(&dir);
+    }
 }
