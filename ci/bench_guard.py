@@ -12,7 +12,13 @@ throughput. When both reports carry a `streaming` section (perf_report
 is guarded at the same threshold; worst-case and compaction-stall rows
 print informationally (a single commit's latency is dominated by whether
 it happens to land on a deep segment merge, which depends on epoch count,
-not on a code regression).
+not on a code regression). When both reports carry a `faults` section
+(perf_report --faults), the retry-overhead and reconnect-latency rows
+print informationally (a seeded fault schedule's cost is timing-dependent
+by construction), but a fresh report flagging `divergence` — a committed
+stream restoring differently from what its client sent, or a retried
+batch double-ingesting — hard-fails: the exactly-once contract is
+correctness, not performance.
 
 Throughput, not wall-time, is compared so a --quick fresh run can be held
 against the committed full-size baseline: chunk counts normalize out,
@@ -121,6 +127,48 @@ def streaming_rows(baseline: dict, fresh: dict) -> list:
     return rows
 
 
+def faults_rows(baseline: dict, fresh: dict) -> list:
+    """(label, baseline_tput, fresh_tput, gated) rows for the faults
+    section.
+
+    The fresh report's `divergence` flag hard-fails first: a committed
+    stream that restores differently from what its client sent, or a
+    retried batch that double-ingested, is a broken exactly-once protocol
+    regardless of speed. Every timing row is info-only — the retry
+    overhead factor and reconnect latency measure a *seeded fault
+    schedule*, whose cost moves with socket timing and scheduler
+    interleaving, not with hot-path code quality.
+    """
+    new = fresh.get("faults")
+    if new and new.get("divergence", False):
+        raise SystemExit(
+            "bench_guard: FAIL — fresh faults section flags exactly-once divergence"
+        )
+    base = baseline.get("faults")
+    if not base or not new:
+        print("bench_guard: no faults section in both reports, skipping faults rows")
+        return []
+    rows = []
+    # Overhead factor and reconnect latency: invert into pseudo-throughput
+    # so "lower ratio = worse" holds uniformly in the table below.
+    for label, key in (
+        ("faults overhead", "overhead"),
+        ("faults reconnect", "reconnect_mean_us"),
+    ):
+        if base.get(key, 0) > 0 and new.get(key, 0) > 0:
+            rows.append((label, 1.0 / base[key], 1.0 / new[key], False))
+    if base.get("faulted_ms", 0) > 0 and new.get("faulted_ms", 0) > 0:
+        rows.append(
+            (
+                "faults ingest",
+                1.0 / base["faulted_ms"],
+                1.0 / new["faulted_ms"],
+                False,
+            )
+        )
+    return rows
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="committed BENCH_attack.json")
@@ -151,6 +199,7 @@ def main() -> int:
         rows.append((label, throughput(baseline, metric), throughput(fresh, metric), True))
     rows.extend(serve_rows(baseline, fresh))
     rows.extend(streaming_rows(baseline, fresh))
+    rows.extend(faults_rows(baseline, fresh))
 
     for label, base_tp, fresh_tp, gated in rows:
         ratio = fresh_tp / base_tp

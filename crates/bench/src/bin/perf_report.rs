@@ -41,8 +41,17 @@
 //! the JSON; amortized update throughput is guarded by
 //! `ci/bench_guard.py`.
 //!
+//! With `--faults` the resilient client stack is measured under a seeded
+//! network fault schedule: four `ResilientClient`s upload the cipher
+//! stream through a `FaultProxy` injecting resets, torn frames and
+//! delays, against a fault-free resilient baseline. The section records
+//! retry counts, reconnect latency, the retry overhead factor, and a
+//! `divergence` sentinel (a committed tap stream differing from what its
+//! client sent, or a double-ingest) that fails the run — the exactly-once
+//! protocol must keep the adversary's view bit-exact under faults.
+//!
 //! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--persist DIR]
-//! [--serve] [--streaming] [--out PATH]`
+//! [--serve] [--streaming] [--faults] [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
@@ -53,6 +62,8 @@
 //!   ingest throughput + restore latency);
 //! * `--streaming` — also time the incremental attack engine (per-commit
 //!   update latency over 64 epochs + equivalence check);
+//! * `--faults` — also time the resilient client stack under a seeded
+//!   fault schedule (retry overhead, reconnect latency, divergence check);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -71,7 +82,7 @@ use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
 const USAGE: &str =
-    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--out PATH]
+    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--faults] [--out PATH]
 Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
 on a synthetic backup pair over the reference hash-map path, the sequential
 dense-id/CSR path and the sharded parallel path, verifies identical
@@ -81,7 +92,9 @@ recovery); with --serve the loopback network service is also timed
 (multi-client ingest throughput at 1/4/8 clients, restore latency); with
 --streaming the incremental attack engine is also timed (per-commit
 update latency over 64 committed epochs, amortized and worst-case, plus
-a streaming-vs-batch inference equivalence check).";
+a streaming-vs-batch inference equivalence check); with --faults the
+resilient client stack is also timed under a seeded network fault
+schedule (retry overhead, reconnect latency, tap divergence check).";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
 const QUICK_CHUNKS: usize = 60_000;
@@ -93,6 +106,7 @@ struct Args {
     persist: Option<String>,
     serve: bool,
     streaming: bool,
+    faults: bool,
     out: String,
 }
 
@@ -104,6 +118,7 @@ fn parse_args() -> Args {
         persist: None,
         serve: false,
         streaming: false,
+        faults: false,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -133,6 +148,7 @@ fn parse_args() -> Args {
             }
             "--serve" => args.serve = true,
             "--streaming" => args.streaming = true,
+            "--faults" => args.faults = true,
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
             }
@@ -350,6 +366,168 @@ fn bench_streaming(cipher: &Backup, aux: &Backup, threads: usize) -> (String, bo
     (section, identical)
 }
 
+/// Times the resilient client stack under a seeded network fault schedule:
+/// four `ResilientClient`s upload contiguous slices of the cipher stream
+/// and commit under fixed commit ids — once directly against the server
+/// (the fault-free baseline), once through a `FaultProxy` injecting
+/// connection resets, torn frames and delays. After each run the
+/// exactly-once contract is audited over the wire: every committed stream
+/// must restore byte-identical to what its client sent, and retried
+/// batches must never double-ingest (`logical_chunks` bounded by the
+/// chunks sent). Returns the `faults` JSON section and whether the audit
+/// passed on both runs.
+fn bench_faults(cipher: &Backup, unique: usize) -> (String, bool) {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    use freqdedup_server::client::{
+        Client, ClientError, ResilienceReport, ResilientClient, RetryOptions,
+    };
+    use freqdedup_server::fault::{FaultProxy, FaultSpec};
+    use freqdedup_server::server::{Server, ServerConfig};
+
+    const CLIENTS: usize = 4;
+    // Generous so the seeded schedule exercises retries without ever
+    // exhausting a client: the section measures overhead, not failure.
+    let opts = RetryOptions {
+        max_attempts: 20,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        op_timeout: Duration::from_secs(30),
+        batch: 512,
+    };
+
+    // One upload-fleet run: wall-clock ms, per-client outcome + resilience
+    // report, whether the exactly-once audit held, and the injected fault
+    // counts [resets, partials, delays, frames] (zero without a proxy).
+    type Outcome = (Result<u64, ClientError>, ResilienceReport);
+    let run = |spec: Option<FaultSpec>| -> (f64, Vec<Outcome>, bool, [u64; 4]) {
+        let server = Server::bind(ServerConfig {
+            workers: CLIENTS,
+            engine: store_config(unique),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback bench server");
+        let server_addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        let proxy = spec.map(|s| FaultProxy::start(server_addr, s).expect("start fault proxy"));
+        let upload_addr = proxy.as_ref().map_or(server_addr, FaultProxy::local_addr);
+
+        let parts: Vec<Backup> = freqdedup_core::par::shard_ranges(cipher.chunks.len(), CLIENTS)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Backup::from_chunks(format!("fault-part-{i}"), cipher.chunks[r].to_vec()))
+            .collect();
+        let (ms, results) = timed(|| {
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, part)| {
+                        scope.spawn(move || {
+                            let mut client = ResilientClient::new(
+                                upload_addr.to_string(),
+                                format!("fault-bench-{i}"),
+                                opts,
+                            );
+                            let out = client.upload_commit(part, 0x2000 + i as u64);
+                            (out, client.report().clone())
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("resilient client must not panic"))
+                    .collect::<Vec<Outcome>>()
+            })
+        });
+        let injected = proxy.map_or([0; 4], |p| {
+            let c = p.counts();
+            let counts = [
+                c.resets.load(Ordering::SeqCst),
+                c.partials.load(Ordering::SeqCst),
+                c.delays.load(Ordering::SeqCst),
+                c.frames.load(Ordering::SeqCst),
+            ];
+            p.stop();
+            counts
+        });
+
+        // Exactly-once audit over a clean direct connection: committed
+        // streams restore byte-identical, retries never double-ingested.
+        let mut checker = Client::connect(server_addr, "fault-bench-check").expect("connect");
+        let stats = checker.stats().expect("stats");
+        let mut intact = stats.logical_chunks <= cipher.len() as u64;
+        for (part, (out, _)) in parts.iter().zip(&results) {
+            if let Ok(chunks) = out {
+                intact &= *chunks == part.len() as u64;
+                let restored = checker
+                    .restore(&part.label)
+                    .expect("restore committed part");
+                intact &= restored.backup.chunks == part.chunks;
+            }
+        }
+        checker.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+        (ms, results, intact, injected)
+    };
+
+    eprintln!("perf_report: faults — fault-free resilient baseline ({CLIENTS} clients)...");
+    let (clean_ms, clean_results, clean_intact, _) = run(None);
+    assert!(
+        clean_results.iter().all(|(out, _)| out.is_ok()),
+        "fault-free resilient baseline must commit every client"
+    );
+    eprintln!("perf_report: faults — seeded fault schedule through the proxy...");
+    // The cut rate scales inversely with the upload length: this section
+    // measures the cost of *succeeding* under faults, so it aims for a
+    // couple of connection cuts per client regardless of --chunks — a
+    // fixed per-frame rate would leave quick runs fault-free and exhaust
+    // every full-size client's retry budget (~500 frames per upload).
+    let batches_per_client = cipher.chunks.len().div_ceil(CLIENTS * opts.batch).max(1);
+    let cut_per_mille = ((1500 / batches_per_client) as u16).clamp(1, 25);
+    let spec = FaultSpec::quiet(0x00FA_0175)
+        .resets(cut_per_mille)
+        .partials(cut_per_mille)
+        .delays(30, 2);
+    let (faulted_ms, results, fault_intact, injected) = run(Some(spec));
+
+    let retries: u64 = results.iter().map(|(_, r)| r.retries).sum();
+    let connects: u64 = results.iter().map(|(_, r)| r.connects).sum();
+    let batches_skipped: u64 = results.iter().map(|(_, r)| r.batches_skipped).sum();
+    let backoff_ms = results.iter().map(|(_, r)| r.backoff_micros).sum::<u64>() as f64 / 1e3;
+    let reconnects: Vec<u64> = results
+        .iter()
+        .flat_map(|(_, r)| r.connect_micros.iter().copied())
+        .collect();
+    let reconnect_mean_us = reconnects.iter().sum::<u64>() as f64 / reconnects.len().max(1) as f64;
+    let reconnect_max_us = reconnects.iter().copied().max().unwrap_or(0);
+    let failed_clients = results.iter().filter(|(out, _)| out.is_err()).count();
+    let overhead = faulted_ms / clean_ms.max(1e-9);
+    let divergence = !(clean_intact && fault_intact);
+    let [resets, partials, delays, frames] = injected;
+
+    eprintln!(
+        "perf_report: faults clean {clean_ms:.1} ms vs faulted {faulted_ms:.1} ms \
+         ({overhead:.2}x overhead); {retries} retries, {connects} connects, \
+         {batches_skipped} batches skipped, reconnect {reconnect_mean_us:.0} us mean / \
+         {reconnect_max_us} us max; injected {resets} resets / {partials} partials / \
+         {delays} delays over {frames} frames; {failed_clients} failed client(s); \
+         divergence: {divergence}"
+    );
+    let section = format!(
+        "  \"faults\": {{ \"clients\": {CLIENTS}, \"clean_ms\": {clean_ms:.1}, \
+         \"faulted_ms\": {faulted_ms:.1}, \"overhead\": {overhead:.2}, \"retries\": {retries}, \
+         \"connects\": {connects}, \"batches_skipped\": {batches_skipped}, \
+         \"backoff_ms\": {backoff_ms:.1}, \"reconnect_mean_us\": {reconnect_mean_us:.0}, \
+         \"reconnect_max_us\": {reconnect_max_us}, \"injected_resets\": {resets}, \
+         \"injected_partials\": {partials}, \"injected_delays\": {delays}, \
+         \"proxied_frames\": {frames}, \"failed_clients\": {failed_clients}, \
+         \"divergence\": {divergence} }},\n"
+    );
+    (section, !divergence)
+}
+
 fn main() {
     let args = parse_args();
     let threads = ParConfig::with_threads(args.threads).resolve();
@@ -483,6 +661,15 @@ fn main() {
         (String::new(), true)
     };
 
+    // --- Resilient client stack (optional): retry overhead and reconnect
+    // latency under a seeded network fault schedule, plus the exactly-once
+    // divergence audit. ---
+    let (faults_section, faults_intact) = if args.faults {
+        bench_faults(&cipher, unique)
+    } else {
+        (String::new(), true)
+    };
+
     // --- Attack layer. Warm the allocator and page cache once per path,
     // so the timed runs below don't charge first-touch page faults to
     // whichever path goes first. ---
@@ -526,7 +713,7 @@ fn main() {
     let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}{faults_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
         threads,
         cipher.len(),
@@ -559,6 +746,10 @@ fn main() {
     }
     if !streaming_identical {
         eprintln!("perf_report: FAIL — streaming inference diverged from the batch recompute");
+        std::process::exit(1);
+    }
+    if !faults_intact {
+        eprintln!("perf_report: FAIL — exactly-once contract diverged under the fault schedule");
         std::process::exit(1);
     }
     eprintln!(

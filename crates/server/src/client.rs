@@ -14,11 +14,13 @@
 //! stream is exactly what the rest of this workspace measures.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
+use crate::fault::SplitMix64;
 use crate::frame::{read_frame, write_frame, WireError};
-use crate::proto::{ChunkStatus, Message, ServerStats, WIRE_VERSION};
+use crate::proto::{ChunkStatus, Message, ResumeState, ServerStats, WIRE_VERSION};
 
 /// A ciphertext-payload provider: maps a chunk record to its exact
 /// `record.size` ciphertext bytes.
@@ -44,6 +46,14 @@ pub enum ClientError {
     /// The server answered with the wrong message type, or restore
     /// verification failed.
     Protocol(String),
+    /// A [`ResilientClient`] ran out of attempts; carries the error of
+    /// the final attempt.
+    Exhausted {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The error that ended the final attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -54,6 +64,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error {code}: {message}")
             }
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -181,14 +194,56 @@ impl Client {
         self.upload_inner(backup, Some(payload_of))
     }
 
+    /// Sets (or clears) the per-operation socket deadline: both the read
+    /// and the write timeout. With a deadline set, a server that stops
+    /// answering surfaces as a wire error instead of blocking forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Declares an idempotent upload (RESUME): asks the server what it
+    /// already knows about `commit_id`. Returns the state plus the
+    /// already-ingested batch count and chunk count.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn resume(&mut self, commit_id: u64) -> Result<(ResumeState, u32, u64), ClientError> {
+        match self.call(&Message::Resume { commit_id })? {
+            Message::ResumeAck {
+                state,
+                acked_batches,
+                chunks,
+            } => Ok((state, acked_batches, chunks)),
+            other => Err(unexpected("ResumeAck", &other)),
+        }
+    }
+
     fn upload_inner(
         &mut self,
         backup: &Backup,
         payload_of: Option<impl Fn(&ChunkRecord) -> Vec<u8>>,
     ) -> Result<UploadSummary, ClientError> {
+        self.upload_from(backup, payload_of, 0)
+    }
+
+    /// [`Self::upload_inner`] starting at batch index `skip` (resume
+    /// path: the server already ingested the first `skip` batches of the
+    /// deterministic `self.batch`-sized split).
+    fn upload_from(
+        &mut self,
+        backup: &Backup,
+        payload_of: Option<impl Fn(&ChunkRecord) -> Vec<u8>>,
+        skip: u32,
+    ) -> Result<UploadSummary, ClientError> {
         let mut summary = UploadSummary::default();
         let mut inflight: u32 = 0;
-        for chunk_batch in backup.chunks.chunks(self.batch) {
+        for chunk_batch in backup.chunks.chunks(self.batch).skip(skip as usize) {
             let seq = self.next_seq;
             self.next_seq = self.next_seq.wrapping_add(1);
             let payloads = payload_of
@@ -236,9 +291,21 @@ impl Client {
     /// exceeds the wire limit (it would otherwise be silently clipped,
     /// committing under a different name than requested).
     pub fn commit(&mut self, label: &str) -> Result<u64, ClientError> {
+        self.commit_with_id(label, 0)
+    }
+
+    /// [`Self::commit`] with an idempotent commit id: a nonzero id that
+    /// the server already applied is *not* re-ingested — the recorded
+    /// ack is replayed (exactly-once commit). Id `0` opts out.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::commit`].
+    pub fn commit_with_id(&mut self, label: &str, commit_id: u64) -> Result<u64, ClientError> {
         check_label(label)?;
         match self.call(&Message::CommitManifest {
             label: label.to_string(),
+            commit_id,
         })? {
             Message::CommitAck { chunks, .. } => Ok(chunks),
             other => Err(unexpected("CommitAck", &other)),
@@ -387,6 +454,221 @@ impl Client {
     fn call(&mut self, msg: &Message) -> Result<Message, ClientError> {
         self.send(msg)?;
         self.recv()
+    }
+}
+
+/// Tuning for [`ResilientClient`] reconnect/retry behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryOptions {
+    /// Connection attempts per operation before giving up.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per retry (capped at `max_backoff`).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-operation socket deadline (read and write).
+    pub op_timeout: Duration,
+    /// Deterministic PUT batch size — **must be stable across attempts**:
+    /// resume skips server-acked batches by index of this fixed split.
+    pub batch: usize,
+}
+
+impl Default for RetryOptions {
+    fn default() -> Self {
+        RetryOptions {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            op_timeout: Duration::from_secs(10),
+            batch: DEFAULT_BATCH,
+        }
+    }
+}
+
+/// What a [`ResilientClient`] did to get its operations through
+/// (diagnostics; drives the `--faults` bench section).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Operation attempts (first try + retries).
+    pub attempts: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// TCP connections established.
+    pub connects: u64,
+    /// PUT batches skipped because RESUME reported them already
+    /// ingested (work saved by the exactly-once protocol).
+    pub batches_skipped: u64,
+    /// Total time slept in backoff, in microseconds.
+    pub backoff_micros: u64,
+    /// Connect + HELLO + RESUME handshake latency of each connection,
+    /// in microseconds.
+    pub connect_micros: Vec<u64>,
+}
+
+/// A self-healing client: wraps [`Client`] with per-operation deadlines,
+/// capped-exponential-backoff reconnects (deterministic jitter, seeded
+/// from the client name), and **resumable, exactly-once uploads**.
+///
+/// [`Self::upload_commit`] survives any number of mid-stream connection
+/// failures up to [`RetryOptions::max_attempts`]: each reconnect opens
+/// with a RESUME handshake, the server reports how many deterministic
+/// batches it already ingested toward the commit id, and the client
+/// continues from there. A commit whose ack was lost is never re-applied
+/// — the server replays the recorded ack. The result is that a completed
+/// `upload_commit` leaves store, stats and adversary tap **bit-identical**
+/// to a fault-free run, no matter where connections broke.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: String,
+    name: String,
+    opts: RetryOptions,
+    rng: SplitMix64,
+    inner: Option<Client>,
+    report: ResilienceReport,
+}
+
+impl ResilientClient {
+    /// Creates a resilient client for `addr`; nothing connects until the
+    /// first operation. The backoff jitter stream is seeded from `name`,
+    /// so a given client name retries on a reproducible schedule.
+    pub fn new(addr: impl Into<String>, name: impl Into<String>, opts: RetryOptions) -> Self {
+        let name = name.into();
+        ResilientClient {
+            addr: addr.into(),
+            rng: SplitMix64::from_name(&name),
+            name,
+            opts,
+            inner: None,
+            report: ResilienceReport::default(),
+        }
+    }
+
+    /// What this client did so far (attempts, reconnects, backoff time).
+    #[must_use]
+    pub fn report(&self) -> &ResilienceReport {
+        &self.report
+    }
+
+    /// Uploads `backup` metadata-only and commits it under the nonzero
+    /// idempotent `commit_id`, surviving connection failures; returns the
+    /// committed chunk count.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Exhausted`] after `max_attempts` transport
+    /// failures; any non-retryable [`ClientError`] immediately.
+    pub fn upload_commit(&mut self, backup: &Backup, commit_id: u64) -> Result<u64, ClientError> {
+        self.run_upload(backup, None, commit_id)
+    }
+
+    /// [`Self::upload_commit`] with ciphertext payload bytes
+    /// (content mode); `payload_of` must be deterministic — it is
+    /// re-invoked for re-sent batches after a reconnect.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::upload_commit`].
+    pub fn upload_commit_payloads(
+        &mut self,
+        backup: &Backup,
+        payload_of: PayloadFn<'_>,
+        commit_id: u64,
+    ) -> Result<u64, ClientError> {
+        self.run_upload(backup, Some(payload_of), commit_id)
+    }
+
+    fn run_upload(
+        &mut self,
+        backup: &Backup,
+        payload_of: Option<PayloadFn<'_>>,
+        commit_id: u64,
+    ) -> Result<u64, ClientError> {
+        if commit_id == 0 {
+            return Err(ClientError::Protocol(
+                "resumable uploads need a nonzero commit id".into(),
+            ));
+        }
+        check_label(&backup.label)?;
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.opts.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            self.report.attempts += 1;
+            match self.attempt(backup, payload_of, commit_id) {
+                Ok(chunks) => return Ok(chunks),
+                // Transport failures retry on a fresh connection; server
+                // verdicts and protocol violations do not.
+                Err(e @ ClientError::Wire(_)) => {
+                    self.inner = None;
+                    self.report.retries += 1;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.opts.max_attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    /// One attempt: (re)connect if needed, RESUME, upload the batches the
+    /// server does not already have, commit.
+    fn attempt(
+        &mut self,
+        backup: &Backup,
+        payload_of: Option<PayloadFn<'_>>,
+        commit_id: u64,
+    ) -> Result<u64, ClientError> {
+        let connected = Instant::now();
+        let fresh = self.inner.is_none();
+        if fresh {
+            let mut client =
+                Client::connect(self.addr.as_str(), &self.name)?.batch(self.opts.batch);
+            client.set_op_timeout(Some(self.opts.op_timeout))?;
+            self.inner = Some(client);
+            self.report.connects += 1;
+        }
+        let client = self.inner.as_mut().expect("connected above");
+        let (state, acked, chunks) = client.resume(commit_id)?;
+        if fresh {
+            self.report
+                .connect_micros
+                .push(u64::try_from(connected.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        let skip = match state {
+            // Finished before we asked — the previous ack was lost.
+            ResumeState::Committed => return Ok(chunks),
+            ResumeState::InProgress => acked,
+            ResumeState::Fresh => 0,
+        };
+        self.report.batches_skipped += u64::from(skip);
+        match payload_of {
+            Some(f) => client.upload_from(backup, Some(f), skip)?,
+            None => client.upload_from(backup, None::<fn(&ChunkRecord) -> Vec<u8>>, skip)?,
+        };
+        client.commit_with_id(&backup.label, commit_id)
+    }
+
+    /// Sleeps `min(base · 2^(attempt-1), max)` half fixed, half
+    /// deterministic jitter from the name-seeded stream.
+    fn backoff(&mut self, attempt: u32) {
+        let exp = attempt.saturating_sub(1).min(16);
+        let ceiling = self
+            .opts
+            .base_backoff
+            .saturating_mul(1 << exp)
+            .min(self.opts.max_backoff);
+        let half = ceiling.as_micros() as u64 / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            self.rng.next_u64() % (half + 1)
+        };
+        let sleep = Duration::from_micros(half + jitter);
+        self.report.backoff_micros += sleep.as_micros() as u64;
+        std::thread::sleep(sleep);
     }
 }
 

@@ -48,6 +48,9 @@ pub enum WireError {
     Malformed(&'static str),
     /// The peer speaks an unsupported protocol version.
     BadVersion(u16),
+    /// The peer stalled mid-frame past the stall cap (a half-open or
+    /// wedged connection), or an operation exceeded its deadline.
+    Timeout,
 }
 
 impl fmt::Display for WireError {
@@ -62,6 +65,7 @@ impl fmt::Display for WireError {
             ),
             WireError::Malformed(what) => write!(f, "malformed message: {what}"),
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Timeout => write!(f, "peer stalled past the mid-frame deadline"),
         }
     }
 }
@@ -149,7 +153,8 @@ const MAX_MID_FRAME_STALLS: u32 = 1200;
 /// EOF after at least one byte = [`WireError::Truncated`]. A timeout
 /// before the first byte is surfaced as `Io`; after the first byte it is
 /// retried (mid-frame data is in flight) up to [`MAX_MID_FRAME_STALLS`]
-/// consecutive stalls, after which the frame counts as torn.
+/// consecutive stalls, after which the read fails with the typed
+/// [`WireError::Timeout`] (a half-open connection, not a torn frame).
 fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, WireError> {
     let mut got = 0;
     let mut stalls = 0u32;
@@ -176,7 +181,7 @@ fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, WireError>
             {
                 stalls += 1;
                 if stalls >= MAX_MID_FRAME_STALLS {
-                    return Err(WireError::Truncated);
+                    return Err(WireError::Timeout);
                 }
             }
             Err(e) => return Err(WireError::Io(e)),
@@ -206,7 +211,7 @@ fn read_body<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, WireError>
             {
                 stalls += 1;
                 if stalls >= MAX_MID_FRAME_STALLS {
-                    return Err(WireError::Truncated);
+                    return Err(WireError::Timeout);
                 }
             }
             Err(e) => return Err(WireError::Io(e)),
@@ -284,6 +289,49 @@ mod tests {
             Err(WireError::Oversize { len: 0 })
         ));
         assert!(write_frame(&mut Vec::new(), &[]).is_err());
+    }
+
+    /// Yields its bytes, then stalls forever with `WouldBlock` — the shape
+    /// of a half-open connection under a socket read timeout.
+    struct StallingReader {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn mid_frame_stall_times_out_typed() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"stall victim").unwrap();
+        // Stall mid-header and mid-body: both must surface as the typed
+        // Timeout (the stall cap), never hang and never claim Truncated.
+        for keep in [3, 10] {
+            let mut r = StallingReader {
+                data: full[..keep].to_vec(),
+                pos: 0,
+            };
+            assert!(
+                matches!(read_frame(&mut r), Err(WireError::Timeout)),
+                "stall after {keep} bytes"
+            );
+        }
+        // A stall before the first byte is Io (the idle-poll contract).
+        let mut r = StallingReader {
+            data: Vec::new(),
+            pos: 0,
+        };
+        assert!(matches!(read_frame(&mut r), Err(WireError::Io(_))));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   shutdown;
 //! * [`session`] — the per-connection protocol state machine;
 //! * [`client`] — the client library: batched, pipelined uploads and
-//!   verified restore;
+//!   verified restore, plus [`client::ResilientClient`] — deadlines,
+//!   seeded-backoff reconnects, and resumable exactly-once commits;
+//! * [`fault`] — deterministic network fault injection: a seeded,
+//!   frame-aware TCP proxy ([`fault::FaultProxy`]) for the chaos suite;
 //! * [`tap`] — the provider-side adversary tap: the per-session observed
 //!   ciphertext fingerprint streams, re-materialized as ordinary
 //!   [`freqdedup_trace::Backup`]s so `LocalityAttack` / `AdvancedAttack`
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod pool;
 pub mod proto;

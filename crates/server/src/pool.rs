@@ -13,8 +13,15 @@
 //!
 //! The pool is *bounded*: at most `workers` jobs run concurrently;
 //! further accepted connections wait in the queue.
+//!
+//! Worker slots additionally **survive handler panics**: a panic while
+//! serving one job is caught ([`std::panic::catch_unwind`]), counted, and
+//! the slot returns to draining the queue — one poisoned connection must
+//! not burn a pool slot for the lifetime of the service. Panics from the
+//! acceptor still propagate (losing the acceptor is fatal by design).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 
 use freqdedup_core::par;
@@ -96,7 +103,8 @@ impl<T> JobQueue<T> {
 
 /// Runs `accept` on one scoped thread and `worker` on `workers` scoped
 /// threads, all draining `queue`; blocks until the acceptor returns and
-/// the queue is fully drained.
+/// the queue is fully drained. Returns the number of jobs whose handler
+/// panicked (each caught; the slot kept serving).
 ///
 /// `accept` must call [`JobQueue::close`] before returning (the function
 /// also closes it defensively afterwards). Worker slots call `worker`
@@ -104,14 +112,15 @@ impl<T> JobQueue<T> {
 ///
 /// # Panics
 ///
-/// Propagates panics from the acceptor or any worker (the
-/// [`par::par_for_each_mut`] contract).
-pub fn run_bounded<T, A, W>(queue: &JobQueue<T>, workers: usize, accept: A, worker: W)
+/// Propagates panics from the acceptor (the [`par::par_for_each_mut`]
+/// contract); worker panics are caught per job and only counted.
+pub fn run_bounded<T, A, W>(queue: &JobQueue<T>, workers: usize, accept: A, worker: W) -> u64
 where
     T: Send,
     A: Fn() + Sync,
     W: Fn(T) + Sync,
 {
+    use std::sync::atomic::{AtomicU64, Ordering};
     #[derive(Clone, Copy)]
     enum Role {
         Acceptor,
@@ -120,6 +129,7 @@ where
     let workers = workers.max(1);
     let mut roles = vec![Role::Acceptor];
     roles.extend(std::iter::repeat_n(Role::Worker, workers));
+    let caught = AtomicU64::new(0);
     // One scoped thread per role: the acceptor feeds the queue while the
     // worker slots drain it. par_for_each_mut with threads == items runs
     // each slot on its own scoped thread and joins them all.
@@ -130,10 +140,17 @@ where
         }
         Role::Worker => {
             while let Some(job) = queue.pop() {
-                worker(job);
+                // AssertUnwindSafe: `worker` only borrows shared state
+                // behind mutexes whose lockers tolerate poison
+                // (`crate::server::lock_unpoisoned`), so observing it
+                // after an unwind is sound.
+                if catch_unwind(AssertUnwindSafe(|| worker(job))).is_err() {
+                    caught.fetch_add(1, Ordering::SeqCst);
+                }
             }
         }
     });
+    caught.into_inner()
 }
 
 #[cfg(test)]
@@ -176,6 +193,32 @@ mod tests {
         let queue: JobQueue<u32> = JobQueue::new();
         run_bounded(&queue, 2, || {}, |_| {});
         assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn worker_panics_are_caught_and_counted() {
+        let queue: JobQueue<u32> = JobQueue::new();
+        let done = AtomicUsize::new(0);
+        let caught = run_bounded(
+            &queue,
+            2,
+            || {
+                for i in 0..20 {
+                    queue.push(i);
+                }
+            },
+            |job| {
+                if job % 5 == 0 {
+                    panic!("handler blew up on {job}");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        // Every job was attempted: 4 panicked (0, 5, 10, 15), the rest
+        // completed — on the same 2 slots.
+        assert_eq!(caught, 4);
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        assert_eq!(queue.backlog(), 0);
     }
 
     #[test]

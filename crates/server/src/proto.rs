@@ -15,10 +15,13 @@ use freqdedup_trace::{ChunkRecord, Fingerprint};
 
 use crate::frame::{WireError, MAX_FRAME_BYTES};
 
-/// Current wire protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire protocol version. Version 2 added the session-resume
+/// handshake ([`Message::Resume`] / [`Message::ResumeAck`]), the
+/// idempotent-commit id on [`Message::CommitManifest`], and the
+/// `tap_warnings` counter in [`ServerStats`].
+pub const WIRE_VERSION: u16 = 2;
 /// Oldest wire protocol version this implementation still accepts.
-pub const MIN_WIRE_VERSION: u16 = 1;
+pub const MIN_WIRE_VERSION: u16 = 2;
 
 /// Upper bound on chunks per PUT batch (keeps frames well under
 /// [`MAX_FRAME_BYTES`] even with payloads).
@@ -39,6 +42,8 @@ const TAG_STATS_RESP: u8 = 0x0c;
 const TAG_SHUTDOWN: u8 = 0x0d;
 const TAG_SHUTDOWN_ACK: u8 = 0x0e;
 const TAG_ERROR: u8 = 0x0f;
+const TAG_RESUME: u8 = 0x10;
+const TAG_RESUME_ACK: u8 = 0x11;
 
 /// Protocol error codes carried by [`Message::ErrorResp`].
 pub mod code {
@@ -63,6 +68,39 @@ pub enum ChunkStatus {
     Payload,
     /// Stored metadata-only (trace mode); the response carries no bytes.
     Metadata,
+}
+
+/// What the server knows about the commit named by a [`Message::Resume`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumeState {
+    /// Nothing uploaded yet under this (client, commit id): start at
+    /// batch 0.
+    Fresh,
+    /// A previous session uploaded `acked_batches` batches toward this
+    /// commit before disconnecting; continue from there.
+    InProgress,
+    /// The commit id was already applied: do not re-upload anything —
+    /// the ack carries the recorded manifest size.
+    Committed,
+}
+
+impl ResumeState {
+    fn to_byte(self) -> u8 {
+        match self {
+            ResumeState::Fresh => 0,
+            ResumeState::InProgress => 1,
+            ResumeState::Committed => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(ResumeState::Fresh),
+            1 => Ok(ResumeState::InProgress),
+            2 => Ok(ResumeState::Committed),
+            _ => Err(WireError::Malformed("resume state")),
+        }
+    }
 }
 
 impl ChunkStatus {
@@ -107,6 +145,10 @@ pub struct ServerStats {
     pub committed_backups: u64,
     /// Sessions served since the service started.
     pub sessions_served: u64,
+    /// Tap-degradation warnings: streaming-state rebuilds forced by a
+    /// corrupt/inconsistent `tap.fqis`, plus tap persistence failures
+    /// survived at shutdown.
+    pub tap_warnings: u64,
 }
 
 /// One wire protocol message (both directions share the message space).
@@ -147,11 +189,35 @@ pub enum Message {
         /// Chunks deduplicated.
         duplicate: u32,
     },
+    /// Client → server: re-attach to an interrupted upload. Sent at most
+    /// once per session, after HELLO and before any PUT; the server
+    /// matches the (client name, commit id) pair against its parked
+    /// uploads and applied-commit registry.
+    Resume {
+        /// Client-chosen idempotent commit id (nonzero).
+        commit_id: u64,
+    },
+    /// Server → client: what the server knows about that commit.
+    ResumeAck {
+        /// Where the upload stands.
+        state: ResumeState,
+        /// Batches already processed toward this commit
+        /// ([`ResumeState::InProgress`]; 0 otherwise).
+        acked_batches: u32,
+        /// Logical chunks recorded ([`ResumeState::Committed`]: the
+        /// committed manifest size; [`ResumeState::InProgress`]: chunks
+        /// pending so far).
+        chunks: u64,
+    },
     /// Client → server: commit everything uploaded on this session since
     /// the last commit as one named backup manifest.
     CommitManifest {
         /// Backup label (unique per backup; reused labels shadow).
         label: String,
+        /// Client-chosen idempotent commit id; `0` opts out of
+        /// idempotence tracking. A nonzero id that was already applied is
+        /// *not* re-ingested — the server replays the recorded ack.
+        commit_id: u64,
     },
     /// Server → client: manifest committed.
     CommitAck {
@@ -271,9 +337,24 @@ impl Message {
                 out.extend_from_slice(&unique.to_le_bytes());
                 out.extend_from_slice(&duplicate.to_le_bytes());
             }
-            Message::CommitManifest { label } => {
+            Message::Resume { commit_id } => {
+                out.push(TAG_RESUME);
+                out.extend_from_slice(&commit_id.to_le_bytes());
+            }
+            Message::ResumeAck {
+                state,
+                acked_batches,
+                chunks,
+            } => {
+                out.push(TAG_RESUME_ACK);
+                out.push(state.to_byte());
+                out.extend_from_slice(&acked_batches.to_le_bytes());
+                out.extend_from_slice(&chunks.to_le_bytes());
+            }
+            Message::CommitManifest { label, commit_id } => {
                 out.push(TAG_COMMIT);
                 put_str(&mut out, label);
+                out.extend_from_slice(&commit_id.to_le_bytes());
             }
             Message::CommitAck { label, chunks } => {
                 out.push(TAG_COMMIT_ACK);
@@ -320,6 +401,7 @@ impl Message {
                     s.containers_sealed,
                     s.committed_backups,
                     s.sessions_served,
+                    s.tap_warnings,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -385,7 +467,18 @@ impl Message {
                 unique: r.u32()?,
                 duplicate: r.u32()?,
             },
-            TAG_COMMIT => Message::CommitManifest { label: r.str()? },
+            TAG_RESUME => Message::Resume {
+                commit_id: r.u64()?,
+            },
+            TAG_RESUME_ACK => Message::ResumeAck {
+                state: ResumeState::from_byte(r.u8()?)?,
+                acked_batches: r.u32()?,
+                chunks: r.u64()?,
+            },
+            TAG_COMMIT => Message::CommitManifest {
+                label: r.str()?,
+                commit_id: r.u64()?,
+            },
             TAG_COMMIT_ACK => Message::CommitAck {
                 label: r.str()?,
                 chunks: r.u64()?,
@@ -421,6 +514,7 @@ impl Message {
                 containers_sealed: r.u64()?,
                 committed_backups: r.u64()?,
                 sessions_served: r.u64()?,
+                tap_warnings: r.u64()?,
             }),
             TAG_SHUTDOWN => Message::Shutdown,
             TAG_SHUTDOWN_ACK => Message::ShutdownAck,
@@ -520,8 +614,29 @@ mod tests {
             unique: 1,
             duplicate: 1,
         });
+        round_trip(Message::Resume { commit_id: 77 });
+        round_trip(Message::ResumeAck {
+            state: ResumeState::Fresh,
+            acked_batches: 0,
+            chunks: 0,
+        });
+        round_trip(Message::ResumeAck {
+            state: ResumeState::InProgress,
+            acked_batches: 3,
+            chunks: 1536,
+        });
+        round_trip(Message::ResumeAck {
+            state: ResumeState::Committed,
+            acked_batches: 0,
+            chunks: 4096,
+        });
         round_trip(Message::CommitManifest {
             label: "week-01".into(),
+            commit_id: 0,
+        });
+        round_trip(Message::CommitManifest {
+            label: "week-01".into(),
+            commit_id: u64::MAX,
         });
         round_trip(Message::CommitAck {
             label: "week-01".into(),
@@ -559,6 +674,7 @@ mod tests {
             containers_sealed: 8,
             committed_backups: 9,
             sessions_served: 10,
+            tap_warnings: 11,
         }));
         round_trip(Message::Shutdown);
         round_trip(Message::ShutdownAck);

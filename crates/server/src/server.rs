@@ -20,10 +20,11 @@
 //! is persisted beside the store (`tap.fqdt`), which is what lets
 //! clients resume committed work after a restart.
 
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use freqdedup_store::container::PayloadMode;
@@ -31,6 +32,7 @@ use freqdedup_store::engine::DedupConfig;
 use freqdedup_store::persist::PersistError;
 use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::io::TraceIoError;
+use freqdedup_trace::ChunkRecord;
 
 use crate::pool::{self, JobQueue};
 use crate::proto::ServerStats;
@@ -45,6 +47,35 @@ pub const TAP_FILE: &str = "tap.fqdt";
 /// [`TAP_FILE`]. When present at bind time, the tap resumes its running
 /// inference state bit-identically without replaying the catalog.
 pub const STREAM_FILE: &str = "tap.fqis";
+
+/// File name of the persisted applied-commit registry (exactly-once
+/// replay suppression), beside [`TAP_FILE`].
+pub const CIDS_FILE: &str = "tap.cids";
+
+/// Locks a mutex, tolerating poison: session workers survive handler
+/// panics ([`crate::pool`] catches them), so a mutex poisoned by a dying
+/// handler must not cascade into every other session. The protected state
+/// is safe to reuse — sessions never leave it partially updated across an
+/// unwind point (the engine's own ingest path is panic-fail-stop at a
+/// lower layer).
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Upload progress parked for a disconnected resumable session, keyed by
+/// client name: a client that declared a commit id (RESUME) and then lost
+/// its connection mid-upload can reconnect and continue from
+/// `acked_batches` instead of restarting — and, crucially, instead of
+/// double-ingesting what the server already observed.
+#[derive(Debug)]
+pub(crate) struct Parked {
+    /// Observed (pre-dedup) stream so far toward the commit.
+    pub pending: Vec<ChunkRecord>,
+    /// PUT batches fully ingested toward the commit.
+    pub acked_batches: u32,
+    /// The commit id the client declared for this upload.
+    pub commit_id: u64,
+}
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -133,9 +164,15 @@ pub(crate) struct EngineSlot {
 pub(crate) struct Shared {
     pub slot: Mutex<EngineSlot>,
     pub tap: Mutex<AdversaryTap>,
+    /// Parked upload progress of disconnected resumable sessions.
+    pub parked: Mutex<HashMap<String, Parked>>,
     pub stop: AtomicBool,
     pub sessions_served: AtomicU64,
     pub commits: AtomicU64,
+    /// Degraded-but-serving events: corrupt tap state recovered by
+    /// replay, tap persistence skipped at shutdown, a session worker
+    /// surviving a handler panic.
+    pub tap_warnings: AtomicU64,
     log: Option<Mutex<std::fs::File>>,
 }
 
@@ -147,14 +184,14 @@ impl Shared {
             let ms = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_or(0, |d| d.as_millis());
-            let mut file = file.lock().expect("log poisoned");
+            let mut file = lock_unpoisoned(file);
             let _ = writeln!(file, "[{ms}] {line}");
         }
     }
 
     /// Aggregate service counters (engine stats + session/commit totals).
     pub fn stats(&self) -> ServerStats {
-        let slot = self.slot.lock().expect("engine poisoned");
+        let slot = lock_unpoisoned(&self.slot);
         let s = slot
             .engine
             .as_ref()
@@ -171,6 +208,7 @@ impl Shared {
             containers_sealed: s.containers_sealed,
             committed_backups: self.commits.load(Ordering::SeqCst),
             sessions_served: self.sessions_served.load(Ordering::SeqCst),
+            tap_warnings: self.tap_warnings.load(Ordering::SeqCst),
         }
     }
 }
@@ -208,6 +246,7 @@ pub struct Server {
     workers: usize,
     tap_path: Option<PathBuf>,
     stream_path: Option<PathBuf>,
+    cids_path: Option<PathBuf>,
 }
 
 /// A read handle on a running server's adversary tap, for observing the
@@ -222,7 +261,7 @@ impl TapView {
     /// Runs `f` under the tap lock and returns its result. Keep `f`
     /// short: commits block on the same lock.
     pub fn with_tap<R>(&self, f: impl FnOnce(&AdversaryTap) -> R) -> R {
-        let tap = self.shared.tap.lock().expect("tap poisoned");
+        let tap = lock_unpoisoned(&self.shared.tap);
         f(&tap)
     }
 }
@@ -251,17 +290,35 @@ impl Server {
             .persist
             .as_ref()
             .map(|p| p.dir.join(STREAM_FILE));
-        let tap = match (&tap_path, &stream_path) {
-            // Resume path: catalog + persisted incremental state, no
-            // history replay.
-            (Some(path), Some(stream)) if path.exists() && stream.exists() => {
+        let cids_path = config
+            .engine
+            .persist
+            .as_ref()
+            .map(|p| p.dir.join(CIDS_FILE));
+        let mut tap = match (&tap_path, &stream_path) {
+            // Resume path: catalog, plus the persisted incremental state
+            // when it is present and intact — a corrupt or missing state
+            // file falls back to a catalog replay inside `load_resuming`
+            // (counted in `AdversaryTap::warnings`), never an error.
+            (Some(path), Some(stream)) if path.exists() => {
                 AdversaryTap::load_resuming(path, stream)?
             }
-            // Bootstrap path: catalog only — replay it to rebuild the
-            // running state.
-            (Some(path), _) if path.exists() => AdversaryTap::load(path)?,
             _ => AdversaryTap::new(),
         };
+        let mut warnings = tap.warnings();
+        let mut degraded: Vec<String> = Vec::new();
+        if warnings > 0 {
+            degraded.push("incremental state replayed from catalog".into());
+        }
+        if let Some(cids) = cids_path.as_ref().filter(|p| p.exists()) {
+            // The registry only suppresses commit replays; a corrupt file
+            // degrades to "no suppression window" rather than failing the
+            // bind.
+            if let Err(e) = tap.load_commit_ids(cids) {
+                warnings += 1;
+                degraded.push(format!("commit registry unreadable ({e})"));
+            }
+        }
         let commits = tap.len() as u64;
         let log = match &config.log_file {
             Some(path) => Some(Mutex::new(
@@ -280,9 +337,11 @@ impl Server {
                 payload_mode,
             }),
             tap: Mutex::new(tap),
+            parked: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
             sessions_served: AtomicU64::new(0),
             commits: AtomicU64::new(commits),
+            tap_warnings: AtomicU64::new(warnings),
             log,
         });
         shared.log(&format!(
@@ -292,12 +351,16 @@ impl Server {
             config.shards,
             commits
         ));
+        for what in &degraded {
+            shared.log(&format!("serve: degraded recovery: {what}"));
+        }
         Ok(Server {
             listener,
             shared,
             workers: config.workers.max(1),
             tap_path,
             stream_path,
+            cids_path,
         })
     }
 
@@ -345,7 +408,7 @@ impl Server {
     pub fn run(self) -> Result<ServeSummary, ServeError> {
         let shared = &self.shared;
         let queue: JobQueue<TcpStream> = JobQueue::new();
-        pool::run_bounded(
+        let worker_panics = pool::run_bounded(
             &queue,
             self.workers,
             || {
@@ -371,6 +434,14 @@ impl Server {
                 session::serve_connection(stream, shared, id);
             },
         );
+        if worker_panics > 0 {
+            shared
+                .tap_warnings
+                .fetch_add(worker_panics, Ordering::SeqCst);
+            shared.log(&format!(
+                "serve: {worker_panics} session(s) ended in a caught handler panic"
+            ));
+        }
 
         // Drained: every accepted session has finished. Take the final
         // numbers, then checkpoint + close (graceful shutdown makes the
@@ -381,35 +452,45 @@ impl Server {
             commits: shared.commits.load(Ordering::SeqCst),
             stats,
         };
-        // Both final writes must be *attempted* regardless of the other
+        // Every final write must be *attempted* regardless of the others
         // failing: a tap-save error must never skip the engine close
         // (that would drop acknowledged chunk data un-checkpointed and
-        // silently fall back to crash recovery). The engine's result
-        // takes precedence in the report.
+        // silently fall back to crash recovery). Only a **catalog** save
+        // failure is an error — the catalog cannot be rebuilt. The
+        // incremental state and the commit registry degrade instead:
+        // their stale on-disk copies are removed so the next open
+        // replays the catalog rather than resuming from a file that no
+        // longer matches it.
         let tap_result = match &self.tap_path {
             Some(path) => {
-                let tap = shared.tap.lock().expect("tap poisoned");
+                let tap = lock_unpoisoned(&shared.tap);
                 let catalog = tap.save(path).map_err(|e| {
                     shared.log(&format!("shutdown: tap save failed: {e}"));
                     ServeError::from(e)
                 });
-                // The incremental state is saved even if the catalog
-                // failed (and vice versa); first error wins.
-                let streaming = match &self.stream_path {
-                    Some(stream) => tap.streaming().save(stream).map_err(|e| {
-                        shared.log(&format!("shutdown: streaming state save failed: {e}"));
-                        ServeError::from(e)
-                    }),
-                    None => Ok(()),
-                };
-                catalog.and(streaming)
+                if let Some(stream) = &self.stream_path {
+                    if let Err(e) = tap.streaming().save(stream) {
+                        shared.tap_warnings.fetch_add(1, Ordering::SeqCst);
+                        shared.log(&format!(
+                            "shutdown: streaming state save failed ({e}); next open replays the catalog"
+                        ));
+                        let _ = std::fs::remove_file(stream);
+                    }
+                }
+                if let Some(cids) = &self.cids_path {
+                    if let Err(e) = tap.save_commit_ids(cids) {
+                        shared.tap_warnings.fetch_add(1, Ordering::SeqCst);
+                        shared.log(&format!(
+                            "shutdown: commit registry save failed ({e}); replay suppression lost"
+                        ));
+                        let _ = std::fs::remove_file(cids);
+                    }
+                }
+                catalog
             }
             None => Ok(()),
         };
-        let engine = shared
-            .slot
-            .lock()
-            .expect("engine poisoned")
+        let engine = lock_unpoisoned(&shared.slot)
             .engine
             .take()
             .expect("engine present until run() ends");

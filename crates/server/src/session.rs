@@ -11,7 +11,10 @@
 //! records are appended to the session's pending observed stream, which
 //! COMMIT-MANIFEST snapshots into the [`crate::tap::AdversaryTap`] as one
 //! [`Backup`]. A disconnect with uncommitted chunks records the tail as
-//! an abandoned stream — observed by the adversary, but not restorable.
+//! an abandoned stream — observed by the adversary, but not restorable —
+//! unless the session declared a commit id via RESUME, in which case the
+//! tail is *parked* under the client's name and a reconnecting session
+//! resumes it exactly where it broke (see `Parked` in `server.rs`).
 
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
@@ -20,33 +23,61 @@ use std::time::Duration;
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::frame::{read_frame, write_frame, WireError};
-use crate::proto::{code, ChunkStatus, Message, MIN_WIRE_VERSION, WIRE_VERSION};
-use crate::server::Shared;
+use crate::proto::{code, ChunkStatus, Message, ResumeState, MIN_WIRE_VERSION, WIRE_VERSION};
+use crate::server::{lock_unpoisoned, Parked, Shared};
 
 /// Poll interval for the stop flag while a session is idle.
 const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Write deadline on the session socket: a peer that stops draining its
+/// receive buffer (half-open connection) errors the session out instead
+/// of pinning the pool worker on a blocked `write`.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Runs one connection to completion. Never panics the worker on
 /// protocol or socket errors — they are logged and end the session.
 pub(crate) fn serve_connection(mut stream: TcpStream, shared: &Shared, id: u64) {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut session = Session {
         shared,
         id,
         hello_done: false,
+        client: String::new(),
+        resume_declared: None,
+        acked_batches: 0,
         pending: Vec::new(),
     };
     let outcome = session.run(&mut stream);
     if !session.pending.is_empty() {
-        let tail = Backup::from_chunks(
-            format!("session-{id}-uncommitted"),
-            std::mem::take(&mut session.pending),
-        );
-        shared
-            .tap
-            .lock()
-            .expect("tap poisoned")
-            .record_abandoned(tail);
+        match session.resume_declared {
+            // A resumable upload that lost its connection mid-commit is
+            // *parked* under the client's name: the chunks are already in
+            // the store and counted toward `acked_batches`, so the
+            // reconnecting client continues instead of re-sending (which
+            // would double-ingest the observed stream).
+            Some(commit_id) => {
+                let parked = Parked {
+                    pending: std::mem::take(&mut session.pending),
+                    acked_batches: session.acked_batches,
+                    commit_id,
+                };
+                shared.log(&format!(
+                    "session {id}: parked {} chunks ({} batches) for {:?} commit {commit_id:#x}",
+                    parked.pending.len(),
+                    parked.acked_batches,
+                    session.client,
+                ));
+                lock_unpoisoned(&shared.parked).insert(session.client.clone(), parked);
+            }
+            None => {
+                let tail = Backup::from_chunks(
+                    format!("session-{id}-uncommitted"),
+                    std::mem::take(&mut session.pending),
+                );
+                lock_unpoisoned(&shared.tap).record_abandoned(tail);
+            }
+        }
     }
     match outcome {
         Ok(()) => shared.log(&format!("session {id}: closed")),
@@ -58,6 +89,13 @@ struct Session<'a> {
     shared: &'a Shared,
     id: u64,
     hello_done: bool,
+    /// Client name from HELLO (the parked-upload key).
+    client: String,
+    /// The commit id declared by RESUME, if any: marks this session's
+    /// uncommitted tail as resumable (parked on disconnect).
+    resume_declared: Option<u64>,
+    /// PUT batches fully ingested since the last commit.
+    acked_batches: u32,
     /// Observed (pre-dedup) stream since the last commit.
     pending: Vec<ChunkRecord>,
 }
@@ -115,6 +153,7 @@ impl Session<'_> {
                         "session {}: hello from {client:?} (v{negotiated})",
                         self.id
                     ));
+                    self.client = client;
                     self.reply(
                         stream,
                         &Message::HelloAck {
@@ -122,26 +161,14 @@ impl Session<'_> {
                         },
                     )?;
                 }
+                Message::Resume { commit_id } => self.handle_resume(stream, commit_id)?,
                 Message::PutChunkBatch {
                     seq,
                     chunks,
                     payloads,
                 } => self.handle_put(stream, seq, chunks, payloads)?,
-                Message::CommitManifest { label } => {
-                    let backup =
-                        Backup::from_chunks(label.clone(), std::mem::take(&mut self.pending));
-                    let chunks = backup.len() as u64;
-                    self.shared
-                        .tap
-                        .lock()
-                        .expect("tap poisoned")
-                        .record_commit(backup);
-                    self.shared.commits.fetch_add(1, Ordering::SeqCst);
-                    self.shared.log(&format!(
-                        "session {}: commit {label:?} ({chunks} chunks)",
-                        self.id
-                    ));
-                    self.reply(stream, &Message::CommitAck { label, chunks })?;
+                Message::CommitManifest { label, commit_id } => {
+                    self.handle_commit(stream, label, commit_id)?;
                 }
                 Message::GetChunk { fp } => {
                     let resp = self.lookup_chunk(Fingerprint(fp));
@@ -163,6 +190,7 @@ impl Session<'_> {
                 // client bug, not a transport failure.
                 Message::HelloAck { .. }
                 | Message::PutAck { .. }
+                | Message::ResumeAck { .. }
                 | Message::CommitAck { .. }
                 | Message::ChunkResp { .. }
                 | Message::RestoreHeader { .. }
@@ -173,6 +201,137 @@ impl Session<'_> {
                 }
             }
         }
+    }
+
+    /// Answers a RESUME: reports what the server already knows about the
+    /// client's `commit_id` so the client can continue an interrupted
+    /// upload without re-sending (and without the server double-tapping)
+    /// anything already observed.
+    fn handle_resume(&mut self, stream: &mut TcpStream, commit_id: u64) -> Result<(), WireError> {
+        if commit_id == 0 {
+            self.reply_err(
+                stream,
+                code::BAD_STATE,
+                "RESUME requires a nonzero commit id",
+            );
+            return Ok(());
+        }
+        if self.client.is_empty() {
+            self.reply_err(stream, code::BAD_STATE, "RESUME requires a named client");
+            return Ok(());
+        }
+        if !self.pending.is_empty() {
+            self.reply_err(stream, code::BAD_STATE, "RESUME must precede any PUT");
+            return Ok(());
+        }
+        // Already applied? The commit finished before the client saw its
+        // ack — replay the verdict; nothing to upload.
+        let applied = lock_unpoisoned(&self.shared.tap)
+            .applied(commit_id)
+            .map(|a| a.chunks);
+        if let Some(chunks) = applied {
+            self.resume_declared = Some(commit_id);
+            self.shared.log(&format!(
+                "session {}: resume {commit_id:#x} -> committed ({chunks} chunks)",
+                self.id
+            ));
+            return self.reply(
+                stream,
+                &Message::ResumeAck {
+                    state: ResumeState::Committed,
+                    acked_batches: 0,
+                    chunks,
+                },
+            );
+        }
+        // Parked progress from a broken session? Adopt it if the commit
+        // id matches; a different id means the client abandoned that
+        // upload — its observed tail goes to the abandoned record.
+        let parked = lock_unpoisoned(&self.shared.parked).remove(&self.client);
+        let (state, acked, chunks) = match parked {
+            Some(p) if p.commit_id == commit_id => {
+                self.pending = p.pending;
+                self.acked_batches = p.acked_batches;
+                (
+                    ResumeState::InProgress,
+                    self.acked_batches,
+                    self.pending.len() as u64,
+                )
+            }
+            Some(p) => {
+                let stale = Backup::from_chunks(
+                    format!("{}-abandoned-{:#x}", self.client, p.commit_id),
+                    p.pending,
+                );
+                lock_unpoisoned(&self.shared.tap).record_abandoned(stale);
+                (ResumeState::Fresh, 0, 0)
+            }
+            None => (ResumeState::Fresh, 0, 0),
+        };
+        self.resume_declared = Some(commit_id);
+        self.shared.log(&format!(
+            "session {}: resume {commit_id:#x} -> {state:?} ({acked} batches, {chunks} chunks)",
+            self.id
+        ));
+        self.reply(
+            stream,
+            &Message::ResumeAck {
+                state,
+                acked_batches: acked,
+                chunks,
+            },
+        )
+    }
+
+    /// Commits the pending observed stream as one manifest. A nonzero
+    /// `commit_id` makes the commit idempotent: if it was already
+    /// applied, the recorded ack is replayed and nothing is re-ingested
+    /// into the tap or the counters.
+    fn handle_commit(
+        &mut self,
+        stream: &mut TcpStream,
+        label: String,
+        commit_id: u64,
+    ) -> Result<(), WireError> {
+        // The applied-check and the record happen under one tap lock so
+        // two racing replays of the same commit id cannot both ingest.
+        let mut tap = lock_unpoisoned(&self.shared.tap);
+        let replay = (commit_id != 0)
+            .then(|| tap.applied(commit_id).cloned())
+            .flatten();
+        if let Some(applied) = replay {
+            drop(tap);
+            // Exactly-once: this commit already happened (the ack was
+            // lost in transit). Drop any re-uploaded pending tail — the
+            // store deduplicated the chunks and the tap must not observe
+            // the stream twice.
+            self.pending.clear();
+            self.acked_batches = 0;
+            self.resume_declared = None;
+            self.shared.log(&format!(
+                "session {}: commit {commit_id:#x} replayed ({:?}, {} chunks)",
+                self.id, applied.label, applied.chunks
+            ));
+            return self.reply(
+                stream,
+                &Message::CommitAck {
+                    label: applied.label,
+                    chunks: applied.chunks,
+                },
+            );
+        }
+        let backup = Backup::from_chunks(label.clone(), std::mem::take(&mut self.pending));
+        let chunks = backup.len() as u64;
+        tap.record_commit_id(backup, commit_id);
+        drop(tap);
+        self.acked_batches = 0;
+        self.resume_declared = None;
+        self.shared.commits.fetch_add(1, Ordering::SeqCst);
+        self.shared.log(&format!(
+            "session {}: commit {label:?} ({chunks} chunks)",
+            self.id
+        ));
+        self.reply(stream, &Message::CommitAck { label, chunks })
     }
 
     /// Ingests one batch: dedup through the sharded engine *and* append
@@ -201,7 +360,7 @@ impl Session<'_> {
         }
         let has_payloads = payloads.is_some();
         let (unique, duplicate) = {
-            let mut slot = self.shared.slot.lock().expect("engine poisoned");
+            let mut slot = lock_unpoisoned(&self.shared.slot);
             match slot.payload_mode {
                 None => slot.payload_mode = Some(has_payloads),
                 Some(mode) if mode != has_payloads => {
@@ -232,6 +391,10 @@ impl Session<'_> {
             (unique, duplicate)
         };
         self.pending.extend(chunks);
+        // Counted as ingested *before* the ack write: if the ack is lost
+        // to a disconnect, RESUME still reports the batch as done and the
+        // client skips it (the tap must not observe it twice).
+        self.acked_batches = self.acked_batches.wrapping_add(1);
         self.reply(
             stream,
             &Message::PutAck {
@@ -246,7 +409,7 @@ impl Session<'_> {
     /// record in logical order.
     fn handle_restore(&mut self, stream: &mut TcpStream, label: &str) -> Result<(), WireError> {
         let records: Option<Vec<ChunkRecord>> = {
-            let tap = self.shared.tap.lock().expect("tap poisoned");
+            let tap = lock_unpoisoned(&self.shared.tap);
             tap.backup(label).map(|b| b.chunks.clone())
         };
         let Some(records) = records else {
@@ -272,7 +435,7 @@ impl Session<'_> {
         const RESTORE_BATCH: usize = 1024;
         for batch in records.chunks(RESTORE_BATCH) {
             let responses: Vec<Message> = {
-                let slot = self.shared.slot.lock().expect("engine poisoned");
+                let slot = lock_unpoisoned(&self.shared.slot);
                 let engine = slot.engine.as_ref().expect("engine open while serving");
                 batch
                     .iter()
@@ -287,7 +450,7 @@ impl Session<'_> {
     }
 
     fn lookup_chunk(&self, fp: Fingerprint) -> Message {
-        let slot = self.shared.slot.lock().expect("engine poisoned");
+        let slot = lock_unpoisoned(&self.shared.slot);
         let engine = slot.engine.as_ref().expect("engine open while serving");
         chunk_resp(engine, fp, 0)
     }

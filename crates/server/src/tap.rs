@@ -38,6 +38,7 @@
 //! order matched label order — `StreamOrder` tie-breaks are
 //! position-dependent).
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::time::Instant;
 
@@ -182,6 +183,27 @@ impl TapStreaming {
     }
 }
 
+/// One entry of the applied-commit registry: what a nonzero commit ID
+/// already produced, so a client replaying the same COMMIT-MANIFEST after
+/// a mid-commit disconnect gets the recorded acknowledgement instead of a
+/// second ingestion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppliedCommit {
+    /// The manifest label the commit created.
+    pub label: String,
+    /// Logical chunks the committed stream carried (echoed in the
+    /// replayed `CommitAck`).
+    pub chunks: u64,
+}
+
+/// Magic bytes of the applied-commit registry file (`tap.cids`).
+const CIDS_MAGIC: &[u8; 4] = b"FQCI";
+/// Format version of the registry file.
+const CIDS_VERSION: u16 = 1;
+/// Sanity bound on a registry label length (matches the wire layer's
+/// attitude: a corrupted length field must not drive an allocation).
+const CIDS_MAX_LABEL: u64 = 1 << 20;
+
 /// Per-session observed ciphertext streams, segmented by commit.
 #[derive(Clone, Debug, Default)]
 pub struct AdversaryTap {
@@ -193,6 +215,12 @@ pub struct AdversaryTap {
     abandoned: Vec<Backup>,
     /// Running attack state, folded forward on every commit.
     streaming: TapStreaming,
+    /// Exactly-once registry: nonzero commit IDs that already committed,
+    /// with the ack the client should see on replay.
+    applied: HashMap<u64, AppliedCommit>,
+    /// Degraded-recovery events observed while loading persisted state
+    /// (corrupt `tap.fqis` / `tap.cids` recovered by replay or reset).
+    warnings: u64,
 }
 
 impl AdversaryTap {
@@ -204,10 +232,48 @@ impl AdversaryTap {
 
     /// Records one committed manifest stream, folding it into the
     /// running attack state (O(delta) amortized) before appending it to
-    /// the catalog.
+    /// the catalog. Equivalent to [`Self::record_commit_id`] with commit
+    /// ID 0 (no exactly-once tracking).
     pub fn record_commit(&mut self, backup: Backup) {
+        self.record_commit_id(backup, 0);
+    }
+
+    /// [`Self::record_commit`] that additionally registers a nonzero
+    /// `commit_id` in the applied-commit registry, making the commit
+    /// idempotent: a later [`Self::applied`] lookup for the same ID
+    /// returns the recorded ack instead of ingesting again. Commit ID 0
+    /// opts out (the legacy non-resumable client path).
+    pub fn record_commit_id(&mut self, backup: Backup, commit_id: u64) {
+        if commit_id != 0 {
+            self.applied.insert(
+                commit_id,
+                AppliedCommit {
+                    label: backup.label.clone(),
+                    chunks: backup.len() as u64,
+                },
+            );
+        }
         self.streaming.commit(&backup);
         self.committed.push(backup);
+    }
+
+    /// Looks up a nonzero commit ID in the applied-commit registry.
+    #[must_use]
+    pub fn applied(&self, commit_id: u64) -> Option<&AppliedCommit> {
+        self.applied.get(&commit_id)
+    }
+
+    /// The full applied-commit registry (commit ID → recorded ack).
+    #[must_use]
+    pub fn applied_commits(&self) -> &HashMap<u64, AppliedCommit> {
+        &self.applied
+    }
+
+    /// Degraded-recovery warnings accumulated while loading persisted
+    /// state (0 for a tap that loaded cleanly or was built in memory).
+    #[must_use]
+    pub fn warnings(&self) -> u64 {
+        self.warnings
     }
 
     /// Records the un-committed tail stream of a closed session.
@@ -329,6 +395,93 @@ impl AdversaryTap {
         Ok(())
     }
 
+    /// Persists the applied-commit registry (`tap.cids`): magic,
+    /// version, entry count, `(commit_id, chunks, label)` entries, and a
+    /// trailing CRC-32 over everything before it. Like the catalog and
+    /// the streaming state, the registry is written at graceful shutdown
+    /// — a crash between commits loses at most the replay-suppression
+    /// window, never store or catalog integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on write failure.
+    pub fn save_commit_ids(&self, path: &Path) -> Result<(), TraceIoError> {
+        let mut body = Vec::with_capacity(16 + self.applied.len() * 24);
+        body.extend_from_slice(CIDS_MAGIC);
+        body.extend_from_slice(&CIDS_VERSION.to_le_bytes());
+        body.extend_from_slice(&(self.applied.len() as u32).to_le_bytes());
+        // Sorted so the file is byte-deterministic for a given registry.
+        let mut ids: Vec<_> = self.applied.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let entry = &self.applied[&id];
+            body.extend_from_slice(&id.to_le_bytes());
+            body.extend_from_slice(&entry.chunks.to_le_bytes());
+            body.extend_from_slice(&(entry.label.len() as u32).to_le_bytes());
+            body.extend_from_slice(entry.label.as_bytes());
+        }
+        let crc = io::crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        std::fs::write(path, body)?;
+        Ok(())
+    }
+
+    /// Merges a registry saved by [`Self::save_commit_ids`] into this
+    /// tap; returns the number of entries loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on read failure, bad magic/version, CRC
+    /// mismatch, or a malformed entry.
+    pub fn load_commit_ids(&mut self, path: &Path) -> Result<usize, TraceIoError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < CIDS_MAGIC.len() + 2 + 4 + 4 {
+            return Err(TraceIoError::BadMagic);
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        let actual = io::crc32(body);
+        if actual != expected {
+            return Err(TraceIoError::BadChecksum { expected, actual });
+        }
+        if &body[..4] != CIDS_MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+        if version != CIDS_VERSION {
+            return Err(TraceIoError::BadVersion(version));
+        }
+        let count = u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")) as usize;
+        let mut at = 10;
+        let mut loaded = 0;
+        for _ in 0..count {
+            if body.len() < at + 20 {
+                return Err(TraceIoError::LengthOverflow(body.len() as u64));
+            }
+            let id = u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
+            let chunks = u64::from_le_bytes(body[at + 8..at + 16].try_into().expect("8 bytes"));
+            let label_len =
+                u32::from_le_bytes(body[at + 16..at + 20].try_into().expect("4 bytes")) as u64;
+            if label_len > CIDS_MAX_LABEL {
+                return Err(TraceIoError::LengthOverflow(label_len));
+            }
+            let label_len = label_len as usize;
+            at += 20;
+            if body.len() < at + label_len {
+                return Err(TraceIoError::LengthOverflow(body.len() as u64));
+            }
+            let label = std::str::from_utf8(&body[at..at + label_len])
+                .map_err(|_| TraceIoError::BadUtf8)?
+                .to_owned();
+            at += label_len;
+            if id != 0 {
+                self.applied.insert(id, AppliedCommit { label, chunks });
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
     /// Reloads a tap saved by [`Self::save`] (abandoned streams are not
     /// persisted). The running attack state is **rebuilt by replaying**
     /// the reloaded catalog — deterministic, but O(history); prefer
@@ -343,8 +496,8 @@ impl AdversaryTap {
         let streaming = TapStreaming::rebuild(&committed);
         Ok(AdversaryTap {
             committed,
-            abandoned: Vec::new(),
             streaming,
+            ..AdversaryTap::default()
         })
     }
 
@@ -353,18 +506,29 @@ impl AdversaryTap {
     /// comes back bit-identical to the one saved, with no history
     /// replay. Falls back to a replay rebuild when the persisted state
     /// does not cover the catalog (e.g. the two files are from different
-    /// shutdowns).
+    /// shutdowns), and — counting a [`Self::warnings`] degradation — when
+    /// the state file is corrupt or truncated: the catalog is the source
+    /// of truth, so a bad `tap.fqis` costs a replay, never an error.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceIoError`] when either file fails to read.
+    /// Returns [`TraceIoError`] only when the **catalog** fails to read.
     pub fn load_resuming(path: &Path, stream_path: &Path) -> Result<Self, TraceIoError> {
         let committed = Self::load_catalog(path)?;
-        let streaming = TapStreaming::load(stream_path)?;
+        let mut warnings = 0;
+        let streaming = match TapStreaming::load(stream_path) {
+            Ok(streaming) => Some(streaming),
+            Err(TraceIoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(_) => {
+                warnings += 1;
+                None
+            }
+        };
         let mut tap = AdversaryTap {
+            streaming: streaming.unwrap_or_else(|| TapStreaming::rebuild(&committed)),
             committed,
-            abandoned: Vec::new(),
-            streaming,
+            warnings,
+            ..AdversaryTap::default()
         };
         if !tap.streaming_consistent() {
             tap.streaming = TapStreaming::rebuild(&tap.committed);
@@ -493,6 +657,80 @@ mod tests {
         let fell_back = AdversaryTap::load_resuming(&tap_path, &stream_path).unwrap();
         assert!(fell_back.streaming_consistent());
         assert_eq!(fell_back.streaming().commits(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_id_registry_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("freqdedup-tapcids-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tap.cids");
+        let mut tap = AdversaryTap::new();
+        tap.record_commit_id(backup("m0", &[1, 2]), 41);
+        tap.record_commit_id(backup("m1", &[3]), 42);
+        // Commit ID 0 opts out of the registry.
+        tap.record_commit_id(backup("m2", &[4]), 0);
+        assert_eq!(tap.applied(41).unwrap().chunks, 2);
+        assert_eq!(tap.applied(42).unwrap().label, "m1");
+        assert!(tap.applied(0).is_none());
+        tap.save_commit_ids(&path).unwrap();
+
+        let mut back = AdversaryTap::new();
+        assert_eq!(back.load_commit_ids(&path).unwrap(), 2);
+        assert_eq!(back.applied_commits(), tap.applied_commits());
+
+        // Any flipped byte fails the trailing CRC.
+        let clean = std::fs::read(&path).unwrap();
+        for at in [0, 6, clean.len() / 2, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[at] ^= 0xff;
+            std::fs::write(&path, &bad).unwrap();
+            let err = AdversaryTap::new().load_commit_ids(&path);
+            assert!(err.is_err(), "flip at {at} accepted");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_stream_state_falls_back_to_replay_with_warning() {
+        let dir = std::env::temp_dir().join(format!("freqdedup-tapcorrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tap_path = dir.join("tap.fqdt");
+        let stream_path = dir.join("tap.fqis");
+        let mut tap = AdversaryTap::new();
+        tap.record_commit(backup("a", &[1, 2, 1]));
+        tap.record_commit(backup("b", &[2, 9]));
+        tap.save(&tap_path).unwrap();
+        tap.streaming().save(&stream_path).unwrap();
+        let clean = std::fs::read(&stream_path).unwrap();
+
+        // Corrupt the state file at several offsets (plus truncation):
+        // every variant must fall back to a catalog replay whose state is
+        // bit-identical to a fresh rebuild, with the warning counted.
+        let mut variants: Vec<Vec<u8>> = vec![clean[..clean.len() / 3].to_vec(), b"junk".to_vec()];
+        for at in [0, clean.len() / 2, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[at] ^= 0xff;
+            variants.push(bad);
+        }
+        for (i, bad) in variants.iter().enumerate() {
+            std::fs::write(&stream_path, bad).unwrap();
+            let fell_back = AdversaryTap::load_resuming(&tap_path, &stream_path).unwrap();
+            assert_eq!(fell_back.warnings(), 1, "variant {i}");
+            assert!(fell_back.streaming_consistent(), "variant {i}");
+            assert_eq!(
+                fell_back.streaming(),
+                AdversaryTap::load(&tap_path).unwrap().streaming(),
+                "variant {i}"
+            );
+        }
+
+        // A merely missing state file is the normal bootstrap, not a
+        // degradation.
+        std::fs::remove_file(&stream_path).unwrap();
+        let boot = AdversaryTap::load_resuming(&tap_path, &stream_path).unwrap();
+        assert_eq!(boot.warnings(), 0);
+        assert!(boot.streaming_consistent());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

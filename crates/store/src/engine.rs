@@ -235,8 +235,8 @@ impl DedupEngine {
             // existing meta must agree first — a sharded root, say, has a
             // meta but no top-level manifest, and blindly re-initializing
             // would clobber it.
-            persist::ensure_meta(&pcfg.dir, &engine.config.meta(), pcfg.fsync)?;
-            let manifest = ManifestWriter::create(&pcfg.dir, pcfg.fsync)?;
+            persist::ensure_meta(&pcfg.dir, &engine.config.meta(), pcfg.fsync, &pcfg.io)?;
+            let manifest = ManifestWriter::create(&pcfg.dir, pcfg.fsync, &pcfg.io)?;
             let mut engine = engine;
             engine.persist = Some(PersistState {
                 cfg: pcfg,
@@ -322,7 +322,7 @@ impl DedupEngine {
         } else {
             valid_len
         };
-        let manifest = ManifestWriter::reopen(&dir, valid_len, pcfg.fsync)?;
+        let manifest = ManifestWriter::reopen(&dir, valid_len, pcfg.fsync, &pcfg.io)?;
         if recovered_n < n_seals {
             let _ =
                 std::fs::remove_file(log::container_path(&dir, ContainerId(recovered_n as u32)));
@@ -522,7 +522,7 @@ impl DedupEngine {
             // Write-ahead ordering: the container file is made durable
             // first, then the manifest record commits the seal.
             let container = self.containers.get(id).expect("just sealed");
-            log::write_container(&p.cfg.dir, container, p.cfg.fsync)
+            log::write_container(&p.cfg.dir, container, p.cfg.fsync, &p.cfg.io)
                 .unwrap_or_else(|e| panic!("persistent store: container write failed: {e}"));
             p.manifest
                 .append_seal(id.0, container.len() as u32, container.data_bytes)
@@ -652,7 +652,7 @@ impl DedupEngine {
                 .map(Fingerprint::value)
                 .collect(),
         };
-        manifest::write_snapshot(&p.cfg.dir, &snapshot, p.cfg.fsync)?;
+        manifest::write_snapshot(&p.cfg.dir, &snapshot, p.cfg.fsync, &p.cfg.io)?;
         p.seals_since_snapshot = 0;
         Ok(())
     }

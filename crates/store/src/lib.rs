@@ -33,6 +33,7 @@ pub mod bloom;
 pub mod cache;
 pub mod container;
 pub mod engine;
+pub mod fault;
 pub mod index;
 pub mod log;
 pub mod manifest;

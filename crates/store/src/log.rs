@@ -36,7 +36,8 @@ use std::path::{Path, PathBuf};
 use freqdedup_trace::Fingerprint;
 
 use crate::container::{Container, ContainerId};
-use crate::persist::{maybe_sync, maybe_sync_dir, CrcSink, CrcSource, FsyncPolicy, PersistError};
+use crate::fault::{FaultFile, IoPolicyHandle, PersistSite};
+use crate::persist::{maybe_sync_dir, CrcSink, CrcSource, FsyncPolicy, PersistError};
 
 const LOG_MAGIC: &[u8; 4] = b"FQCL";
 const LOG_VERSION: u16 = 1;
@@ -55,13 +56,19 @@ pub fn container_path(dir: &Path, id: ContainerId) -> PathBuf {
 ///
 /// # Errors
 ///
-/// Returns [`PersistError::Io`] on write failure.
+/// Returns [`PersistError::Io`] on write failure (including injected
+/// faults — see [`crate::fault`]).
 pub fn write_container(
     dir: &Path,
     container: &Container,
     policy: FsyncPolicy,
+    io: &IoPolicyHandle,
 ) -> Result<(), PersistError> {
-    let file = File::create(container_path(dir, container.id))?;
+    let file = FaultFile::new(
+        File::create(container_path(dir, container.id))?,
+        io.clone(),
+        PersistSite::ContainerWrite,
+    );
     let mut w = CrcSink::new(BufWriter::new(file));
     let flags = if container.has_payload() {
         FLAG_PAYLOAD
@@ -92,9 +99,11 @@ pub fn write_container(
     }
     let mut buf = w.finish()?;
     buf.flush()?;
-    maybe_sync(buf.get_ref(), policy)?;
+    buf.get_ref()
+        .maybe_sync(policy, PersistSite::ContainerSync)?;
     // The directory entry must be durable too, or a manifest-committed
     // container could vanish in a crash despite its data being fsynced.
+    io.check_sync(PersistSite::DirSync)?;
     maybe_sync_dir(dir, policy)?;
     Ok(())
 }
@@ -248,7 +257,7 @@ mod tests {
     fn payload_container_round_trips() {
         let dir = tmp_dir("payload-rt");
         let c = sealed_payload_container();
-        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         let back = read_container(&dir, c.id).unwrap();
         assert_eq!(back.fingerprints, c.fingerprints);
         assert_eq!(back.chunk_sizes(), c.chunk_sizes());
@@ -262,7 +271,7 @@ mod tests {
     fn metadata_container_round_trips() {
         let dir = tmp_dir("meta-rt");
         let c = sealed_metadata_container();
-        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         let back = read_container(&dir, c.id).unwrap();
         assert_eq!(back.fingerprints, c.fingerprints);
         assert_eq!(back.chunk_sizes(), c.chunk_sizes());
@@ -275,7 +284,7 @@ mod tests {
     fn truncation_reports_torn() {
         let dir = tmp_dir("torn");
         let c = sealed_payload_container();
-        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         let path = container_path(&dir, c.id);
         let full = std::fs::read(&path).unwrap();
         // Chop the file off mid-record (and mid-CRC, and mid-header):
@@ -294,7 +303,7 @@ mod tests {
     fn bitflip_reports_torn_checksum() {
         let dir = tmp_dir("bitflip");
         let c = sealed_metadata_container();
-        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         let path = container_path(&dir, c.id);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() - 6; // inside the last record
@@ -311,7 +320,7 @@ mod tests {
     fn wrong_id_reports_corrupt() {
         let dir = tmp_dir("wrong-id");
         let c = sealed_metadata_container();
-        write_container(&dir, &c, FsyncPolicy::Never).unwrap();
+        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         // Ask for id 0's file under id 5's name.
         std::fs::rename(
             container_path(&dir, c.id),

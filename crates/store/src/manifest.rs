@@ -38,6 +38,7 @@ use std::path::{Path, PathBuf};
 
 use freqdedup_trace::io::Crc32;
 
+use crate::fault::{write_checked, FaultAction, FaultFile, IoPolicyHandle, PersistSite};
 use crate::persist::{maybe_sync, maybe_sync_dir, CrcSink, CrcSource, FsyncPolicy, PersistError};
 
 pub(crate) const MANIFEST_FILE: &str = "manifest.log";
@@ -224,6 +225,7 @@ fn read_record<R: Read>(r: &mut R) -> Result<Option<(ManifestEvent, u64)>, Recor
 pub struct ManifestWriter {
     file: File,
     policy: FsyncPolicy,
+    io: IoPolicyHandle,
 }
 
 impl ManifestWriter {
@@ -232,13 +234,25 @@ impl ManifestWriter {
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on write failure.
-    pub fn create(dir: &Path, policy: FsyncPolicy) -> Result<Self, PersistError> {
+    pub fn create(
+        dir: &Path,
+        policy: FsyncPolicy,
+        io: &IoPolicyHandle,
+    ) -> Result<Self, PersistError> {
         let mut file = File::create(manifest_path(dir))?;
-        file.write_all(MANIFEST_MAGIC)?;
-        file.write_all(&MANIFEST_VERSION.to_le_bytes())?;
+        let mut header = [0u8; 6];
+        header[..4].copy_from_slice(MANIFEST_MAGIC);
+        header[4..].copy_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        write_checked(&mut file, &header, io, PersistSite::ManifestHeader)?;
+        io.check_sync(PersistSite::ManifestSync)?;
         maybe_sync(&file, policy)?;
+        io.check_sync(PersistSite::DirSync)?;
         maybe_sync_dir(dir, policy)?;
-        Ok(ManifestWriter { file, policy })
+        Ok(ManifestWriter {
+            file,
+            policy,
+            io: io.clone(),
+        })
     }
 
     /// Reopens an existing journal for appending, first truncating it to
@@ -248,7 +262,12 @@ impl ManifestWriter {
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on failure.
-    pub fn reopen(dir: &Path, valid_len: u64, policy: FsyncPolicy) -> Result<Self, PersistError> {
+    pub fn reopen(
+        dir: &Path,
+        valid_len: u64,
+        policy: FsyncPolicy,
+        io: &IoPolicyHandle,
+    ) -> Result<Self, PersistError> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -260,7 +279,11 @@ impl ManifestWriter {
         let mut file = file;
         use std::io::Seek;
         file.seek(std::io::SeekFrom::End(0))?;
-        Ok(ManifestWriter { file, policy })
+        Ok(ManifestWriter {
+            file,
+            policy,
+            io: io.clone(),
+        })
     }
 
     fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), PersistError> {
@@ -274,7 +297,13 @@ impl ManifestWriter {
         record.extend_from_slice(&len.to_le_bytes());
         record.extend_from_slice(payload);
         record.extend_from_slice(&crc.finalize().to_le_bytes());
-        self.file.write_all(&record)?;
+        write_checked(
+            &mut self.file,
+            &record,
+            &self.io,
+            PersistSite::ManifestAppend,
+        )?;
+        self.io.check_sync(PersistSite::ManifestSync)?;
         maybe_sync(&self.file, self.policy)?;
         Ok(())
     }
@@ -371,9 +400,10 @@ pub fn write_snapshot(
     dir: &Path,
     snapshot: &Snapshot,
     policy: FsyncPolicy,
+    io: &IoPolicyHandle,
 ) -> Result<(), PersistError> {
     let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
-    let file = File::create(&tmp)?;
+    let file = FaultFile::new(File::create(&tmp)?, io.clone(), PersistSite::SnapshotWrite);
     let mut w = CrcSink::new(BufWriter::new(file));
     w.write_all(SNAPSHOT_MAGIC)?;
     w.write_u16(SNAPSHOT_VERSION)?;
@@ -405,9 +435,16 @@ pub fn write_snapshot(
     }
     let mut buf = w.finish()?;
     buf.flush()?;
-    maybe_sync(buf.get_ref(), policy)?;
+    buf.get_ref()
+        .maybe_sync(policy, PersistSite::SnapshotSync)?;
     drop(buf);
+    if io.before_write(PersistSite::SnapshotRename, 0) != FaultAction::Proceed {
+        return Err(PersistError::Injected {
+            site: PersistSite::SnapshotRename,
+        });
+    }
     std::fs::rename(&tmp, snapshot_path(dir))?;
+    io.check_sync(PersistSite::DirSync)?;
     maybe_sync_dir(dir, policy)?;
     Ok(())
 }
@@ -513,7 +550,8 @@ mod tests {
     #[test]
     fn journal_round_trips_events() {
         let dir = tmp_dir("journal-rt");
-        let mut w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        let mut w =
+            ManifestWriter::create(&dir, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         w.append_seal(0, 4, 64).unwrap();
         w.append_seal(1, 2, 32).unwrap();
         w.append_delete(0).unwrap();
@@ -542,7 +580,8 @@ mod tests {
     #[test]
     fn torn_tail_record_is_dropped() {
         let dir = tmp_dir("journal-torn");
-        let mut w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        let mut w =
+            ManifestWriter::create(&dir, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         w.append_seal(0, 4, 64).unwrap();
         w.append_seal(1, 2, 32).unwrap();
         drop(w);
@@ -562,7 +601,13 @@ mod tests {
             }
         );
         // Reopen truncates the garbage; a new append then scans cleanly.
-        let mut w = ManifestWriter::reopen(&dir, scan.valid_len, FsyncPolicy::Never).unwrap();
+        let mut w = ManifestWriter::reopen(
+            &dir,
+            scan.valid_len,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
         w.append_seal(1, 8, 128).unwrap();
         drop(w);
         let scan = scan_manifest(&dir).unwrap();
@@ -581,7 +626,8 @@ mod tests {
     #[test]
     fn corrupt_tail_record_is_dropped() {
         let dir = tmp_dir("journal-bitflip");
-        let mut w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        let mut w =
+            ManifestWriter::create(&dir, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         w.append_seal(0, 4, 64).unwrap();
         w.append_seal(1, 2, 32).unwrap();
         drop(w);
@@ -598,7 +644,7 @@ mod tests {
     #[test]
     fn empty_journal_scans_empty() {
         let dir = tmp_dir("journal-empty");
-        let w = ManifestWriter::create(&dir, FsyncPolicy::Never).unwrap();
+        let w = ManifestWriter::create(&dir, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         drop(w);
         let scan = scan_manifest(&dir).unwrap();
         assert!(scan.events.is_empty());
@@ -630,14 +676,14 @@ mod tests {
             cache_evictions: 14,
             cache_lru: vec![9, 5],
         };
-        write_snapshot(&dir, &snapshot, FsyncPolicy::Never).unwrap();
+        write_snapshot(&dir, &snapshot, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         assert_eq!(read_snapshot(&dir).unwrap(), Some(snapshot.clone()));
         // Overwrite atomically with a newer image.
         let newer = Snapshot {
             seal_seq: 4,
             ..snapshot
         };
-        write_snapshot(&dir, &newer, FsyncPolicy::Never).unwrap();
+        write_snapshot(&dir, &newer, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         assert_eq!(read_snapshot(&dir).unwrap().unwrap().seal_seq, 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -652,7 +698,13 @@ mod tests {
     #[test]
     fn corrupt_snapshot_is_detected() {
         let dir = tmp_dir("snap-corrupt");
-        write_snapshot(&dir, &Snapshot::default(), FsyncPolicy::Never).unwrap();
+        write_snapshot(
+            &dir,
+            &Snapshot::default(),
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
         let path = dir.join(SNAPSHOT_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         let n = bytes.len();

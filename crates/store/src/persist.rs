@@ -25,6 +25,8 @@ use std::path::{Path, PathBuf};
 
 use freqdedup_trace::io::Crc32;
 
+use crate::fault::{FaultFile, IoPolicy, IoPolicyHandle, PersistSite};
+
 /// When the engine calls `fsync` on its persistence files.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum FsyncPolicy {
@@ -53,6 +55,11 @@ pub struct PersistConfig {
     /// interval snapshots — one is still always written by
     /// [`crate::engine::DedupEngine::close`].
     pub snapshot_every_seals: u32,
+    /// Fault-injection hook consulted before every durable operation.
+    /// Empty by default (one `Option` branch per operation, nothing else);
+    /// ignored by `Clone`-shared equality — see
+    /// [`crate::fault::IoPolicyHandle`].
+    pub io: IoPolicyHandle,
 }
 
 impl PersistConfig {
@@ -64,6 +71,7 @@ impl PersistConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::default(),
             snapshot_every_seals: 0,
+            io: IoPolicyHandle::none(),
         }
     }
 
@@ -78,6 +86,13 @@ impl PersistConfig {
     #[must_use]
     pub fn snapshot_every_seals(mut self, seals: u32) -> Self {
         self.snapshot_every_seals = seals;
+        self
+    }
+
+    /// Installs a fault-injection policy (builder style; tests only).
+    #[must_use]
+    pub fn io_policy(mut self, policy: impl IoPolicy + 'static) -> Self {
+        self.io = IoPolicyHandle::new(policy);
         self
     }
 }
@@ -117,6 +132,12 @@ pub enum PersistError {
     /// The supplied engine configuration failed
     /// [`crate::engine::DedupConfig::validate`].
     InvalidConfig(String),
+    /// A fault-injection policy failed this operation (tests only; never
+    /// produced without an installed [`crate::fault::IoPolicy`]).
+    Injected {
+        /// The durable-operation site that was failed.
+        site: PersistSite,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -133,6 +154,7 @@ impl fmt::Display for PersistError {
             PersistError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
             PersistError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
             PersistError::InvalidConfig(msg) => write!(f, "{msg}"),
+            PersistError::Injected { site } => write!(f, "injected fault at {site:?}"),
         }
     }
 }
@@ -340,8 +362,13 @@ pub(crate) fn write_meta(
     dir: &Path,
     meta: &StoreMeta,
     policy: FsyncPolicy,
+    io: &IoPolicyHandle,
 ) -> Result<(), PersistError> {
-    let file = File::create(dir.join(META_FILE))?;
+    let file = FaultFile::new(
+        File::create(dir.join(META_FILE))?,
+        io.clone(),
+        PersistSite::MetaWrite,
+    );
     let mut w = CrcSink::new(std::io::BufWriter::new(file));
     w.write_all(META_MAGIC)?;
     w.write_u16(META_VERSION)?;
@@ -355,7 +382,8 @@ pub(crate) fn write_meta(
     w.write_u64(meta.container_bytes)?;
     let mut buf = w.finish()?;
     buf.flush()?;
-    maybe_sync(buf.get_ref(), policy)?;
+    buf.get_ref().maybe_sync(policy, PersistSite::MetaWrite)?;
+    io.check_sync(PersistSite::DirSync)?;
     maybe_sync_dir(dir, policy)?;
     Ok(())
 }
@@ -368,6 +396,7 @@ pub(crate) fn ensure_meta(
     dir: &Path,
     meta: &StoreMeta,
     policy: FsyncPolicy,
+    io: &IoPolicyHandle,
 ) -> Result<(), PersistError> {
     if dir.join(META_FILE).exists() {
         let found = read_meta(dir)?;
@@ -378,7 +407,7 @@ pub(crate) fn ensure_meta(
         }
         Ok(())
     } else {
-        write_meta(dir, meta, policy)
+        write_meta(dir, meta, policy, io)
     }
 }
 
@@ -447,7 +476,7 @@ mod tests {
             index_shards: 2,
             container_bytes: 4096,
         };
-        write_meta(&dir, &meta, FsyncPolicy::Never).unwrap();
+        write_meta(&dir, &meta, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         assert_eq!(read_meta(&dir).unwrap(), meta);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -462,7 +491,7 @@ mod tests {
             index_shards: 1,
             container_bytes: 64,
         };
-        write_meta(&dir, &meta, FsyncPolicy::Never).unwrap();
+        write_meta(&dir, &meta, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
         let path = dir.join(META_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 5; // inside the payload, before the CRC

@@ -85,7 +85,7 @@ impl ShardedDedupEngine {
                 index_shards: config.index_shards as u32,
                 container_bytes: config.container_bytes,
             };
-            persist::ensure_meta(&pcfg.dir, &meta, pcfg.fsync)?;
+            persist::ensure_meta(&pcfg.dir, &meta, pcfg.fsync, &pcfg.io)?;
             let engines = (0..shards)
                 .map(|i| {
                     let shard_dir = pcfg.dir.join(format!("shard-{i:03}"));

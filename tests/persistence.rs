@@ -493,6 +493,225 @@ fn reopening_with_wrong_shard_count_is_rejected() {
     done(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// Fsync-failure injection matrix (PR 7)
+// ---------------------------------------------------------------------------
+
+/// The four durable-sync crash points the fsync matrix kills at.
+const SYNC_SITES: [freqdedup::store::fault::PersistSite; 4] = [
+    freqdedup::store::fault::PersistSite::ContainerSync,
+    freqdedup::store::fault::PersistSite::ManifestSync,
+    freqdedup::store::fault::PersistSite::SnapshotSync,
+    freqdedup::store::fault::PersistSite::DirSync,
+];
+
+/// An fsync that fails (`FailMode::Error`, not a torn write) at each sync
+/// site and occurrence index must surface as a typed error or a reported
+/// ingest panic — never silent success — and recovery must come back to
+/// exactly the last consistent sealed prefix, after which the store keeps
+/// working durably.
+#[test]
+fn fsync_failure_matrix_recovers_to_sealed_prefix() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+
+    use freqdedup::store::fault::{CountingPolicy, FailAt, FailMode};
+
+    let dir = test_dir("fsync-matrix");
+    // Distinct fingerprints, 16 bytes each, 256-byte containers → exactly
+    // 16 chunks per container, 96 chunks = 6 full containers (the same
+    // geometry as the torn-tail tests, so the sealed prefix is computable).
+    let records: Vec<ChunkRecord> = (0..96u64)
+        .map(|i| ChunkRecord::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), 16))
+        .collect();
+
+    // Probe run: count how often each sync site fires during the workload
+    // so the kill indices cover first / middle / last occurrence.
+    let counting = CountingPolicy::new();
+    let counts = counting.counts();
+    {
+        let cfg = DedupConfig {
+            persist: Some(
+                PersistConfig::new(dir.join("probe"))
+                    .fsync(FsyncPolicy::Always)
+                    .io_policy(counting),
+            ),
+            ..config()
+        };
+        let mut probe = DedupEngine::open(cfg).unwrap();
+        for &r in &records {
+            probe.process(r);
+        }
+        probe.close().unwrap();
+    }
+    let counts = counts.lock().unwrap().clone();
+
+    for site in SYNC_SITES {
+        let n = *counts.get(&site).unwrap_or(&0);
+        assert!(n > 0, "probe run never hit {site:?}");
+        let mut kill_at = vec![0, n / 2, n - 1];
+        kill_at.dedup();
+        for k in kill_at {
+            let run_dir = dir.join(format!("{site:?}-k{k}"));
+            let fail = FailAt::new(site, k, FailMode::Error);
+            let fired = fail.fired();
+            let cfg = DedupConfig {
+                persist: Some(
+                    PersistConfig::new(&run_dir)
+                        .fsync(FsyncPolicy::Always)
+                        .io_policy(fail),
+                ),
+                ..config()
+            };
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), PersistError> {
+                let mut engine = DedupEngine::open(cfg)?;
+                for &r in &records {
+                    engine.process(r);
+                }
+                engine.close()
+            }));
+            assert!(
+                fired.load(Ordering::SeqCst),
+                "{site:?} k{k}: injected fault never fired"
+            );
+            // A typed error or a reported ingest panic are both clean;
+            // outright success means the fsync failure never bit.
+            if let Ok(Ok(())) = outcome {
+                panic!("{site:?} k{k}: succeeded despite an injected fsync failure");
+            }
+
+            // Recovery: a clean reopen rolls back to the last consistent
+            // sealed prefix and matches a reference engine over it.
+            let recovered = DedupEngine::open(persisted(&run_dir))
+                .unwrap_or_else(|e| panic!("{site:?} k{k}: recovery failed: {e}"));
+            let sealed = recovered.containers().sealed_count();
+            assert!(sealed <= 6, "{site:?} k{k}: {sealed} sealed");
+            assert_eq!(
+                recovered.stats().unique_chunks,
+                (sealed * 16) as u64,
+                "{site:?} k{k}: stats match the sealed prefix"
+            );
+            let mut reference = DedupEngine::new(config()).unwrap();
+            for &r in &records[..sealed * 16] {
+                reference.process(r);
+            }
+            reference.finish();
+            assert_eq!(
+                recovered.index().sorted_entries(),
+                reference.index().sorted_entries(),
+                "{site:?} k{k}: index equals the sealed-prefix reference"
+            );
+
+            // The lost tail re-ingests and the store works durably again.
+            let mut recovered = recovered;
+            for &r in &records[sealed * 16..] {
+                recovered.process(r);
+            }
+            recovered.close().unwrap();
+            let after = DedupEngine::open(persisted(&run_dir)).unwrap();
+            assert_eq!(after.stats().unique_chunks, 96, "{site:?} k{k}");
+            assert_eq!(after.containers().sealed_count(), 6, "{site:?} k{k}");
+        }
+    }
+    done(&dir);
+}
+
+/// The same fsync-failure matrix against [`ShardedDedupEngine`] at worker
+/// thread counts 1 (sequential) and 0 (all cores): the shared fault
+/// schedule kills whichever shard reaches the k-th sync first; whatever
+/// the interleaving, recovery must satisfy the aggregate invariant
+/// (recovered uniques equal what the containers hold) and a re-ingest
+/// must restore the store to the fault-free reference.
+#[test]
+fn sharded_fsync_failure_matrix_recovers_across_threads() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+
+    use freqdedup::store::fault::{FailAt, FailMode};
+
+    let dir = test_dir("sharded-fsync");
+    let series = generate(&FslConfig {
+        backups: 2,
+        ..FslConfig::scaled(150)
+    });
+    let reference = {
+        let mut e = ShardedDedupEngine::new(config(), 4).unwrap();
+        for backup in &series {
+            e.ingest_backup(backup, ParConfig::sequential());
+        }
+        e.finish();
+        e.stats()
+    };
+
+    for threads in [1usize, 0] {
+        let par = ParConfig::with_threads(threads);
+        for site in SYNC_SITES {
+            for k in [0u64, 5] {
+                let tag = format!("{site:?}-t{threads}-k{k}");
+                let run_dir = dir.join(&tag);
+                let fail = FailAt::new(site, k, FailMode::Error);
+                let fired = fail.fired();
+                let cfg = DedupConfig {
+                    persist: Some(
+                        PersistConfig::new(&run_dir)
+                            .fsync(FsyncPolicy::Always)
+                            .io_policy(fail),
+                    ),
+                    ..config()
+                };
+
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), PersistError> {
+                    let mut engine = ShardedDedupEngine::open(cfg, 4)?;
+                    for backup in &series {
+                        engine.ingest_backup(backup, par);
+                    }
+                    engine.close()
+                }));
+                if !fired.load(Ordering::SeqCst) {
+                    // k-th occurrence never happened (site fires fewer
+                    // times in this workload): the run must have been a
+                    // clean, complete success.
+                    assert!(matches!(outcome, Ok(Ok(()))), "{tag}: unfired but failed");
+                    continue;
+                }
+                assert!(
+                    !matches!(outcome, Ok(Ok(()))),
+                    "{tag}: succeeded despite an injected fsync failure"
+                );
+
+                let recovered = ShardedDedupEngine::open(persisted(&run_dir), 4)
+                    .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+                let stored: u64 = recovered
+                    .shards()
+                    .iter()
+                    .map(|e| e.containers().iter().map(|c| c.len() as u64).sum::<u64>())
+                    .sum();
+                assert_eq!(
+                    recovered.stats().unique_chunks,
+                    stored,
+                    "{tag}: recovered uniques equal container contents"
+                );
+
+                // Re-ingesting the series restores every lost chunk.
+                let mut recovered = recovered;
+                for backup in &series {
+                    recovered.ingest_backup(backup, par);
+                }
+                recovered.close().unwrap();
+                let after = ShardedDedupEngine::open(persisted(&run_dir), 4).unwrap();
+                assert_eq!(
+                    after.stats().unique_chunks,
+                    reference.unique_chunks,
+                    "{tag}: complete after re-ingest"
+                );
+                assert_eq!(after.stats().unique_bytes, reference.unique_bytes, "{tag}");
+            }
+        }
+    }
+    done(&dir);
+}
+
 #[test]
 fn interval_snapshots_keep_crash_recovery_fresh() {
     let dir = test_dir("interval-snap");

@@ -272,7 +272,7 @@ fn torn_and_corrupt_frames_are_rejected() {
         write_frame(
             &mut raw,
             &Message::Hello {
-                version: 1,
+                version: freqdedup::server::proto::WIRE_VERSION,
                 client: "recovered".into(),
             }
             .encode(),
@@ -654,4 +654,299 @@ fn streaming_tap_snapshots_match_batch_and_survive_restart() {
         handle.join().unwrap();
         done(&dir);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded recovery: corrupted incremental state (PR 7)
+// ---------------------------------------------------------------------------
+
+/// Corrupting the persisted incremental tap state (`tap.fqis`) at several
+/// byte offsets must not take the server down: it binds, rebuilds the
+/// streaming state by replaying the manifest catalog — bit-identical to
+/// the deterministic [`freqdedup::server::tap::AdversaryTap::load`]
+/// replay, with inference (both tie policies) equal to the live run's —
+/// and surfaces the degradation through the `tap_warnings` STATS counter.
+#[test]
+fn corrupt_stream_state_degrades_to_catalog_replay() {
+    use freqdedup::server::tap::AdversaryTap;
+
+    let dir = test_dir("corrupt-fqis");
+    let store_dir = dir.join("store");
+    let persist_engine = || DedupConfig {
+        persist: Some(PersistConfig::new(&store_dir).fsync(FsyncPolicy::Never)),
+        ..small_engine()
+    };
+    let (plain, cipher) = encrypted_series(4);
+    let aux = plain.get(2).unwrap();
+    let params = LocalityParams::new(2, 5, 50_000);
+
+    // First life: commit the series and snapshot the live inference.
+    let server = Server::bind(ServerConfig {
+        engine: persist_engine(),
+        log_file: Some(dir.join("server1.log")),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut c = Client::connect(addr, "writer").unwrap();
+    for backup in &cipher {
+        c.upload_backup(backup).unwrap();
+        c.commit(&backup.label).unwrap();
+    }
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    let stream_path = store_dir.join(freqdedup::server::server::STREAM_FILE);
+    let pristine = std::fs::read(&stream_path).unwrap();
+    assert!(pristine.len() > 16, "state file should be non-trivial");
+
+    // The deterministic replay oracle: what a from-catalog rebuild must
+    // reproduce bit-identically. (The catalog is label-sorted on disk, so
+    // the replay fold order is deterministic but may differ from arrival
+    // order; the *inference* must still match the live run.)
+    let good = AdversaryTap::load(&store_dir.join(freqdedup::server::server::TAP_FILE))
+        .unwrap()
+        .streaming()
+        .clone();
+
+    for offset in [0usize, pristine.len() / 2, pristine.len() - 1] {
+        let mut bad = pristine.clone();
+        bad[offset] ^= 0xff;
+        std::fs::write(&stream_path, &bad).unwrap();
+
+        let server = Server::bind(ServerConfig {
+            engine: persist_engine(),
+            log_file: Some(dir.join(format!("server-corrupt-{offset}.log"))),
+            ..ServerConfig::default()
+        })
+        .expect("a corrupt tap.fqis must not prevent binding");
+        let addr = server.local_addr().unwrap();
+        let tap = server.tap_handle();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        tap.with_tap(|t| {
+            assert!(t.streaming_consistent(), "offset {offset}");
+            assert_eq!(
+                t.streaming(),
+                &good,
+                "catalog replay must rebuild the state bit-identically, offset {offset}"
+            );
+            // The rebuilt state's inference equals a batch recompute over
+            // the tap's canonical (label-sorted) committed series — the
+            // degraded path loses nothing observable to the adversary.
+            let series: Vec<Backup> = t.series("degraded").backups;
+            let live = t.streaming_inference_both_policies(AttackKind::Locality, aux, &params);
+            for (policy, live_inf) in &live {
+                let batch = attacks::run_ciphertext_only_series(
+                    AttackKind::Locality,
+                    &series,
+                    aux,
+                    &params.clone().tie_policy(*policy),
+                );
+                let mut a: Vec<_> = live_inf.iter().collect();
+                let mut b: Vec<_> = batch.iter().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "policy {policy:?}, offset {offset}");
+            }
+        });
+        let mut c = Client::connect(addr, "checker").unwrap();
+        let stats = c.stats().unwrap();
+        assert!(
+            stats.tap_warnings >= 1,
+            "degraded recovery must surface in STATS, offset {offset}"
+        );
+        c.shutdown().unwrap();
+        handle.join().unwrap();
+        // Graceful shutdown rewrote a clean tap.fqis; the next iteration
+        // re-corrupts it from the pristine copy.
+    }
+
+    // A truncated file degrades the same way.
+    std::fs::write(&stream_path, &pristine[..pristine.len() / 3]).unwrap();
+    let server = Server::bind(ServerConfig {
+        engine: persist_engine(),
+        log_file: Some(dir.join("server-truncated.log")),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let tap = server.tap_handle();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    tap.with_tap(|t| {
+        assert!(t.streaming_consistent());
+        assert_eq!(t.streaming(), &good);
+    });
+    let mut c = Client::connect(addr, "checker").unwrap();
+    assert!(c.stats().unwrap().tap_warnings >= 1);
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // After the clean shutdown above, an intact file resumes silently.
+    let (addr, handle) = start(ServerConfig {
+        engine: persist_engine(),
+        log_file: Some(dir.join("server-clean.log")),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr, "clean").unwrap();
+    assert_eq!(c.stats().unwrap().tap_warnings, 0);
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+    done(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once commits (PR 7)
+// ---------------------------------------------------------------------------
+
+/// The client-chosen commit id makes COMMIT-MANIFEST idempotent: a replay
+/// returns the recorded ack without re-ingesting, a session that dies
+/// mid-upload after declaring its id is parked and its successor resumes
+/// from the acked-batch watermark, and the applied-commit registry
+/// survives a graceful restart via `tap.cids`.
+#[test]
+fn commit_ids_are_exactly_once_across_reconnects() {
+    use freqdedup::server::client::{ResilientClient, RetryOptions};
+    use freqdedup::server::proto::ResumeState;
+
+    let dir = test_dir("exactly-once");
+    let store_dir = dir.join("store");
+    let persist_engine = || DedupConfig {
+        persist: Some(PersistConfig::new(&store_dir).fsync(FsyncPolicy::Never)),
+        ..small_engine()
+    };
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        engine: persist_engine(),
+        log_file: Some(dir.join("server1.log")),
+        ..ServerConfig::default()
+    });
+
+    let backup = Backup::from_chunks(
+        "eo-backup",
+        (0..300u64)
+            .map(|i| freqdedup::trace::ChunkRecord::new(i % 120, 64))
+            .collect(),
+    );
+
+    // ---- Commit once under a client-chosen commit id.
+    let mut c = Client::connect(addr, "once").unwrap();
+    let (state, acked, chunks) = c.resume(7).unwrap();
+    assert_eq!((state, acked, chunks), (ResumeState::Fresh, 0, 0));
+    c.upload_backup(&backup).unwrap();
+    assert_eq!(c.commit_with_id(&backup.label, 7).unwrap(), 300);
+    let stats_once = c.stats().unwrap();
+    drop(c);
+
+    // ---- A reconnect sees Committed; replaying the COMMIT (as a client
+    // whose ack was lost would) changes nothing server-side.
+    let mut c = Client::connect(addr, "once").unwrap();
+    let (state, _, chunks) = c.resume(7).unwrap();
+    assert_eq!((state, chunks), (ResumeState::Committed, 300));
+    assert_eq!(c.commit_with_id(&backup.label, 7).unwrap(), 300);
+    let stats_replay = c.stats().unwrap();
+    assert_eq!(stats_replay.logical_chunks, stats_once.logical_chunks);
+    assert_eq!(stats_replay.unique_chunks, stats_once.unique_chunks);
+    assert_eq!(
+        stats_replay.committed_backups, stats_once.committed_backups,
+        "a replayed commit must not double-ingest"
+    );
+    drop(c);
+
+    // ---- A session that declared its commit id and died mid-upload is
+    // parked under the client name; the successor adopts the ingested
+    // prefix and finishes without resending acked batches.
+    let parked_backup = Backup::from_chunks(
+        "parked-backup",
+        (1000..1300u64)
+            .map(|i| freqdedup::trace::ChunkRecord::new(i, 32))
+            .collect(),
+    );
+    let half = Backup::from_chunks(
+        parked_backup.label.clone(),
+        parked_backup.chunks[..150].to_vec(),
+    );
+    let mut c1 = Client::connect(addr, "parker").unwrap().batch(50);
+    assert_eq!(c1.resume(9).unwrap().0, ResumeState::Fresh);
+    c1.upload_backup(&half).unwrap();
+    drop(c1); // dies before COMMIT — the server parks the 3 acked batches
+
+    // The park happens when the server-side session observes the EOF;
+    // poll until the successor sees InProgress.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut c2 = loop {
+        let mut c = Client::connect(addr, "parker").unwrap().batch(50);
+        let (state, acked, _) = c.resume(9).unwrap();
+        if state == ResumeState::InProgress {
+            assert_eq!(
+                acked, 3,
+                "three 50-chunk batches were acked before the drop"
+            );
+            break c;
+        }
+        assert_eq!(state, ResumeState::Fresh);
+        drop(c);
+        assert!(
+            std::time::Instant::now() < deadline,
+            "interrupted session was never parked"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let tail = Backup::from_chunks(
+        parked_backup.label.clone(),
+        parked_backup.chunks[150..].to_vec(),
+    );
+    c2.upload_backup(&tail).unwrap();
+    assert_eq!(c2.commit_with_id(&parked_backup.label, 9).unwrap(), 300);
+    // The tap observed exactly the full stream, in order, once.
+    let observed = c2.restore(&parked_backup.label).unwrap().backup;
+    assert_eq!(observed.chunks, parked_backup.chunks);
+    drop(c2);
+
+    // ---- ResilientClient against a healthy server: one attempt, no
+    // retries, same exactly-once path.
+    let resilient_backup = Backup::from_chunks(
+        "resilient-backup",
+        (2000..2200u64)
+            .map(|i| freqdedup::trace::ChunkRecord::new(i, 48))
+            .collect(),
+    );
+    let mut rc = ResilientClient::new(addr.to_string(), "resilient", RetryOptions::default());
+    assert_eq!(rc.upload_commit(&resilient_backup, 11).unwrap(), 200);
+    assert_eq!(rc.report().attempts, 1);
+    assert_eq!(rc.report().retries, 0);
+    assert_eq!(rc.report().connects, 1);
+    drop(rc);
+
+    // ---- The applied-commit registry survives a graceful restart.
+    let mut closer = Client::connect(addr, "closer").unwrap();
+    closer.shutdown().unwrap();
+    handle.join().unwrap();
+    assert!(
+        store_dir
+            .join(freqdedup::server::server::CIDS_FILE)
+            .exists(),
+        "graceful shutdown must persist the commit registry"
+    );
+
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        engine: persist_engine(),
+        log_file: Some(dir.join("server2.log")),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr, "once").unwrap();
+    let (state, _, chunks) = c.resume(7).unwrap();
+    assert_eq!(
+        (state, chunks),
+        (ResumeState::Committed, 300),
+        "commit ids survive restart"
+    );
+    let (state, _, chunks) = c.resume(9).unwrap();
+    assert_eq!((state, chunks), (ResumeState::Committed, 300));
+    let (state, _, chunks) = c.resume(11).unwrap();
+    assert_eq!((state, chunks), (ResumeState::Committed, 200));
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+    done(&dir);
 }
