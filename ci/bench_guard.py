@@ -18,7 +18,13 @@ print informationally (a seeded fault schedule's cost is timing-dependent
 by construction), but a fresh report flagging `divergence` — a committed
 stream restoring differently from what its client sent, or a retried
 batch double-ingesting — hard-fails: the exactly-once contract is
-correctness, not performance.
+correctness, not performance. When both reports carry a `chunking`
+section (perf_report --chunking), the gear-hash fastcdc throughput in
+MB/s is guarded at the same threshold — it is the engine the client
+pipeline rides — while the rabin-cdc and parallel rows print
+informationally; a fresh report whose `par_identical` flag is false
+hard-fails, since parallel chunking diverging from sequential is a
+correctness bug.
 
 Throughput, not wall-time, is compared so a --quick fresh run can be held
 against the committed full-size baseline: chunk counts normalize out,
@@ -169,6 +175,40 @@ def faults_rows(baseline: dict, fresh: dict) -> list:
     return rows
 
 
+def chunking_rows(baseline: dict, fresh: dict) -> list:
+    """(label, baseline_tput, fresh_tput, gated) rows for the chunking
+    section.
+
+    The fresh report's `par_identical` flag hard-fails first: parallel
+    chunking that produces different spans than sequential corrupts every
+    downstream dedup ratio, so it is correctness, not performance. Of the
+    throughput rows only sequential fastcdc *gates* — it is the hot loop
+    the gear-hash rewrite exists for and a lost fast path shows up there
+    directly. Rabin is the legacy engine (info-only) and the parallel
+    rows depend on the runner's core count, like every other parallel
+    section.
+    """
+    new = fresh.get("chunking")
+    if new and not new.get("par_identical", True):
+        raise SystemExit(
+            "bench_guard: FAIL — fresh chunking section flags parallel/sequential divergence"
+        )
+    base = baseline.get("chunking")
+    if not base or not new:
+        print("bench_guard: no chunking section in both reports, skipping chunking rows")
+        return []
+    rows = []
+    for label, key, gated in (
+        ("fastcdc seq", "fastcdc_seq_mbps", True),
+        ("fastcdc par", "fastcdc_par_mbps", False),
+        ("rabin seq", "rabin_seq_mbps", False),
+        ("rabin par", "rabin_par_mbps", False),
+    ):
+        if base.get(key, 0) > 0 and new.get(key, 0) > 0:
+            rows.append((label, base[key], new[key], gated))
+    return rows
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="committed BENCH_attack.json")
@@ -200,6 +240,7 @@ def main() -> int:
     rows.extend(serve_rows(baseline, fresh))
     rows.extend(streaming_rows(baseline, fresh))
     rows.extend(faults_rows(baseline, fresh))
+    rows.extend(chunking_rows(baseline, fresh))
 
     for label, base_tp, fresh_tp, gated in rows:
         ratio = fresh_tp / base_tp

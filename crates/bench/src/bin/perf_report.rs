@@ -50,8 +50,15 @@
 //! client sent, or a double-ingest) that fails the run — the exactly-once
 //! protocol must keep the adversary's view bit-exact under faults.
 //!
+//! With `--chunking` the chunking engines are measured on raw bytes:
+//! rabin-cdc vs gear-hash fastcdc throughput in MB/s, sequential and
+//! parallel (`chunk_stream_par`), plus fastcdc chunk-size distribution
+//! stats and a parallel-vs-sequential identity check. The timings land
+//! in a `chunking` section of the JSON; fastcdc sequential throughput is
+//! guarded by `ci/bench_guard.py`.
+//!
 //! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--persist DIR]
-//! [--serve] [--streaming] [--faults] [--out PATH]`
+//! [--serve] [--streaming] [--faults] [--chunking] [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
@@ -64,6 +71,8 @@
 //!   update latency over 64 epochs + equivalence check);
 //! * `--faults` — also time the resilient client stack under a seeded
 //!   fault schedule (retry overhead, reconnect latency, divergence check);
+//! * `--chunking` — also time the chunking engines (rabin-cdc vs fastcdc
+//!   MB/s, sequential and parallel, + distribution stats);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -82,7 +91,7 @@ use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
 const USAGE: &str =
-    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--faults] [--out PATH]
+    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--faults] [--chunking] [--out PATH]
 Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
 on a synthetic backup pair over the reference hash-map path, the sequential
 dense-id/CSR path and the sharded parallel path, verifies identical
@@ -94,7 +103,10 @@ recovery); with --serve the loopback network service is also timed
 update latency over 64 committed epochs, amortized and worst-case, plus
 a streaming-vs-batch inference equivalence check); with --faults the
 resilient client stack is also timed under a seeded network fault
-schedule (retry overhead, reconnect latency, tap divergence check).";
+schedule (retry overhead, reconnect latency, tap divergence check); with
+--chunking the chunking engines are also timed on raw bytes (rabin-cdc
+vs gear-hash fastcdc MB/s, sequential and parallel, chunk-size
+distribution, parallel-identity check).";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
 const QUICK_CHUNKS: usize = 60_000;
@@ -107,6 +119,7 @@ struct Args {
     serve: bool,
     streaming: bool,
     faults: bool,
+    chunking: bool,
     out: String,
 }
 
@@ -119,6 +132,7 @@ fn parse_args() -> Args {
         serve: false,
         streaming: false,
         faults: false,
+        chunking: false,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -149,6 +163,7 @@ fn parse_args() -> Args {
             "--serve" => args.serve = true,
             "--streaming" => args.streaming = true,
             "--faults" => args.faults = true,
+            "--chunking" => args.chunking = true,
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
             }
@@ -528,6 +543,94 @@ fn bench_faults(cipher: &Backup, unique: usize) -> (String, bool) {
     (section, !divergence)
 }
 
+/// Times the chunking engines on deterministic pseudo-random bytes
+/// (64 MiB full / 8 MiB quick): rabin-cdc vs gear-hash fastcdc at the
+/// paper's 8 KB-average configuration, sequential and parallel
+/// (`chunk_stream_par` at `threads` workers). Records MB/s per engine,
+/// the fastcdc-vs-rabin sequential speedup, fastcdc chunk-size
+/// distribution stats, and a `par_identical` check (parallel spans
+/// bit-identical to sequential for both engines). Returns the `chunking`
+/// JSON section and whether the identity check passed.
+fn bench_chunking(quick: bool, threads: usize) -> (String, bool) {
+    use freqdedup_chunking::cdc::CdcParams;
+    use freqdedup_chunking::fastcdc::FastCdc;
+    use freqdedup_chunking::{chunk_stream_par, Chunker};
+
+    let mib = if quick { 8 } else { 64 };
+    eprintln!("perf_report: chunking {mib} MiB of pseudo-random bytes...");
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    let data: Vec<u8> = (0..mib << 20)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect();
+    let mbps = |ms: f64| data.len() as f64 / 1e3 / ms.max(1e-9);
+
+    let rabin = CdcParams::paper_8kb();
+    let fast = FastCdc::paper_8kb();
+    let par_cfg = ParConfig::with_threads(threads);
+
+    // Warm each engine once on a prefix so first-touch table builds and
+    // page faults don't land in a timed run, then take the best of three
+    // repetitions per configuration — the minimum is the least-noise
+    // estimate of the hot loop's cost on a shared machine, and what the
+    // bench guard's throughput comparison wants to see.
+    drop(rabin.spans(&data[..1 << 20]));
+    drop(fast.spans(&data[..1 << 20]));
+    fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+        let (mut ms, mut out) = timed(&mut f);
+        for _ in 1..reps {
+            let (m, o) = timed(&mut f);
+            if m < ms {
+                (ms, out) = (m, o);
+            }
+        }
+        (ms, out)
+    }
+    const REPS: usize = 3;
+
+    let (rabin_seq_ms, rabin_spans) = best_of(REPS, || rabin.spans(&data));
+    let (rabin_par_ms, rabin_par_spans) =
+        best_of(REPS, || chunk_stream_par(&data, &rabin, par_cfg));
+    let (fast_seq_ms, fast_spans) = best_of(REPS, || fast.spans(&data));
+    let (fast_par_ms, fast_par_spans) = best_of(REPS, || chunk_stream_par(&data, &fast, par_cfg));
+
+    let par_identical = rabin_par_spans == rabin_spans && fast_par_spans == fast_spans;
+    let speedup = rabin_seq_ms / fast_seq_ms.max(1e-9);
+
+    let chunks = fast_spans.len();
+    let sizes: Vec<usize> = fast_spans.iter().map(std::ops::Range::len).collect();
+    let mean_size = sizes.iter().sum::<usize>() as f64 / chunks.max(1) as f64;
+    let min_size = sizes.iter().copied().min().unwrap_or(0);
+    let max_size = sizes.iter().copied().max().unwrap_or(0);
+
+    eprintln!(
+        "perf_report: chunking rabin-cdc {:.1} MB/s seq / {:.1} MB/s par, \
+         fastcdc {:.1} MB/s seq / {:.1} MB/s par ({speedup:.2}x vs rabin seq); \
+         fastcdc {chunks} chunks, {mean_size:.0} B mean, {min_size}..{max_size} B; \
+         par identical: {par_identical}",
+        mbps(rabin_seq_ms),
+        mbps(rabin_par_ms),
+        mbps(fast_seq_ms),
+        mbps(fast_par_ms),
+    );
+    let section = format!(
+        "  \"chunking\": {{ \"input_mib\": {mib}, \"rabin_seq_mbps\": {:.1}, \
+         \"rabin_par_mbps\": {:.1}, \"fastcdc_seq_mbps\": {:.1}, \"fastcdc_par_mbps\": {:.1}, \
+         \"speedup_vs_rabin\": {speedup:.2}, \"chunks\": {chunks}, \"mean_size\": {mean_size:.0}, \
+         \"min_size\": {min_size}, \"max_size\": {max_size}, \
+         \"par_identical\": {par_identical} }},\n",
+        mbps(rabin_seq_ms),
+        mbps(rabin_par_ms),
+        mbps(fast_seq_ms),
+        mbps(fast_par_ms),
+    );
+    (section, par_identical)
+}
+
 fn main() {
     let args = parse_args();
     let threads = ParConfig::with_threads(args.threads).resolve();
@@ -670,6 +773,15 @@ fn main() {
         (String::new(), true)
     };
 
+    // --- Chunking engines (optional): rabin-cdc vs gear-hash fastcdc
+    // throughput on raw bytes, sequential and parallel, plus the
+    // parallel-equals-sequential identity check. ---
+    let (chunking_section, chunking_identical) = if args.chunking {
+        bench_chunking(args.quick, threads)
+    } else {
+        (String::new(), true)
+    };
+
     // --- Attack layer. Warm the allocator and page cache once per path,
     // so the timed runs below don't charge first-touch page faults to
     // whichever path goes first. ---
@@ -713,7 +825,7 @@ fn main() {
     let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}{faults_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}{faults_section}{chunking_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
         threads,
         cipher.len(),
@@ -750,6 +862,10 @@ fn main() {
     }
     if !faults_intact {
         eprintln!("perf_report: FAIL — exactly-once contract diverged under the fault schedule");
+        std::process::exit(1);
+    }
+    if !chunking_identical {
+        eprintln!("perf_report: FAIL — parallel chunking diverged from sequential");
         std::process::exit(1);
     }
     eprintln!(

@@ -1,0 +1,77 @@
+//! Chunking-engine microbenchmarks: rabin vs gear rolling hash, and
+//! rabin-cdc vs fastcdc chunkers, per input size.
+//!
+//! The `perf_report --chunking` section records the end-to-end MB/s
+//! numbers that `ci/bench_guard.py` gates; these microbenches exist to
+//! localize a regression (rolling-hash inner loop vs boundary logic vs
+//! parallel stitch) once the guard fires.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use freqdedup_chunking::cdc::CdcParams;
+use freqdedup_chunking::fastcdc::FastCdc;
+use freqdedup_chunking::gear::GearHasher;
+use freqdedup_chunking::rabin::RabinHasher;
+use freqdedup_chunking::{chunk_stream_par, Chunker};
+use freqdedup_trace::par::ParConfig;
+
+fn pseudo_random(len: usize) -> Vec<u8> {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+fn bench_rolling_hashes(c: &mut Criterion) {
+    let data = pseudo_random(1 << 20);
+    let mut group = c.benchmark_group("rolling_hash");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("rabin_1MiB", |b| {
+        b.iter(|| {
+            let mut h = RabinHasher::default();
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.slide(byte);
+            }
+            acc
+        });
+    });
+    group.bench_function("gear_1MiB", |b| {
+        b.iter(|| {
+            let mut h = GearHasher::default();
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.slide(byte);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let rabin = CdcParams::paper_8kb();
+    let fast = FastCdc::paper_8kb();
+    let mut group = c.benchmark_group("chunkers");
+    for mib in [1usize, 4, 16] {
+        let data = pseudo_random(mib << 20);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("rabin_cdc", mib), &data, |b, data| {
+            b.iter(|| rabin.spans(data));
+        });
+        group.bench_with_input(BenchmarkId::new("fastcdc", mib), &data, |b, data| {
+            b.iter(|| fast.spans(data));
+        });
+        group.bench_with_input(BenchmarkId::new("fastcdc_par", mib), &data, |b, data| {
+            b.iter(|| chunk_stream_par(data, &fast, ParConfig::auto()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rolling_hashes, bench_chunkers);
+criterion_main!(benches);

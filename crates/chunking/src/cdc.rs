@@ -5,12 +5,17 @@
 //! (§2.1). Minimum, average and maximum chunk sizes are configurable, as in
 //! the paper ("we can configure the minimum, average, and maximum chunk sizes
 //! in content-defined chunking").
+//!
+//! This is the classic byte-at-a-time baseline; the gear-hash
+//! [FastCDC](crate::fastcdc) engine implements the same [`crate::Chunker`]
+//! contract several times faster.
 
 use std::ops::Range;
 
 use crate::rabin::{RabinHasher, DEFAULT_POLY, DEFAULT_WINDOW};
+use crate::ParamError;
 
-/// Parameters of the content-defined chunker.
+/// Parameters of the Rabin content-defined chunker.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CdcParams {
     /// Minimum chunk size in bytes (no boundary test before this point).
@@ -31,53 +36,56 @@ impl CdcParams {
     /// `avg/4`, maximum is `avg*4` (the common 1:4 spread used by backup
     /// systems), default polynomial and window.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `avg_size < 64`.
-    #[must_use]
-    pub fn with_avg_size(avg_size: usize) -> Self {
-        assert!(
-            avg_size >= 64,
-            "average chunk size must be at least 64 bytes"
-        );
-        CdcParams {
+    /// Returns [`ParamError::AvgTooSmall`] when `avg_size < 64`.
+    pub fn with_avg_size(avg_size: usize) -> Result<Self, ParamError> {
+        if avg_size < 64 {
+            return Err(ParamError::AvgTooSmall {
+                avg_size,
+                floor: 64,
+            });
+        }
+        let params = CdcParams {
             min_size: avg_size / 4,
             avg_size,
-            max_size: avg_size * 4,
+            max_size: avg_size.saturating_mul(4),
             poly: DEFAULT_POLY,
             window: DEFAULT_WINDOW,
-        }
+        };
+        params.validate()?;
+        Ok(params)
     }
 
     /// The paper's FSL/synthetic configuration: 8 KB average chunks.
     #[must_use]
     pub fn paper_8kb() -> Self {
-        Self::with_avg_size(8 * 1024)
+        Self::with_avg_size(8 * 1024).expect("paper parameters are valid")
     }
 
     /// Validates the parameter combination.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ParamError`].
+    pub fn validate(&self) -> Result<(), ParamError> {
         if self.min_size == 0 {
-            return Err("min_size must be positive".into());
+            return Err(ParamError::ZeroMin);
         }
         if self.min_size > self.avg_size {
-            return Err(format!(
-                "min_size {} exceeds avg_size {}",
-                self.min_size, self.avg_size
-            ));
+            return Err(ParamError::MinAboveAvg {
+                min_size: self.min_size,
+                avg_size: self.avg_size,
+            });
         }
         if self.avg_size > self.max_size {
-            return Err(format!(
-                "avg_size {} exceeds max_size {}",
-                self.avg_size, self.max_size
-            ));
+            return Err(ParamError::AvgAboveMax {
+                avg_size: self.avg_size,
+                max_size: self.max_size,
+            });
         }
         if self.window == 0 {
-            return Err("window must be positive".into());
+            return Err(ParamError::ZeroWindow);
         }
         Ok(())
     }
@@ -95,11 +103,61 @@ impl CdcParams {
         };
         (1u64 << bits) - 1
     }
+
+    /// The boundary scan shared by [`crate::Chunker::cuts`] and
+    /// [`crate::Chunker::next_cut`]: slides `hasher` over `data[from..]`
+    /// and returns the end of the chunk starting at `from`.
+    fn scan(&self, hasher: &mut RabinHasher, mask: u64, data: &[u8], from: usize) -> Option<usize> {
+        let max_end = data.len().min(from.saturating_add(self.max_size));
+        for (k, &byte) in data[from..max_end].iter().enumerate() {
+            let fp = hasher.slide(byte);
+            if k + 1 >= self.min_size && (fp & mask) == mask {
+                return Some(from + k + 1);
+            }
+        }
+        if max_end == from + self.max_size {
+            Some(max_end)
+        } else {
+            None
+        }
+    }
 }
 
 impl Default for CdcParams {
     fn default() -> Self {
         Self::paper_8kb()
+    }
+}
+
+impl crate::Chunker for CdcParams {
+    fn name(&self) -> &'static str {
+        "rabin-cdc"
+    }
+
+    fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// One-off boundary search. Builds a fresh [`RabinHasher`] per call —
+    /// fine for seam re-chunking in [`crate::par`]; use
+    /// [`crate::Chunker::cuts`] for whole buffers (single hasher, reset at
+    /// each cut).
+    fn next_cut(&self, data: &[u8], from: usize) -> Option<usize> {
+        let mut hasher = RabinHasher::new(self.poly, self.window);
+        self.scan(&mut hasher, self.mask(), data, from)
+    }
+
+    fn cuts(&self, data: &[u8]) -> Vec<usize> {
+        let mask = self.mask();
+        let mut hasher = RabinHasher::new(self.poly, self.window);
+        let mut cuts = Vec::with_capacity(data.len() / self.max_size.max(1) + 1);
+        let mut pos = 0usize;
+        while let Some(cut) = self.scan(&mut hasher, mask, data, pos) {
+            cuts.push(cut);
+            pos = cut;
+            hasher.reset();
+        }
+        cuts
     }
 }
 
@@ -114,27 +172,7 @@ impl Default for CdcParams {
 #[must_use]
 pub fn chunk_spans(data: &[u8], params: &CdcParams) -> Vec<Range<usize>> {
     params.validate().expect("invalid CDC parameters");
-    let mask = params.mask();
-    let mut hasher = RabinHasher::new(params.poly, params.window);
-    let mut spans = Vec::new();
-    let mut start = 0usize;
-    let mut pos = 0usize;
-
-    while pos < data.len() {
-        let fp = hasher.slide(data[pos]);
-        pos += 1;
-        let len = pos - start;
-        let boundary = (len >= params.min_size && (fp & mask) == mask) || len >= params.max_size;
-        if boundary {
-            spans.push(start..pos);
-            start = pos;
-            hasher.reset();
-        }
-    }
-    if start < data.len() {
-        spans.push(start..data.len());
-    }
-    spans
+    crate::Chunker::spans(params, data)
 }
 
 /// An iterator over the chunk slices of a buffer.
@@ -142,20 +180,20 @@ pub fn chunk_spans(data: &[u8], params: &CdcParams) -> Vec<Range<usize>> {
 /// # Example
 ///
 /// ```
-/// use freqdedup_chunking::cdc::{CdcParams, Chunker};
+/// use freqdedup_chunking::cdc::{CdcChunker, CdcParams};
 ///
 /// let data = vec![0xabu8; 32 * 1024];
-/// let params = CdcParams::with_avg_size(1024);
-/// let total: usize = Chunker::new(&data, &params).map(<[u8]>::len).sum();
+/// let params = CdcParams::with_avg_size(1024).unwrap();
+/// let total: usize = CdcChunker::new(&data, &params).map(<[u8]>::len).sum();
 /// assert_eq!(total, data.len());
 /// ```
 #[derive(Debug)]
-pub struct Chunker<'a> {
+pub struct CdcChunker<'a> {
     data: &'a [u8],
     spans: std::vec::IntoIter<Range<usize>>,
 }
 
-impl<'a> Chunker<'a> {
+impl<'a> CdcChunker<'a> {
     /// Creates a chunker over `data`.
     ///
     /// # Panics
@@ -163,14 +201,14 @@ impl<'a> Chunker<'a> {
     /// Panics if `params` fail [`CdcParams::validate`].
     #[must_use]
     pub fn new(data: &'a [u8], params: &CdcParams) -> Self {
-        Chunker {
+        CdcChunker {
             data,
             spans: chunk_spans(data, params).into_iter(),
         }
     }
 }
 
-impl<'a> Iterator for Chunker<'a> {
+impl<'a> Iterator for CdcChunker<'a> {
     type Item = &'a [u8];
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -182,11 +220,12 @@ impl<'a> Iterator for Chunker<'a> {
     }
 }
 
-impl ExactSizeIterator for Chunker<'_> {}
+impl ExactSizeIterator for CdcChunker<'_> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Chunker;
 
     fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
         let mut x = seed | 1;
@@ -203,7 +242,7 @@ mod tests {
     #[test]
     fn spans_cover_input_exactly() {
         let data = pseudo_random(200_000, 7);
-        let params = CdcParams::with_avg_size(4096);
+        let params = CdcParams::with_avg_size(4096).unwrap();
         let spans = chunk_spans(&data, &params);
         let mut pos = 0;
         for span in &spans {
@@ -217,7 +256,7 @@ mod tests {
     #[test]
     fn size_bounds_respected() {
         let data = pseudo_random(500_000, 13);
-        let params = CdcParams::with_avg_size(4096);
+        let params = CdcParams::with_avg_size(4096).unwrap();
         let spans = chunk_spans(&data, &params);
         for (i, span) in spans.iter().enumerate() {
             let len = span.end - span.start;
@@ -231,7 +270,7 @@ mod tests {
     #[test]
     fn average_size_in_ballpark() {
         let data = pseudo_random(4_000_000, 99);
-        let params = CdcParams::with_avg_size(4096);
+        let params = CdcParams::with_avg_size(4096).unwrap();
         let spans = chunk_spans(&data, &params);
         let avg = data.len() as f64 / spans.len() as f64;
         // Expected mean ≈ min + gap (geometric), clipped by max. Accept a
@@ -254,7 +293,7 @@ mod tests {
         // Insert a byte at the front; interior boundaries must realign after
         // at most a few chunks (the whole point of CDC, §2.1).
         let data = pseudo_random(400_000, 21);
-        let params = CdcParams::with_avg_size(2048);
+        let params = CdcParams::with_avg_size(2048).unwrap();
         let spans_a = chunk_spans(&data, &params);
         let mut shifted = vec![0x55u8];
         shifted.extend_from_slice(&data);
@@ -290,7 +329,7 @@ mod tests {
         // All-zero data never matches the mask (hash of zero window is 0 and
         // mask != 0), so every chunk is exactly max_size.
         let data = vec![0u8; 100_000];
-        let params = CdcParams::with_avg_size(1024);
+        let params = CdcParams::with_avg_size(1024).unwrap();
         let spans = chunk_spans(&data, &params);
         for span in &spans[..spans.len() - 1] {
             assert_eq!(span.end - span.start, params.max_size);
@@ -300,8 +339,8 @@ mod tests {
     #[test]
     fn chunker_iterator_matches_spans() {
         let data = pseudo_random(50_000, 5);
-        let params = CdcParams::with_avg_size(1024);
-        let via_iter: Vec<usize> = Chunker::new(&data, &params).map(<[u8]>::len).collect();
+        let params = CdcParams::with_avg_size(1024).unwrap();
+        let via_iter: Vec<usize> = CdcChunker::new(&data, &params).map(<[u8]>::len).collect();
         let via_spans: Vec<usize> = chunk_spans(&data, &params)
             .iter()
             .map(|s| s.end - s.start)
@@ -310,39 +349,67 @@ mod tests {
     }
 
     #[test]
+    fn next_cut_agrees_with_cuts() {
+        // The per-call path (fresh hasher) and the whole-buffer path
+        // (single hasher, reset at cuts) must agree everywhere — the seam
+        // re-chunk in `par` depends on it.
+        let data = pseudo_random(120_000, 17);
+        let params = CdcParams::with_avg_size(1024).unwrap();
+        let cuts = params.cuts(&data);
+        let mut pos = 0usize;
+        for &cut in &cuts {
+            assert_eq!(params.next_cut(&data, pos), Some(cut));
+            pos = cut;
+        }
+        assert_eq!(params.next_cut(&data, pos), None);
+    }
+
+    #[test]
+    fn with_avg_size_rejects_small_averages() {
+        assert_eq!(
+            CdcParams::with_avg_size(63),
+            Err(ParamError::AvgTooSmall {
+                avg_size: 63,
+                floor: 64
+            })
+        );
+        assert!(CdcParams::with_avg_size(64).is_ok());
+    }
+
+    #[test]
     fn validate_rejects_bad_params() {
         let p = CdcParams {
             min_size: 0,
             ..CdcParams::default()
         };
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamError::ZeroMin));
         let d = CdcParams::default();
         let p = CdcParams {
             min_size: d.avg_size + 1,
             ..d
         };
-        assert!(p.validate().is_err());
+        assert!(matches!(p.validate(), Err(ParamError::MinAboveAvg { .. })));
         let d = CdcParams::default();
         let p = CdcParams {
             max_size: d.avg_size - 1,
             ..d
         };
-        assert!(p.validate().is_err());
+        assert!(matches!(p.validate(), Err(ParamError::AvgAboveMax { .. })));
         let p = CdcParams {
             window: 0,
             ..CdcParams::default()
         };
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamError::ZeroWindow));
     }
 
     #[test]
     fn mask_expected_density() {
-        let p = CdcParams::with_avg_size(8192);
+        let p = CdcParams::with_avg_size(8192).unwrap();
         // gap = 8192 - 2048 = 6144 → next pow2 bits = 13 → mask = 2^13 - 1.
         assert_eq!(p.mask(), (1 << 13) - 1);
         let p2 = CdcParams {
-            min_size: 0,
-            avg_size: 4096,
+            min_size: 1,
+            avg_size: 4097,
             max_size: 16384,
             ..CdcParams::default()
         };

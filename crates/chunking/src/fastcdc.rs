@@ -1,0 +1,485 @@
+//! FastCDC content-defined chunking (Xia et al., USENIX ATC 2016) on the
+//! [gear hash](crate::gear).
+//!
+//! Three optimizations over classic Rabin CDC, all load-bearing here:
+//!
+//! 1. **Gear hash**: one shift + add + table lookup per byte (vs two
+//!    lookups + window bookkeeping for Rabin).
+//! 2. **Skip-min**: no byte before `min_size` can be a boundary, so the
+//!    scan for each chunk starts `min_size` bytes past the previous cut
+//!    with a zero fingerprint — a quarter of the input is never hashed at
+//!    the default 1:4 min:avg ratio.
+//! 3. **Normalized chunking**: two masks instead of one. Before the
+//!    average-size point a *harder* mask (`bits + normalization` one-bits)
+//!    suppresses small chunks; after it an *easier* mask
+//!    (`bits - normalization`) pulls the distribution back toward the
+//!    average and makes forced max-size cuts rare. The boundary test is
+//!    `(fp & mask) == 0` — cheaper to satisfy uniformly than Rabin CDC's
+//!    `== mask` against low bits, because gear's low bits mix only the
+//!    most recent bytes. Both masks live in the *high* bits (top bit at
+//!    position 47), giving a ~48-byte effective decision window, matching
+//!    the workspace's Rabin window.
+//!
+//! Determinism: boundaries are a pure function of `(bytes, params)` — the
+//! gear table derives from `params.seed`, and the scan state resets to
+//! zero at every cut. That last property is what makes the parallel
+//! seam-rechunk in [`crate::par`] exact: continuing from any known cut
+//! position is a pure function of that position.
+
+use crate::gear::{gear_table, DEFAULT_GEAR_SEED};
+use crate::{Chunker, ParamError};
+
+/// The highest fingerprint bit examined by the boundary masks. Bit `p` of
+/// a gear fingerprint mixes the last `p + 1` bytes, so anchoring masks at
+/// bit 47 gives a 48-byte effective window — the same horizon as
+/// [`crate::rabin::DEFAULT_WINDOW`].
+const MASK_TOP_BIT: u32 = 47;
+
+/// A contiguous run of `bits` one-bits anchored just below
+/// [`MASK_TOP_BIT`].
+fn high_mask(bits: u32) -> u64 {
+    debug_assert!((1..=MASK_TOP_BIT + 1).contains(&bits));
+    ((1u64 << bits) - 1) << (MASK_TOP_BIT + 1 - bits)
+}
+
+/// Parameters of the FastCDC chunker.
+///
+/// Unlike [`crate::cdc::CdcParams`] there is no polynomial and no explicit
+/// window: the gear table is derived from `seed` and the window is
+/// implicit in the mask placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastCdcParams {
+    /// Minimum chunk size in bytes; the scan skips this many bytes past
+    /// each cut without hashing.
+    pub min_size: usize,
+    /// Target average chunk size in bytes; must be a power of two (it
+    /// determines the mask bit counts).
+    pub avg_size: usize,
+    /// Maximum chunk size in bytes (forced cut).
+    pub max_size: usize,
+    /// Seed of the gear table (see [`crate::gear::gear_table`]).
+    pub seed: u64,
+    /// Normalization level: the small-regime mask has
+    /// `log2(avg) + normalization` one-bits, the large-regime mask
+    /// `log2(avg) - normalization`. Level 0 disables normalized chunking;
+    /// 2 is the paper's recommended setting.
+    pub normalization: u32,
+}
+
+impl FastCdcParams {
+    /// Standard parameters for a given average chunk size: minimum
+    /// `avg/4`, maximum `avg*4`, default gear seed, normalization level 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `avg_size` is below 256 bytes or not a
+    /// power of two.
+    pub fn with_avg_size(avg_size: usize) -> Result<Self, ParamError> {
+        let params = FastCdcParams {
+            min_size: avg_size / 4,
+            avg_size,
+            max_size: avg_size.saturating_mul(4),
+            seed: DEFAULT_GEAR_SEED,
+            normalization: 2,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The paper's FSL/synthetic configuration: 8 KB average chunks.
+    #[must_use]
+    pub fn paper_8kb() -> Self {
+        Self::with_avg_size(8 * 1024).expect("paper parameters are valid")
+    }
+
+    /// Validates the parameter combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed [`ParamError`].
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !self.avg_size.is_power_of_two() {
+            return Err(ParamError::AvgNotPowerOfTwo {
+                avg_size: self.avg_size,
+            });
+        }
+        let bits = self.avg_size.ilog2();
+        // Both masks must keep at least one bit and fit under the top bit:
+        // bits + norm <= 48 and bits - norm >= 1. The 256-byte floor keeps
+        // bits >= 8 so level-2 normalization always has room.
+        if self.avg_size < 256 {
+            return Err(ParamError::AvgTooSmall {
+                avg_size: self.avg_size,
+                floor: 256,
+            });
+        }
+        if self.normalization >= bits || bits + self.normalization > MASK_TOP_BIT + 1 {
+            return Err(ParamError::NormalizationTooWide {
+                bits,
+                normalization: self.normalization,
+            });
+        }
+        if self.min_size == 0 {
+            return Err(ParamError::ZeroMin);
+        }
+        if self.min_size >= self.avg_size {
+            return Err(ParamError::MinNotBelowAvg {
+                min_size: self.min_size,
+                avg_size: self.avg_size,
+            });
+        }
+        if self.avg_size > self.max_size {
+            return Err(ParamError::AvgAboveMax {
+                avg_size: self.avg_size,
+                max_size: self.max_size,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FastCdcParams {
+    fn default() -> Self {
+        Self::paper_8kb()
+    }
+}
+
+/// A compiled FastCDC chunker: parameters plus the derived gear table and
+/// the two normalized-chunking masks.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::{fastcdc::FastCdc, Chunker};
+///
+/// let chunker = FastCdc::paper_8kb();
+/// let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+/// let spans = chunker.spans(&data);
+/// assert_eq!(spans.iter().map(std::ops::Range::len).sum::<usize>(), data.len());
+/// ```
+#[derive(Clone)]
+pub struct FastCdc {
+    params: FastCdcParams,
+    table: Box<[u64; 256]>,
+    mask_s: u64,
+    mask_l: u64,
+}
+
+impl std::fmt::Debug for FastCdc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastCdc")
+            .field("params", &self.params)
+            .field("mask_s", &format_args!("{:#x}", self.mask_s))
+            .field("mask_l", &format_args!("{:#x}", self.mask_l))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FastCdc {
+    /// Compiles a chunker from validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `params` fail
+    /// [`FastCdcParams::validate`].
+    pub fn new(params: FastCdcParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        let bits = params.avg_size.ilog2();
+        let table = gear_table(params.seed);
+        Ok(FastCdc {
+            mask_s: high_mask(bits + params.normalization),
+            mask_l: high_mask(bits - params.normalization),
+            table,
+            params,
+        })
+    }
+
+    /// Compiles the paper's 8 KB-average configuration.
+    #[must_use]
+    pub fn paper_8kb() -> Self {
+        Self::new(FastCdcParams::paper_8kb()).expect("paper parameters are valid")
+    }
+
+    /// Compiles the standard configuration for an average chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when the derived parameters are invalid (see
+    /// [`FastCdcParams::with_avg_size`]).
+    pub fn with_avg_size(avg_size: usize) -> Result<Self, ParamError> {
+        Self::new(FastCdcParams::with_avg_size(avg_size)?)
+    }
+
+    /// The compiled parameters.
+    #[must_use]
+    pub fn params(&self) -> &FastCdcParams {
+        &self.params
+    }
+
+    /// The small-regime (pre-average, harder) boundary mask.
+    #[must_use]
+    pub fn mask_small(&self) -> u64 {
+        self.mask_s
+    }
+
+    /// The large-regime (post-average, easier) boundary mask.
+    #[must_use]
+    pub fn mask_large(&self) -> u64 {
+        self.mask_l
+    }
+}
+
+impl Chunker for FastCdc {
+    fn name(&self) -> &'static str {
+        "fastcdc"
+    }
+
+    fn max_size(&self) -> usize {
+        self.params.max_size
+    }
+
+    fn next_cut(&self, data: &[u8], from: usize) -> Option<usize> {
+        let n = data.len();
+        debug_assert!(from <= n);
+        // Skip-min: no boundary can land at or before from + min_size, so
+        // start hashing there with a zero fingerprint. Bytes in the
+        // skipped prefix are never read.
+        let start = from.saturating_add(self.params.min_size);
+        if start >= n {
+            // Remainder fits inside min_size: trailing partial, no cut.
+            return None;
+        }
+        let normal_end = n.min(from + self.params.avg_size).max(start);
+        let max_end = n.min(from + self.params.max_size).max(normal_end);
+        let table: &[u64; 256] = &self.table;
+        let mut fp = 0u64;
+        // Small regime: harder mask until the average-size point.
+        for (k, &byte) in data[start..normal_end].iter().enumerate() {
+            fp = (fp << 1).wrapping_add(table[byte as usize]);
+            if fp & self.mask_s == 0 {
+                return Some(start + k + 1);
+            }
+        }
+        // Large regime: easier mask until the forced maximum.
+        for (k, &byte) in data[normal_end..max_end].iter().enumerate() {
+            fp = (fp << 1).wrapping_add(table[byte as usize]);
+            if fp & self.mask_l == 0 {
+                return Some(normal_end + k + 1);
+            }
+        }
+        if max_end == from + self.params.max_size {
+            // Forced cut at the maximum chunk size.
+            Some(max_end)
+        } else {
+            // Ran out of data before max_size: trailing partial, no cut.
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spans_cover_input_exactly() {
+        let data = pseudo_random(300_000, 11);
+        let chunker = FastCdc::with_avg_size(4096).unwrap();
+        let spans = chunker.spans(&data);
+        let mut pos = 0;
+        for span in &spans {
+            assert_eq!(span.start, pos);
+            assert!(span.end > span.start);
+            pos = span.end;
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn size_bounds_respected() {
+        let data = pseudo_random(600_000, 29);
+        let chunker = FastCdc::with_avg_size(4096).unwrap();
+        let p = chunker.params().clone();
+        let spans = chunker.spans(&data);
+        for (i, span) in spans.iter().enumerate() {
+            let len = span.len();
+            assert!(len <= p.max_size, "chunk {i} len {len}");
+            if i + 1 < spans.len() {
+                assert!(len > p.min_size, "chunk {i} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_size_in_ballpark() {
+        let data = pseudo_random(8_000_000, 5);
+        let chunker = FastCdc::with_avg_size(4096).unwrap();
+        let spans = chunker.spans(&data);
+        let avg = data.len() as f64 / spans.len() as f64;
+        // Normalized chunking holds the mean close to the target.
+        assert!((2800.0..6000.0).contains(&avg), "observed average {avg}");
+    }
+
+    #[test]
+    fn normalization_tightens_distribution() {
+        // With normalization the spread around the average shrinks versus
+        // the single-mask (level 0) chunker on the same data.
+        let data = pseudo_random(4_000_000, 77);
+        let spread = |norm: u32| {
+            let params = FastCdcParams {
+                normalization: norm,
+                ..FastCdcParams::with_avg_size(4096).unwrap()
+            };
+            let chunker = FastCdc::new(params).unwrap();
+            let lens: Vec<f64> = chunker
+                .spans(&data)
+                .iter()
+                .map(|s| s.len() as f64)
+                .collect();
+            let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+            (lens.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / lens.len() as f64).sqrt() / mean
+        };
+        assert!(
+            spread(2) < spread(0),
+            "normalized spread {} not below plain spread {}",
+            spread(2),
+            spread(0)
+        );
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let data = pseudo_random(200_000, 9);
+        let a = FastCdc::with_avg_size(2048).unwrap();
+        assert_eq!(
+            a.spans(&data),
+            FastCdc::with_avg_size(2048).unwrap().spans(&data)
+        );
+        let other_seed = FastCdc::new(FastCdcParams {
+            seed: 1234,
+            ..FastCdcParams::with_avg_size(2048).unwrap()
+        })
+        .unwrap();
+        assert_ne!(a.spans(&data), other_seed.spans(&data));
+    }
+
+    #[test]
+    fn constant_data_cut_at_max() {
+        // All-zero data: gear fp after k zero bytes is G[0] * (2^k - 1)
+        // truncated; whether it ever matches is table-dependent, but the
+        // default table happens not to, so every chunk is forced to max.
+        let data = vec![0u8; 80_000];
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let spans = chunker.spans(&data);
+        for span in &spans[..spans.len() - 1] {
+            assert_eq!(span.len(), chunker.params().max_size);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let chunker = FastCdc::paper_8kb();
+        assert!(chunker.spans(&[]).is_empty());
+        assert!(chunker.cuts(&[]).is_empty());
+        assert_eq!(chunker.spans(b"tiny"), vec![0..4]);
+        assert!(chunker.cuts(b"tiny").is_empty());
+    }
+
+    #[test]
+    fn exactly_max_input_is_one_forced_cut() {
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let data = vec![0u8; chunker.params().max_size];
+        assert_eq!(chunker.cuts(&data), vec![data.len()]);
+        assert_eq!(chunker.spans(&data), vec![0..data.len()]);
+    }
+
+    #[test]
+    fn skip_min_never_reads_skipped_bytes() {
+        // Corrupting bytes strictly inside the skipped prefix of each
+        // chunk must not move any boundary.
+        let data = pseudo_random(300_000, 41);
+        let chunker = FastCdc::with_avg_size(4096).unwrap();
+        let min = chunker.params().min_size;
+        let spans = chunker.spans(&data);
+        let mut mutated = data.clone();
+        for span in &spans {
+            if span.len() > min {
+                // First byte of the chunk is inside the skip window.
+                mutated[span.start] ^= 0xff;
+            }
+        }
+        assert_eq!(chunker.spans(&mutated), spans);
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        assert!(matches!(
+            FastCdcParams::with_avg_size(100),
+            Err(ParamError::AvgNotPowerOfTwo { avg_size: 100 })
+        ));
+        assert!(matches!(
+            FastCdcParams::with_avg_size(64),
+            Err(ParamError::AvgTooSmall {
+                avg_size: 64,
+                floor: 256
+            })
+        ));
+        let bad = FastCdcParams {
+            normalization: 20,
+            ..FastCdcParams::paper_8kb()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::NormalizationTooWide { .. })
+        ));
+        let bad = FastCdcParams {
+            min_size: 0,
+            ..FastCdcParams::paper_8kb()
+        };
+        assert_eq!(bad.validate(), Err(ParamError::ZeroMin));
+        let bad = FastCdcParams {
+            min_size: 8 * 1024,
+            ..FastCdcParams::paper_8kb()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::MinNotBelowAvg { .. })
+        ));
+        let bad = FastCdcParams {
+            max_size: 4 * 1024,
+            ..FastCdcParams::paper_8kb()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ParamError::AvgAboveMax { .. })
+        ));
+    }
+
+    #[test]
+    fn masks_have_expected_widths() {
+        let chunker = FastCdc::paper_8kb();
+        // avg 8192 → bits 13, norm 2 → 15-bit and 11-bit masks at bit 47.
+        assert_eq!(chunker.mask_small().count_ones(), 15);
+        assert_eq!(chunker.mask_large().count_ones(), 11);
+        assert_eq!(63 - chunker.mask_small().leading_zeros(), 47);
+        assert_eq!(63 - chunker.mask_large().leading_zeros(), 47);
+        // The easier mask is a subset of the harder one: any small-regime
+        // match is also a large-regime match.
+        assert_eq!(
+            chunker.mask_small() & chunker.mask_large(),
+            chunker.mask_large()
+        );
+    }
+}

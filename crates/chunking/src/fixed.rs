@@ -2,6 +2,58 @@
 
 use std::ops::Range;
 
+use crate::ParamError;
+
+/// A fixed-size chunker behind the [`crate::Chunker`] trait: every chunk
+/// is exactly `size` bytes except a trailing partial.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::{fixed::FixedChunker, Chunker};
+///
+/// let chunker = FixedChunker::new(4).unwrap();
+/// assert_eq!(chunker.spans(&[0u8; 10]), vec![0..4, 4..8, 8..10]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedChunker {
+    size: usize,
+}
+
+impl FixedChunker {
+    /// Creates a chunker with the given chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::ZeroMin`] when `size` is zero.
+    pub fn new(size: usize) -> Result<Self, ParamError> {
+        if size == 0 {
+            return Err(ParamError::ZeroMin);
+        }
+        Ok(FixedChunker { size })
+    }
+
+    /// The fixed chunk size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl crate::Chunker for FixedChunker {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn max_size(&self) -> usize {
+        self.size
+    }
+
+    fn next_cut(&self, data: &[u8], from: usize) -> Option<usize> {
+        (data.len() - from >= self.size).then(|| from + self.size)
+    }
+}
+
 /// Computes fixed-size chunk boundaries; the last chunk may be shorter.
 ///
 /// # Panics
@@ -71,6 +123,17 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_size_rejected() {
         let _ = chunk_spans(10, 0);
+    }
+
+    #[test]
+    fn fixed_chunker_matches_chunk_spans() {
+        use crate::Chunker;
+        let chunker = FixedChunker::new(4).unwrap();
+        for len in [0usize, 1, 3, 4, 5, 8, 9, 100] {
+            let data = vec![0xaau8; len];
+            assert_eq!(chunker.spans(&data), chunk_spans(len, 4), "len {len}");
+        }
+        assert_eq!(FixedChunker::new(0), Err(crate::ParamError::ZeroMin));
     }
 
     #[test]

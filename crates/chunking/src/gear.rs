@@ -1,0 +1,201 @@
+//! Gear rolling hash (Xia et al., USENIX ATC 2016 "FastCDC"), the
+//! hardware-fast alternative to [Rabin fingerprinting](crate::rabin).
+//!
+//! Where the Rabin hash needs two table lookups, two shifts and window
+//! bookkeeping per byte, gear needs exactly **one shift, one add and one
+//! table lookup**:
+//!
+//! ```text
+//! fp = (fp << 1) + GEAR[byte]
+//! ```
+//!
+//! The window is *implicit*: after `k` steps the gear value of the byte
+//! consumed `k` steps ago has been shifted left `k` times, so bit `p` of
+//! the fingerprint mixes exactly the last `p + 1` bytes — old bytes fall
+//! off the top on their own, no un-append table and no ring buffer. A
+//! boundary test that masks bits around position 47 therefore looks at a
+//! ~48-byte effective window, the same horizon as the workspace's default
+//! Rabin configuration.
+//!
+//! The 256-entry table is **derived, not hardcoded**: it is the first 256
+//! outputs of the workspace's vendored ChaCha8 RNG seeded with
+//! [`DEFAULT_GEAR_SEED`], so every build and every run agrees on the same
+//! boundaries without shipping 2 KiB of magic numbers. Anyone holding the
+//! seed can reproduce the table; anyone without it cannot predict
+//! boundaries — which is exactly the knob a keyed/parameter-hidden CDC
+//! defense will turn (ROADMAP item 3a).
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Seed of the default gear table (ASCII "gear-v01"): fixed so chunk
+/// boundaries are reproducible across runs, machines and PRs.
+pub const DEFAULT_GEAR_SEED: u64 = 0x6765_6172_2d76_3031;
+
+/// Derives a 256-entry gear table from `seed` via the vendored ChaCha8
+/// RNG (deterministic: same seed, same table, forever).
+#[must_use]
+pub fn gear_table(seed: u64) -> Box<[u64; 256]> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut table = Box::new([0u64; 256]);
+    for slot in table.iter_mut() {
+        *slot = rng.next_u64();
+    }
+    table
+}
+
+/// The default gear table ([`DEFAULT_GEAR_SEED`]), derived once per
+/// process and shared.
+#[must_use]
+pub fn default_table() -> &'static [u64; 256] {
+    static TABLE: std::sync::OnceLock<Box<[u64; 256]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| gear_table(DEFAULT_GEAR_SEED))
+}
+
+/// A gear rolling hash over an implicit ~64-byte window.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::gear::GearHasher;
+///
+/// let mut h = GearHasher::default();
+/// for b in b"hello rolling world" {
+///     h.slide(*b);
+/// }
+/// let _fp = h.fingerprint();
+/// ```
+#[derive(Clone)]
+pub struct GearHasher {
+    table: Box<[u64; 256]>,
+    fp: u64,
+}
+
+impl std::fmt::Debug for GearHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GearHasher")
+            .field("fingerprint", &format_args!("{:#x}", self.fp))
+            .finish()
+    }
+}
+
+impl Default for GearHasher {
+    fn default() -> Self {
+        Self::new(DEFAULT_GEAR_SEED)
+    }
+}
+
+impl GearHasher {
+    /// Creates a hasher over the table derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        GearHasher {
+            table: gear_table(seed),
+            fp: 0,
+        }
+    }
+
+    /// Slides one byte into the window and returns the new fingerprint.
+    #[inline]
+    pub fn slide(&mut self, byte: u8) -> u64 {
+        self.fp = (self.fp << 1).wrapping_add(self.table[byte as usize]);
+        self.fp
+    }
+
+    /// Current fingerprint.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// Resets the fingerprint to zero (a fresh chunk start).
+    pub fn reset(&mut self) {
+        self.fp = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_deterministic_and_seed_sensitive() {
+        assert_eq!(gear_table(DEFAULT_GEAR_SEED), gear_table(DEFAULT_GEAR_SEED));
+        assert_eq!(&*gear_table(DEFAULT_GEAR_SEED), default_table());
+        assert_ne!(gear_table(1), gear_table(2));
+    }
+
+    #[test]
+    fn table_entries_look_random() {
+        // All 256 entries distinct, and the population count across the
+        // table is near 50% — a degenerate table (zeros, small values)
+        // would break boundary-probability assumptions.
+        let table = gear_table(DEFAULT_GEAR_SEED);
+        let mut sorted = table.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "duplicate gear entries");
+        let ones: u32 = table.iter().map(|v| v.count_ones()).sum();
+        let frac = f64::from(ones) / (256.0 * 64.0);
+        assert!((0.45..0.55).contains(&frac), "bit density {frac}");
+    }
+
+    #[test]
+    fn old_bytes_age_out_of_high_bits() {
+        // Bit p depends on the last p+1 bytes only: two streams sharing a
+        // 64-byte suffix agree exactly on the full fingerprint.
+        let tail: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(5))
+            .collect();
+        let mut a = GearHasher::default();
+        let mut b = GearHasher::default();
+        for byte in b"completely different prefix A" {
+            a.slide(*byte);
+        }
+        for byte in b"prefix B" {
+            b.slide(*byte);
+        }
+        for &byte in &tail {
+            a.slide(byte);
+            b.slide(byte);
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn masked_bits_roughly_uniform() {
+        // The FastCDC boundary test masks bits around position 47; check
+        // those bits are not pathologically biased over random input.
+        let mut h = GearHasher::default();
+        let mut hits = 0u32;
+        let mut x = 7u64;
+        let n = 1 << 16;
+        let mask = 0xfu64 << 44;
+        for _ in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if h.slide((x >> 33) as u8) & mask == 0 {
+                hits += 1;
+            }
+        }
+        // Expected rate 1/16; accept a generous band.
+        let frac = f64::from(hits) / f64::from(n);
+        assert!((0.03..0.11).contains(&frac), "mask-hit rate {frac}");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut h = GearHasher::default();
+        for b in b"some data" {
+            h.slide(*b);
+        }
+        h.reset();
+        let mut fresh = GearHasher::default();
+        for b in b"xyz" {
+            h.slide(*b);
+            fresh.slide(*b);
+        }
+        assert_eq!(h.fingerprint(), fresh.fingerprint());
+    }
+}

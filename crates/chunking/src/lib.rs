@@ -1,28 +1,219 @@
 //! Chunking substrate: Rabin fingerprinting, content-defined chunking,
-//! fixed-size chunking, and segmentation.
+//! gear-hash FastCDC, fixed-size chunking, parallel chunking, and
+//! segmentation.
 //!
 //! The paper's systems depend on three layers of data partitioning:
 //!
 //! 1. **Content-defined chunking** (§2.1): variable-size chunks cut where a
-//!    rolling [Rabin fingerprint](rabin) matches a content pattern, with
-//!    configurable minimum / average / maximum sizes — see [`cdc`].
+//!    rolling hash matches a content pattern, with configurable minimum /
+//!    average / maximum sizes. Two engines implement it behind the
+//!    [`Chunker`] trait: the classic byte-at-a-time
+//!    [Rabin fingerprint](rabin) chunker ([`cdc`]) and the hardware-fast
+//!    [gear-hash](gear) [FastCDC](fastcdc) chunker with normalized
+//!    chunking and skip-min.
 //! 2. **Fixed-size chunking** for the VM dataset (4 KB chunks) — see
 //!    [`fixed`].
 //! 3. **Segmentation** (§7.1): grouping the *chunk stream* into variable-size
 //!    segments (default 512 KB min / 1 MB avg / 2 MB max) whose boundaries
 //!    depend on chunk fingerprints; MinHash encryption and scrambling both
 //!    operate per segment — see [`segment`].
+//!
+//! [`par::chunk_stream_par`] shards a buffer across worker threads and
+//! re-chunks across the seams so the parallel output is bit-identical to
+//! sequential at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cdc;
+pub mod fastcdc;
 pub mod fixed;
+pub mod gear;
+pub mod par;
 pub mod rabin;
 pub mod segment;
 
+use std::ops::Range;
+
 use freqdedup_crypto::sha256;
 use freqdedup_trace::{ChunkRecord, Fingerprint};
+
+pub use fastcdc::{FastCdc, FastCdcParams};
+pub use par::chunk_stream_par;
+
+/// A chunking-parameter validation failure.
+///
+/// Every constructor and `validate()` in this crate reports invalid
+/// configurations through this type instead of panicking, so callers that
+/// accept parameters from configuration files or the wire can surface the
+/// violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// The average chunk size is below the supported floor.
+    AvgTooSmall {
+        /// Requested average size.
+        avg_size: usize,
+        /// Smallest supported average size.
+        floor: usize,
+    },
+    /// FastCDC requires a power-of-two average size (it fixes the mask
+    /// bit counts).
+    AvgNotPowerOfTwo {
+        /// Requested average size.
+        avg_size: usize,
+    },
+    /// The minimum chunk size is zero.
+    ZeroMin,
+    /// The minimum chunk size must stay strictly below the average
+    /// (skip-min would otherwise swallow the whole boundary-search
+    /// window).
+    MinNotBelowAvg {
+        /// Requested minimum size.
+        min_size: usize,
+        /// Requested average size.
+        avg_size: usize,
+    },
+    /// The minimum chunk size exceeds the average.
+    MinAboveAvg {
+        /// Requested minimum size.
+        min_size: usize,
+        /// Requested average size.
+        avg_size: usize,
+    },
+    /// The average chunk size exceeds the maximum.
+    AvgAboveMax {
+        /// Requested average size.
+        avg_size: usize,
+        /// Requested maximum size.
+        max_size: usize,
+    },
+    /// The rolling window is zero bytes wide.
+    ZeroWindow,
+    /// The normalization level leaves a mask with no bits (or pushes it
+    /// past the fingerprint's decision window).
+    NormalizationTooWide {
+        /// `log2(avg_size)`.
+        bits: u32,
+        /// Requested normalization level.
+        normalization: u32,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::AvgTooSmall { avg_size, floor } => {
+                write!(
+                    f,
+                    "average chunk size {avg_size} is below the {floor}-byte floor"
+                )
+            }
+            ParamError::AvgNotPowerOfTwo { avg_size } => {
+                write!(f, "average chunk size {avg_size} is not a power of two")
+            }
+            ParamError::ZeroMin => write!(f, "minimum chunk size must be positive"),
+            ParamError::MinNotBelowAvg { min_size, avg_size } => {
+                write!(
+                    f,
+                    "minimum chunk size {min_size} must be below the average {avg_size}"
+                )
+            }
+            ParamError::MinAboveAvg { min_size, avg_size } => {
+                write!(
+                    f,
+                    "minimum chunk size {min_size} exceeds the average {avg_size}"
+                )
+            }
+            ParamError::AvgAboveMax { avg_size, max_size } => {
+                write!(
+                    f,
+                    "average chunk size {avg_size} exceeds the maximum {max_size}"
+                )
+            }
+            ParamError::ZeroWindow => write!(f, "rolling window must be positive"),
+            ParamError::NormalizationTooWide {
+                bits,
+                normalization,
+            } => write!(
+                f,
+                "normalization level {normalization} is too wide for a {bits}-bit average mask"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A deterministic content chunker: a pure function from bytes to cut
+/// positions.
+///
+/// The contract every implementation upholds (and the property suite in
+/// `tests/chunking_equivalence.rs` pins):
+///
+/// - **Purity**: cuts depend only on the bytes and the chunker's
+///   parameters — no interior mutability, no ambient state. Equal inputs
+///   give equal cuts, forever.
+/// - **Reset-at-cut**: the decision for the chunk starting at position
+///   `p` depends only on `data[p..]`. This is what lets
+///   [`par::chunk_stream_par`] resume chunking from any known cut and
+///   produce bit-identical output to sequential.
+/// - **Bounded lookahead**: [`Chunker::next_cut`] examines at most
+///   [`Chunker::max_size`] bytes past `from`, and a cut is always forced
+///   at `from + max_size` when that many bytes are available.
+pub trait Chunker {
+    /// A short stable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// The maximum chunk size: `next_cut(data, from)` never returns a cut
+    /// past `from + max_size()` and never returns `None` when
+    /// `data.len() - from >= max_size()`.
+    fn max_size(&self) -> usize;
+
+    /// The end of the chunk that starts at `from`, or `None` when the
+    /// remainder `data[from..]` is a trailing partial chunk (no boundary
+    /// fires and the data ends before the forced maximum).
+    ///
+    /// Returned cuts satisfy `from < cut <= data.len()`.
+    fn next_cut(&self, data: &[u8], from: usize) -> Option<usize>;
+
+    /// All cut positions of `data`, in increasing order. The trailing
+    /// partial chunk (if any) has no cut; [`Chunker::spans`] adds it.
+    fn cuts(&self, data: &[u8]) -> Vec<usize> {
+        let mut cuts = Vec::with_capacity(data.len() / self.max_size().max(1) + 1);
+        let mut pos = 0usize;
+        while let Some(cut) = self.next_cut(data, pos) {
+            debug_assert!(cut > pos && cut <= data.len());
+            cuts.push(cut);
+            pos = cut;
+        }
+        cuts
+    }
+
+    /// The chunk byte ranges of `data`: every byte covered exactly once,
+    /// in order, including the trailing partial chunk.
+    fn spans(&self, data: &[u8]) -> Vec<Range<usize>> {
+        spans_from_cuts(data.len(), &self.cuts(data))
+    }
+}
+
+/// Expands a strictly increasing cut list into chunk spans over
+/// `0..data_len`, appending the trailing partial span when the last cut
+/// falls short of `data_len`.
+#[must_use]
+pub fn spans_from_cuts(data_len: usize, cuts: &[usize]) -> Vec<Range<usize>> {
+    let trailing = usize::from(cuts.last().copied().unwrap_or(0) < data_len);
+    let mut spans = Vec::with_capacity(cuts.len() + trailing);
+    let mut start = 0usize;
+    for &cut in cuts {
+        debug_assert!(cut > start && cut <= data_len);
+        spans.push(start..cut);
+        start = cut;
+    }
+    if start < data_len {
+        spans.push(start..data_len);
+    }
+    spans
+}
 
 /// Computes the content fingerprint of a chunk: the first 8 bytes of its
 /// SHA-256 digest (§2.1, "each chunk is identified by a fingerprint, which is
@@ -41,19 +232,20 @@ pub fn content_fingerprint(chunk: &[u8]) -> Fingerprint {
 /// # Example
 ///
 /// ```
-/// use freqdedup_chunking::{cdc::CdcParams, records_from_bytes};
+/// use freqdedup_chunking::{fastcdc::FastCdc, records_from_bytes};
 ///
 /// let data = vec![7u8; 64 * 1024];
-/// let records = records_from_bytes(&data, &CdcParams::with_avg_size(4096));
+/// let records = records_from_bytes(&data, &FastCdc::with_avg_size(4096).unwrap());
 /// assert!(!records.is_empty());
 /// assert_eq!(records.iter().map(|r| u64::from(r.size)).sum::<u64>(), data.len() as u64);
 /// ```
 #[must_use]
-pub fn records_from_bytes(data: &[u8], params: &cdc::CdcParams) -> Vec<ChunkRecord> {
-    cdc::chunk_spans(data, params)
+pub fn records_from_bytes<C: Chunker + ?Sized>(data: &[u8], chunker: &C) -> Vec<ChunkRecord> {
+    chunker
+        .spans(data)
         .into_iter()
         .map(|span| {
-            let bytes = &data[span.clone()];
+            let bytes = &data[span];
             ChunkRecord::new(content_fingerprint(bytes), bytes.len() as u32)
         })
         .collect()
@@ -77,11 +269,39 @@ mod tests {
     }
 
     #[test]
-    fn records_cover_all_bytes() {
+    fn records_cover_all_bytes_any_chunker() {
         let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
-        let params = cdc::CdcParams::with_avg_size(4096);
-        let records = records_from_bytes(&data, &params);
-        let total: u64 = records.iter().map(|r| u64::from(r.size)).sum();
-        assert_eq!(total, data.len() as u64);
+        let cdc = cdc::CdcParams::with_avg_size(4096).unwrap();
+        let fast = FastCdc::with_avg_size(4096).unwrap();
+        let fixed = fixed::FixedChunker::new(4096).unwrap();
+        for chunker in [&cdc as &dyn Chunker, &fast, &fixed] {
+            let records = records_from_bytes(&data, chunker);
+            let total: u64 = records.iter().map(|r| u64::from(r.size)).sum();
+            assert_eq!(total, data.len() as u64, "chunker {}", chunker.name());
+        }
+    }
+
+    #[test]
+    fn spans_from_cuts_appends_trailing_partial() {
+        assert_eq!(spans_from_cuts(10, &[4, 8]), vec![0..4, 4..8, 8..10]);
+        assert_eq!(spans_from_cuts(8, &[4, 8]), vec![0..4, 4..8]);
+        assert_eq!(spans_from_cuts(3, &[]), vec![0..3]);
+        assert!(spans_from_cuts(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn param_error_messages_mention_values() {
+        let err = ParamError::AvgTooSmall {
+            avg_size: 32,
+            floor: 64,
+        };
+        assert!(err.to_string().contains("32"));
+        let err = ParamError::AvgNotPowerOfTwo { avg_size: 100 };
+        assert!(err.to_string().contains("100"));
+        let err = ParamError::NormalizationTooWide {
+            bits: 13,
+            normalization: 20,
+        };
+        assert!(err.to_string().contains("20"));
     }
 }

@@ -1,0 +1,220 @@
+//! Deterministic parallel chunking: shard, chunk, re-chunk the seams.
+//!
+//! [`chunk_stream_par`] splits a buffer into contiguous shards
+//! ([`freqdedup_trace::par::shard_ranges`]), chunks every shard
+//! independently on scoped worker threads, then stitches the per-shard cut
+//! lists back together on the calling thread so the result is
+//! **bit-identical to sequential chunking at any thread count**.
+//!
+//! ## Why the stitch is exact
+//!
+//! Every [`Chunker`] resets its rolling state at each cut
+//! (reset-at-cut, see the trait contract), so the sequence of cuts after
+//! any known cut position `p` is a pure function of `data[p..]`. Workers
+//! restart chunking at their shard's start as if it were a cut, which is
+//! only *sometimes* true — so the stitch walks shards in order and:
+//!
+//! 1. if the last confirmed cut lands **exactly on the shard start**, the
+//!    shard's precomputed cuts are exactly what sequential would produce,
+//!    and they are adopted wholesale;
+//! 2. otherwise the seam is **re-chunked** with [`Chunker::next_cut`] from
+//!    the last confirmed cut until a re-chunked cut coincides with a
+//!    precomputed cut of the current shard (from there on the precomputed
+//!    suffix is sequential's output — adopt it) or leaves the shard.
+//!
+//! Re-chunking a seam touches at most `max_size` bytes per cut and
+//! resynchronizes after O(1) chunks in practice (boundaries are content
+//! markers; the first re-chunked cut inside a shard usually already
+//! appears in the shard's own cut list). The worst case — adversarial
+//! data with no interior boundaries, e.g. all zeros — degrades to the
+//! sequential scan, never to a wrong answer.
+
+use std::ops::Range;
+
+use freqdedup_trace::par::{par_map, shard_ranges, ParConfig};
+
+use crate::Chunker;
+
+/// Minimum shard length, in units of the chunker's `max_size`: shards
+/// shorter than a few maximum chunks spend more time re-chunking seams
+/// than chunking, so small inputs collapse to fewer shards (or one).
+const MIN_SHARD_MAX_CHUNKS: usize = 4;
+
+/// Chunks `data` across up to `cfg` worker threads; the returned spans
+/// are bit-identical to `chunker.spans(data)` for every thread count.
+///
+/// # Example
+///
+/// ```
+/// use freqdedup_chunking::{chunk_stream_par, fastcdc::FastCdc, Chunker};
+/// use freqdedup_trace::par::ParConfig;
+///
+/// let chunker = FastCdc::with_avg_size(1024).unwrap();
+/// let data: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+/// let par = chunk_stream_par(&data, &chunker, ParConfig::with_threads(4));
+/// assert_eq!(par, chunker.spans(&data));
+/// ```
+pub fn chunk_stream_par<C>(data: &[u8], chunker: &C, cfg: ParConfig) -> Vec<Range<usize>>
+where
+    C: Chunker + Sync + ?Sized,
+{
+    let threads = cfg.resolve().max(1);
+    let max_size = chunker.max_size().max(1);
+    let shards = threads
+        .min(data.len() / (MIN_SHARD_MAX_CHUNKS * max_size))
+        .max(1);
+    if shards <= 1 {
+        return chunker.spans(data);
+    }
+    let ranges = shard_ranges(data.len(), shards);
+    // Each worker chunks its shard as if the shard start were a cut and
+    // reports absolute cut positions.
+    let shard_cuts: Vec<Vec<usize>> = par_map(threads, &ranges, |r| {
+        chunker
+            .cuts(&data[r.clone()])
+            .into_iter()
+            .map(|c| r.start + c)
+            .collect()
+    });
+
+    let mut cuts: Vec<usize> = Vec::with_capacity(shard_cuts.iter().map(Vec::len).sum());
+    // Last confirmed cut (0 is a chunk start by definition).
+    let mut cur = 0usize;
+    'shards: for (r, pre) in ranges.iter().zip(&shard_cuts) {
+        if cur >= r.end {
+            // A confirmed chunk already spans this whole shard.
+            continue;
+        }
+        loop {
+            if cur == r.start {
+                // Sequential restarts exactly where the worker restarted:
+                // the precomputed cuts ARE sequential's cuts.
+                cuts.extend_from_slice(pre);
+                if let Some(&last) = pre.last() {
+                    cur = last;
+                }
+                continue 'shards;
+            }
+            if let Ok(i) = pre.binary_search(&cur) {
+                // Re-chunked onto a precomputed cut: the worker's suffix
+                // from here is sequential's output.
+                cuts.extend_from_slice(&pre[i + 1..]);
+                if let Some(&last) = pre.last() {
+                    cur = last;
+                }
+                continue 'shards;
+            }
+            // Seam re-chunk: continue sequentially from the last
+            // confirmed cut.
+            match chunker.next_cut(data, cur) {
+                None => break 'shards, // trailing partial reaches data end
+                Some(next) => {
+                    debug_assert!(next > cur && next <= data.len());
+                    cuts.push(next);
+                    cur = next;
+                    if cur >= r.end {
+                        continue 'shards;
+                    }
+                }
+            }
+        }
+    }
+    crate::spans_from_cuts(data.len(), &cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdc::CdcParams;
+    use crate::fastcdc::FastCdc;
+    use crate::fixed::FixedChunker;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_identical_to_sequential_fastcdc() {
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        for (len, seed) in [(0usize, 1u64), (100, 2), (50_000, 3), (400_000, 4)] {
+            let data = pseudo_random(len, seed);
+            let seq = chunker.spans(&data);
+            for threads in [1usize, 2, 3, 8, 16] {
+                assert_eq!(
+                    chunk_stream_par(&data, &chunker, ParConfig::with_threads(threads)),
+                    seq,
+                    "len {len} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_identical_to_sequential_rabin() {
+        let params = CdcParams::with_avg_size(1024).unwrap();
+        let data = pseudo_random(300_000, 9);
+        let seq = params.spans(&data);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                chunk_stream_par(&data, &params, ParConfig::with_threads(threads)),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn par_identical_on_fixed_chunker() {
+        let chunker = FixedChunker::new(4096).unwrap();
+        let data = pseudo_random(150_001, 6);
+        assert_eq!(
+            chunk_stream_par(&data, &chunker, ParConfig::with_threads(8)),
+            chunker.spans(&data)
+        );
+    }
+
+    #[test]
+    fn par_identical_on_pathological_constant_data() {
+        // All zeros: no content boundaries, every cut forced at max_size.
+        // Shard starts almost never coincide with cuts, so this exercises
+        // the seam re-chunk path maximally.
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let data = vec![0u8; 123_457];
+        let seq = chunker.spans(&data);
+        for threads in [2usize, 5, 8] {
+            assert_eq!(
+                chunk_stream_par(&data, &chunker, ParConfig::with_threads(threads)),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn auto_threads_matches_sequential() {
+        let chunker = FastCdc::with_avg_size(2048).unwrap();
+        let data = pseudo_random(500_000, 31);
+        assert_eq!(
+            chunk_stream_par(&data, &chunker, ParConfig::auto()),
+            chunker.spans(&data)
+        );
+    }
+
+    #[test]
+    fn small_inputs_collapse_to_sequential_path() {
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        // Below MIN_SHARD_MAX_CHUNKS * max_size the parallel path is not
+        // worth it; result must still be exact.
+        let data = pseudo_random(8_000, 12);
+        assert_eq!(
+            chunk_stream_par(&data, &chunker, ParConfig::with_threads(16)),
+            chunker.spans(&data)
+        );
+    }
+}

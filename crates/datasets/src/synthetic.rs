@@ -276,7 +276,7 @@ mod tests {
     }
 
     fn cdc() -> CdcParams {
-        CdcParams::with_avg_size(4096)
+        CdcParams::with_avg_size(4096).expect("valid test parameters")
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! ciphertext bytes). What the provider can nevertheless infer from that
 //! stream is exactly what the rest of this workspace measures.
 
+use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use freqdedup_chunking::{chunk_stream_par, content_fingerprint, Chunker};
+use freqdedup_mle::{ChunkKey, Mle, MleError};
+use freqdedup_trace::par::{par_map, ParConfig};
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::fault::SplitMix64;
@@ -690,6 +694,148 @@ fn check_label(label: &str) -> Result<(), ClientError> {
     Ok(())
 }
 
+/// A raw byte stream chunked and MLE-encrypted on the client, ready for
+/// batched upload: the full client-side ingest pipeline
+/// (chunk → encrypt → fingerprint), with the key store a real client
+/// would persist locally.
+///
+/// Records carry **ciphertext** fingerprints — the server and its
+/// [`crate::tap::AdversaryTap`] only ever see `(SHA-256-prefix(E(chunk)),
+/// len)` pairs plus ciphertext bytes, exactly the paper's threat model.
+/// MLE is deterministic and length-preserving, so equal ciphertext
+/// fingerprints imply equal ciphertext bytes (deduplication works) and
+/// `record.size` equals the plaintext chunk length (the boundary-leakage
+/// observable survives encryption).
+///
+/// [`Self::decode`] inverts the pipeline: restored payloads are decrypted
+/// with the stored keys and reassembled into the original bytes.
+#[derive(Debug)]
+pub struct EncodedStream {
+    /// The upload stream: ciphertext-fingerprint records in chunk order.
+    pub backup: Backup,
+    /// Plaintext bytes consumed (the sum of chunk lengths).
+    pub plain_bytes: u64,
+    /// Ciphertext by ciphertext fingerprint (deterministic MLE: one
+    /// ciphertext per fingerprint).
+    payloads: HashMap<u64, Vec<u8>>,
+    /// The client's key store: MLE key by ciphertext fingerprint.
+    keys: HashMap<u64, ChunkKey>,
+}
+
+impl EncodedStream {
+    /// Chunks `data` with `chunker` (in parallel per `par`; bit-identical
+    /// to sequential at any thread count), encrypts every chunk with
+    /// `mle`, and fingerprints the ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MleError`] from key derivation.
+    pub fn encode<C, M>(
+        label: &str,
+        data: &[u8],
+        chunker: &C,
+        mle: &M,
+        par: ParConfig,
+    ) -> Result<EncodedStream, MleError>
+    where
+        C: Chunker + Sync + ?Sized,
+        M: Mle + Sync,
+    {
+        let spans = chunk_stream_par(data, chunker, par);
+        let encrypted = par_map(par.resolve(), &spans, |span| {
+            mle.encrypt(&data[span.clone()])
+        });
+        let mut backup = Backup::new(label);
+        let mut payloads = HashMap::new();
+        let mut keys = HashMap::new();
+        for result in encrypted {
+            let (key, ciphertext) = result?;
+            let fp = content_fingerprint(&ciphertext);
+            backup.push(ChunkRecord::new(fp, ciphertext.len() as u32));
+            payloads.entry(fp.value()).or_insert(ciphertext);
+            keys.entry(fp.value()).or_insert(key);
+        }
+        Ok(EncodedStream {
+            backup,
+            plain_bytes: data.len() as u64,
+            payloads,
+            keys,
+        })
+    }
+
+    /// The ciphertext of one record (for [`PayloadFn`] uploads).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rec` is not part of this stream.
+    #[must_use]
+    pub fn payload(&self, rec: &ChunkRecord) -> Vec<u8> {
+        self.payloads
+            .get(&rec.fp.value())
+            .expect("record belongs to this stream")
+            .clone()
+    }
+
+    /// Distinct ciphertext chunks in this stream.
+    #[must_use]
+    pub fn unique_chunks(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Decrypts and reassembles a [`Client::restore`] result back into
+    /// the original plaintext bytes using the stream's key store.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the restore is metadata-only, a
+    /// fingerprint has no stored key, or a payload does not decrypt back
+    /// to a chunk of the recorded size.
+    pub fn decode<M: Mle>(
+        &self,
+        restored: &RestoredBackup,
+        mle: &M,
+    ) -> Result<Vec<u8>, ClientError> {
+        let Some(payloads) = &restored.payloads else {
+            return Err(ClientError::Protocol(format!(
+                "decode {:?}: restore carries no payloads (metadata-only store)",
+                restored.backup.label
+            )));
+        };
+        let mut out = Vec::with_capacity(usize::try_from(self.plain_bytes).unwrap_or(0));
+        for (i, (rec, ciphertext)) in restored.backup.chunks.iter().zip(payloads).enumerate() {
+            let Some(key) = self.keys.get(&rec.fp.value()) else {
+                return Err(ClientError::Protocol(format!(
+                    "decode {:?}: chunk {i} (fp {}) has no key in the client store",
+                    restored.backup.label, rec.fp
+                )));
+            };
+            let plaintext = mle.decrypt_with_key(key, ciphertext);
+            if plaintext.len() != rec.size as usize {
+                return Err(ClientError::Protocol(format!(
+                    "decode {:?}: chunk {i} decrypts to {} bytes, recorded {}",
+                    restored.backup.label,
+                    plaintext.len(),
+                    rec.size
+                )));
+            }
+            out.extend_from_slice(&plaintext);
+        }
+        Ok(out)
+    }
+}
+
+impl Client {
+    /// Uploads an [`EncodedStream`] with its ciphertext payloads — the
+    /// full client pipeline's network leg.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; the session should be dropped afterwards.
+    pub fn upload_bytes(&mut self, stream: &EncodedStream) -> Result<UploadSummary, ClientError> {
+        self.upload_backup_payloads(&stream.backup, |rec| stream.payload(rec))
+    }
+}
+
 /// Deterministic synthetic ciphertext for trace-driven content uploads:
 /// `size` pseudo-random bytes expanded from the (ciphertext) fingerprint
 /// with SplitMix64. Models deterministic MLE at the byte level — equal
@@ -728,5 +874,91 @@ mod tests {
             synthetic_payload(Fingerprint(1), 64),
             synthetic_payload(Fingerprint(2), 64)
         );
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoded_stream_roundtrips_without_network() {
+        use freqdedup_chunking::fastcdc::FastCdc;
+        use freqdedup_mle::convergent::Convergent;
+
+        let data = pseudo_random(200_000, 77);
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let mle = Convergent::new();
+        let stream =
+            EncodedStream::encode("rt", &data, &chunker, &mle, ParConfig::with_threads(4)).unwrap();
+
+        // Sizes are plaintext chunk lengths (MLE is length-preserving)
+        // and cover the input exactly.
+        assert_eq!(stream.plain_bytes, data.len() as u64);
+        let total: u64 = stream.backup.chunks.iter().map(|r| u64::from(r.size)).sum();
+        assert_eq!(total, data.len() as u64);
+        assert!(stream.unique_chunks() <= stream.backup.len());
+
+        // Decode a simulated full restore back to the original bytes.
+        let payloads: Vec<Vec<u8>> = stream
+            .backup
+            .chunks
+            .iter()
+            .map(|rec| stream.payload(rec))
+            .collect();
+        let restored = RestoredBackup {
+            backup: stream.backup.clone(),
+            payloads: Some(payloads),
+        };
+        assert_eq!(stream.decode(&restored, &mle).unwrap(), data);
+    }
+
+    #[test]
+    fn encoded_stream_deterministic_across_thread_counts() {
+        use freqdedup_chunking::fastcdc::FastCdc;
+        use freqdedup_mle::convergent::Convergent;
+
+        let data = pseudo_random(120_000, 5);
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let mle = Convergent::new();
+        let seq =
+            EncodedStream::encode("d", &data, &chunker, &mle, ParConfig::sequential()).unwrap();
+        let par =
+            EncodedStream::encode("d", &data, &chunker, &mle, ParConfig::with_threads(8)).unwrap();
+        assert_eq!(seq.backup, par.backup);
+    }
+
+    #[test]
+    fn encoded_stream_hides_plaintext_fingerprints() {
+        use freqdedup_chunking::fastcdc::FastCdc;
+        use freqdedup_chunking::{records_from_bytes, Chunker as _};
+        use freqdedup_mle::convergent::Convergent;
+
+        let data = pseudo_random(80_000, 9);
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let stream = EncodedStream::encode(
+            "h",
+            &data,
+            &chunker,
+            &Convergent::new(),
+            ParConfig::sequential(),
+        )
+        .unwrap();
+        // Same boundaries, different (ciphertext) fingerprints.
+        let plain = records_from_bytes(&data, &chunker);
+        assert_eq!(plain.len(), stream.backup.len());
+        let sizes_match = plain
+            .iter()
+            .zip(&stream.backup.chunks)
+            .all(|(p, c)| p.size == c.size && p.fp != c.fp);
+        assert!(sizes_match);
+        assert_eq!(chunker.spans(&data).len(), stream.backup.len());
     }
 }

@@ -379,6 +379,32 @@ impl AdversaryTap {
         series
     }
 
+    /// The chunk-boundary observable: each committed backup's
+    /// **chunk-length sequence** in upload order, label-sorted like
+    /// [`Self::series`]. Returns `(label, lengths)` pairs.
+    ///
+    /// MLE is length-preserving, so these are the *plaintext* chunk
+    /// lengths — the raw material of boundary-inference attacks on CDC
+    /// (the provider learns where every client-side cut fell, and cut
+    /// positions are a function of plaintext content). The sequences ride
+    /// in the same `(fingerprint, size)` records the catalog already
+    /// persists (`tap.fqdt`), so a reloaded tap exposes the identical
+    /// observable.
+    #[must_use]
+    pub fn length_sequences(&self) -> Vec<(String, Vec<u32>)> {
+        let mut sorted: Vec<&Backup> = self.committed.iter().collect();
+        sorted.sort_by(|a, b| a.label.cmp(&b.label));
+        sorted
+            .into_iter()
+            .map(|b| {
+                (
+                    b.label.clone(),
+                    b.chunks.iter().map(|rec| rec.size).collect(),
+                )
+            })
+            .collect()
+    }
+
     /// Persists the deterministic view to the workspace trace format
     /// (used by the server to survive restarts: the tap is also the
     /// manifest catalog).
@@ -596,6 +622,42 @@ mod tests {
         let back = AdversaryTap::load(&path).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.series("t"), tap.series("t"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn length_sequences_are_label_sorted_and_survive_persistence() {
+        let sized = |label: &str, sizes: &[u32]| {
+            Backup::from_chunks(
+                label,
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| ChunkRecord::new(1000 + i as u64, s))
+                    .collect(),
+            )
+        };
+        let mut tap = AdversaryTap::new();
+        // Commit order differs from label order; sequences keep upload
+        // order within each backup.
+        tap.record_commit(sized("m1", &[4096, 100, 8192]));
+        tap.record_commit(sized("m0", &[512, 512]));
+        assert_eq!(
+            tap.length_sequences(),
+            vec![
+                ("m0".to_string(), vec![512, 512]),
+                ("m1".to_string(), vec![4096, 100, 8192]),
+            ]
+        );
+
+        // The observable rides in the persisted catalog: a reloaded tap
+        // exposes identical sequences.
+        let dir = std::env::temp_dir().join(format!("freqdedup-taplens-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tap.fqdt");
+        tap.save(&path).unwrap();
+        let back = AdversaryTap::load(&path).unwrap();
+        assert_eq!(back.length_sequences(), tap.length_sequences());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

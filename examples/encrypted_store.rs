@@ -42,7 +42,7 @@ fn main() {
     // Chunk, encrypt with convergent MLE, store ciphertext payloads in a
     // *durable* engine: sealed containers land in per-container log files
     // under `store_dir`, committed through the manifest journal.
-    let cdc = CdcParams::with_avg_size(4096);
+    let cdc = CdcParams::with_avg_size(4096).expect("valid parameters");
     let records = records_from_bytes(&file, &cdc);
     println!(
         "chunked: {} plaintext chunks, {} B average",

@@ -1,0 +1,209 @@
+//! Property suite pinning the chunking engines' contracts.
+//!
+//! Covers the guarantees the rest of the stack leans on:
+//!
+//! - **Boundary determinism** — the same bytes always chunk the same way,
+//!   and a cut decision depends only on the bytes from the previous cut
+//!   onward (reset-at-cut), which is what makes dedup work at all.
+//! - **Size bounds** — every fastcdc chunk is strictly longer than
+//!   `min_size` and at most `max_size` (the trailing partial may be
+//!   shorter); rabin-cdc keeps its historical `>= min_size` bound.
+//! - **Shift-robustness** — inserting bytes near the front of a stream
+//!   perturbs only a bounded prefix of the chunking; boundaries
+//!   resynchronize because they are content-defined.
+//! - **Parallel bit-identity** — `chunk_stream_par` matches sequential
+//!   `spans` for every thread count, on both engines, including the
+//!   degenerate inputs (empty, tiny, exactly `max_size`, constant bytes).
+
+use freqdedup::chunking::cdc::CdcParams;
+use freqdedup::chunking::fastcdc::{FastCdc, FastCdcParams};
+use freqdedup::chunking::{chunk_stream_par, Chunker};
+use freqdedup::trace::par::ParConfig;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random bytes (splitmix-style LCG) so failures
+/// reproduce without proptest in the loop where plain tests suffice.
+fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+fn spans_cover(data_len: usize, spans: &[std::ops::Range<usize>]) {
+    let mut pos = 0;
+    for s in spans {
+        assert_eq!(s.start, pos, "spans must tile the input without gaps");
+        assert!(s.end > s.start, "empty span");
+        pos = s.end;
+    }
+    assert_eq!(pos, data_len, "spans must cover the whole input");
+}
+
+proptest! {
+    #[test]
+    fn fastcdc_boundaries_are_deterministic(
+        data in prop::collection::vec(any::<u8>(), 0..60_000)
+    ) {
+        let chunker = FastCdc::with_avg_size(1024).expect("valid");
+        let a = chunker.spans(&data);
+        let b = chunker.spans(&data);
+        prop_assert_eq!(&a, &b);
+        spans_cover(data.len(), &a);
+    }
+
+    #[test]
+    fn fastcdc_respects_size_bounds(
+        data in prop::collection::vec(any::<u8>(), 0..60_000)
+    ) {
+        let chunker = FastCdc::with_avg_size(1024).expect("valid");
+        let params = chunker.params();
+        let spans = chunker.spans(&data);
+        for (i, s) in spans.iter().enumerate() {
+            prop_assert!(s.len() <= params.max_size, "chunk exceeds max_size");
+            if i + 1 < spans.len() {
+                // Every non-trailing chunk is strictly longer than min_size:
+                // hashing starts at from + min_size and the earliest cut is
+                // one byte later.
+                prop_assert!(s.len() > params.min_size, "interior chunk at/below min_size");
+            }
+        }
+    }
+
+    #[test]
+    fn fastcdc_cut_depends_only_on_suffix(
+        data in prop::collection::vec(any::<u8>(), 2_000..40_000),
+        prefix in prop::collection::vec(any::<u8>(), 1..3_000)
+    ) {
+        // Reset-at-cut: chunk the raw data, then chunk prefix+data. Once a
+        // combined cut lands exactly on a raw cut boundary (offset by the
+        // prefix), every later cut must match — the chunker's state is a
+        // pure function of the bytes since the previous cut.
+        let chunker = FastCdc::with_avg_size(1024).expect("valid");
+        let raw_cuts = chunker.cuts(&data);
+        let mut shifted = prefix.clone();
+        shifted.extend_from_slice(&data);
+        let combined = chunker.cuts(&shifted);
+        let raw_set: Vec<usize> = raw_cuts.iter().map(|c| c + prefix.len()).collect();
+        if let Some(first_common) = combined.iter().position(|c| raw_set.binary_search(c).is_ok()) {
+            let tail = &combined[first_common..];
+            let from = raw_set.binary_search(&tail[0]).expect("common cut");
+            prop_assert_eq!(tail, &raw_set[from..], "cuts diverge after resynchronizing");
+        }
+    }
+
+    #[test]
+    fn shift_robustness_preserves_most_boundaries(
+        seed in any::<u64>(),
+        insert_len in 1usize..64
+    ) {
+        // Insert a few bytes near the front of a 256 KiB stream: the cut
+        // positions after resynchronization must be the original ones
+        // shifted by insert_len, i.e. almost all boundaries survive.
+        let chunker = FastCdc::with_avg_size(4096).expect("valid");
+        let data = pseudo_random(256 << 10, seed);
+        let base = chunker.cuts(&data);
+        let mut edited = data[..100].to_vec();
+        edited.extend(pseudo_random(insert_len, seed ^ 0xdead_beef));
+        edited.extend_from_slice(&data[100..]);
+        let shifted = chunker.cuts(&edited);
+        let expected: Vec<usize> = base.iter().map(|c| c + insert_len).collect();
+        let surviving = shifted.iter().filter(|c| expected.binary_search(c).is_ok()).count();
+        // The edit can disturb at most the chunks overlapping it plus a
+        // bounded resync window; on 256 KiB / ~4 KiB chunks the vast
+        // majority of boundaries must survive.
+        prop_assert!(
+            surviving * 10 >= expected.len() * 8,
+            "only {surviving}/{} boundaries survived a {insert_len}-byte insert",
+            expected.len()
+        );
+    }
+
+    #[test]
+    fn par_is_bit_identical_for_all_thread_counts(
+        data in prop::collection::vec(any::<u8>(), 0..120_000),
+        engine_is_fastcdc in any::<bool>()
+    ) {
+        let fast;
+        let rabin;
+        let chunker: &(dyn Chunker + Sync) = if engine_is_fastcdc {
+            fast = FastCdc::with_avg_size(1024).expect("valid");
+            &fast
+        } else {
+            rabin = CdcParams::with_avg_size(1024).expect("valid");
+            &rabin
+        };
+        let seq = chunker.spans(&data);
+        for threads in [1usize, 2, 8] {
+            let par = chunk_stream_par(&data, chunker, ParConfig::with_threads(threads));
+            prop_assert_eq!(&par, &seq, "threads {}", threads);
+        }
+    }
+}
+
+#[test]
+fn rabin_keeps_historical_min_bound() {
+    let params = CdcParams::with_avg_size(1024).expect("valid");
+    let data = pseudo_random(200_000, 7);
+    let spans = params.spans(&data);
+    spans_cover(data.len(), &spans);
+    for s in &spans[..spans.len() - 1] {
+        assert!(s.len() >= params.min_size && s.len() <= params.max_size);
+    }
+}
+
+#[test]
+fn degenerate_inputs_chunk_exactly() {
+    let chunker = FastCdc::with_avg_size(1024).expect("valid");
+    let max = chunker.params().max_size;
+
+    // Empty input: no spans, sequential and parallel alike.
+    assert!(chunker.spans(&[]).is_empty());
+    assert!(chunk_stream_par(&[], &chunker, ParConfig::with_threads(8)).is_empty());
+
+    // Tiny input (below min_size): one trailing partial chunk.
+    let tiny = pseudo_random(17, 3);
+    assert_eq!(chunker.spans(&tiny), vec![0..17]);
+    assert_eq!(
+        chunk_stream_par(&tiny, &chunker, ParConfig::with_threads(8)),
+        vec![0..17]
+    );
+
+    // Exactly max_size of boundary-free bytes: one forced cut, no partial.
+    let flat = vec![0u8; max];
+    assert_eq!(chunker.spans(&flat), vec![0..max]);
+    assert_eq!(
+        chunk_stream_par(&flat, &chunker, ParConfig::with_threads(8)),
+        vec![0..max]
+    );
+
+    // Constant data longer than max_size: every cut forced, parallel
+    // seam-rechunking still exact.
+    let long_flat = vec![0xabu8; 3 * max + 123];
+    let seq = chunker.spans(&long_flat);
+    for s in &seq[..seq.len() - 1] {
+        assert_eq!(s.len(), max, "boundary-free data must cut at max_size");
+    }
+    for threads in [2usize, 8] {
+        assert_eq!(
+            chunk_stream_par(&long_flat, &chunker, ParConfig::with_threads(threads)),
+            seq
+        );
+    }
+}
+
+#[test]
+fn paper_parameters_are_construction_checked() {
+    // The typed error path: every invalid parameter combination surfaces
+    // as a ParamError instead of a panic.
+    assert!(FastCdcParams::with_avg_size(100).is_err()); // not a power of two
+    assert!(FastCdcParams::with_avg_size(128).is_err()); // below 256-byte floor
+    assert!(FastCdc::with_avg_size(8192).is_ok());
+    assert!(CdcParams::with_avg_size(0).is_err());
+    assert!(CdcParams::with_avg_size(8192).is_ok());
+}

@@ -23,7 +23,7 @@ fn sample_file(len: usize, seed: u64) -> Vec<u8> {
 }
 
 fn store_and_restore(mle: &impl Mle, file: &[u8]) -> Vec<u8> {
-    let cdc = CdcParams::with_avg_size(2048);
+    let cdc = CdcParams::with_avg_size(2048).expect("valid parameters");
     let mut engine = DedupEngine::new(DedupConfig::paper(4 * 1024 * 1024, 100_000)).unwrap();
     let mut file_recipe = FileRecipe::new("f");
     let mut key_recipe = KeyRecipe::new();
@@ -81,7 +81,7 @@ fn server_aided_round_trip_through_store() {
 fn duplicate_files_deduplicate_under_mle() {
     // Two users store the same file: the second ingest stores nothing new.
     let file = sample_file(120_000, 5);
-    let cdc = CdcParams::with_avg_size(2048);
+    let cdc = CdcParams::with_avg_size(2048).expect("valid parameters");
     let mle = Convergent::new();
     let mut engine = DedupEngine::new(DedupConfig::paper(4 * 1024 * 1024, 100_000)).unwrap();
     for _user in 0..2 {
@@ -104,7 +104,7 @@ fn shifted_file_mostly_deduplicates() {
     let mut shifted = vec![0u8; 13];
     shifted.extend_from_slice(&file);
 
-    let cdc = CdcParams::with_avg_size(2048);
+    let cdc = CdcParams::with_avg_size(2048).expect("valid parameters");
     let mle = Convergent::new();
     let mut engine = DedupEngine::new(DedupConfig::paper(4 * 1024 * 1024, 100_000)).unwrap();
     for data in [&file, &shifted] {

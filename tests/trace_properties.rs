@@ -34,7 +34,7 @@ proptest! {
 
     #[test]
     fn cdc_partitions_any_input(data in prop::collection::vec(any::<u8>(), 0..50_000)) {
-        let params = CdcParams::with_avg_size(1024);
+        let params = CdcParams::with_avg_size(1024).expect("valid parameters");
         let spans = chunk_spans(&data, &params);
         let mut pos = 0;
         for s in &spans {

@@ -24,7 +24,10 @@ fn umbrella_reexports_resolve() {
     assert_eq!(sha256::digest(b"abc").len(), 32);
 
     // chunking
-    assert!(CdcParams::with_avg_size(1024).validate().is_ok());
+    assert!(CdcParams::with_avg_size(1024)
+        .expect("valid")
+        .validate()
+        .is_ok());
 
     // core
     let stats = ChunkStats::frequencies_only(&backup);
