@@ -26,6 +26,18 @@ informationally; a fresh report whose `par_identical` flag is false
 hard-fails, since parallel chunking diverging from sequential is a
 correctness bug.
 
+When both reports carry a `defense` section (the `tournament` binary),
+every scheme's encryption throughput is guarded at the same threshold —
+the defense layer is the client upload hot path. The per-scheme leakage
+rates and storage blowups are checked by *exact equality*: the
+tournament sweep is deterministic, so any drift in an inference rate is
+a correctness bug in an attack or defense, not noise, and hard-fails.
+Both defense comparisons use a size-matched reference (the committed
+baseline for full-size runs, the committed
+`ci/defense_leakage_baseline.json` for --quick runs) because neither
+inference rates nor TED/PFSE encryption throughput normalize across
+chunk counts.
+
 Throughput, not wall-time, is compared so a --quick fresh run can be held
 against the committed full-size baseline: chunk counts normalize out,
 while a real slowdown of the hot path still shows. The default threshold
@@ -209,6 +221,136 @@ def chunking_rows(baseline: dict, fresh: dict) -> list:
     return rows
 
 
+RATE_KEYS = (
+    "basic_stream",
+    "basic_key",
+    "locality_stream",
+    "locality_key",
+    "advanced_stream",
+    "advanced_key",
+)
+
+
+def defense_row_id(row: dict):
+    return (row["scheme"], row.get("budget"))
+
+
+def defense_reference(baseline: dict, fresh: dict, leakage_baseline: str):
+    """Selects the size-matched defense reference for the fresh report.
+
+    Per-scheme inference rates do not normalize across chunk counts, and
+    neither does TED/PFSE encryption throughput (their per-chunk cost
+    depends on the pair's frequency histogram), so every defense
+    comparison needs a reference recorded at the *same* chunk count: the
+    committed baseline when the fresh run is full-size, else the
+    committed quick-size leakage baseline (`--leakage-baseline`,
+    recorded by `tournament --quick`). Returns `(section, label)` or
+    `(None, None)` when no size-matched reference exists.
+    """
+    new = fresh.get("defense")
+    if not new:
+        return None, None
+    base = baseline.get("defense")
+    if base and base.get("chunks") == new.get("chunks"):
+        return base, "committed baseline"
+    if leakage_baseline:
+        try:
+            with open(leakage_baseline) as f:
+                cand = json.load(f).get("defense")
+        except OSError:
+            cand = None
+        if cand and cand.get("chunks") == new.get("chunks"):
+            return cand, leakage_baseline
+    return None, None
+
+
+def defense_leakage_check(fresh: dict, ref: dict, src: str) -> None:
+    """Hard-fails on any leakage-metric drift in the defense section.
+
+    The tournament sweep is deterministic end to end — fixed FSL pair,
+    fixed key context, fixed epoching — so the per-scheme inference rates
+    and storage blowups are exact constants at a given chunk count. Any
+    change is a correctness bug in an attack or a defense, never noise,
+    so unlike every throughput row this comparison is exact equality
+    against the size-matched reference from `defense_reference`.
+    """
+    new = fresh.get("defense")
+    if not new:
+        print("bench_guard: no defense section in fresh report, skipping leakage check")
+        return
+    if ref is None:
+        print(
+            "bench_guard: no size-matched defense leakage reference, "
+            "skipping leakage check"
+        )
+        return
+    ref_rows = {defense_row_id(r): r for r in ref["rows"]}
+    new_ids = {defense_row_id(r) for r in new["rows"]}
+    missing = sorted(str(i) for i in set(ref_rows) - new_ids)
+    if missing:
+        raise SystemExit(
+            f"bench_guard: FAIL — defense rows missing from fresh report: {missing}"
+        )
+    for row in new["rows"]:
+        other = ref_rows.get(defense_row_id(row))
+        if other is None:
+            raise SystemExit(
+                f"bench_guard: FAIL — defense row {defense_row_id(row)} "
+                f"absent from {src}; re-record the leakage baseline"
+            )
+        for key in RATE_KEYS + ("blowup",):
+            if row.get(key) != other.get(key):
+                raise SystemExit(
+                    f"bench_guard: FAIL — defense leakage drift in "
+                    f"{row['scheme']}: {key} {other.get(key)} -> {row.get(key)} "
+                    "(the sweep is deterministic; drift is a correctness bug)"
+                )
+    print(
+        f"bench_guard: defense leakage rates identical to {src} "
+        f"({len(new['rows'])} rows)"
+    )
+
+
+def defense_rows(fresh: dict, ref: dict) -> list:
+    """(label, baseline_tput, fresh_tput, gated) rows for the defense
+    section.
+
+    Every scheme's encryption throughput (logical chunks per millisecond)
+    *gates* at the common threshold — the defense layer sits on the
+    client's upload hot path, so a lost fast path in any scheme is a
+    real regression. Unlike the other sections this throughput does NOT
+    normalize across chunk counts (TED's threshold search and PFSE's
+    partitioning cost scale with the frequency histogram, not per chunk),
+    so the rows compare against the same size-matched reference the
+    leakage check uses — a --quick fresh run is held against the
+    committed quick-size leakage baseline, never the full-size one.
+    """
+    base, new = ref, fresh.get("defense")
+    if not base or not new:
+        print(
+            "bench_guard: no size-matched defense reference, skipping defense rows"
+        )
+        return []
+    fresh_by_id = {defense_row_id(r): r for r in new["rows"]}
+    rows = []
+    for r in base["rows"]:
+        other = fresh_by_id.get(defense_row_id(r))
+        if (
+            other
+            and r.get("enc_chunks_per_ms", 0) > 0
+            and other.get("enc_chunks_per_ms", 0) > 0
+        ):
+            rows.append(
+                (
+                    f"enc {r['scheme']}",
+                    r["enc_chunks_per_ms"],
+                    other["enc_chunks_per_ms"],
+                    True,
+                )
+            )
+    return rows
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="committed BENCH_attack.json")
@@ -218,6 +360,12 @@ def main() -> int:
         type=float,
         default=0.30,
         help="maximum tolerated fractional throughput regression (default 0.30)",
+    )
+    ap.add_argument(
+        "--leakage-baseline",
+        default="ci/defense_leakage_baseline.json",
+        help="size-matched defense leakage reference for --quick fresh runs "
+        "(default ci/defense_leakage_baseline.json)",
     )
     args = ap.parse_args()
 
@@ -230,6 +378,9 @@ def main() -> int:
         print("bench_guard: FAIL — fresh report flags divergent inference")
         return 1
 
+    defense_ref, defense_src = defense_reference(baseline, fresh, args.leakage_baseline)
+    defense_leakage_check(fresh, defense_ref, defense_src)
+
     failed = False
     print(f"bench_guard: threshold {args.threshold:.0%} throughput regression")
     print(f"{'metric':<16} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
@@ -241,6 +392,7 @@ def main() -> int:
     rows.extend(streaming_rows(baseline, fresh))
     rows.extend(faults_rows(baseline, fresh))
     rows.extend(chunking_rows(baseline, fresh))
+    rows.extend(defense_rows(fresh, defense_ref))
 
     for label, base_tp, fresh_tp, gated in rows:
         ratio = fresh_tp / base_tp

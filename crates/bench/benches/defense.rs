@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use freqdedup_bench::harness;
-use freqdedup_core::defense::{DefenseScheme, Scrambler};
+use freqdedup_core::defense::{MinHashScrambleScheme, Scrambler};
 use freqdedup_mle::{convergent::Convergent, Mle};
 use freqdedup_trace::{Backup, ChunkRecord};
 
@@ -27,7 +27,7 @@ fn bench_defenses(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(backup.len() as u64));
     group.bench_function("minhash_only", |b| {
-        let scheme = DefenseScheme::minhash_only(params.clone());
+        let scheme = MinHashScrambleScheme::minhash_only(params.clone());
         b.iter(|| scheme.encrypt_backup(&backup));
     });
     group.bench_function("scramble_only", |b| {
@@ -35,7 +35,7 @@ fn bench_defenses(c: &mut Criterion) {
         b.iter(|| scrambler.scramble_backup(&backup));
     });
     group.bench_function("combined", |b| {
-        let scheme = DefenseScheme::combined(params.clone(), 42);
+        let scheme = MinHashScrambleScheme::combined(params.clone(), 42);
         b.iter(|| scheme.encrypt_backup(&backup));
     });
     group.finish();

@@ -7,7 +7,7 @@
 //! leaked chunks themselves.
 
 use freqdedup_bench::{cli, data, harness, output};
-use freqdedup_core::defense::DefenseScheme;
+use freqdedup_core::defense::MinHashScrambleScheme;
 
 const USAGE: &str = "fig10_defense [--scale f] [--seed n] [--threads t] [--csv]";
 
@@ -34,8 +34,8 @@ fn main() {
         let target = series.get(target_idx).expect("target");
         let params = harness::kp_params().threads(args.threads);
         let seg = harness::segment_params(dataset.avg_chunk_size());
-        let minhash = DefenseScheme::minhash_only(seg.clone());
-        let combined = DefenseScheme::combined(seg, 0xdef);
+        let minhash = MinHashScrambleScheme::minhash_only(seg.clone());
+        let combined = MinHashScrambleScheme::combined(seg, 0xdef);
         for leakage in [0.0, 0.0005, 0.001, 0.0015, 0.002] {
             let undefended = harness::run_known_plaintext(
                 freqdedup_core::attacks::AttackKind::Advanced,

@@ -6,7 +6,7 @@
 //! percentage points lower (3.6% FSL, ~3% synthetic, 0.7% VM).
 
 use freqdedup_bench::{cli, data, harness, output};
-use freqdedup_core::defense::DefenseScheme;
+use freqdedup_core::defense::MinHashScrambleScheme;
 use freqdedup_trace::stats::DedupAccumulator;
 
 const USAGE: &str = "fig11_storage_saving [--scale f] [--seed n] [--csv]";
@@ -20,8 +20,10 @@ fn main() {
         data::Dataset::Vm,
     ] {
         let series = data::series(dataset, args.scale, args.seed);
-        let scheme =
-            DefenseScheme::combined(harness::segment_params(dataset.avg_chunk_size()), 0xdef);
+        let scheme = MinHashScrambleScheme::combined(
+            harness::segment_params(dataset.avg_chunk_size()),
+            0xdef,
+        );
         let (defended, _) = scheme.encrypt_series(&series);
 
         let mut table = output::Table::new(&[

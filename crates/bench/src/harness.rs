@@ -3,7 +3,7 @@
 use freqdedup_chunking::segment::SegmentParams;
 use freqdedup_core::attacks::locality::LocalityParams;
 use freqdedup_core::attacks::{self, AttackKind};
-use freqdedup_core::defense::DefenseScheme;
+use freqdedup_core::defense::{DefenseScheme, KeyContext};
 use freqdedup_core::metrics::{self, InferenceReport};
 use freqdedup_mle::trace_enc::DeterministicTraceEncryptor;
 use freqdedup_trace::Backup;
@@ -11,6 +11,15 @@ use freqdedup_trace::Backup;
 /// The system-wide MLE secret used by all experiments (arbitrary; the
 /// adversary never learns it).
 pub const MLE_SECRET: &[u8] = b"freqdedup-experiment-secret";
+
+/// The determinism seed every experiment hands to its defense scheme.
+pub const DEFENSE_SEED: u64 = 0xdef;
+
+/// The experiment-wide [`KeyContext`]: [`MLE_SECRET`] + [`DEFENSE_SEED`].
+#[must_use]
+pub fn key_context() -> KeyContext {
+    KeyContext::new(MLE_SECRET, DEFENSE_SEED)
+}
 
 /// The paper's default attack parameters for ciphertext-only experiments
 /// (§5.3.2): `u=1, v=15, w=200,000`.
@@ -60,18 +69,19 @@ pub fn run_known_plaintext(
 }
 
 /// Runs the advanced attack in known-plaintext mode against a **defended**
-/// target (Fig. 10): the target is encrypted with `scheme` instead of plain
-/// deterministic MLE.
+/// target (Fig. 10): the target is encrypted with `scheme` — any
+/// [`DefenseScheme`] implementation — under the experiment-wide
+/// [`key_context`] instead of plain deterministic MLE.
 #[must_use]
 pub fn run_defended(
-    scheme: &DefenseScheme,
+    scheme: &dyn DefenseScheme,
     aux_plain: &Backup,
     target_plain: &Backup,
     params: &LocalityParams,
     leakage_rate: f64,
     leak_seed: u64,
 ) -> InferenceReport {
-    let observed = scheme.encrypt_backup(target_plain);
+    let observed = scheme.encrypt_backup(target_plain, &key_context());
     let leaked = metrics::leak_pairs(&observed.backup, &observed.truth, leakage_rate, leak_seed);
     let inferred = attacks::run_known_plaintext(
         AttackKind::Advanced,
@@ -120,7 +130,8 @@ mod tests {
     fn known_plaintext_beats_ciphertext_only_under_defense() {
         let aux = chain_backup("aux", 1000, 2000);
         let target = chain_backup("target", 1000, 2000);
-        let scheme = DefenseScheme::combined(segment_params(8192), 1);
+        let scheme =
+            freqdedup_core::defense::MinHashScrambleScheme::combined(segment_params(8192), 1);
         let defended = run_defended(&scheme, &aux, &target, &kp_params(), 0.002, 7);
         let undefended =
             run_known_plaintext(AttackKind::Advanced, &aux, &target, &kp_params(), 0.002, 7);

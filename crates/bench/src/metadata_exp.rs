@@ -1,6 +1,6 @@
 //! Shared driver for the metadata-access experiments (Figures 13 and 14).
 
-use freqdedup_core::defense::DefenseScheme;
+use freqdedup_core::defense::MinHashScrambleScheme;
 use freqdedup_store::engine::{DedupConfig, DedupEngine};
 use freqdedup_store::stats::MetadataAccess;
 use freqdedup_trace::BackupSeries;
@@ -83,7 +83,7 @@ pub fn unique_fingerprints(series: &BackupSeries) -> usize {
 /// metadata; 4 GB ≈ 200%).
 pub fn run(scale: f64, seed: Option<u64>, cache_frac: f64, csv: bool) {
     let series = data::fsl_series(scale, seed);
-    let scheme = DefenseScheme::combined(harness::segment_params(8192), 0xdef);
+    let scheme = MinHashScrambleScheme::combined(harness::segment_params(8192), 0xdef);
 
     // Under plain deterministic MLE the ciphertext stream has exactly the
     // plaintext's fingerprint structure, so ingest the plaintext series;

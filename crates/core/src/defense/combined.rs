@@ -10,21 +10,28 @@ use freqdedup_chunking::segment::{segment_spans, SegmentParams};
 use freqdedup_mle::trace_enc::{EncryptedBackup, GroundTruth};
 use freqdedup_trace::{Backup, BackupSeries, ChunkRecord};
 
-use crate::defense::minhash::{minhash_encrypt_fp, segment_min};
+use crate::defense::minhash::{segment_min, MinHashEncryption};
+use crate::defense::scheme::{DefenseScheme, KeyContext};
 use crate::defense::scramble::{scramble_segment, Scrambler};
 
 /// A defense configuration: MinHash encryption with optional scrambling.
 #[derive(Clone, Debug)]
-pub struct DefenseScheme {
+pub struct MinHashScrambleScheme {
     params: SegmentParams,
     scrambler: Option<Scrambler>,
 }
 
-impl DefenseScheme {
+/// The pre-trait name of [`MinHashScrambleScheme`], kept one release so
+/// downstream code migrates cleanly; `defense::DefenseScheme` now names
+/// the scheme *trait*.
+#[deprecated(note = "renamed to `MinHashScrambleScheme`; `DefenseScheme` is now the scheme trait")]
+pub type DefenseSchemeStruct = MinHashScrambleScheme;
+
+impl MinHashScrambleScheme {
     /// MinHash encryption only (no scrambling).
     #[must_use]
     pub fn minhash_only(params: SegmentParams) -> Self {
-        DefenseScheme {
+        MinHashScrambleScheme {
             params,
             scrambler: None,
         }
@@ -34,7 +41,7 @@ impl DefenseScheme {
     /// seeded with `seed`.
     #[must_use]
     pub fn combined(params: SegmentParams, seed: u64) -> Self {
-        DefenseScheme {
+        MinHashScrambleScheme {
             scrambler: Some(Scrambler::new(params.clone(), seed)),
             params,
         }
@@ -68,7 +75,7 @@ impl DefenseScheme {
                 None => original.to_vec(),
             };
             for rec in segment {
-                let cipher = minhash_encrypt_fp(h, rec.fp);
+                let cipher = MinHashEncryption::encrypt_fp(h, rec.fp);
                 truth.record(cipher, rec.fp);
                 out.push(ChunkRecord::new(cipher, rec.size));
             }
@@ -88,6 +95,32 @@ impl DefenseScheme {
             out.push(enc.backup);
         }
         (out, truth)
+    }
+}
+
+impl DefenseScheme for MinHashScrambleScheme {
+    fn name(&self) -> &'static str {
+        if self.scrambles() {
+            "minhash-scramble"
+        } else {
+            "minhash"
+        }
+    }
+
+    /// The combined scheme keys off segment minima and its own
+    /// constructor seed (the paper-figure configuration predates the
+    /// [`KeyContext`]), so the context is unused; determinism in
+    /// `(self, plain)` satisfies the trait contract.
+    fn encrypt_backup(&self, plain: &Backup, _ctx: &KeyContext) -> EncryptedBackup {
+        self.encrypt_backup(plain)
+    }
+
+    fn encrypt_series(
+        &self,
+        series: &BackupSeries,
+        _ctx: &KeyContext,
+    ) -> (BackupSeries, GroundTruth) {
+        self.encrypt_series(series)
     }
 }
 
@@ -114,7 +147,7 @@ mod tests {
     #[test]
     fn combined_preserves_chunk_multiset_sizes() {
         let plain = stream(5000, 3);
-        let scheme = DefenseScheme::combined(SegmentParams::default(), 7);
+        let scheme = MinHashScrambleScheme::combined(SegmentParams::default(), 7);
         let enc = scheme.encrypt_backup(&plain);
         assert_eq!(enc.backup.len(), plain.len());
         assert_eq!(enc.backup.logical_bytes(), plain.logical_bytes());
@@ -123,7 +156,7 @@ mod tests {
     #[test]
     fn truth_resolves_every_ciphertext() {
         let plain = stream(3000, 5);
-        let scheme = DefenseScheme::combined(SegmentParams::default(), 7);
+        let scheme = MinHashScrambleScheme::combined(SegmentParams::default(), 7);
         let enc = scheme.encrypt_backup(&plain);
         // Every output chunk must decode to a plaintext fingerprint that
         // occurs in the original backup.
@@ -137,8 +170,10 @@ mod tests {
     #[test]
     fn minhash_only_keeps_order_combined_does_not() {
         let plain = stream(5000, 9);
-        let mh = DefenseScheme::minhash_only(SegmentParams::default()).encrypt_backup(&plain);
-        let cb = DefenseScheme::combined(SegmentParams::default(), 1).encrypt_backup(&plain);
+        let mh =
+            MinHashScrambleScheme::minhash_only(SegmentParams::default()).encrypt_backup(&plain);
+        let cb =
+            MinHashScrambleScheme::combined(SegmentParams::default(), 1).encrypt_backup(&plain);
         // MinHash-only: i-th ciphertext decodes to i-th plaintext.
         for (p, c) in plain.iter().zip(mh.backup.iter()) {
             assert_eq!(mh.truth.plain_of(c.fp), Some(p.fp));
@@ -168,7 +203,7 @@ mod tests {
         b1.label = "b2".into();
         series.push(b0);
         series.push(b1);
-        let scheme = DefenseScheme::combined(SegmentParams::default(), 5);
+        let scheme = MinHashScrambleScheme::combined(SegmentParams::default(), 5);
         let (enc_series, _) = scheme.encrypt_series(&series);
         let ratio = stats::dedup_ratio(&enc_series);
         assert!(ratio > 1.95, "dedup ratio {ratio} — minhash broke dedup");
@@ -195,7 +230,7 @@ mod tests {
             }
             acc.storage_saving()
         };
-        let scheme = DefenseScheme::combined(SegmentParams::default(), 5);
+        let scheme = MinHashScrambleScheme::combined(SegmentParams::default(), 5);
         let (enc_series, _) = scheme.encrypt_series(&series);
         let combined_saving = {
             let mut acc = stats::DedupAccumulator::new();
@@ -215,8 +250,8 @@ mod tests {
         let b0 = stream(20_000, 44);
         let mut b1 = b0.clone();
         b1.label = "b2".into();
-        let mh = DefenseScheme::minhash_only(SegmentParams::default());
-        let cb = DefenseScheme::combined(SegmentParams::default(), 5);
+        let mh = MinHashScrambleScheme::minhash_only(SegmentParams::default());
+        let cb = MinHashScrambleScheme::combined(SegmentParams::default(), 5);
         // MinHash-only ciphertext streams of two identical backups keep
         // adjacency; combined does not.
         let m0 = mh.encrypt_backup(&b0).backup;
@@ -240,7 +275,7 @@ mod tests {
         let mut b2 = stream(1000, 2);
         b2.label = "b2".into();
         series.push(b2);
-        let scheme = DefenseScheme::minhash_only(SegmentParams::default());
+        let scheme = MinHashScrambleScheme::minhash_only(SegmentParams::default());
         let (enc, truth) = scheme.encrypt_series(&series);
         for b in &enc {
             for rec in b {

@@ -18,29 +18,16 @@ use freqdedup_crypto::{kdf, sha256};
 use freqdedup_mle::trace_enc::{EncryptedBackup, GroundTruth};
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
-/// Encrypts one fingerprint under a segment minimum: the truncated
-/// `SHA-256(h ‖ fp)` of §7.1.
-#[must_use]
-pub fn minhash_encrypt_fp(h: Fingerprint, fp: Fingerprint) -> Fingerprint {
-    let digest = sha256::digest_parts(&[&h.to_bytes(), &fp.to_bytes()]);
-    Fingerprint::from_digest(&digest)
-}
+use crate::defense::scheme::{DefenseScheme, KeyContext};
 
-/// Derives the 256-bit segment key `K_S` from the segment minimum
-/// fingerprint `h` (content-space MinHash encryption; in a deployment this
-/// derivation would be served by the DupLESS-style key manager, §6.1).
-#[must_use]
-pub fn segment_key(h: Fingerprint) -> [u8; 32] {
-    kdf::derive_key(b"freqdedup-minhash", &h.to_bytes(), b"segment-key")
-}
-
-/// The minimum fingerprint of a segment (the MinHash).
+/// The minimum fingerprint of a segment (the MinHash). Crate-private:
+/// callers hold non-empty segment spans produced by [`segment_spans`],
+/// which never yields empty spans.
 ///
 /// # Panics
 ///
 /// Panics on an empty segment.
-#[must_use]
-pub fn segment_min(chunks: &[ChunkRecord]) -> Fingerprint {
+pub(crate) fn segment_min(chunks: &[ChunkRecord]) -> Fingerprint {
     chunks
         .iter()
         .map(|c| c.fp)
@@ -68,6 +55,23 @@ impl MinHashEncryption {
         &self.params
     }
 
+    /// Encrypts one fingerprint under a segment minimum: the truncated
+    /// `SHA-256(h ‖ fp)` of §7.1.
+    #[must_use]
+    pub fn encrypt_fp(h: Fingerprint, fp: Fingerprint) -> Fingerprint {
+        let digest = sha256::digest_parts(&[&h.to_bytes(), &fp.to_bytes()]);
+        Fingerprint::from_digest(&digest)
+    }
+
+    /// Derives the 256-bit segment key `K_S` from the segment minimum
+    /// fingerprint `h` (content-space MinHash encryption; in a deployment
+    /// this derivation would be served by the DupLESS-style key manager,
+    /// §6.1).
+    #[must_use]
+    pub fn segment_key(h: Fingerprint) -> [u8; 32] {
+        kdf::derive_key(b"freqdedup-minhash", &h.to_bytes(), b"segment-key")
+    }
+
     /// Encrypts a backup: partitions it into segments, derives each
     /// segment's key from its minimum fingerprint, and encrypts every chunk
     /// with the segment key.
@@ -80,12 +84,26 @@ impl MinHashEncryption {
             let segment = &plain.chunks[span];
             let h = segment_min(segment);
             for rec in segment {
-                let cipher = minhash_encrypt_fp(h, rec.fp);
+                let cipher = Self::encrypt_fp(h, rec.fp);
                 truth.record(cipher, rec.fp);
                 out.push(ChunkRecord::new(cipher, rec.size));
             }
         }
         EncryptedBackup { backup: out, truth }
+    }
+}
+
+impl DefenseScheme for MinHashEncryption {
+    fn name(&self) -> &'static str {
+        "minhash"
+    }
+
+    /// Fingerprint-space MinHash encryption derives keys from segment
+    /// minima, not from the MLE secret, so the context is unused — the
+    /// scheme is nonetheless deterministic in `(self, plain)`, which
+    /// trivially satisfies the trait's determinism contract.
+    fn encrypt_backup(&self, plain: &Backup, _ctx: &KeyContext) -> EncryptedBackup {
+        self.encrypt_backup(plain)
     }
 }
 
@@ -112,10 +130,10 @@ mod tests {
     #[test]
     fn fp_encryption_depends_on_segment_min() {
         let fp = Fingerprint(42);
-        let c1 = minhash_encrypt_fp(Fingerprint(1), fp);
-        let c2 = minhash_encrypt_fp(Fingerprint(2), fp);
+        let c1 = MinHashEncryption::encrypt_fp(Fingerprint(1), fp);
+        let c2 = MinHashEncryption::encrypt_fp(Fingerprint(2), fp);
         assert_ne!(c1, c2, "different h must change the ciphertext");
-        assert_eq!(c1, minhash_encrypt_fp(Fingerprint(1), fp));
+        assert_eq!(c1, MinHashEncryption::encrypt_fp(Fingerprint(1), fp));
     }
 
     #[test]
@@ -190,9 +208,12 @@ mod tests {
 
     #[test]
     fn segment_key_domain_separated() {
-        assert_ne!(segment_key(Fingerprint(1)), segment_key(Fingerprint(2)));
         assert_ne!(
-            segment_key(Fingerprint(1)).to_vec(),
+            MinHashEncryption::segment_key(Fingerprint(1)),
+            MinHashEncryption::segment_key(Fingerprint(2))
+        );
+        assert_ne!(
+            MinHashEncryption::segment_key(Fingerprint(1)).to_vec(),
             sha256::digest(&Fingerprint(1).to_bytes()).to_vec()
         );
     }

@@ -1,10 +1,46 @@
-//! Defenses against frequency analysis (§6): MinHash encryption, scrambling,
-//! and their combination.
+//! Defenses against frequency analysis, behind one pluggable contract.
+//!
+//! The [`DefenseScheme`] trait (see [`scheme`]) is the object-safe
+//! interface every countermeasure implements; the harness, the client
+//! upload path and the `tournament` driver select schemes at runtime.
+//! Implementations, from "no defense" to the paper's recommended
+//! configuration and beyond:
+//!
+//! * [`NoDefense`] — plain deterministic MLE, the test-pinned baseline.
+//! * [`MinHashEncryption`] — segment-minimum-derived keys (Algorithm 4,
+//!   §6.1): disturbs the ciphertext frequency ranking.
+//! * [`ScrambleScheme`] — per-segment order scrambling (Algorithm 5,
+//!   §6.2) followed by deterministic MLE: breaks locality only.
+//! * [`MinHashScrambleScheme`] — the combined §7.1 pipeline (the paper's
+//!   recommended defense; formerly the concrete `DefenseScheme` struct).
+//! * [`TedScheme`] — tunable encrypted dedup: splits hot fingerprints
+//!   across `⌈f/t⌉` ciphertexts under a storage-blowup budget.
+//! * [`PartitionSmoothing`] — PFSE-shaped frequency smoothing: partition
+//!   the histogram, smooth within partitions, relax to the budget.
+//!
+//! Import `defense::prelude::*` for the whole surface.
 
 pub mod combined;
 pub mod minhash;
+pub mod scheme;
 pub mod scramble;
+pub mod smooth;
+pub mod ted;
 
-pub use combined::DefenseScheme;
+pub use combined::MinHashScrambleScheme;
 pub use minhash::MinHashEncryption;
-pub use scramble::Scrambler;
+pub use scheme::{DefenseError, DefenseScheme, KeyContext, NoDefense};
+pub use scramble::{ScrambleScheme, Scrambler};
+pub use smooth::PartitionSmoothing;
+pub use ted::TedScheme;
+
+/// One-stop import for working with defenses: the trait, its key
+/// context and error type, and every shipped scheme.
+pub mod prelude {
+    pub use super::combined::MinHashScrambleScheme;
+    pub use super::minhash::MinHashEncryption;
+    pub use super::scheme::{DefenseError, DefenseScheme, KeyContext, NoDefense};
+    pub use super::scramble::{ScrambleScheme, Scrambler};
+    pub use super::smooth::PartitionSmoothing;
+    pub use super::ted::TedScheme;
+}

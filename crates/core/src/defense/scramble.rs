@@ -12,13 +12,15 @@ use std::collections::VecDeque;
 
 use freqdedup_chunking::segment::{segment_spans, SegmentParams};
 use freqdedup_crypto::hmac;
+use freqdedup_mle::trace_enc::{DeterministicTraceEncryptor, EncryptedBackup};
 use freqdedup_trace::{Backup, ChunkRecord};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::defense::scheme::{DefenseScheme, KeyContext};
+
 /// Scrambles one segment with the supplied RNG (Algorithm 5 lines 5–13).
-#[must_use]
-pub fn scramble_segment(chunks: &[ChunkRecord], rng: &mut impl Rng) -> Vec<ChunkRecord> {
+pub(crate) fn scramble_segment(chunks: &[ChunkRecord], rng: &mut impl Rng) -> Vec<ChunkRecord> {
     let mut out: VecDeque<ChunkRecord> = VecDeque::with_capacity(chunks.len());
     for &chunk in chunks {
         if rng.gen::<u32>() & 1 == 1 {
@@ -64,6 +66,47 @@ impl Scrambler {
     pub fn rng_for(&self, label: &str) -> ChaCha8Rng {
         let stream = hmac::hmac_u64(&self.seed.to_le_bytes(), label.as_bytes());
         ChaCha8Rng::seed_from_u64(stream)
+    }
+}
+
+/// Scrambling as a standalone defense scheme: per-segment chunk-order
+/// scrambling (Algorithm 5, seeded from the [`KeyContext`]) followed by
+/// plain deterministic MLE under the context secret. Breaks chunk
+/// *locality* while leaving the frequency distribution — and therefore
+/// the dedup ratio — exactly as deterministic encryption would
+/// (blowup 1.0): the pure anti-locality point of the design space.
+#[derive(Clone, Debug)]
+pub struct ScrambleScheme {
+    params: SegmentParams,
+}
+
+impl ScrambleScheme {
+    /// Creates the scheme with the given segmentation parameters.
+    #[must_use]
+    pub fn new(params: SegmentParams) -> Self {
+        ScrambleScheme { params }
+    }
+
+    /// The segmentation parameters.
+    #[must_use]
+    pub fn params(&self) -> &SegmentParams {
+        &self.params
+    }
+}
+
+impl DefenseScheme for ScrambleScheme {
+    fn name(&self) -> &'static str {
+        "scramble"
+    }
+
+    fn encrypt_backup(&self, plain: &Backup, ctx: &KeyContext) -> EncryptedBackup {
+        let scrambler = Scrambler::new(self.params.clone(), ctx.seed());
+        let scrambled = scrambler.scramble_backup(plain);
+        DeterministicTraceEncryptor::new(ctx.secret()).encrypt_backup(&scrambled)
+    }
+
+    fn blowup_budget(&self) -> Option<f64> {
+        Some(1.0)
     }
 }
 

@@ -27,6 +27,11 @@
 //!
 //! # Defenses
 //!
+//! All implement the object-safe [`defense::DefenseScheme`] trait
+//! (select one at runtime, hand it a [`defense::KeyContext`]):
+//!
+//! * [`defense::NoDefense`] — plain deterministic MLE, the test-pinned
+//!   baseline every tournament row is measured against.
 //! * [`defense::minhash`] — MinHash encryption (Algorithm 4): derive the
 //!   encryption key per *segment* from the segment's minimum chunk
 //!   fingerprint; Broder's theorem keeps keys mostly stable across similar
@@ -34,6 +39,10 @@
 //! * [`defense::scramble`] — scrambling (Algorithm 5): per-segment random
 //!   reordering of chunks, breaking the locality the attack feeds on.
 //! * [`defense::combined`] — both, the paper's recommended configuration.
+//! * [`defense::ted`] — TED-style tunable dedup: split hot fingerprints
+//!   across multiple ciphertexts under a storage-blowup budget.
+//! * [`defense::smooth`] — partition-based frequency smoothing (the PFSE
+//!   shape): partition the histogram, smooth within partitions.
 //!
 //! # Quick start
 //!
@@ -82,6 +91,7 @@ pub mod streaming;
 
 pub use attacks::AttackKind;
 pub use counting::ChunkStats;
+pub use defense::{DefenseError, DefenseScheme, KeyContext};
 pub use dense::{ChunkInterner, CooccurrenceCsr, DenseEntry, DenseStats, StatsView};
 pub use metrics::{Inference, InferenceReport};
 pub use par::ParConfig;

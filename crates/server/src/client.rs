@@ -18,6 +18,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use freqdedup_chunking::{chunk_stream_par, content_fingerprint, Chunker};
+use freqdedup_core::defense::{DefenseScheme, KeyContext};
 use freqdedup_mle::{ChunkKey, Mle, MleError};
 use freqdedup_trace::par::{par_map, ParConfig};
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
@@ -824,6 +825,152 @@ impl EncodedStream {
     }
 }
 
+impl EncodedStream {
+    /// Applies a [`DefenseScheme`] to this stream's ciphertext-fingerprint
+    /// sequence, producing the **defended** upload view: the backup the
+    /// server (and the adversary tap) will observe, plus the client-side
+    /// recipe that maps every defended fingerprint back to its underlying
+    /// MLE ciphertext. This is the content pipeline's scheme-selection
+    /// point — the same trait object drives the trace experiments and the
+    /// real client→server→tap route.
+    ///
+    /// Defenses operate in fingerprint space on top of the MLE layer:
+    /// a scheme may *rename* ciphertexts (so the provider cannot match
+    /// frequencies), *reorder* records within segments, or *split* one
+    /// ciphertext into several variants (paying real storage blowup at
+    /// the server, since each variant fingerprint stores its own payload
+    /// copy). The recipe — the moral equivalent of the paper's encrypted
+    /// file recipe — lets [`DefendedStream::decode`] undo all three.
+    #[must_use]
+    pub fn defend<'a>(
+        &'a self,
+        scheme: &dyn DefenseScheme,
+        ctx: &KeyContext,
+    ) -> DefendedStream<'a> {
+        let enc = scheme.encrypt_backup(&self.backup, ctx);
+        let mut recipe = HashMap::with_capacity(enc.truth.len());
+        for (defended, inner) in enc.truth.iter() {
+            recipe.insert(defended.value(), inner.value());
+        }
+        DefendedStream {
+            inner: self,
+            backup: enc.backup,
+            recipe,
+        }
+    }
+}
+
+/// An [`EncodedStream`] with a [`DefenseScheme`] applied: the defended
+/// record stream bound for the server, plus the recipe needed to invert
+/// the defense on restore. Borrows the underlying stream — payload bytes
+/// and the key store stay in one place.
+#[derive(Debug)]
+pub struct DefendedStream<'a> {
+    inner: &'a EncodedStream,
+    /// The defended upload stream (what the server and tap observe).
+    pub backup: Backup,
+    /// Defended fingerprint → underlying MLE ciphertext fingerprint.
+    recipe: HashMap<u64, u64>,
+}
+
+impl DefendedStream<'_> {
+    /// The ciphertext bytes of one defended record: every variant of an
+    /// underlying ciphertext carries that ciphertext's exact bytes, so
+    /// equal defended fingerprints still imply equal payloads and the
+    /// server's dedup and restore invariants hold unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rec` is not part of this defended stream.
+    #[must_use]
+    pub fn payload(&self, rec: &ChunkRecord) -> Vec<u8> {
+        let inner_fp = self
+            .recipe
+            .get(&rec.fp.value())
+            .expect("record belongs to this defended stream");
+        self.inner
+            .payloads
+            .get(inner_fp)
+            .expect("recipe resolves to an encoded chunk")
+            .clone()
+    }
+
+    /// Measured storage blowup of the defense on this stream: unique
+    /// defended fingerprints per unique underlying ciphertext (1.0 for
+    /// pure renaming/reordering schemes; up to the scheme's budget for
+    /// splitting schemes).
+    #[must_use]
+    pub fn blowup(&self) -> f64 {
+        if self.inner.unique_chunks() == 0 {
+            return 1.0;
+        }
+        self.recipe.len() as f64 / self.inner.unique_chunks() as f64
+    }
+
+    /// Decrypts and reassembles a [`Client::restore`] of the *defended*
+    /// backup into the original plaintext bytes: each restored payload is
+    /// matched to its defended fingerprint, mapped through the recipe to
+    /// the underlying ciphertext, decrypted with the stream's key store,
+    /// and emitted in the **original chunk order** — undoing any
+    /// scramble-style reordering the defense applied on upload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the restore is metadata-only, a
+    /// restored fingerprint is not in the recipe, the restore is missing
+    /// a variant for some chunk, or a payload does not decrypt back to a
+    /// chunk of the recorded size.
+    pub fn decode<M: Mle>(
+        &self,
+        restored: &RestoredBackup,
+        mle: &M,
+    ) -> Result<Vec<u8>, ClientError> {
+        let label = &restored.backup.label;
+        let Some(payloads) = &restored.payloads else {
+            return Err(ClientError::Protocol(format!(
+                "decode {label:?}: restore carries no payloads (metadata-only store)"
+            )));
+        };
+        // One restored payload per underlying ciphertext (variants of the
+        // same ciphertext carry identical bytes, so any variant serves).
+        let mut by_inner: HashMap<u64, &Vec<u8>> = HashMap::new();
+        for (rec, bytes) in restored.backup.chunks.iter().zip(payloads) {
+            let Some(inner) = self.recipe.get(&rec.fp.value()) else {
+                return Err(ClientError::Protocol(format!(
+                    "decode {label:?}: restored fp {} is not in the recipe",
+                    rec.fp
+                )));
+            };
+            by_inner.insert(*inner, bytes);
+        }
+        let mut out = Vec::with_capacity(usize::try_from(self.inner.plain_bytes).unwrap_or(0));
+        for (i, rec) in self.inner.backup.chunks.iter().enumerate() {
+            let Some(ciphertext) = by_inner.get(&rec.fp.value()) else {
+                return Err(ClientError::Protocol(format!(
+                    "decode {label:?}: chunk {i} (fp {}) has no restored variant",
+                    rec.fp
+                )));
+            };
+            let Some(key) = self.inner.keys.get(&rec.fp.value()) else {
+                return Err(ClientError::Protocol(format!(
+                    "decode {label:?}: chunk {i} (fp {}) has no key in the client store",
+                    rec.fp
+                )));
+            };
+            let plaintext = mle.decrypt_with_key(key, ciphertext);
+            if plaintext.len() != rec.size as usize {
+                return Err(ClientError::Protocol(format!(
+                    "decode {label:?}: chunk {i} decrypts to {} bytes, recorded {}",
+                    plaintext.len(),
+                    rec.size
+                )));
+            }
+            out.extend_from_slice(&plaintext);
+        }
+        Ok(out)
+    }
+}
+
 impl Client {
     /// Uploads an [`EncodedStream`] with its ciphertext payloads — the
     /// full client pipeline's network leg.
@@ -832,6 +979,19 @@ impl Client {
     ///
     /// Any [`ClientError`]; the session should be dropped afterwards.
     pub fn upload_bytes(&mut self, stream: &EncodedStream) -> Result<UploadSummary, ClientError> {
+        self.upload_backup_payloads(&stream.backup, |rec| stream.payload(rec))
+    }
+
+    /// Uploads a [`DefendedStream`] with its ciphertext payloads — the
+    /// defended client pipeline's network leg.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; the session should be dropped afterwards.
+    pub fn upload_defended(
+        &mut self,
+        stream: &DefendedStream<'_>,
+    ) -> Result<UploadSummary, ClientError> {
         self.upload_backup_payloads(&stream.backup, |rec| stream.payload(rec))
     }
 }
@@ -918,6 +1078,62 @@ mod tests {
             payloads: Some(payloads),
         };
         assert_eq!(stream.decode(&restored, &mle).unwrap(), data);
+    }
+
+    #[test]
+    fn defended_stream_roundtrips_under_every_scheme() {
+        use freqdedup_chunking::fastcdc::FastCdc;
+        use freqdedup_chunking::segment::SegmentParams;
+        use freqdedup_core::defense::prelude::*;
+        use freqdedup_mle::convergent::Convergent;
+
+        let data = pseudo_random(200_000, 13);
+        let chunker = FastCdc::with_avg_size(1024).unwrap();
+        let mle = Convergent::new();
+        let stream =
+            EncodedStream::encode("rt", &data, &chunker, &mle, ParConfig::sequential()).unwrap();
+        let ctx = KeyContext::new(b"client-secret", 7);
+        let seg = SegmentParams::paper_default(1024);
+        let schemes: Vec<Box<dyn DefenseScheme>> = vec![
+            Box::new(NoDefense),
+            Box::new(MinHashEncryption::new(seg.clone())),
+            Box::new(ScrambleScheme::new(seg.clone())),
+            Box::new(MinHashScrambleScheme::combined(seg, 3)),
+            Box::new(TedScheme::new(1.5).unwrap()),
+            Box::new(PartitionSmoothing::new(8, 1.5).unwrap()),
+        ];
+        for scheme in &schemes {
+            let defended = stream.defend(scheme.as_ref(), &ctx);
+            // The upload view preserves logical shape and honors the
+            // configured blowup budget.
+            assert_eq!(defended.backup.len(), stream.backup.len());
+            if let Some(budget) = scheme.blowup_budget() {
+                assert!(
+                    defended.blowup() <= budget + 1e-9,
+                    "{}: blowup {} over budget {budget}",
+                    scheme.name(),
+                    defended.blowup()
+                );
+            }
+            // Simulate a full restore of the defended stream and decode
+            // back to the original bytes through the key store.
+            let payloads: Vec<Vec<u8>> = defended
+                .backup
+                .chunks
+                .iter()
+                .map(|rec| defended.payload(rec))
+                .collect();
+            let restored = RestoredBackup {
+                backup: defended.backup.clone(),
+                payloads: Some(payloads),
+            };
+            assert_eq!(
+                defended.decode(&restored, &mle).unwrap(),
+                data,
+                "{}: defended restore diverged",
+                scheme.name()
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use freqdedup::chunking::segment::SegmentParams;
 use freqdedup::core::attacks::{self, AttackKind};
-use freqdedup::core::defense::DefenseScheme;
+use freqdedup::core::defense::MinHashScrambleScheme;
 use freqdedup::core::metrics;
 use freqdedup::datasets::fsl::{generate, FslConfig};
 use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
@@ -14,7 +14,7 @@ use freqdedup::store::engine::{DedupConfig, DedupEngine};
 use freqdedup::trace::stats::DedupAccumulator;
 use freqdedup::trace::BackupSeries;
 
-fn attack_rate(series: &BackupSeries, scheme: Option<&DefenseScheme>) -> f64 {
+fn attack_rate(series: &BackupSeries, scheme: Option<&MinHashScrambleScheme>) -> f64 {
     let aux = series.get(2).unwrap();
     let target = series.latest().unwrap();
     let observed = match scheme {
@@ -32,7 +32,7 @@ fn attack_rate(series: &BackupSeries, scheme: Option<&DefenseScheme>) -> f64 {
     metrics::score(&inferred, &observed.backup, &observed.truth).rate
 }
 
-fn storage_saving(series: &BackupSeries, scheme: Option<&DefenseScheme>) -> f64 {
+fn storage_saving(series: &BackupSeries, scheme: Option<&MinHashScrambleScheme>) -> f64 {
     let mut acc = DedupAccumulator::new();
     match scheme {
         Some(s) => {
@@ -50,7 +50,7 @@ fn storage_saving(series: &BackupSeries, scheme: Option<&DefenseScheme>) -> f64 
     acc.storage_saving()
 }
 
-fn metadata_bytes(series: &BackupSeries, scheme: Option<&DefenseScheme>) -> u64 {
+fn metadata_bytes(series: &BackupSeries, scheme: Option<&MinHashScrambleScheme>) -> u64 {
     let stream = match scheme {
         Some(s) => s.encrypt_series(series).0,
         None => series.clone(),
@@ -66,8 +66,8 @@ fn metadata_bytes(series: &BackupSeries, scheme: Option<&DefenseScheme>) -> u64 
 fn main() {
     let series = generate(&FslConfig::scaled(5_000));
     let params = SegmentParams::paper_default(8192);
-    let minhash = DefenseScheme::minhash_only(params.clone());
-    let combined = DefenseScheme::combined(params, 7);
+    let minhash = MinHashScrambleScheme::minhash_only(params.clone());
+    let combined = MinHashScrambleScheme::combined(params, 7);
 
     println!(
         "{:<18} {:>12} {:>14} {:>14}",

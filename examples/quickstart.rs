@@ -9,7 +9,7 @@
 
 use freqdedup::chunking::segment::SegmentParams;
 use freqdedup::core::attacks::{self, AttackKind};
-use freqdedup::core::defense::DefenseScheme;
+use freqdedup::core::defense::MinHashScrambleScheme;
 use freqdedup::core::metrics;
 use freqdedup::datasets::fsl::{generate, FslConfig};
 use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
@@ -47,7 +47,7 @@ fn main() {
     }
 
     // 4. The defense: MinHash encryption + scrambling (§6).
-    let scheme = DefenseScheme::combined(SegmentParams::paper_default(8192), 7);
+    let scheme = MinHashScrambleScheme::combined(SegmentParams::paper_default(8192), 7);
     let defended = scheme.encrypt_backup(target);
     println!("\nagainst the combined MinHash + scrambling defense:");
     for kind in [AttackKind::Locality, AttackKind::Advanced] {

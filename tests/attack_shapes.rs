@@ -5,7 +5,7 @@
 use freqdedup::chunking::segment::SegmentParams;
 use freqdedup::core::attacks::locality::LocalityParams;
 use freqdedup::core::attacks::{self, AttackKind};
-use freqdedup::core::defense::DefenseScheme;
+use freqdedup::core::defense::MinHashScrambleScheme;
 use freqdedup::core::metrics;
 use freqdedup::datasets::fsl::{generate, FslConfig};
 use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
@@ -109,7 +109,7 @@ fn combined_defense_suppresses_attack() {
     let undefended = metrics::score(&attack, &observed.backup, &observed.truth);
 
     // Combined defense.
-    let defended = DefenseScheme::combined(seg, 5).encrypt_backup(target);
+    let defended = MinHashScrambleScheme::combined(seg, 5).encrypt_backup(target);
     let leaked = metrics::leak_pairs(&defended.backup, &defended.truth, 0.002, 3);
     let attack = attacks::run_known_plaintext(
         AttackKind::Advanced,
@@ -132,7 +132,7 @@ fn combined_defense_suppresses_attack() {
 #[test]
 fn defense_keeps_storage_saving_close_to_mle() {
     let s = series();
-    let scheme = DefenseScheme::combined(SegmentParams::paper_default(8192), 5);
+    let scheme = MinHashScrambleScheme::combined(SegmentParams::paper_default(8192), 5);
     let (defended, _) = scheme.encrypt_series(&s);
     let mle = freqdedup::trace::stats::dedup_ratio(&s);
     let combined = freqdedup::trace::stats::dedup_ratio(&defended);

@@ -4,7 +4,7 @@
 //! paper's observations.
 
 use freqdedup::chunking::segment::SegmentParams;
-use freqdedup::core::defense::DefenseScheme;
+use freqdedup::core::defense::MinHashScrambleScheme;
 use freqdedup::datasets::fsl::{generate, FslConfig};
 use freqdedup::store::engine::{DedupConfig, DedupEngine};
 use freqdedup::trace::stats::DedupAccumulator;
@@ -98,7 +98,7 @@ fn combined_scheme_metadata_overhead_is_bounded() {
     // Fig. 13's headline: the combined scheme's metadata overhead stays
     // within a few percent of MLE with a constrained cache.
     let series = generate(&FslConfig::scaled(2_000));
-    let scheme = DefenseScheme::combined(SegmentParams::paper_default(8192), 3);
+    let scheme = MinHashScrambleScheme::combined(SegmentParams::paper_default(8192), 3);
     let (defended, _) = scheme.encrypt_series(&series);
 
     let unique = {

@@ -3,7 +3,7 @@
 
 use freqdedup::chunking::cdc::{chunk_spans, CdcParams};
 use freqdedup::chunking::segment::{segment_spans, SegmentParams};
-use freqdedup::core::defense::DefenseScheme;
+use freqdedup::core::defense::MinHashScrambleScheme;
 use freqdedup::mle::trace_enc::DeterministicTraceEncryptor;
 use freqdedup::trace::{io, Backup, BackupSeries, ChunkRecord, Fingerprint};
 use proptest::prelude::*;
@@ -67,7 +67,7 @@ proptest! {
 
     #[test]
     fn combined_defense_truth_is_complete(backup in arb_backup()) {
-        let scheme = DefenseScheme::combined(
+        let scheme = MinHashScrambleScheme::combined(
             SegmentParams::derived(1_000, 10_000, 100_000, 64),
             9,
         );
@@ -84,7 +84,7 @@ proptest! {
 
     #[test]
     fn scramble_never_loses_chunks(backup in arb_backup()) {
-        let scheme = DefenseScheme::combined(
+        let scheme = MinHashScrambleScheme::combined(
             SegmentParams::derived(1_000, 10_000, 100_000, 64),
             11,
         );
