@@ -24,7 +24,13 @@ MB/s is guarded at the same threshold — it is the engine the client
 pipeline rides — while the rabin-cdc and parallel rows print
 informationally; a fresh report whose `par_identical` flag is false
 hard-fails, since parallel chunking diverging from sequential is a
-correctness bug.
+correctness bug. When both reports carry a `lifecycle` section
+(perf_report --lifecycle), the GC compaction's reclaim throughput in
+MB/s is guarded at the same threshold — it normalizes across chunk
+counts — while the delete/rekey latency and churned-attack rows print
+informationally; a fresh report whose `recipes_intact` flag is false
+hard-fails, since a compaction or rekey that corrupts a surviving
+backup recipe is data loss.
 
 When both reports carry a `defense` section (the `tournament` binary),
 every scheme's encryption throughput is guarded at the same threshold —
@@ -221,6 +227,46 @@ def chunking_rows(baseline: dict, fresh: dict) -> list:
     return rows
 
 
+def lifecycle_rows(baseline: dict, fresh: dict) -> list:
+    """(label, baseline_tput, fresh_tput, gated) rows for the lifecycle
+    section.
+
+    The fresh report's `recipes_intact` flag hard-fails first: a GC
+    compaction or rekey that corrupts a surviving backup recipe is data
+    loss, not a performance number. Of the throughput rows only the GC
+    reclaim rate in MB/s *gates* — it normalizes across chunk counts
+    (bytes reclaimed per wall-second of compaction) and a lost fast path
+    in the container rewrite loop shows up there directly. The delete and
+    rekey latency rows and the churned-attack row are info-only: their
+    wall-time scales with the generation count and container population
+    of the specific run.
+    """
+    new = fresh.get("lifecycle")
+    if new and not new.get("recipes_intact", True):
+        raise SystemExit(
+            "bench_guard: FAIL — fresh lifecycle section flags corrupted recipes"
+        )
+    base = baseline.get("lifecycle")
+    if not base or not new:
+        print("bench_guard: no lifecycle section in both reports, skipping lifecycle rows")
+        return []
+    rows = []
+    if base.get("reclaim_mb_per_s", 0) > 0 and new.get("reclaim_mb_per_s", 0) > 0:
+        rows.append(
+            ("gc reclaim", base["reclaim_mb_per_s"], new["reclaim_mb_per_s"], True)
+        )
+    # Latency rows: invert into pseudo-throughput so "lower ratio = worse"
+    # holds uniformly in the table below.
+    for label, key in (
+        ("lc delete", "delete_ms"),
+        ("lc rekey", "rekey_ms"),
+        ("lc churned atk", "attack_churned_ms"),
+    ):
+        if base.get(key, 0) > 0 and new.get(key, 0) > 0:
+            rows.append((label, 1.0 / base[key], 1.0 / new[key], False))
+    return rows
+
+
 RATE_KEYS = (
     "basic_stream",
     "basic_key",
@@ -392,6 +438,7 @@ def main() -> int:
     rows.extend(streaming_rows(baseline, fresh))
     rows.extend(faults_rows(baseline, fresh))
     rows.extend(chunking_rows(baseline, fresh))
+    rows.extend(lifecycle_rows(baseline, fresh))
     rows.extend(defense_rows(fresh, defense_ref))
 
     for label, base_tp, fresh_tp, gated in rows:

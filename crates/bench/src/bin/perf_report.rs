@@ -57,8 +57,19 @@
 //! in a `chunking` section of the JSON; fastcdc sequential throughput is
 //! guarded by `ci/bench_guard.py`.
 //!
+//! With `--lifecycle` the storage lifecycle is measured under churn: the
+//! cipher stream is committed as 8 backup generations into a durable
+//! store, every other generation is deleted, a full GC compaction
+//! rewrites the survivors and reclaims the dead bytes, and a REED-style
+//! rekey rewrites every live container under a fresh epoch. Records
+//! delete/GC/rekey latency, reclaim throughput in MB/s (guarded by
+//! `ci/bench_guard.py`), and the adversary-side effect of churn: the
+//! locality attack run on the churned tap (survivors only) vs the
+//! append-only stream, with the inferred-pair retention ratio. Surviving
+//! recipes are checked intact after the churn; a mismatch fails the run.
+//!
 //! Usage: `perf_report [--quick] [--chunks N] [--threads T] [--persist DIR]
-//! [--serve] [--streaming] [--faults] [--chunking] [--out PATH]`
+//! [--serve] [--streaming] [--faults] [--chunking] [--lifecycle] [--out PATH]`
 //!
 //! * `--quick` — CI-sized run (~60k logical chunks per backup);
 //! * `--chunks N` — logical chunks per backup (default 1,000,000);
@@ -73,6 +84,9 @@
 //!   fault schedule (retry overhead, reconnect latency, divergence check);
 //! * `--chunking` — also time the chunking engines (rabin-cdc vs fastcdc
 //!   MB/s, sequential and parallel, + distribution stats);
+//! * `--lifecycle` — also time the storage lifecycle under churn (backup
+//!   deletion, GC compaction reclaim throughput, rekey latency, churned
+//!   vs append-only attack);
 //! * `--out PATH` — output path (default `BENCH_attack.json`).
 
 use std::time::Instant;
@@ -91,7 +105,7 @@ use freqdedup_store::sharded::ShardedDedupEngine;
 use freqdedup_trace::{Backup, Fingerprint};
 
 const USAGE: &str =
-    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--faults] [--chunking] [--out PATH]
+    "usage: perf_report [--quick] [--chunks N] [--threads T] [--persist DIR] [--serve] [--streaming] [--faults] [--chunking] [--lifecycle] [--out PATH]
 Times MLE encryption, store ingest and the locality attack (COUNT + crawl)
 on a synthetic backup pair over the reference hash-map path, the sequential
 dense-id/CSR path and the sharded parallel path, verifies identical
@@ -106,7 +120,10 @@ resilient client stack is also timed under a seeded network fault
 schedule (retry overhead, reconnect latency, tap divergence check); with
 --chunking the chunking engines are also timed on raw bytes (rabin-cdc
 vs gear-hash fastcdc MB/s, sequential and parallel, chunk-size
-distribution, parallel-identity check).";
+distribution, parallel-identity check); with --lifecycle the storage
+lifecycle is also timed under churn (delete half the backup
+generations, GC-compact, rekey, then re-run the attack on the churned
+tap vs append-only).";
 
 const DEFAULT_CHUNKS: usize = 1_000_000;
 const QUICK_CHUNKS: usize = 60_000;
@@ -120,6 +137,7 @@ struct Args {
     streaming: bool,
     faults: bool,
     chunking: bool,
+    lifecycle: bool,
     out: String,
 }
 
@@ -133,6 +151,7 @@ fn parse_args() -> Args {
         streaming: false,
         faults: false,
         chunking: false,
+        lifecycle: false,
         out: "BENCH_attack.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -164,6 +183,7 @@ fn parse_args() -> Args {
             "--streaming" => args.streaming = true,
             "--faults" => args.faults = true,
             "--chunking" => args.chunking = true,
+            "--lifecycle" => args.lifecycle = true,
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| die("--out needs a value"));
             }
@@ -631,6 +651,140 @@ fn bench_chunking(quick: bool, threads: usize) -> (String, bool) {
     (section, par_identical)
 }
 
+/// Times the storage lifecycle under churn. The cipher stream is split
+/// into 8 generations committed as backups into a durable (fsync-never)
+/// store under a scratch directory, then churned: every other generation
+/// is deleted, a full GC compaction (`gc(1000)`) rewrites the survivors
+/// and reclaims the dead bytes, and a REED-style rekey rewrites every
+/// live container under epoch 1. Records delete/GC/rekey latency and the
+/// physical reclaim throughput in MB/s (reclaimed dead bytes per GC
+/// wall-second — the number `ci/bench_guard.py` gates), then measures
+/// what churn does to the adversary: the locality attack on the churned
+/// tap (surviving generations only) vs the append-only stream, with the
+/// inferred-pair retention ratio. Surviving recipes are verified intact
+/// after the churn; returns the `lifecycle` JSON section and whether
+/// that check passed.
+fn bench_lifecycle(cipher: &Backup, aux: &Backup, unique: usize, threads: usize) -> (String, bool) {
+    use freqdedup_store::persist::FsyncPolicy;
+
+    const GENERATIONS: usize = 8;
+    eprintln!("perf_report: lifecycle churn over {GENERATIONS} backup generations...");
+    let dir =
+        std::env::temp_dir().join(format!("freqdedup-lifecycle-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DedupConfig {
+        persist: Some(PersistConfig::new(&dir).fsync(FsyncPolicy::Never)),
+        ..store_config(unique)
+    };
+
+    let generations: Vec<Backup> =
+        freqdedup_core::par::shard_ranges(cipher.chunks.len(), GENERATIONS)
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .enumerate()
+            .map(|(i, r)| Backup::from_chunks(format!("gen-{i}"), cipher.chunks[r].to_vec()))
+            .collect();
+
+    let (ingest_ms, mut engine) = timed(|| {
+        let mut engine = DedupEngine::open(config).expect("fresh lifecycle scratch dir");
+        for (i, gen) in generations.iter().enumerate() {
+            engine.ingest_backup(gen);
+            engine
+                .commit_backup(i as u64 + 1, i as u64 + 1, &gen.chunks)
+                .expect("commit generation");
+        }
+        engine
+    });
+
+    // Churn: delete every other generation (the odd ids), GC-compact,
+    // then rekey what survives.
+    let victims: Vec<u64> = (1..=generations.len() as u64).step_by(2).collect();
+    let (delete_ms, deleted_bytes) = timed(|| {
+        victims
+            .iter()
+            .map(|&id| {
+                engine
+                    .delete_backup(id)
+                    .expect("delete generation")
+                    .logical_bytes
+            })
+            .sum::<u64>()
+    });
+    let (gc_ms, report) = timed(|| engine.gc(1000));
+    let reclaim_mbps = report.reclaimed_bytes as f64 / 1e3 / gc_ms.max(1e-9);
+    let (rekey_ms, rekey) = timed(|| engine.rekey(b"lifecycle-bench-epoch"));
+
+    // Surviving recipes must be untouched by the compaction + rekey.
+    let mut intact = engine.committed_backups().len() == generations.len() - victims.len();
+    for (i, gen) in generations.iter().enumerate() {
+        let id = i as u64 + 1;
+        if victims.contains(&id) {
+            intact &= engine.backup_recipe(id).is_none();
+        } else {
+            intact &= engine
+                .backup_recipe(id)
+                .is_some_and(|r| r.chunks == gen.chunks);
+        }
+    }
+    engine.close().expect("close lifecycle engine");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The adversary after churn: the tap catalog serves only the
+    // survivors, so the attack sees a shorter, gappier stream.
+    let attack = LocalityAttack::new(LocalityParams::default().threads(threads));
+    let churned = Backup::from_chunks(
+        "churned",
+        generations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !victims.contains(&(*i as u64 + 1)))
+            .flat_map(|(_, g)| g.chunks.iter().copied())
+            .collect(),
+    );
+    let (attack_full_ms, full_inf) = timed(|| attack.run_ciphertext_only(cipher, aux));
+    let (attack_churned_ms, churned_inf) = timed(|| attack.run_ciphertext_only(&churned, aux));
+    let retention = churned_inf.len() as f64 / full_inf.len().max(1) as f64;
+
+    eprintln!(
+        "perf_report: lifecycle ingest {ingest_ms:.1} ms over {} generations; delete x{} \
+         {delete_ms:.1} ms ({deleted_bytes} B released); GC {gc_ms:.1} ms — {} B reclaimed \
+         ({reclaim_mbps:.1} MB/s), {} containers dropped, {} chunks moved; rekey to epoch {} \
+         {rekey_ms:.1} ms ({} containers); attack full {attack_full_ms:.1} ms ({} pairs) vs \
+         churned {attack_churned_ms:.1} ms ({} pairs, {retention:.2} retention); \
+         recipes intact: {intact}",
+        generations.len(),
+        victims.len(),
+        report.reclaimed_bytes,
+        report.containers_dropped,
+        report.moved_chunks,
+        rekey.epoch,
+        rekey.containers_rewritten,
+        full_inf.len(),
+        churned_inf.len(),
+    );
+    let section = format!(
+        "  \"lifecycle\": {{ \"generations\": {}, \"deleted_generations\": {}, \
+         \"ingest_ms\": {ingest_ms:.1}, \"delete_ms\": {delete_ms:.1}, \
+         \"deleted_bytes\": {deleted_bytes}, \"gc_ms\": {gc_ms:.1}, \
+         \"reclaimed_bytes\": {}, \"reclaim_mb_per_s\": {reclaim_mbps:.1}, \
+         \"containers_dropped\": {}, \"moved_chunks\": {}, \"rekey_ms\": {rekey_ms:.1}, \
+         \"epoch\": {}, \"containers_rewritten\": {}, \"attack_full_ms\": {attack_full_ms:.1}, \
+         \"attack_churned_ms\": {attack_churned_ms:.1}, \"inferred_pairs_full\": {}, \
+         \"inferred_pairs_churned\": {}, \"pair_retention\": {retention:.2}, \
+         \"recipes_intact\": {intact} }},\n",
+        generations.len(),
+        victims.len(),
+        report.reclaimed_bytes,
+        report.containers_dropped,
+        report.moved_chunks,
+        rekey.epoch,
+        rekey.containers_rewritten,
+        full_inf.len(),
+        churned_inf.len(),
+    );
+    (section, intact)
+}
+
 fn main() {
     let args = parse_args();
     let threads = ParConfig::with_threads(args.threads).resolve();
@@ -782,6 +936,15 @@ fn main() {
         (String::new(), true)
     };
 
+    // --- Storage lifecycle (optional): deletion, GC compaction reclaim
+    // throughput and rekey latency under churn, plus the churned-tap
+    // attack comparison. ---
+    let (lifecycle_section, lifecycle_intact) = if args.lifecycle {
+        bench_lifecycle(&cipher, &aux, unique, threads)
+    } else {
+        (String::new(), true)
+    };
+
     // --- Attack layer. Warm the allocator and page cache once per path,
     // so the timed runs below don't charge first-touch page faults to
     // whichever path goes first. ---
@@ -825,7 +988,7 @@ fn main() {
     let par_speedup_e2e = seq_e2e_ms / par_e2e_ms;
 
     let json = format!(
-        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}{faults_section}{chunking_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
+        "{{\n  \"bench\": \"locality_attack_end_to_end\",\n  \"quick\": {},\n  \"threads\": {},\n  \"logical_chunks_per_backup\": {},\n  \"unique_chunks_cipher\": {},\n  \"reference\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1} }},\n  \"sequential\": {{ \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1} }},\n  \"parallel\": {{ \"threads\": {}, \"count_ms\": {:.1}, \"end_to_end_ms\": {:.1}, \"encrypt_ms\": {:.1}, \"ingest_ms\": {:.1}, \"speedup_count\": {:.2}, \"speedup_end_to_end\": {:.2} }},\n{persist_section}{serve_section}{streaming_section}{faults_section}{chunking_section}{lifecycle_section}  \"speedup_count\": {:.2},\n  \"speedup_end_to_end\": {:.2},\n  \"identical_inference\": {},\n  \"inferred_pairs\": {}\n}}\n",
         args.quick,
         threads,
         cipher.len(),
@@ -866,6 +1029,10 @@ fn main() {
     }
     if !chunking_identical {
         eprintln!("perf_report: FAIL — parallel chunking diverged from sequential");
+        std::process::exit(1);
+    }
+    if !lifecycle_intact {
+        eprintln!("perf_report: FAIL — surviving recipes corrupted by the lifecycle churn");
         std::process::exit(1);
     }
     eprintln!(

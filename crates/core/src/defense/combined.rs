@@ -21,12 +21,6 @@ pub struct MinHashScrambleScheme {
     scrambler: Option<Scrambler>,
 }
 
-/// The pre-trait name of [`MinHashScrambleScheme`], kept one release so
-/// downstream code migrates cleanly; `defense::DefenseScheme` now names
-/// the scheme *trait*.
-#[deprecated(note = "renamed to `MinHashScrambleScheme`; `DefenseScheme` is now the scheme trait")]
-pub type DefenseSchemeStruct = MinHashScrambleScheme;
-
 impl MinHashScrambleScheme {
     /// MinHash encryption only (no scrambling).
     #[must_use]

@@ -103,6 +103,17 @@ pub struct UploadSummary {
     pub batches: u32,
 }
 
+/// What one server-side GC pass did, as acknowledged over the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcSummary {
+    /// Containers dropped.
+    pub containers_dropped: u64,
+    /// Physical container bytes reclaimed.
+    pub reclaimed_bytes: u64,
+    /// Live chunks rewritten into fresh containers.
+    pub moved_chunks: u64,
+}
+
 /// A backup streamed back by [`Client::restore`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RestoredBackup {
@@ -426,6 +437,88 @@ impl Client {
         match self.call(&Message::StatsReq)? {
             Message::StatsResp(stats) => Ok(stats),
             other => Err(unexpected("StatsResp", &other)),
+        }
+    }
+
+    /// Deletes a committed backup manifest; returns `(chunk references
+    /// released, logical bytes released)`. Deletion is logical — space
+    /// comes back with a later [`Self::gc`]. A nonzero `commit_id` makes
+    /// the operation idempotent (a replayed delete returns the recorded
+    /// ack).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`crate::proto::code::UNKNOWN_LABEL`]
+    /// for unknown manifests; any other [`ClientError`].
+    pub fn delete_backup(
+        &mut self,
+        label: &str,
+        commit_id: u64,
+    ) -> Result<(u64, u64), ClientError> {
+        check_label(label)?;
+        match self.call(&Message::DeleteBackup {
+            label: label.to_string(),
+            commit_id,
+        })? {
+            Message::DeleteBackupAck {
+                chunks,
+                logical_bytes,
+                ..
+            } => Ok((chunks, logical_bytes)),
+            other => Err(unexpected("DeleteBackupAck", &other)),
+        }
+    }
+
+    /// Asks the server to garbage-collect: rewrite live chunks out of
+    /// containers whose live fraction is at most `threshold_permille`
+    /// per thousand, and drop the dead containers. A nonzero `commit_id`
+    /// makes the pass idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn gc(
+        &mut self,
+        threshold_permille: u32,
+        commit_id: u64,
+    ) -> Result<GcSummary, ClientError> {
+        match self.call(&Message::Gc {
+            threshold_permille,
+            commit_id,
+        })? {
+            Message::GcAck {
+                containers_dropped,
+                reclaimed_bytes,
+                moved_chunks,
+            } => Ok(GcSummary {
+                containers_dropped,
+                reclaimed_bytes,
+                moved_chunks,
+            }),
+            other => Err(unexpected("GcAck", &other)),
+        }
+    }
+
+    /// Asks the server to rekey all stored containers under the next key
+    /// epoch derived from `secret` (REED-style re-encryption under
+    /// churn); returns `(epoch now in force, containers rewritten)`.
+    /// Other open sessions' reads turn
+    /// [`crate::proto::code::STALE_EPOCH`] afterwards. A nonzero
+    /// `commit_id` makes the operation idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn rekey(&mut self, secret: &[u8], commit_id: u64) -> Result<(u64, u64), ClientError> {
+        match self.call(&Message::Rekey {
+            secret: secret.to_vec(),
+            commit_id,
+        })? {
+            Message::RekeyAck {
+                epoch,
+                containers_rewritten,
+            } => Ok((epoch, containers_rewritten)),
+            other => Err(unexpected("RekeyAck", &other)),
         }
     }
 

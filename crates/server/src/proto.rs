@@ -18,8 +18,12 @@ use crate::frame::{WireError, MAX_FRAME_BYTES};
 /// Current wire protocol version. Version 2 added the session-resume
 /// handshake ([`Message::Resume`] / [`Message::ResumeAck`]), the
 /// idempotent-commit id on [`Message::CommitManifest`], and the
-/// `tap_warnings` counter in [`ServerStats`].
-pub const WIRE_VERSION: u16 = 2;
+/// `tap_warnings` counter in [`ServerStats`]. Version 3 added the
+/// storage-lifecycle messages ([`Message::DeleteBackup`],
+/// [`Message::Gc`], [`Message::Rekey`] and their acks) and the
+/// [`code::STALE_EPOCH`] refusal for readers that negotiated before a
+/// rekey.
+pub const WIRE_VERSION: u16 = 3;
 /// Oldest wire protocol version this implementation still accepts.
 pub const MIN_WIRE_VERSION: u16 = 2;
 
@@ -44,6 +48,12 @@ const TAG_SHUTDOWN_ACK: u8 = 0x0e;
 const TAG_ERROR: u8 = 0x0f;
 const TAG_RESUME: u8 = 0x10;
 const TAG_RESUME_ACK: u8 = 0x11;
+const TAG_DELETE_BACKUP: u8 = 0x12;
+const TAG_DELETE_BACKUP_ACK: u8 = 0x13;
+const TAG_GC: u8 = 0x14;
+const TAG_GC_ACK: u8 = 0x15;
+const TAG_REKEY: u8 = 0x16;
+const TAG_REKEY_ACK: u8 = 0x17;
 
 /// Protocol error codes carried by [`Message::ErrorResp`].
 pub mod code {
@@ -57,6 +67,10 @@ pub mod code {
     pub const UNKNOWN_LABEL: u16 = 4;
     /// A batch was structurally invalid (counts or sizes disagree).
     pub const BAD_BATCH: u16 = 5;
+    /// The store was rekeyed to a newer key epoch after this session
+    /// negotiated; reads under the old epoch are refused — reconnect to
+    /// pick up the current epoch.
+    pub const STALE_EPOCH: u16 = 6;
 }
 
 /// How a [`Message::ChunkResp`] relates to stored payload bytes.
@@ -256,6 +270,67 @@ pub enum Message {
         /// Number of chunk frames that follow.
         count: u64,
     },
+    /// Client → server: delete a committed backup manifest. Deletion is
+    /// logical — chunk references are released and the manifest stops
+    /// being restorable; container space is reclaimed by a later
+    /// [`Message::Gc`].
+    DeleteBackup {
+        /// Manifest label to delete.
+        label: String,
+        /// Client-chosen idempotent operation id; `0` opts out. A nonzero
+        /// id that was already applied replays the recorded ack instead
+        /// of deleting twice.
+        commit_id: u64,
+    },
+    /// Server → client: backup deleted.
+    DeleteBackupAck {
+        /// Echo of the label.
+        label: String,
+        /// Chunk references released by the deletion.
+        chunks: u64,
+        /// Logical bytes those references covered.
+        logical_bytes: u64,
+    },
+    /// Client → server: run garbage collection — rewrite live chunks out
+    /// of mostly-dead containers and drop the dead containers.
+    Gc {
+        /// A container is collected when at most this many live chunks
+        /// per thousand remain in it (1000 collects everything not fully
+        /// live; 0 collects only fully dead containers).
+        threshold_permille: u32,
+        /// Idempotent operation id (`0` opts out), as on
+        /// [`Message::DeleteBackup`].
+        commit_id: u64,
+    },
+    /// Server → client: garbage collection finished.
+    GcAck {
+        /// Containers dropped.
+        containers_dropped: u64,
+        /// Physical container bytes reclaimed.
+        reclaimed_bytes: u64,
+        /// Live chunks rewritten into fresh containers to free their
+        /// old homes.
+        moved_chunks: u64,
+    },
+    /// Client → server: REED-style rekeying — re-encrypt all stored
+    /// containers under the next key epoch derived from `secret`,
+    /// preserving dedup structure. After the ack, sessions that
+    /// negotiated before the rekey are refused reads with
+    /// [`code::STALE_EPOCH`].
+    Rekey {
+        /// The new epoch's secret key material.
+        secret: Vec<u8>,
+        /// Idempotent operation id (`0` opts out), as on
+        /// [`Message::DeleteBackup`].
+        commit_id: u64,
+    },
+    /// Server → client: rekey committed.
+    RekeyAck {
+        /// The key epoch now in force.
+        epoch: u64,
+        /// Containers rewritten under the new epoch.
+        containers_rewritten: u64,
+    },
     /// Client → server: request aggregate service counters.
     StatsReq,
     /// Server → client: aggregate service counters.
@@ -387,6 +462,56 @@ impl Message {
                 put_str(&mut out, label);
                 out.extend_from_slice(&count.to_le_bytes());
             }
+            Message::DeleteBackup { label, commit_id } => {
+                out.push(TAG_DELETE_BACKUP);
+                put_str(&mut out, label);
+                out.extend_from_slice(&commit_id.to_le_bytes());
+            }
+            Message::DeleteBackupAck {
+                label,
+                chunks,
+                logical_bytes,
+            } => {
+                out.push(TAG_DELETE_BACKUP_ACK);
+                put_str(&mut out, label);
+                out.extend_from_slice(&chunks.to_le_bytes());
+                out.extend_from_slice(&logical_bytes.to_le_bytes());
+            }
+            Message::Gc {
+                threshold_permille,
+                commit_id,
+            } => {
+                out.push(TAG_GC);
+                out.extend_from_slice(&threshold_permille.to_le_bytes());
+                out.extend_from_slice(&commit_id.to_le_bytes());
+            }
+            Message::GcAck {
+                containers_dropped,
+                reclaimed_bytes,
+                moved_chunks,
+            } => {
+                out.push(TAG_GC_ACK);
+                out.extend_from_slice(&containers_dropped.to_le_bytes());
+                out.extend_from_slice(&reclaimed_bytes.to_le_bytes());
+                out.extend_from_slice(&moved_chunks.to_le_bytes());
+            }
+            Message::Rekey { secret, commit_id } => {
+                out.push(TAG_REKEY);
+                // Secrets ride as u16-length raw bytes (same bound as
+                // strings, no UTF-8 requirement).
+                let len = secret.len().min(MAX_STR_BYTES);
+                out.extend_from_slice(&(len as u16).to_le_bytes());
+                out.extend_from_slice(&secret[..len]);
+                out.extend_from_slice(&commit_id.to_le_bytes());
+            }
+            Message::RekeyAck {
+                epoch,
+                containers_rewritten,
+            } => {
+                out.push(TAG_REKEY_ACK);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&containers_rewritten.to_le_bytes());
+            }
             Message::StatsReq => out.push(TAG_STATS),
             Message::StatsResp(s) => {
                 out.push(TAG_STATS_RESP);
@@ -501,6 +626,36 @@ impl Message {
             TAG_RESTORE_HEADER => Message::RestoreHeader {
                 label: r.str()?,
                 count: r.u64()?,
+            },
+            TAG_DELETE_BACKUP => Message::DeleteBackup {
+                label: r.str()?,
+                commit_id: r.u64()?,
+            },
+            TAG_DELETE_BACKUP_ACK => Message::DeleteBackupAck {
+                label: r.str()?,
+                chunks: r.u64()?,
+                logical_bytes: r.u64()?,
+            },
+            TAG_GC => Message::Gc {
+                threshold_permille: r.u32()?,
+                commit_id: r.u64()?,
+            },
+            TAG_GC_ACK => Message::GcAck {
+                containers_dropped: r.u64()?,
+                reclaimed_bytes: r.u64()?,
+                moved_chunks: r.u64()?,
+            },
+            TAG_REKEY => {
+                let n = r.u16()? as usize;
+                let secret = r.bytes(n)?.to_vec();
+                Message::Rekey {
+                    secret,
+                    commit_id: r.u64()?,
+                }
+            }
+            TAG_REKEY_ACK => Message::RekeyAck {
+                epoch: r.u64()?,
+                containers_rewritten: r.u64()?,
             },
             TAG_STATS => Message::StatsReq,
             TAG_STATS_RESP => Message::StatsResp(ServerStats {
@@ -661,6 +816,36 @@ mod tests {
         round_trip(Message::RestoreHeader {
             label: "week-01".into(),
             count: 99,
+        });
+        round_trip(Message::DeleteBackup {
+            label: "week-01".into(),
+            commit_id: 5,
+        });
+        round_trip(Message::DeleteBackupAck {
+            label: "week-01".into(),
+            chunks: 1234,
+            logical_bytes: 99_000,
+        });
+        round_trip(Message::Gc {
+            threshold_permille: 300,
+            commit_id: 6,
+        });
+        round_trip(Message::GcAck {
+            containers_dropped: 4,
+            reclaimed_bytes: 16_384,
+            moved_chunks: 12,
+        });
+        round_trip(Message::Rekey {
+            secret: b"epoch-one-secret".to_vec(),
+            commit_id: 7,
+        });
+        round_trip(Message::Rekey {
+            secret: Vec::new(),
+            commit_id: 0,
+        });
+        round_trip(Message::RekeyAck {
+            epoch: 1,
+            containers_rewritten: 9,
         });
         round_trip(Message::StatsReq);
         round_trip(Message::StatsResp(ServerStats {

@@ -20,11 +20,13 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
+use freqdedup_store::lifecycle::LifecycleError;
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::frame::{read_frame, write_frame, WireError};
 use crate::proto::{code, ChunkStatus, Message, ResumeState, MIN_WIRE_VERSION, WIRE_VERSION};
 use crate::server::{lock_unpoisoned, Parked, Shared};
+use crate::tap::AppliedCommit;
 
 /// Poll interval for the stop flag while a session is idle.
 const IDLE_POLL: Duration = Duration::from_millis(25);
@@ -47,6 +49,7 @@ pub(crate) fn serve_connection(mut stream: TcpStream, shared: &Shared, id: u64) 
         resume_declared: None,
         acked_batches: 0,
         pending: Vec::new(),
+        epoch: 0,
     };
     let outcome = session.run(&mut stream);
     if !session.pending.is_empty() {
@@ -98,6 +101,12 @@ struct Session<'a> {
     acked_batches: u32,
     /// Observed (pre-dedup) stream since the last commit.
     pending: Vec<ChunkRecord>,
+    /// The store's key epoch when this session negotiated (refreshed
+    /// when the session itself rekeys). Reads are refused with
+    /// [`code::STALE_EPOCH`] once another session advances the epoch —
+    /// the wire-level face of "old-key reads stop working after the
+    /// rekey commits".
+    epoch: u64,
 }
 
 impl Session<'_> {
@@ -149,6 +158,7 @@ impl Session<'_> {
                     }
                     let negotiated = version.min(WIRE_VERSION);
                     self.hello_done = true;
+                    self.epoch = self.current_epoch();
                     self.shared.log(&format!(
                         "session {}: hello from {client:?} (v{negotiated})",
                         self.id
@@ -170,11 +180,18 @@ impl Session<'_> {
                 Message::CommitManifest { label, commit_id } => {
                     self.handle_commit(stream, label, commit_id)?;
                 }
-                Message::GetChunk { fp } => {
-                    let resp = self.lookup_chunk(Fingerprint(fp));
-                    self.reply(stream, &resp)?;
-                }
+                Message::GetChunk { fp } => self.handle_get(stream, Fingerprint(fp))?,
                 Message::RestoreBackup { label } => self.handle_restore(stream, &label)?,
+                Message::DeleteBackup { label, commit_id } => {
+                    self.handle_delete(stream, label, commit_id)?;
+                }
+                Message::Gc {
+                    threshold_permille,
+                    commit_id,
+                } => self.handle_gc(stream, threshold_permille, commit_id)?,
+                Message::Rekey { secret, commit_id } => {
+                    self.handle_rekey(stream, &secret, commit_id)?;
+                }
                 Message::StatsReq => {
                     let stats = self.shared.stats();
                     self.reply(stream, &Message::StatsResp(stats))?;
@@ -194,6 +211,9 @@ impl Session<'_> {
                 | Message::CommitAck { .. }
                 | Message::ChunkResp { .. }
                 | Message::RestoreHeader { .. }
+                | Message::DeleteBackupAck { .. }
+                | Message::GcAck { .. }
+                | Message::RekeyAck { .. }
                 | Message::StatsResp(_)
                 | Message::ShutdownAck
                 | Message::ErrorResp { .. } => {
@@ -320,7 +340,34 @@ impl Session<'_> {
                 },
             );
         }
-        let backup = Backup::from_chunks(label.clone(), std::mem::take(&mut self.pending));
+        let records = std::mem::take(&mut self.pending);
+        // Register the manifest with the engine's lifecycle layer (still
+        // under the tap lock, so a racing replay of the same commit id
+        // cannot double-register): the recipe and per-chunk refcounts are
+        // what make the backup deletable and its containers
+        // GC-accountable later. The commit counter doubles as a monotonic
+        // logical timestamp for retention policies.
+        {
+            let mut slot = lock_unpoisoned(&self.shared.slot);
+            let engine = slot.engine.as_mut().expect("engine open while serving");
+            let backup_id = label_backup_id(&label);
+            let timestamp = self.shared.commits.load(Ordering::SeqCst) + 1;
+            match engine.commit_backup(backup_id, timestamp, &records) {
+                Ok(()) => {}
+                Err(LifecycleError::DuplicateBackup { .. }) => {
+                    // Label reuse shadows the earlier manifest (tap
+                    // lookup already prefers the latest): release the
+                    // old recipe's references, then commit the new one
+                    // under the same id.
+                    let _ = engine.delete_backup(backup_id);
+                    engine
+                        .commit_backup(backup_id, timestamp, &records)
+                        .expect("recommit after releasing the shadowed recipe");
+                }
+                Err(e) => panic!("backup registration failed: {e}"),
+            }
+        }
+        let backup = Backup::from_chunks(label.clone(), records);
         let chunks = backup.len() as u64;
         tap.record_commit_id(backup, commit_id);
         drop(tap);
@@ -332,6 +379,191 @@ impl Session<'_> {
             self.id
         ));
         self.reply(stream, &Message::CommitAck { label, chunks })
+    }
+
+    /// Deletes a committed backup: the engine releases its chunk
+    /// references (reclaimed later by GC) and the tap drops the manifest
+    /// from the catalog — both under one tap lock so a racing replay of
+    /// the same operation id cannot double-delete. The deletion itself
+    /// becomes an adversary observable.
+    fn handle_delete(
+        &mut self,
+        stream: &mut TcpStream,
+        label: String,
+        commit_id: u64,
+    ) -> Result<(), WireError> {
+        let mut tap = lock_unpoisoned(&self.shared.tap);
+        if commit_id != 0 {
+            if let Some(a) = tap.applied(commit_id).cloned() {
+                drop(tap);
+                self.shared.log(&format!(
+                    "session {}: delete {commit_id:#x} replayed ({:?})",
+                    self.id, a.label
+                ));
+                return self.reply(
+                    stream,
+                    &Message::DeleteBackupAck {
+                        label: a.label,
+                        chunks: a.chunks,
+                        logical_bytes: a.extra,
+                    },
+                );
+            }
+        }
+        let report = {
+            let mut slot = lock_unpoisoned(&self.shared.slot);
+            let engine = slot.engine.as_mut().expect("engine open while serving");
+            engine.delete_backup(label_backup_id(&label))
+        };
+        let Ok(report) = report else {
+            drop(tap);
+            self.reply_err(
+                stream,
+                code::UNKNOWN_LABEL,
+                &format!("no manifest {label:?}"),
+            );
+            return Ok(());
+        };
+        tap.delete_backup(&label);
+        tap.record_applied(
+            commit_id,
+            AppliedCommit {
+                label: label.clone(),
+                chunks: report.chunks_released,
+                extra: report.logical_bytes,
+                extra2: 0,
+            },
+        );
+        drop(tap);
+        self.shared.log(&format!(
+            "session {}: delete {label:?} ({} chunk refs, {} logical bytes)",
+            self.id, report.chunks_released, report.logical_bytes
+        ));
+        self.reply(
+            stream,
+            &Message::DeleteBackupAck {
+                label,
+                chunks: report.chunks_released,
+                logical_bytes: report.logical_bytes,
+            },
+        )
+    }
+
+    /// Runs a garbage-collection pass over every shard and records it as
+    /// an adversary observable. Idempotent under a nonzero operation id
+    /// (a replay returns the recorded ack without collecting again).
+    fn handle_gc(
+        &mut self,
+        stream: &mut TcpStream,
+        threshold_permille: u32,
+        commit_id: u64,
+    ) -> Result<(), WireError> {
+        let mut tap = lock_unpoisoned(&self.shared.tap);
+        if commit_id != 0 {
+            if let Some(a) = tap.applied(commit_id).cloned() {
+                drop(tap);
+                self.shared
+                    .log(&format!("session {}: gc {commit_id:#x} replayed", self.id));
+                return self.reply(
+                    stream,
+                    &Message::GcAck {
+                        containers_dropped: a.chunks,
+                        reclaimed_bytes: a.extra,
+                        moved_chunks: a.extra2,
+                    },
+                );
+            }
+        }
+        let report = {
+            let mut slot = lock_unpoisoned(&self.shared.slot);
+            let engine = slot.engine.as_mut().expect("engine open while serving");
+            engine.gc(threshold_permille)
+        };
+        tap.record_gc(report.containers_dropped, report.reclaimed_bytes);
+        tap.record_applied(
+            commit_id,
+            AppliedCommit {
+                label: String::new(),
+                chunks: report.containers_dropped,
+                extra: report.reclaimed_bytes,
+                extra2: report.moved_chunks,
+            },
+        );
+        drop(tap);
+        self.shared.log(&format!(
+            "session {}: gc dropped {} containers, reclaimed {} bytes, moved {} chunks",
+            self.id, report.containers_dropped, report.reclaimed_bytes, report.moved_chunks
+        ));
+        self.reply(
+            stream,
+            &Message::GcAck {
+                containers_dropped: report.containers_dropped,
+                reclaimed_bytes: report.reclaimed_bytes,
+                moved_chunks: report.moved_chunks,
+            },
+        )
+    }
+
+    /// REED-style rekeying: re-encrypts every stored container under the
+    /// next key epoch derived from `secret`. The rekeying session stays
+    /// current; every other open session's reads turn
+    /// [`code::STALE_EPOCH`].
+    fn handle_rekey(
+        &mut self,
+        stream: &mut TcpStream,
+        secret: &[u8],
+        commit_id: u64,
+    ) -> Result<(), WireError> {
+        if secret.is_empty() {
+            self.reply_err(stream, code::BAD_STATE, "REKEY requires a nonempty secret");
+            return Ok(());
+        }
+        let mut tap = lock_unpoisoned(&self.shared.tap);
+        if commit_id != 0 {
+            if let Some(a) = tap.applied(commit_id).cloned() {
+                drop(tap);
+                self.epoch = self.epoch.max(a.chunks);
+                self.shared.log(&format!(
+                    "session {}: rekey {commit_id:#x} replayed (epoch {})",
+                    self.id, a.chunks
+                ));
+                return self.reply(
+                    stream,
+                    &Message::RekeyAck {
+                        epoch: a.chunks,
+                        containers_rewritten: a.extra,
+                    },
+                );
+            }
+        }
+        let report = {
+            let mut slot = lock_unpoisoned(&self.shared.slot);
+            let engine = slot.engine.as_mut().expect("engine open while serving");
+            engine.rekey(secret)
+        };
+        tap.record_rekey(report.epoch);
+        tap.record_applied(
+            commit_id,
+            AppliedCommit {
+                label: String::new(),
+                chunks: report.epoch,
+                extra: report.containers_rewritten,
+                extra2: 0,
+            },
+        );
+        drop(tap);
+        self.epoch = self.epoch.max(report.epoch);
+        self.shared.log(&format!(
+            "session {}: rekey to epoch {} ({} containers rewritten)",
+            self.id, report.epoch, report.containers_rewritten
+        ));
+        self.reply(
+            stream,
+            &Message::RekeyAck {
+                epoch: report.epoch,
+                containers_rewritten: report.containers_rewritten,
+            },
+        )
     }
 
     /// Ingests one batch: dedup through the sharded engine *and* append
@@ -406,8 +638,12 @@ impl Session<'_> {
     }
 
     /// Streams a committed backup back: header, then one chunk frame per
-    /// record in logical order.
+    /// record in logical order. Refused once the store's key epoch moved
+    /// past the one this session negotiated.
     fn handle_restore(&mut self, stream: &mut TcpStream, label: &str) -> Result<(), WireError> {
+        if self.check_stale_epoch(stream) {
+            return Ok(());
+        }
         let records: Option<Vec<ChunkRecord>> = {
             let tap = lock_unpoisoned(&self.shared.tap);
             tap.backup(label).map(|b| b.chunks.clone())
@@ -449,10 +685,45 @@ impl Session<'_> {
         Ok(())
     }
 
-    fn lookup_chunk(&self, fp: Fingerprint) -> Message {
+    /// Serves GET-CHUNK, refused like restores once the session's key
+    /// epoch is stale.
+    fn handle_get(&mut self, stream: &mut TcpStream, fp: Fingerprint) -> Result<(), WireError> {
+        if self.check_stale_epoch(stream) {
+            return Ok(());
+        }
+        let resp = {
+            let slot = lock_unpoisoned(&self.shared.slot);
+            let engine = slot.engine.as_ref().expect("engine open while serving");
+            chunk_resp(engine, fp, 0)
+        };
+        self.reply(stream, &resp)
+    }
+
+    /// The store's current key epoch (max across shards).
+    fn current_epoch(&self) -> u64 {
         let slot = lock_unpoisoned(&self.shared.slot);
-        let engine = slot.engine.as_ref().expect("engine open while serving");
-        chunk_resp(engine, fp, 0)
+        slot.engine
+            .as_ref()
+            .map_or(0, freqdedup_store::sharded::ShardedDedupEngine::epoch)
+    }
+
+    /// Replies [`code::STALE_EPOCH`] (returning `true`) when the store
+    /// was rekeyed after this session negotiated — the session's view of
+    /// the at-rest keys is obsolete; it must reconnect to read again.
+    fn check_stale_epoch(&mut self, stream: &mut TcpStream) -> bool {
+        let current = self.current_epoch();
+        if current == self.epoch {
+            return false;
+        }
+        self.reply_err(
+            stream,
+            code::STALE_EPOCH,
+            &format!(
+                "store rekeyed to epoch {current} after this session negotiated epoch {}; reconnect",
+                self.epoch
+            ),
+        );
+        true
     }
 
     fn reply(&self, stream: &mut TcpStream, msg: &Message) -> Result<(), WireError> {
@@ -471,6 +742,19 @@ impl Session<'_> {
             .encode(),
         );
     }
+}
+
+/// The engine-side backup id of a manifest label: a 64-bit FNV-1a hash,
+/// stable across sessions and restarts so DELETE-BACKUP can address a
+/// manifest committed in an earlier server run without a separate
+/// label→id catalog.
+pub(crate) fn label_backup_id(label: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in label.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Builds the [`Message::ChunkResp`] for a fingerprint, distinguishing

@@ -184,22 +184,75 @@ impl TapStreaming {
 }
 
 /// One entry of the applied-commit registry: what a nonzero commit ID
-/// already produced, so a client replaying the same COMMIT-MANIFEST after
-/// a mid-commit disconnect gets the recorded acknowledgement instead of a
-/// second ingestion.
+/// already produced, so a client replaying the same operation after a
+/// mid-operation disconnect gets the recorded acknowledgement instead of
+/// a second application. Since PR 8 the registry covers the lifecycle
+/// operations too (DELETE-BACKUP, GC, REKEY), which reuse the generic
+/// `extra` slots for their ack fields.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AppliedCommit {
-    /// The manifest label the commit created.
+    /// The manifest label the operation named (empty for GC/REKEY).
     pub label: String,
-    /// Logical chunks the committed stream carried (echoed in the
-    /// replayed `CommitAck`).
+    /// Primary ack counter: logical chunks for COMMIT-MANIFEST, chunk
+    /// references released for DELETE-BACKUP, containers dropped for GC,
+    /// the committed epoch for REKEY.
     pub chunks: u64,
+    /// Secondary ack counter: logical bytes for DELETE-BACKUP, reclaimed
+    /// bytes for GC, containers rewritten for REKEY; 0 for commits.
+    pub extra: u64,
+    /// Tertiary ack counter: moved chunks for GC; 0 otherwise.
+    pub extra2: u64,
+}
+
+impl AppliedCommit {
+    /// Entry for an ordinary manifest commit (the extra slots unused).
+    #[must_use]
+    pub fn manifest(label: String, chunks: u64) -> Self {
+        AppliedCommit {
+            label,
+            chunks,
+            extra: 0,
+            extra2: 0,
+        }
+    }
+}
+
+/// One lifecycle operation as the provider-side adversary observes it.
+/// Deletion and GC are *events the provider performs* — they are part of
+/// the observable record exactly like uploads: an attacker watching the
+/// service learns which manifests churn and how much physical space each
+/// collection freed, even though the running frequency state never
+/// un-counts what was already observed (the provider cannot unsee an
+/// upload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// A committed manifest was deleted.
+    Delete {
+        /// The deleted manifest's label.
+        label: String,
+        /// Logical chunks the deleted manifest carried.
+        chunks: u64,
+    },
+    /// A garbage-collection pass ran.
+    Gc {
+        /// Containers dropped by the pass.
+        containers_dropped: u64,
+        /// Physical bytes reclaimed.
+        reclaimed_bytes: u64,
+    },
+    /// The store was re-encrypted under a new key epoch.
+    Rekey {
+        /// The epoch now in force.
+        epoch: u64,
+    },
 }
 
 /// Magic bytes of the applied-commit registry file (`tap.cids`).
 const CIDS_MAGIC: &[u8; 4] = b"FQCI";
-/// Format version of the registry file.
-const CIDS_VERSION: u16 = 1;
+/// Format version of the registry file. Version 2 added the two `extra`
+/// ack slots per entry (lifecycle-operation replays); version-1 files are
+/// rejected, which the server degrades to "no replay-suppression window".
+const CIDS_VERSION: u16 = 2;
 /// Sanity bound on a registry label length (matches the wire layer's
 /// attitude: a corrupted length field must not drive an allocation).
 const CIDS_MAX_LABEL: u64 = 1 << 20;
@@ -218,6 +271,15 @@ pub struct AdversaryTap {
     /// Exactly-once registry: nonzero commit IDs that already committed,
     /// with the ack the client should see on replay.
     applied: HashMap<u64, AppliedCommit>,
+    /// Lifecycle operations observed in order (deletions, GC passes,
+    /// rekeys) — adversary observables, like the committed streams.
+    lifecycle: Vec<LifecycleEvent>,
+    /// Manifests deleted from the catalog since this tap was built or
+    /// loaded (the running attack state still covers them — observation
+    /// is irreversible).
+    deleted_commits: u64,
+    /// Logical chunks those deleted manifests carried.
+    deleted_chunks: u64,
     /// Degraded-recovery events observed while loading persisted state
     /// (corrupt `tap.fqis` / `tap.cids` recovered by replay or reset).
     warnings: u64,
@@ -247,14 +309,81 @@ impl AdversaryTap {
         if commit_id != 0 {
             self.applied.insert(
                 commit_id,
-                AppliedCommit {
-                    label: backup.label.clone(),
-                    chunks: backup.len() as u64,
-                },
+                AppliedCommit::manifest(backup.label.clone(), backup.len() as u64),
             );
         }
         self.streaming.commit(&backup);
         self.committed.push(backup);
+    }
+
+    /// Registers a nonzero operation id in the applied registry without
+    /// touching the catalog — the lifecycle operations' exactly-once
+    /// path (the catalog change, if any, happens through
+    /// [`Self::delete_backup`] / [`Self::record_gc`] /
+    /// [`Self::record_rekey`]).
+    pub fn record_applied(&mut self, commit_id: u64, entry: AppliedCommit) {
+        if commit_id != 0 {
+            self.applied.insert(commit_id, entry);
+        }
+    }
+
+    /// Deletes every committed manifest with `label` from the catalog,
+    /// recording the deletion as a lifecycle observable. Returns the
+    /// total `(chunks, bytes)` the removed manifests carried, or `None`
+    /// when no manifest matched. The running attack state keeps covering
+    /// the deleted streams — the provider observed them; deletion cannot
+    /// unobserve. A restarted tap rebuilds from the surviving catalog
+    /// only.
+    pub fn delete_backup(&mut self, label: &str) -> Option<(u64, u64)> {
+        let mut chunks = 0u64;
+        let mut bytes = 0u64;
+        let mut removed = 0u64;
+        self.committed.retain(|b| {
+            if b.label == label {
+                chunks += b.len() as u64;
+                bytes += b.chunks.iter().map(|rec| u64::from(rec.size)).sum::<u64>();
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if removed == 0 {
+            return None;
+        }
+        self.deleted_commits += removed;
+        self.deleted_chunks += chunks;
+        self.lifecycle.push(LifecycleEvent::Delete {
+            label: label.to_string(),
+            chunks,
+        });
+        Some((chunks, bytes))
+    }
+
+    /// Records a garbage-collection pass as a lifecycle observable.
+    pub fn record_gc(&mut self, containers_dropped: u64, reclaimed_bytes: u64) {
+        self.lifecycle.push(LifecycleEvent::Gc {
+            containers_dropped,
+            reclaimed_bytes,
+        });
+    }
+
+    /// Records a committed rekey as a lifecycle observable.
+    pub fn record_rekey(&mut self, epoch: u64) {
+        self.lifecycle.push(LifecycleEvent::Rekey { epoch });
+    }
+
+    /// Lifecycle operations observed so far, in order.
+    #[must_use]
+    pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+        &self.lifecycle
+    }
+
+    /// Manifests deleted from the catalog since this tap was built or
+    /// loaded.
+    #[must_use]
+    pub fn deleted_commits(&self) -> u64 {
+        self.deleted_commits
     }
 
     /// Looks up a nonzero commit ID in the applied-commit registry.
@@ -329,14 +458,16 @@ impl AdversaryTap {
         &self.streaming
     }
 
-    /// Whether the running state covers exactly the committed catalog
-    /// (commit count and logical chunk count agree). Always true for a
-    /// tap built through [`Self::record_commit`]; checked after a resume
-    /// from separately persisted state.
+    /// Whether the running state covers exactly what was observed: the
+    /// committed catalog plus everything [`Self::delete_backup`] removed
+    /// from it (the adversary's state never un-counts an observation).
+    /// Always true for a tap built through [`Self::record_commit`] /
+    /// [`Self::delete_backup`]; checked after a resume from separately
+    /// persisted state.
     #[must_use]
     pub fn streaming_consistent(&self) -> bool {
-        self.streaming.commits() == self.committed.len() as u64
-            && self.streaming.logical_chunks() == self.observed_chunks()
+        self.streaming.commits() == self.committed.len() as u64 + self.deleted_commits
+            && self.streaming.logical_chunks() == self.observed_chunks() + self.deleted_chunks
     }
 
     /// Runs `kind` in ciphertext-only mode against the **running** state
@@ -422,7 +553,8 @@ impl AdversaryTap {
     }
 
     /// Persists the applied-commit registry (`tap.cids`): magic,
-    /// version, entry count, `(commit_id, chunks, label)` entries, and a
+    /// version, entry count, `(commit_id, chunks, extra, extra2, label)`
+    /// entries, and a
     /// trailing CRC-32 over everything before it. Like the catalog and
     /// the streaming state, the registry is written at graceful shutdown
     /// — a crash between commits loses at most the replay-suppression
@@ -432,7 +564,7 @@ impl AdversaryTap {
     ///
     /// Returns [`TraceIoError`] on write failure.
     pub fn save_commit_ids(&self, path: &Path) -> Result<(), TraceIoError> {
-        let mut body = Vec::with_capacity(16 + self.applied.len() * 24);
+        let mut body = Vec::with_capacity(16 + self.applied.len() * 44);
         body.extend_from_slice(CIDS_MAGIC);
         body.extend_from_slice(&CIDS_VERSION.to_le_bytes());
         body.extend_from_slice(&(self.applied.len() as u32).to_le_bytes());
@@ -443,6 +575,8 @@ impl AdversaryTap {
             let entry = &self.applied[&id];
             body.extend_from_slice(&id.to_le_bytes());
             body.extend_from_slice(&entry.chunks.to_le_bytes());
+            body.extend_from_slice(&entry.extra.to_le_bytes());
+            body.extend_from_slice(&entry.extra2.to_le_bytes());
             body.extend_from_slice(&(entry.label.len() as u32).to_le_bytes());
             body.extend_from_slice(entry.label.as_bytes());
         }
@@ -481,18 +615,20 @@ impl AdversaryTap {
         let mut at = 10;
         let mut loaded = 0;
         for _ in 0..count {
-            if body.len() < at + 20 {
+            if body.len() < at + 36 {
                 return Err(TraceIoError::LengthOverflow(body.len() as u64));
             }
             let id = u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
             let chunks = u64::from_le_bytes(body[at + 8..at + 16].try_into().expect("8 bytes"));
+            let extra = u64::from_le_bytes(body[at + 16..at + 24].try_into().expect("8 bytes"));
+            let extra2 = u64::from_le_bytes(body[at + 24..at + 32].try_into().expect("8 bytes"));
             let label_len =
-                u32::from_le_bytes(body[at + 16..at + 20].try_into().expect("4 bytes")) as u64;
+                u32::from_le_bytes(body[at + 32..at + 36].try_into().expect("4 bytes")) as u64;
             if label_len > CIDS_MAX_LABEL {
                 return Err(TraceIoError::LengthOverflow(label_len));
             }
             let label_len = label_len as usize;
-            at += 20;
+            at += 36;
             if body.len() < at + label_len {
                 return Err(TraceIoError::LengthOverflow(body.len() as u64));
             }
@@ -501,7 +637,15 @@ impl AdversaryTap {
                 .to_owned();
             at += label_len;
             if id != 0 {
-                self.applied.insert(id, AppliedCommit { label, chunks });
+                self.applied.insert(
+                    id,
+                    AppliedCommit {
+                        label,
+                        chunks,
+                        extra,
+                        extra2,
+                    },
+                );
                 loaded += 1;
             }
         }
@@ -737,9 +881,23 @@ mod tests {
         assert!(tap.applied(0).is_none());
         tap.save_commit_ids(&path).unwrap();
 
+        // Lifecycle ops register through the same file with the extra
+        // ack slots intact.
+        tap.record_applied(
+            50,
+            AppliedCommit {
+                label: "m0".into(),
+                chunks: 2,
+                extra: 16,
+                extra2: 0,
+            },
+        );
+        tap.save_commit_ids(&path).unwrap();
+
         let mut back = AdversaryTap::new();
-        assert_eq!(back.load_commit_ids(&path).unwrap(), 2);
+        assert_eq!(back.load_commit_ids(&path).unwrap(), 3);
         assert_eq!(back.applied_commits(), tap.applied_commits());
+        assert_eq!(back.applied(50).unwrap().extra, 16);
 
         // Any flipped byte fails the trailing CRC.
         let clean = std::fs::read(&path).unwrap();
@@ -793,6 +951,59 @@ mod tests {
         let boot = AdversaryTap::load_resuming(&tap_path, &stream_path).unwrap();
         assert_eq!(boot.warnings(), 0);
         assert!(boot.streaming_consistent());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deletion_shrinks_catalog_but_not_the_observed_state() {
+        let mut tap = AdversaryTap::new();
+        tap.record_commit(backup("keep", &[1, 2]));
+        tap.record_commit(backup("gone", &[3, 4, 5]));
+        tap.record_commit(backup("gone", &[6]));
+        assert!(tap.delete_backup("missing").is_none());
+
+        // Deleting a reused label removes every entry under it.
+        let (chunks, bytes) = tap.delete_backup("gone").unwrap();
+        assert_eq!(chunks, 4);
+        assert_eq!(bytes, 4 * 8);
+        assert_eq!(tap.len(), 1);
+        assert!(tap.backup("gone").is_none());
+        assert_eq!(tap.deleted_commits(), 2);
+
+        // The running attack state still covers the deleted streams —
+        // and the consistency check knows that.
+        assert_eq!(tap.streaming().commits(), 3);
+        assert_eq!(tap.streaming().logical_chunks(), 6);
+        assert!(tap.streaming_consistent());
+
+        // Deletion, GC and rekey all land in the observable record.
+        tap.record_gc(2, 4096);
+        tap.record_rekey(1);
+        assert_eq!(
+            tap.lifecycle_events(),
+            &[
+                LifecycleEvent::Delete {
+                    label: "gone".into(),
+                    chunks: 4
+                },
+                LifecycleEvent::Gc {
+                    containers_dropped: 2,
+                    reclaimed_bytes: 4096
+                },
+                LifecycleEvent::Rekey { epoch: 1 },
+            ]
+        );
+
+        // A save/reload rebuilds from the surviving catalog only — the
+        // restarted adversary state covers exactly what still exists.
+        let dir = std::env::temp_dir().join(format!("freqdedup-tapdel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tap.fqdt");
+        tap.save(&path).unwrap();
+        let back = AdversaryTap::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.streaming().commits(), 1);
+        assert!(back.streaming_consistent());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -132,6 +132,21 @@ impl FingerprintCache {
         }
     }
 
+    /// Drops `fp` from the cache if present, preserving the recency order
+    /// of the remaining entries. This is an *invalidation* (GC removed the
+    /// chunk from the store), not a capacity eviction, so the eviction
+    /// counter is untouched. Returns whether the entry existed.
+    pub fn remove(&mut self, fp: Fingerprint) -> bool {
+        match self.map.remove(&fp) {
+            Some(node) => {
+                self.unlink(node);
+                self.free.push(node);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Cache hits observed so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -297,6 +312,23 @@ mod tests {
         for i in 990..1000 {
             assert!(c.peek(fp(i)));
         }
+    }
+
+    #[test]
+    fn remove_invalidates_without_counting_eviction() {
+        let mut c = FingerprintCache::new(4);
+        for v in [1u64, 2, 3, 4] {
+            c.insert(fp(v));
+        }
+        assert!(c.remove(fp(2)));
+        assert!(!c.remove(fp(2)), "already gone");
+        assert!(!c.peek(fp(2)));
+        assert_eq!(c.evictions(), 0, "invalidation is not an eviction");
+        assert_eq!(c.lru_to_mru(), vec![fp(1), fp(3), fp(4)]);
+        // The freed slot is reusable and the chain stays coherent.
+        c.insert(fp(5));
+        assert_eq!(c.lru_to_mru(), vec![fp(1), fp(3), fp(4), fp(5)]);
+        assert!(c.arena.len() <= 4);
     }
 
     #[test]

@@ -155,11 +155,15 @@ impl Container {
 type OpenPayload = (Vec<u8>, Vec<(u32, u32)>);
 
 /// The open (being-filled) container plus the catalog of sealed ones.
+///
+/// The catalog is a slot vector indexed by container id: ids are assigned
+/// monotonically and never reused, so a GC pass that drops a container
+/// leaves a `None` hole behind instead of renumbering its successors.
 #[derive(Debug)]
 pub struct ContainerStore {
     capacity_bytes: u64,
     mode: Option<PayloadMode>,
-    sealed: Vec<Container>,
+    slots: Vec<Option<Container>>,
     open_records: Vec<ChunkRecord>,
     open_bytes: u64,
     open_payload: Option<OpenPayload>,
@@ -180,7 +184,7 @@ impl ContainerStore {
         ContainerStore {
             capacity_bytes,
             mode: None,
-            sealed: Vec::new(),
+            slots: Vec::new(),
             open_records: Vec::new(),
             open_bytes: 0,
             open_payload: None,
@@ -214,16 +218,21 @@ impl ContainerStore {
         self.mode
     }
 
-    /// Rebuilds a store from recovered sealed containers (the recovery
-    /// path). The open container starts empty; ids must be dense from 0.
+    /// Rebuilds a store from a recovered slot catalog (the recovery path).
+    /// The open container starts empty; slot position is container id, and
+    /// `None` slots are GC-dropped holes.
     pub(crate) fn restore(
         capacity_bytes: u64,
         mode: Option<PayloadMode>,
-        sealed: Vec<Container>,
+        slots: Vec<Option<Container>>,
     ) -> Self {
+        debug_assert!(slots
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.as_ref().is_none_or(|c| c.id.0 as usize == i)));
         let mut store = Self::new(capacity_bytes);
         store.mode = mode;
-        store.sealed = sealed;
+        store.slots = slots;
         store
     }
 
@@ -285,20 +294,20 @@ impl ContainerStore {
     }
 
     fn seal_open(&mut self) -> ContainerId {
-        let id = ContainerId(self.sealed.len() as u32);
+        let id = ContainerId(self.slots.len() as u32);
         let payload = self
             .open_payload
             .take()
             .map(|(bytes, extents)| ContainerPayload { bytes, extents });
         let records = std::mem::take(&mut self.open_records);
         self.open_set.clear();
-        self.sealed.push(Container {
+        self.slots.push(Some(Container {
             id,
             fingerprints: records.iter().map(|r| r.fp).collect(),
             data_bytes: self.open_bytes,
             sizes: records.iter().map(|r| r.size).collect(),
             payload,
-        });
+        }));
         self.open_bytes = 0;
         id
     }
@@ -325,27 +334,48 @@ impl ContainerStore {
         Some(&buf[off as usize..(off + len) as usize])
     }
 
-    /// A sealed container by id.
+    /// A sealed container by id (`None` for never-assigned ids and for
+    /// GC-dropped holes alike).
     #[must_use]
     pub fn get(&self, id: ContainerId) -> Option<&Container> {
-        self.sealed.get(id.0 as usize)
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
     }
 
-    /// Number of sealed containers.
+    /// Number of live sealed containers (GC holes excluded).
     #[must_use]
     pub fn sealed_count(&self) -> usize {
-        self.sealed.len()
+        self.slots.iter().flatten().count()
+    }
+
+    /// The id the next sealed container will receive. Ids are monotonic
+    /// and never reused, so this exceeds [`Self::sealed_count`] once GC
+    /// has dropped containers.
+    #[must_use]
+    pub fn next_id(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Removes a sealed container from the catalog, leaving a hole (the
+    /// GC drop path). Returns the container, or `None` if the slot was
+    /// already empty.
+    pub(crate) fn remove(&mut self, id: ContainerId) -> Option<Container> {
+        self.slots.get_mut(id.0 as usize).and_then(Option::take)
     }
 
     /// Total bytes in sealed containers plus the open container.
     #[must_use]
     pub fn stored_bytes(&self) -> u64 {
-        self.sealed.iter().map(|c| c.data_bytes).sum::<u64>() + self.open_bytes
+        self.slots
+            .iter()
+            .flatten()
+            .map(|c| c.data_bytes)
+            .sum::<u64>()
+            + self.open_bytes
     }
 
-    /// Iterates over sealed containers.
-    pub fn iter(&self) -> std::slice::Iter<'_, Container> {
-        self.sealed.iter()
+    /// Iterates over live sealed containers in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Container> {
+        self.slots.iter().flatten()
     }
 }
 
@@ -534,5 +564,33 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ContainerStore::new(0);
+    }
+
+    #[test]
+    fn remove_leaves_hole_and_ids_stay_monotonic() {
+        let mut store = ContainerStore::new(16);
+        for i in 0..3 {
+            store.append(rec(i, 16), None).unwrap();
+        }
+        store.flush();
+        assert_eq!(store.sealed_count(), 3);
+        assert_eq!(store.next_id(), 3);
+        let gone = store.remove(ContainerId(1)).unwrap();
+        assert_eq!(gone.fingerprints, vec![Fingerprint(1)]);
+        assert!(store.get(ContainerId(1)).is_none());
+        assert!(store.get(ContainerId(0)).is_some());
+        assert_eq!(store.sealed_count(), 2);
+        assert_eq!(store.stored_bytes(), 32);
+        // The hole is not reused: the next seal takes a fresh id.
+        assert!(store.remove(ContainerId(1)).is_none(), "double remove");
+        store.append(rec(9, 16), None).unwrap();
+        store.flush();
+        assert_eq!(store.next_id(), 4);
+        assert_eq!(
+            store.get(ContainerId(3)).unwrap().fingerprints,
+            vec![Fingerprint(9)]
+        );
+        let ids: Vec<u32> = store.iter().map(|c| c.id.0).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
     }
 }

@@ -27,16 +27,34 @@
 //! — bit-identically after a clean close, and to the last consistent
 //! sealed state after a crash (torn tail writes are detected and rolled
 //! back). See `DESIGN.md` §7 for the format and the recovery invariant.
+//!
+//! ## Lifecycle
+//!
+//! Beyond append-only ingest, the engine manages the full storage
+//! lifecycle (see [`crate::lifecycle`]): [`DedupEngine::commit_backup`]
+//! records a backup recipe and takes per-chunk references,
+//! [`DedupEngine::delete_backup`] releases them, [`DedupEngine::gc`]
+//! rewrites live chunks out of mostly-dead containers and drops the rest,
+//! and [`DedupEngine::rekey`] re-wraps containers under a new key epoch
+//! (REED-style revocation). Every step is journaled through the manifest,
+//! so the crash-recovery invariant extends across deletion, GC and rekey.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::bloom::BloomFilter;
 use crate::cache::FingerprintCache;
-use crate::container::{ContainerId, ContainerStore, PayloadMode};
+use crate::container::{Container, ContainerId, ContainerStore, PayloadMode};
+use crate::fault::{FaultAction, PersistSite};
 use crate::index::FingerprintIndex;
+use crate::lifecycle::{
+    self, DeleteReport, GcReport, LifecycleError, Recipe, RekeyReport, RetentionPolicy,
+};
 use crate::log;
 use crate::manifest::{self, ManifestEvent, ManifestWriter, Snapshot};
 use crate::persist::{self, FsyncPolicy, MetaKind, PersistConfig, PersistError, StoreMeta};
+use crate::refcount::RefCounts;
 use crate::stats::{MetadataAccess, StoreStats};
 
 /// Engine configuration. Defaults follow the paper's prototype (§7.4.2):
@@ -154,6 +172,9 @@ struct PersistState {
     cfg: PersistConfig,
     manifest: ManifestWriter,
     seals_since_snapshot: u32,
+    /// Total manifest journal events written (seals, backups, deletes, GC
+    /// drops, rekey markers). Snapshots record this as their `event_seq`.
+    events: u64,
 }
 
 /// The DDFS-like deduplication engine.
@@ -182,6 +203,11 @@ pub struct DedupEngine {
     loading_bytes: u64,
     loading_ops: u64,
     stats: StoreStats,
+    refcounts: RefCounts,
+    recipes: HashMap<u64, Recipe>,
+    epoch: u64,
+    pending_rekey: Option<u64>,
+    epoch_keys: HashMap<u64, [u8; 32]>,
     persist: Option<PersistState>,
 }
 
@@ -212,7 +238,7 @@ impl DedupEngine {
     /// * [`PersistError::Io`] — filesystem failure.
     pub fn open(config: DedupConfig) -> Result<Self, PersistError> {
         config.validate().map_err(PersistError::InvalidConfig)?;
-        let engine = DedupEngine {
+        let mut engine = DedupEngine {
             bloom: BloomFilter::with_capacity(config.bloom_expected, config.bloom_fp_rate),
             cache: FingerprintCache::new(config.cache_entries),
             containers: ContainerStore::new(config.container_bytes),
@@ -220,12 +246,25 @@ impl DedupEngine {
             loading_bytes: 0,
             loading_ops: 0,
             stats: StoreStats::default(),
+            refcounts: RefCounts::new(),
+            recipes: HashMap::new(),
+            epoch: 0,
+            pending_rekey: None,
+            epoch_keys: HashMap::new(),
             persist: None,
             config,
         };
         let Some(pcfg) = engine.config.persist.clone() else {
             return Ok(engine);
         };
+        // Derive the per-epoch container keys from the configured secrets
+        // before recovery: recovery reads container logs, which may be
+        // wrapped under a non-zero key epoch.
+        for (epoch, secret) in &pcfg.keys {
+            engine
+                .epoch_keys
+                .insert(*epoch, lifecycle::epoch_key(secret, *epoch));
+        }
         std::fs::create_dir_all(&pcfg.dir)?;
         if manifest::manifest_exists(&pcfg.dir) {
             Self::recover(engine, pcfg)
@@ -237,11 +276,11 @@ impl DedupEngine {
             // would clobber it.
             persist::ensure_meta(&pcfg.dir, &engine.config.meta(), pcfg.fsync, &pcfg.io)?;
             let manifest = ManifestWriter::create(&pcfg.dir, pcfg.fsync, &pcfg.io)?;
-            let mut engine = engine;
             engine.persist = Some(PersistState {
                 cfg: pcfg,
                 manifest,
                 seals_since_snapshot: 0,
+                events: 0,
             });
             Ok(engine)
         }
@@ -258,20 +297,68 @@ impl DedupEngine {
             )));
         }
 
-        // 1. The manifest journal is the container catalog: replay it
-        //    (tolerating a torn tail record), requiring dense seal ids.
+        // 1. The manifest journal is the authoritative event history: scan
+        //    it (tolerating a torn tail record) and roll back the last
+        //    event if its companion file (container log for a seal, recipe
+        //    file for a backup commit) did not survive the crash. Only the
+        //    *last* event may lack its file — write-ahead ordering makes a
+        //    missing companion anywhere earlier hard corruption.
         let scan = manifest::scan_manifest(&dir)?;
-        let mut seal_ends = Vec::new();
-        for (event, &end) in scan.events.iter().zip(&scan.record_ends) {
+        let mut events = scan.events;
+        let mut record_ends = scan.record_ends;
+        let mut valid_len = scan.valid_len;
+        let tolerable = |e: &PersistError| {
+            matches!(e, PersistError::Torn { .. })
+                || matches!(e, PersistError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+        };
+        match events.last().copied() {
+            Some(ManifestEvent::Seal { id, .. }) => {
+                match log::read_container(&dir, ContainerId(id), &engine.epoch_keys) {
+                    Ok(_) => {}
+                    Err(e) if tolerable(&e) => {
+                        events.pop();
+                        record_ends.pop();
+                        valid_len = record_ends.last().copied().unwrap_or(6);
+                        let _ = std::fs::remove_file(log::container_path(&dir, ContainerId(id)));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Some(ManifestEvent::Backup { id, .. }) => match lifecycle::read_recipe(&dir, id) {
+                Ok(_) => {}
+                Err(e) if tolerable(&e) => {
+                    events.pop();
+                    record_ends.pop();
+                    valid_len = record_ends.last().copied().unwrap_or(6);
+                    lifecycle::remove_recipe(&dir, id);
+                }
+                Err(e) => return Err(e),
+            },
+            _ => {}
+        }
+
+        // 2. Fold the event history into the catalog shape: which seals
+        //    exist (dense ids), which containers GC dropped, which backups
+        //    are committed, and where the key epoch stands.
+        let mut seal_info: Vec<(u32, u64)> = Vec::new(); // (chunk_count, data_bytes) by id
+        let mut dropped: HashSet<u32> = HashSet::new();
+        let mut committed: BTreeMap<u64, u64> = BTreeMap::new(); // backup id -> timestamp
+        let mut epoch = 0u64;
+        let mut pending_rekey: Option<u64> = None;
+        for event in &events {
             match *event {
-                ManifestEvent::Seal { id, .. } => {
-                    if id as usize != seal_ends.len() {
+                ManifestEvent::Seal {
+                    id,
+                    chunk_count,
+                    data_bytes,
+                } => {
+                    if id as usize != seal_info.len() {
                         return Err(PersistError::Corrupt(format!(
                             "manifest seal ids not dense: expected {}, found {id}",
-                            seal_ends.len()
+                            seal_info.len()
                         )));
                     }
-                    seal_ends.push(end);
+                    seal_info.push((chunk_count, data_bytes));
                 }
                 ManifestEvent::Delete { id } => {
                     return Err(PersistError::Corrupt(format!(
@@ -279,78 +366,108 @@ impl DedupEngine {
                          version never emits"
                     )));
                 }
-            }
-        }
-        let n_seals = seal_ends.len();
-
-        // 2. Load the container log files. Only the *last* sealed container
-        //    may be torn or missing (a crash mid-seal); anything earlier is
-        //    hard corruption.
-        let mut containers = Vec::with_capacity(n_seals);
-        for id in 0..n_seals {
-            match log::read_container(&dir, ContainerId(id as u32)) {
-                Ok(c) => containers.push(c),
-                Err(e) => {
-                    let tolerable = matches!(&e, PersistError::Torn { .. })
-                        || matches!(&e, PersistError::Io(io)
-                            if io.kind() == std::io::ErrorKind::NotFound);
-                    if tolerable && id == n_seals - 1 {
-                        break; // roll the torn tail seal back
+                ManifestEvent::Backup { id, timestamp, .. } => {
+                    if committed.insert(id, timestamp).is_some() {
+                        return Err(PersistError::Corrupt(format!(
+                            "manifest commits backup {id} twice"
+                        )));
                     }
-                    return match e {
-                        PersistError::Torn { file, detail } => Err(PersistError::Corrupt(format!(
-                            "{file}: torn write on a non-tail container ({detail})"
-                        ))),
-                        other => Err(other),
-                    };
+                }
+                ManifestEvent::BackupDelete { id, .. } => {
+                    if committed.remove(&id).is_none() {
+                        return Err(PersistError::Corrupt(format!(
+                            "manifest deletes backup {id}, which is not committed at that point"
+                        )));
+                    }
+                }
+                ManifestEvent::GcDrop { id, .. } => {
+                    if id as usize >= seal_info.len() || !dropped.insert(id) {
+                        return Err(PersistError::Corrupt(format!(
+                            "manifest drops container {id}, which is not live at that point"
+                        )));
+                    }
+                }
+                ManifestEvent::RekeyBegin { epoch: e } => pending_rekey = Some(e),
+                ManifestEvent::RekeyCommit { epoch: e } => {
+                    epoch = epoch.max(e);
+                    if pending_rekey.is_some_and(|p| p <= epoch) {
+                        pending_rekey = None;
+                    }
                 }
             }
         }
-        let recovered_n = containers.len();
+        if pending_rekey.is_some_and(|p| p <= epoch) {
+            pending_rekey = None;
+        }
+        let n_seals = seal_info.len();
 
-        // 3. Truncate the manifest back to the recovered prefix (dropping
-        //    the torn tail record and/or a rolled-back seal), and clear the
-        //    stale log file of a rolled-back container so the next seal of
-        //    that id starts clean.
-        let valid_len = if recovered_n == 0 {
-            6 // header only
-        } else {
-            seal_ends[recovered_n - 1]
-        };
-        let valid_len = if recovered_n == n_seals {
-            scan.valid_len // keep non-seal bytes? (none today) — tail garbage only
-        } else {
-            valid_len
-        };
-        let manifest = ManifestWriter::reopen(&dir, valid_len, pcfg.fsync, &pcfg.io)?;
-        if recovered_n < n_seals {
-            let _ =
-                std::fs::remove_file(log::container_path(&dir, ContainerId(recovered_n as u32)));
+        // 3. Load the surviving container log files; dropped ids stay as
+        //    holes. A lingering file under a dropped id (crash between the
+        //    drop record and the unlink) is removed now. Torn reads here
+        //    are hard corruption — tail tears were rolled back above.
+        let mut slots: Vec<Option<Container>> = Vec::with_capacity(n_seals);
+        for id in 0..n_seals {
+            let cid = ContainerId(id as u32);
+            if dropped.contains(&(id as u32)) {
+                let _ = std::fs::remove_file(log::container_path(&dir, cid));
+                slots.push(None);
+                continue;
+            }
+            match log::read_container(&dir, cid, &engine.epoch_keys) {
+                Ok(c) => slots.push(Some(c)),
+                Err(PersistError::Torn { file, detail }) => {
+                    return Err(PersistError::Corrupt(format!(
+                        "{file}: torn write on a committed container ({detail})"
+                    )));
+                }
+                Err(PersistError::Io(io)) if io.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(PersistError::Corrupt(format!(
+                        "container {id} is committed by the manifest but its log file \
+                         is missing"
+                    )));
+                }
+                Err(other) => return Err(other),
+            }
         }
 
-        // 4. Restore the container catalog (payload mode from the recovered
+        // 4. Truncate the manifest back to the validated event prefix and
+        //    clear stray working files: interrupted rekey rewrites
+        //    (`*.clog.tmp`) and recipe files with no committed backup.
+        let manifest = ManifestWriter::reopen(&dir, valid_len, pcfg.fsync, &pcfg.io)?;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".clog.tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        for id in lifecycle::scan_recipe_ids(&dir)? {
+            if !committed.contains_key(&id) {
+                lifecycle::remove_recipe(&dir, id);
+            }
+        }
+
+        // 5. Restore the container catalog (payload mode from the recovered
         //    files; undecided when the store is still empty).
-        let mode = containers.first().map(|c| {
+        let mode = slots.iter().flatten().next().map(|c| {
             if c.has_payload() {
                 PayloadMode::Payload
             } else {
                 PayloadMode::Metadata
             }
         });
-        engine.containers =
-            ContainerStore::restore(engine.config.container_bytes, mode, containers);
+        engine.containers = ContainerStore::restore(engine.config.container_bytes, mode, slots);
 
-        // 5. Base state from the snapshot — but only when it does not claim
-        //    containers beyond the recovered prefix (a snapshot "from the
+        // 6. Base state from the snapshot — but only when it does not claim
+        //    events beyond the recovered prefix (a snapshot "from the
         //    future" relative to a torn store is discarded wholesale: its
         //    flow counters and cache image describe state that was lost).
         let snapshot = manifest::read_snapshot(&dir)?;
         let usable = match snapshot {
-            Some(s) if s.seal_seq <= recovered_n as u64 => Some(s),
+            Some(s) if s.event_seq <= events.len() as u64 => Some(s),
             Some(_) => {
-                // Snapshot "from the future": it describes containers that
-                // did not survive. Remove it — once this id space is
-                // re-sealed with new data, a later recovery could otherwise
+                // Snapshot "from the future": it describes events that did
+                // not survive. Remove it — once the journal grows past that
+                // point with new data, a later recovery could otherwise
                 // adopt the stale image as a valid-looking base.
                 manifest::remove_snapshot(&dir, pcfg.fsync)?;
                 None
@@ -386,29 +503,78 @@ impl DedupEngine {
                 engine
                     .cache
                     .restore(&lru, s.cache_hits, s.cache_misses, s.cache_evictions);
-                s.seal_seq as usize
+                s.event_seq as usize
             }
             None => 0,
         };
 
-        // 6. Replay containers beyond the snapshot into the index (with
-        //    accounting, mirroring the live seal path) and derive the
-        //    storage-side stat deltas. Flow counters (logical chunks,
-        //    duplicate hits, lookups) for the replayed span are not in the
-        //    container files and stay at their snapshot values — see the
-        //    recovery invariant in DESIGN.md §7.
-        for id in base_seq..recovered_n {
-            let cid = ContainerId(id as u32);
-            let container = engine.containers.get(cid).expect("recovered container");
-            engine.stats.unique_chunks += container.len() as u64;
-            engine.stats.unique_bytes += container.data_bytes;
-            engine.stats.containers_sealed += 1;
-            for &fp in &container.fingerprints {
-                engine.index.insert(fp, cid);
+        // 7. Replay events beyond the snapshot, mirroring the accounting of
+        //    the live paths. Flow counters (logical chunks, duplicate hits,
+        //    lookups) for the replayed span are not in the journal and stay
+        //    at their snapshot values — see the recovery invariant in
+        //    DESIGN.md §7. A replayed seal whose container was since GC
+        //    dropped has no file: its index-update accounting is
+        //    compensated so counters match a live engine's history.
+        let mut seals_since_snapshot: u32 = 0;
+        for event in &events[base_seq..] {
+            match *event {
+                ManifestEvent::Seal {
+                    id,
+                    chunk_count,
+                    data_bytes,
+                } => {
+                    seals_since_snapshot += 1;
+                    engine.stats.containers_sealed += 1;
+                    engine.stats.unique_chunks += u64::from(chunk_count);
+                    engine.stats.unique_bytes += data_bytes;
+                    let cid = ContainerId(id);
+                    match engine.containers.get(cid) {
+                        Some(c) => {
+                            let fps = c.fingerprints.clone();
+                            for fp in fps {
+                                engine.index.insert(fp, cid);
+                            }
+                        }
+                        None => engine.index.account_updates(u64::from(chunk_count)),
+                    }
+                }
+                ManifestEvent::GcDrop {
+                    id,
+                    chunk_count,
+                    data_bytes,
+                    dead_chunks,
+                    dead_bytes,
+                } => {
+                    engine.stats.unique_chunks -= u64::from(chunk_count);
+                    engine.stats.unique_bytes -= data_bytes;
+                    engine.stats.reclaimed_bytes += dead_bytes;
+                    engine.stats.containers_dropped += 1;
+                    let swept = engine.index.remove_container_entries(ContainerId(id));
+                    for &fp in &swept {
+                        engine.cache.remove(fp);
+                    }
+                    // When the drop's seal replayed without its file (gone),
+                    // the dead entries were never inserted; account the
+                    // removals the live engine performed anyway.
+                    let missing = u64::from(dead_chunks).saturating_sub(swept.len() as u64);
+                    engine.index.account_updates(missing);
+                }
+                ManifestEvent::BackupDelete {
+                    chunk_count,
+                    logical_bytes,
+                    ..
+                } => {
+                    engine.stats.deleted_chunks += u64::from(chunk_count);
+                    engine.stats.deleted_bytes += logical_bytes;
+                }
+                ManifestEvent::Backup { .. }
+                | ManifestEvent::RekeyBegin { .. }
+                | ManifestEvent::RekeyCommit { .. }
+                | ManifestEvent::Delete { .. } => {}
             }
         }
 
-        // 7. Rebuild the Bloom filter from every stored fingerprint — the
+        // 8. Rebuild the Bloom filter from every stored fingerprint — the
         //    bit array is insertion-order-independent, so this reproduces
         //    the filter of an engine that stored exactly these chunks.
         for container in engine.containers.iter() {
@@ -417,8 +583,26 @@ impl DedupEngine {
             }
         }
 
+        // 9. Rebuild backup recipes and the chunk reference counts from the
+        //    committed set (write-ahead: every committed backup's recipe
+        //    file is durable before its manifest record).
+        for (&id, &timestamp) in &committed {
+            let recipe = lifecycle::read_recipe(&dir, id)?;
+            if recipe.timestamp != timestamp {
+                return Err(PersistError::Corrupt(format!(
+                    "recipe for backup {id} carries timestamp {}, manifest says {timestamp}",
+                    recipe.timestamp
+                )));
+            }
+            engine.refcounts.add_recipe(&recipe.chunks);
+            engine.recipes.insert(id, recipe);
+        }
+        engine.epoch = epoch;
+        engine.pending_rekey = pending_rekey;
+
         engine.persist = Some(PersistState {
-            seals_since_snapshot: (recovered_n - base_seq) as u32,
+            seals_since_snapshot,
+            events: events.len() as u64,
             cfg: pcfg,
             manifest,
         });
@@ -520,13 +704,27 @@ impl DedupEngine {
         }
         if let Some(p) = &mut self.persist {
             // Write-ahead ordering: the container file is made durable
-            // first, then the manifest record commits the seal.
+            // first, then the manifest record commits the seal. Payload
+            // containers are wrapped under the committed key epoch.
             let container = self.containers.get(id).expect("just sealed");
-            log::write_container(&p.cfg.dir, container, p.cfg.fsync, &p.cfg.io)
-                .unwrap_or_else(|e| panic!("persistent store: container write failed: {e}"));
+            let key = (self.epoch > 0 && container.has_payload()).then(|| {
+                self.epoch_keys
+                    .get(&self.epoch)
+                    .expect("committed epoch has a derived key")
+            });
+            log::write_container(
+                &p.cfg.dir,
+                container,
+                self.epoch,
+                key,
+                p.cfg.fsync,
+                &p.cfg.io,
+            )
+            .unwrap_or_else(|e| panic!("persistent store: container write failed: {e}"));
             p.manifest
                 .append_seal(id.0, container.len() as u32, container.data_bytes)
                 .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+            p.events += 1;
             p.seals_since_snapshot += 1;
         }
     }
@@ -606,9 +804,12 @@ impl DedupEngine {
             return Ok(());
         }
         let dir = &p.cfg.dir;
-        for id in 0..self.containers.sealed_count() {
-            let path = log::container_path(dir, ContainerId(id as u32));
+        for container in self.containers.iter() {
+            let path = log::container_path(dir, container.id);
             std::fs::File::open(path)?.sync_data()?;
+        }
+        for &id in self.recipes.keys() {
+            std::fs::File::open(lifecycle::recipe_path(dir, id))?.sync_data()?;
         }
         manifest::sync_manifest_files(dir)?;
         persist::maybe_sync_dir(dir, FsyncPolicy::Always)
@@ -624,7 +825,7 @@ impl DedupEngine {
             "snapshot at an inconsistent point (open container not empty)"
         );
         let snapshot = Snapshot {
-            seal_seq: self.containers.sealed_count() as u64,
+            event_seq: p.events,
             entry_bytes: self.config.entry_bytes,
             index_shards: self.config.index_shards as u32,
             stats: self.stats.to_array(),
@@ -655,6 +856,338 @@ impl DedupEngine {
         manifest::write_snapshot(&p.cfg.dir, &snapshot, p.cfg.fsync, &p.cfg.io)?;
         p.seals_since_snapshot = 0;
         Ok(())
+    }
+
+    /// Commits a backup: seals the open container (so every referenced
+    /// chunk is durable before the backup is), persists the recipe and the
+    /// manifest record, and takes a reference on each chunk occurrence.
+    ///
+    /// `id` must be unique across committed, undeleted backups (servers use
+    /// the client commit id, making retries detectable). `timestamp` is
+    /// caller-supplied logical time for retention policies.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::DuplicateBackup`] when `id` is already committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a persistent engine fails to write the recipe file or
+    /// manifest record (fail-stop, like the seal path).
+    pub fn commit_backup(
+        &mut self,
+        id: u64,
+        timestamp: u64,
+        chunks: &[ChunkRecord],
+    ) -> Result<(), LifecycleError> {
+        if self.recipes.contains_key(&id) {
+            return Err(LifecycleError::DuplicateBackup { id });
+        }
+        if let Some(cid) = self.containers.flush() {
+            self.on_sealed(cid);
+        }
+        let recipe = Recipe {
+            timestamp,
+            chunks: chunks.to_vec(),
+        };
+        if let Some(p) = &mut self.persist {
+            // Write-ahead ordering: recipe file durable first, then the
+            // manifest record commits the backup.
+            lifecycle::write_recipe(&p.cfg.dir, id, &recipe, p.cfg.fsync, &p.cfg.io)
+                .unwrap_or_else(|e| panic!("persistent store: recipe write failed: {e}"));
+            p.manifest
+                .append_backup(id, recipe.len() as u32, recipe.logical_bytes(), timestamp)
+                .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+            p.events += 1;
+        }
+        self.refcounts.add_recipe(&recipe.chunks);
+        self.recipes.insert(id, recipe);
+        Ok(())
+    }
+
+    /// Deletes a committed backup: releases its chunk references and
+    /// journals the deletion. Chunk data is reclaimed later by [`Self::gc`]
+    /// — deletion itself only moves bytes from *live* to *logically
+    /// deleted* in the stats.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnknownBackup`] when `id` is not committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a persistent engine fails to journal the deletion.
+    pub fn delete_backup(&mut self, id: u64) -> Result<DeleteReport, LifecycleError> {
+        let Some(recipe) = self.recipes.remove(&id) else {
+            return Err(LifecycleError::UnknownBackup { id });
+        };
+        let chunks_released = recipe.len() as u64;
+        let logical_bytes = recipe.logical_bytes();
+        if let Some(p) = &mut self.persist {
+            // The journal record commits the deletion; removing the recipe
+            // file afterwards is cleanup (recovery drops strays).
+            p.manifest
+                .append_backup_delete(id, chunks_released as u32, logical_bytes)
+                .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+            p.events += 1;
+            lifecycle::remove_recipe(&p.cfg.dir, id);
+        }
+        self.refcounts.release_recipe(&recipe.chunks);
+        self.stats.deleted_chunks += chunks_released;
+        self.stats.deleted_bytes += logical_bytes;
+        Ok(DeleteReport {
+            chunks_released,
+            logical_bytes,
+        })
+    }
+
+    /// Committed, undeleted backups as `(id, timestamp)`, sorted by id.
+    #[must_use]
+    pub fn committed_backups(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .recipes
+            .iter()
+            .map(|(&id, r)| (id, r.timestamp))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The recipe of a committed backup, if present.
+    #[must_use]
+    pub fn backup_recipe(&self, id: u64) -> Option<&Recipe> {
+        self.recipes.get(&id)
+    }
+
+    /// Backup ids a retention policy would delete, given the caller's
+    /// logical clock `now`.
+    #[must_use]
+    pub fn retention_victims(&self, policy: RetentionPolicy, now: u64) -> Vec<u64> {
+        policy.victims(&self.committed_backups(), now)
+    }
+
+    /// Garbage-collects containers whose live fraction (chunks still
+    /// referenced by a committed backup *and* owned in the index) is at or
+    /// below `live_threshold_permille` (0 = only fully dead containers,
+    /// 1000 = rewrite everything). Live chunks are copied into fresh
+    /// containers through the ordinary store path — every move is sealed
+    /// and manifest-committed *before* its source container is dropped, so
+    /// a crash at any point leaves either the pre-move or post-move state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a persistent engine fails a container, manifest or
+    /// directory write (fail-stop, like the seal path).
+    pub fn gc(&mut self, live_threshold_permille: u32) -> GcReport {
+        // Seal pending ingest so the scan sees only sealed containers.
+        if let Some(cid) = self.containers.flush() {
+            self.on_sealed(cid);
+        }
+        let mut report = GcReport::default();
+
+        struct Victim {
+            id: ContainerId,
+            chunk_count: u32,
+            data_bytes: u64,
+            fingerprints: Vec<Fingerprint>,
+            moves: Vec<(ChunkRecord, Option<Vec<u8>>)>,
+            moved_bytes: u64,
+        }
+        // Phase 0: pick victims and copy out their live chunks (the victim
+        // containers are about to be dropped).
+        let mut victims: Vec<Victim> = Vec::new();
+        for c in self.containers.iter() {
+            report.containers_scanned += 1;
+            let mut moves = Vec::new();
+            let mut moved_bytes = 0u64;
+            for (pos, &fp) in c.fingerprints.iter().enumerate() {
+                let live = self.index.peek(fp) == Some(c.id) && self.refcounts.is_live(fp);
+                if live {
+                    let size = c.chunk_sizes()[pos];
+                    moves.push((
+                        ChunkRecord::new(fp, size),
+                        c.chunk_payload(pos).map(<[u8]>::to_vec),
+                    ));
+                    moved_bytes += u64::from(size);
+                }
+            }
+            if (moves.len() as u64) * 1000 > u64::from(live_threshold_permille) * (c.len() as u64) {
+                continue; // healthy container, keep it
+            }
+            victims.push(Victim {
+                id: c.id,
+                chunk_count: c.len() as u32,
+                data_bytes: c.data_bytes,
+                fingerprints: c.fingerprints.clone(),
+                moves,
+                moved_bytes,
+            });
+        }
+
+        // Phase 1: rewrite live chunks through the ordinary unique-store
+        // path (stats, Bloom, index and durability behave exactly like
+        // fresh data), then seal — every move is manifest-committed before
+        // any source container is dropped.
+        for v in &victims {
+            for (record, payload) in &v.moves {
+                self.store_unique(*record, payload.as_deref());
+            }
+        }
+        if let Some(cid) = self.containers.flush() {
+            self.on_sealed(cid);
+        }
+
+        // Phase 2: drop each victim — journal the drop, unlink the file,
+        // then purge the dead index/cache entries (moved chunks already
+        // point at their new container).
+        for v in &victims {
+            report.containers_dropped += 1;
+            report.moved_chunks += v.moves.len() as u64;
+            report.moved_bytes += v.moved_bytes;
+            let dead_chunks_total = u64::from(v.chunk_count) - v.moves.len() as u64;
+            let dead_bytes = v.data_bytes - v.moved_bytes;
+            report.dead_chunks += dead_chunks_total;
+            report.reclaimed_bytes += dead_bytes;
+            // Index entries still mapping to the victim are exactly the
+            // dead ones (moves re-pointed theirs in phase 1).
+            let dead_fps: Vec<Fingerprint> = v
+                .fingerprints
+                .iter()
+                .copied()
+                .filter(|&fp| self.index.peek(fp) == Some(v.id))
+                .collect();
+            if let Some(p) = &mut self.persist {
+                p.manifest
+                    .append_gc_drop(
+                        v.id.0,
+                        v.chunk_count,
+                        v.data_bytes,
+                        dead_fps.len() as u32,
+                        dead_bytes,
+                    )
+                    .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+                p.events += 1;
+                let _ = std::fs::remove_file(log::container_path(&p.cfg.dir, v.id));
+                persist::maybe_sync_dir(&p.cfg.dir, p.cfg.fsync)
+                    .unwrap_or_else(|e| panic!("persistent store: directory sync failed: {e}"));
+            }
+            self.containers.remove(v.id);
+            self.stats.unique_chunks -= u64::from(v.chunk_count);
+            self.stats.unique_bytes -= v.data_bytes;
+            self.stats.reclaimed_bytes += dead_bytes;
+            self.stats.containers_dropped += 1;
+            for fp in dead_fps {
+                self.index.remove(fp);
+                self.cache.remove(fp);
+            }
+        }
+
+        // Phase 3: the Bloom filter cannot forget — rebuild it from the
+        // live catalog so dropped fingerprints stop claiming duplicates.
+        if !victims.is_empty() {
+            let mut bloom =
+                BloomFilter::with_capacity(self.config.bloom_expected, self.config.bloom_fp_rate);
+            for c in self.containers.iter() {
+                for &fp in &c.fingerprints {
+                    bloom.insert(fp);
+                }
+            }
+            self.bloom = bloom;
+        }
+        report
+    }
+
+    /// REED-style rekeying to the next epoch (or the pending one after a
+    /// mid-rekey crash) under a fresh secret. See [`Self::rekey_to`].
+    pub fn rekey(&mut self, new_secret: &[u8]) -> RekeyReport {
+        let target = self.pending_rekey.unwrap_or(self.epoch + 1);
+        self.rekey_to(target, new_secret)
+    }
+
+    /// Rewrites every live container under key epoch `target` derived from
+    /// `secret`, preserving dedup structure (fingerprints, index, stats are
+    /// untouched — only the at-rest wrapping changes). The sequence is
+    /// journaled: `REKEY_BEGIN`, per-container rewrite via a temp file +
+    /// atomic rename, then `REKEY_COMMIT`. After the commit, reads require
+    /// the new epoch's secret; a crash mid-rekey leaves a pending epoch
+    /// that [`Self::rekey`] resumes (idempotent — rewriting an
+    /// already-rewritten container is harmless).
+    ///
+    /// No-op when `target` does not advance the committed epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a persistent engine fails a rewrite, rename or manifest
+    /// append (fail-stop, like the seal path).
+    pub fn rekey_to(&mut self, target: u64, secret: &[u8]) -> RekeyReport {
+        if target <= self.epoch {
+            return RekeyReport {
+                epoch: self.epoch,
+                containers_rewritten: 0,
+            };
+        }
+        // Seal pending ingest: the rewrite pass walks only sealed
+        // containers (sealed at the *old* epoch, rewritten just below).
+        if let Some(cid) = self.containers.flush() {
+            self.on_sealed(cid);
+        }
+        let key = lifecycle::epoch_key(secret, target);
+        self.epoch_keys.insert(target, key);
+        let mut rewritten = 0u64;
+        if let Some(p) = &mut self.persist {
+            self.pending_rekey = Some(target);
+            p.manifest
+                .append_rekey_begin(target)
+                .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+            p.events += 1;
+            for c in self.containers.iter() {
+                let ckey = c.has_payload().then_some(&key);
+                let tmp =
+                    log::write_container_tmp(&p.cfg.dir, c, target, ckey, p.cfg.fsync, &p.cfg.io)
+                        .unwrap_or_else(|e| panic!("persistent store: rekey rewrite failed: {e}"));
+                if p.cfg.io.before_write(PersistSite::RekeyRename, 0) != FaultAction::Proceed {
+                    panic!(
+                        "persistent store: rekey rewrite failed: {}",
+                        PersistError::Injected {
+                            site: PersistSite::RekeyRename
+                        }
+                    );
+                }
+                std::fs::rename(&tmp, log::container_path(&p.cfg.dir, c.id))
+                    .unwrap_or_else(|e| panic!("persistent store: rekey rewrite failed: {e}"));
+                rewritten += 1;
+            }
+            persist::maybe_sync_dir(&p.cfg.dir, p.cfg.fsync)
+                .unwrap_or_else(|e| panic!("persistent store: directory sync failed: {e}"));
+            p.manifest
+                .append_rekey_commit(target)
+                .unwrap_or_else(|e| panic!("persistent store: manifest append failed: {e}"));
+            p.events += 1;
+        }
+        self.epoch = target;
+        self.pending_rekey = None;
+        RekeyReport {
+            epoch: target,
+            containers_rewritten: rewritten,
+        }
+    }
+
+    /// The committed key epoch (0 = unkeyed container logs).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The target epoch of an interrupted rekey awaiting resume, if any.
+    #[must_use]
+    pub fn pending_rekey(&self) -> Option<u64> {
+        self.pending_rekey
+    }
+
+    /// Per-chunk reference counts across committed backups (inspection).
+    #[must_use]
+    pub fn refcounts(&self) -> &RefCounts {
+        &self.refcounts
     }
 
     /// Deduplication counters.

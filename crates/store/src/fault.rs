@@ -54,19 +54,35 @@ pub enum PersistSite {
     SnapshotRename,
     /// `store.meta` write at directory creation.
     MetaWrite,
+    /// Backup recipe file body write (`recipe-*.rcp`, before its manifest
+    /// record — the lifecycle write-ahead edge).
+    RecipeWrite,
+    /// Backup recipe file fsync before the manifest record.
+    RecipeSync,
+    /// Rekeyed container temp-file body write (`.clog.tmp`).
+    RekeyWrite,
+    /// Rekeyed container temp-file fsync before the rename.
+    RekeySync,
+    /// The atomic rename that publishes a rekeyed container log.
+    RekeyRename,
     /// Directory-entry fsync after a create or rename.
     DirSync,
 }
 
 /// All injection sites, in write-ahead order — the crash-matrix tests
 /// iterate this.
-pub const ALL_SITES: [PersistSite; 10] = [
+pub const ALL_SITES: [PersistSite; 15] = [
     PersistSite::MetaWrite,
     PersistSite::ManifestHeader,
     PersistSite::ContainerWrite,
     PersistSite::ContainerSync,
+    PersistSite::RecipeWrite,
+    PersistSite::RecipeSync,
     PersistSite::ManifestAppend,
     PersistSite::ManifestSync,
+    PersistSite::RekeyWrite,
+    PersistSite::RekeySync,
+    PersistSite::RekeyRename,
     PersistSite::SnapshotWrite,
     PersistSite::SnapshotSync,
     PersistSite::SnapshotRename,

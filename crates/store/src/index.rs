@@ -125,6 +125,55 @@ impl FingerprintIndex {
         shard.map.insert(fp, container);
     }
 
+    /// Removes the mapping for `fp`, accounting one on-disk update access
+    /// against the owning shard (a delete of an on-disk entry is a write,
+    /// like an insert). Returns the removed mapping, if any; a miss is
+    /// still accounted — GC had to touch the shard to find out.
+    pub fn remove(&mut self, fp: Fingerprint) -> Option<ContainerId> {
+        let entry_bytes = self.entry_bytes;
+        let shard_idx = self.shard_of(fp);
+        let shard = &mut self.shards[shard_idx];
+        shard.updates += 1;
+        shard.update_bytes += entry_bytes;
+        shard.map.remove(&fp)
+    }
+
+    /// Removes every entry mapping to `container`, with per-entry update
+    /// accounting, returning the removed fingerprints (recovery's replay of
+    /// a GC drop record: the entries still pointing at a dropped container
+    /// at that point in the journal are exactly its dead chunks).
+    pub(crate) fn remove_container_entries(&mut self, container: ContainerId) -> Vec<Fingerprint> {
+        let entry_bytes = self.entry_bytes;
+        let mut removed = Vec::new();
+        for shard in &mut self.shards {
+            let before = shard.map.len();
+            shard.map.retain(|&fp, &mut cid| {
+                if cid == container {
+                    removed.push(fp);
+                    false
+                } else {
+                    true
+                }
+            });
+            let n = (before - shard.map.len()) as u64;
+            shard.updates += n;
+            shard.update_bytes += n * entry_bytes;
+        }
+        removed.sort_unstable();
+        removed
+    }
+
+    /// Charges `n` update accesses to shard 0 without touching the mapping.
+    /// Recovery uses this when replaying the seal of a container that a
+    /// later journal record drops: the file is gone, so the per-fingerprint
+    /// inserts cannot be reproduced, but their accounted cost can.
+    pub(crate) fn account_updates(&mut self, n: u64) {
+        let entry_bytes = self.entry_bytes;
+        let shard = &mut self.shards[0];
+        shard.updates += n;
+        shard.update_bytes += n * entry_bytes;
+    }
+
     /// Re-inserts a recovered mapping **without** accounting: recovery
     /// rebuilds the in-memory map from the snapshot, whose counters already
     /// include the original accounted insertions.
@@ -380,6 +429,36 @@ mod tests {
         idx.set_shard_counters(&[[1, 32, 2, 64], [0, 0, 0, 0]]);
         assert_eq!(idx.lookups(), 1);
         assert_eq!(idx.update_bytes(), 64);
+    }
+
+    #[test]
+    fn remove_accounts_like_an_update() {
+        let mut idx = FingerprintIndex::new();
+        idx.insert(Fingerprint(1), ContainerId(0));
+        assert_eq!(idx.remove(Fingerprint(1)), Some(ContainerId(0)));
+        assert_eq!(idx.peek(Fingerprint(1)), None);
+        assert_eq!(idx.remove(Fingerprint(1)), None, "miss still accounted");
+        assert_eq!(idx.updates(), 3);
+        assert_eq!(idx.update_bytes(), 96);
+    }
+
+    #[test]
+    fn remove_container_entries_sweeps_all_shards() {
+        let mut idx = FingerprintIndex::with_shards(32, 4);
+        let fps = [0u64, 1 << 62, 1 << 63, (1 << 63) | (1 << 62)];
+        for &v in &fps {
+            idx.insert(Fingerprint(v), ContainerId(7));
+        }
+        idx.insert(Fingerprint(42), ContainerId(3));
+        let removed = idx.remove_container_entries(ContainerId(7));
+        assert_eq!(removed.len(), 4);
+        assert!(removed.windows(2).all(|w| w[0] < w[1]), "sorted");
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.peek(Fingerprint(42)), Some(ContainerId(3)));
+        assert_eq!(idx.updates(), 5 + 4);
+        idx.account_updates(2);
+        assert_eq!(idx.updates(), 11);
+        assert_eq!(idx.update_bytes(), 11 * 32);
     }
 
     #[test]

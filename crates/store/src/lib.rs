@@ -25,6 +25,13 @@
 //! files](log), committed through a write-ahead [manifest journal +
 //! snapshot](manifest), and recovered on reopen — bit-identically after a
 //! clean close, and to the last consistent sealed state after a crash.
+//!
+//! The [lifecycle] subsystem closes the loop for long-lived
+//! stores: backups are committed as [recipes](lifecycle::Recipe) feeding
+//! per-chunk [reference counts](refcount), `delete_backup` releases them,
+//! a `gc` pass compacts mostly-dead containers (journaling every move
+//! through the same write-ahead manifest), and REED-style `rekey`
+//! re-encrypts stored payloads under a fresh key epoch in place.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +42,10 @@ pub mod container;
 pub mod engine;
 pub mod fault;
 pub mod index;
+pub mod lifecycle;
 pub mod log;
 pub mod manifest;
 pub mod persist;
+pub mod refcount;
 pub mod sharded;
 pub mod stats;

@@ -10,18 +10,30 @@
 //!
 //! ```text
 //! magic        b"FQCL"                          4 bytes
-//! version      u16 (= 1)                        2 bytes
+//! version      u16 (= 2)                        2 bytes
 //! flags        u8 (bit 0: payload present)      1 byte
 //! reserved     u8 (= 0)                         1 byte
 //! container id u32                              4 bytes
 //! chunk count  u32                              4 bytes
 //! data bytes   u64                              8 bytes
+//! key epoch    u64 (0 = payloads unwrapped)     8 bytes
+//! kcv          u64 key-check value (0 when no key applies)
 //! record*      u32 record length (= 12 + payload length)
 //!              u64 fingerprint
 //!              u32 chunk size
-//!              payload bytes (payload mode only)
+//!              payload bytes (payload mode only; wrapped when epoch > 0)
 //! crc          u32 CRC-32 (IEEE) of everything before it
 //! ```
+//!
+//! At key epoch 0 payloads are stored exactly as uploaded. After a
+//! [rekey](crate::lifecycle), payloads are wrapped in place with the
+//! epoch's [keystream](crate::lifecycle::apply_epoch_keystream) (the CRC
+//! covers the wrapped bytes — integrity is checkable without any key),
+//! and the header's *kcv* commits to the epoch key so a reader holding a
+//! missing or revoked secret gets a typed
+//! [`PersistError::WrongKey`] instead of silently unwrapping garbage.
+//! In-memory [`Container`]s always hold **unwrapped** payloads; wrapping
+//! exists only at the file boundary.
 //!
 //! A file that ends mid-record, or whose CRC does not match, is a **torn
 //! write** ([`PersistError::Torn`]): the process died while the file was
@@ -29,6 +41,7 @@
 //! container (see `DESIGN.md` §7); a torn file earlier in the sequence is
 //! hard corruption.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -37,10 +50,11 @@ use freqdedup_trace::Fingerprint;
 
 use crate::container::{Container, ContainerId};
 use crate::fault::{FaultFile, IoPolicyHandle, PersistSite};
+use crate::lifecycle::{apply_epoch_keystream, key_check_value};
 use crate::persist::{maybe_sync_dir, CrcSink, CrcSource, FsyncPolicy, PersistError};
 
 const LOG_MAGIC: &[u8; 4] = b"FQCL";
-const LOG_VERSION: u16 = 1;
+const LOG_VERSION: u16 = 2;
 const FLAG_PAYLOAD: u8 = 0b0000_0001;
 /// Fixed per-record framing ahead of the payload: fingerprint + size.
 const RECORD_HEADER: u32 = 12;
@@ -52,15 +66,26 @@ pub fn container_path(dir: &Path, id: ContainerId) -> PathBuf {
 }
 
 /// Serializes a sealed container into its log file under `dir`,
-/// overwriting any stale file of the same id.
+/// overwriting any stale file of the same id. With `epoch > 0` and a
+/// payload-mode container, `key` must be the epoch key and every chunk
+/// payload is wrapped with its keystream on the way out (the in-memory
+/// container is not modified).
 ///
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on write failure (including injected
 /// faults — see [`crate::fault`]).
+///
+/// # Panics
+///
+/// Panics if `epoch > 0`, the container carries payloads, and no `key`
+/// was supplied — the caller's keychain bookkeeping is broken, which is a
+/// logic error, not an I/O condition.
 pub fn write_container(
     dir: &Path,
     container: &Container,
+    epoch: u64,
+    key: Option<&[u8; 32]>,
     policy: FsyncPolicy,
     io: &IoPolicyHandle,
 ) -> Result<(), PersistError> {
@@ -70,6 +95,64 @@ pub fn write_container(
         PersistSite::ContainerWrite,
     );
     let mut w = CrcSink::new(BufWriter::new(file));
+    write_body(&mut w, container, epoch, key)?;
+    let mut buf = w.finish()?;
+    buf.flush()?;
+    buf.get_ref()
+        .maybe_sync(policy, PersistSite::ContainerSync)?;
+    // The directory entry must be durable too, or a manifest-committed
+    // container could vanish in a crash despite its data being fsynced.
+    io.check_sync(PersistSite::DirSync)?;
+    maybe_sync_dir(dir, policy)?;
+    Ok(())
+}
+
+/// Serializes `container` under a different file name — the rekey path
+/// writes `container-NNNNNNNN.clog.tmp` (fault site
+/// [`PersistSite::RekeyWrite`] / [`PersistSite::RekeySync`]) and renames
+/// it over the live file only once fully durable.
+pub(crate) fn write_container_tmp(
+    dir: &Path,
+    container: &Container,
+    epoch: u64,
+    key: Option<&[u8; 32]>,
+    policy: FsyncPolicy,
+    io: &IoPolicyHandle,
+) -> Result<PathBuf, PersistError> {
+    let path = container_path(dir, container.id).with_extension("clog.tmp");
+    let file = FaultFile::new(File::create(&path)?, io.clone(), PersistSite::RekeyWrite);
+    write_rekey_body(file, container, epoch, key, policy)?;
+    Ok(path)
+}
+
+fn write_rekey_body(
+    file: FaultFile,
+    container: &Container,
+    epoch: u64,
+    key: Option<&[u8; 32]>,
+    policy: FsyncPolicy,
+) -> Result<(), PersistError> {
+    let mut w = CrcSink::new(BufWriter::new(file));
+    write_body(&mut w, container, epoch, key)?;
+    let mut buf = w.finish()?;
+    buf.flush()?;
+    buf.get_ref().maybe_sync(policy, PersistSite::RekeySync)?;
+    Ok(())
+}
+
+fn write_body(
+    w: &mut CrcSink<BufWriter<FaultFile>>,
+    container: &Container,
+    epoch: u64,
+    key: Option<&[u8; 32]>,
+) -> Result<(), PersistError> {
+    let wrap = epoch > 0 && container.has_payload();
+    let key = if wrap {
+        Some(key.expect("payload container written at epoch > 0 without its epoch key"))
+    } else {
+        None
+    };
+    let kcv = key.map_or(0, key_check_value);
     let flags = if container.has_payload() {
         FLAG_PAYLOAD
     } else {
@@ -82,6 +165,9 @@ pub fn write_container(
     w.write_u32(container.id.0)?;
     w.write_u32(container.len() as u32)?;
     w.write_u64(container.data_bytes)?;
+    w.write_u64(epoch)?;
+    w.write_u64(kcv)?;
+    let mut scratch = Vec::new();
     for (i, (&fp, &size)) in container
         .fingerprints
         .iter()
@@ -93,34 +179,43 @@ pub fn write_container(
         w.write_u32(RECORD_HEADER + payload_len)?;
         w.write_u64(fp.value())?;
         w.write_u32(size)?;
-        if let Some(bytes) = payload {
-            w.write_all(bytes)?;
+        match (payload, key) {
+            (Some(bytes), Some(k)) => {
+                scratch.clear();
+                scratch.extend_from_slice(bytes);
+                apply_epoch_keystream(k, fp, &mut scratch);
+                w.write_all(&scratch)?;
+            }
+            (Some(bytes), None) => w.write_all(bytes)?,
+            (None, _) => {}
         }
     }
-    let mut buf = w.finish()?;
-    buf.flush()?;
-    buf.get_ref()
-        .maybe_sync(policy, PersistSite::ContainerSync)?;
-    // The directory entry must be durable too, or a manifest-committed
-    // container could vanish in a crash despite its data being fsynced.
-    io.check_sync(PersistSite::DirSync)?;
-    maybe_sync_dir(dir, policy)?;
     Ok(())
 }
 
 /// Reads and verifies the log file of container `id` under `dir`,
-/// rebuilding the in-memory [`Container`].
+/// rebuilding the in-memory [`Container`] (payloads unwrapped). `keys`
+/// maps key epochs to their derived keys; it is consulted only when the
+/// file's header names an epoch above 0 and the container carries
+/// payloads.
 ///
 /// # Errors
 ///
 /// * [`PersistError::Torn`] — the file ends mid-record or fails its CRC
 ///   (recovery treats this as a torn tail write when `id` is the last
 ///   sealed container);
+/// * [`PersistError::WrongKey`] — the payloads are wrapped under an epoch
+///   whose key is absent from `keys` or fails the header's key-check
+///   value (a revoked or mistyped secret);
 /// * [`PersistError::Io`] — the file is missing or unreadable;
 /// * [`PersistError::BadMagic`] / [`PersistError::BadVersion`] /
 ///   [`PersistError::Corrupt`] — the file is not a container log or its
 ///   structure is inconsistent with its header.
-pub fn read_container(dir: &Path, id: ContainerId) -> Result<Container, PersistError> {
+pub fn read_container(
+    dir: &Path,
+    id: ContainerId,
+    keys: &HashMap<u64, [u8; 32]>,
+) -> Result<Container, PersistError> {
     let path = container_path(dir, id);
     let name = path
         .file_name()
@@ -142,13 +237,14 @@ pub fn read_container(dir: &Path, id: ContainerId) -> Result<Container, PersistE
         },
         other => other,
     };
-    read_container_inner(&mut r, id, &name).map_err(rename)
+    read_container_inner(&mut r, id, &name, keys).map_err(rename)
 }
 
 fn read_container_inner<R: std::io::Read>(
     r: &mut CrcSource<R>,
     id: ContainerId,
     name: &str,
+    keys: &HashMap<u64, [u8; 32]>,
 ) -> Result<Container, PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic, "magic")?;
@@ -175,6 +271,18 @@ fn read_container_inner<R: std::io::Read>(
     }
     let count = r.read_u32("chunk count")? as usize;
     let data_bytes = r.read_u64("data bytes")?;
+    let epoch = r.read_u64("key epoch")?;
+    let kcv = r.read_u64("key check value")?;
+    let key = if epoch > 0 && has_payload {
+        // Refuse old or wrong keys *before* touching any payload bytes.
+        let key = keys.get(&epoch).ok_or(PersistError::WrongKey { epoch })?;
+        if key_check_value(key) != kcv {
+            return Err(PersistError::WrongKey { epoch });
+        }
+        Some(*key)
+    } else {
+        None
+    };
     let mut fingerprints = Vec::with_capacity(count);
     let mut sizes = Vec::with_capacity(count);
     let mut payload = has_payload.then(Vec::new);
@@ -186,7 +294,8 @@ fn read_container_inner<R: std::io::Read>(
             )));
         }
         let payload_len = (rec_len - RECORD_HEADER) as usize;
-        fingerprints.push(Fingerprint(r.read_u64("record fingerprint")?));
+        let fp = Fingerprint(r.read_u64("record fingerprint")?);
+        fingerprints.push(fp);
         let size = r.read_u32("record size")?;
         sizes.push(size);
         match &mut payload {
@@ -199,6 +308,9 @@ fn read_container_inner<R: std::io::Read>(
                 let start = buf.len();
                 buf.resize(start + payload_len, 0);
                 r.read_exact(&mut buf[start..], "record payload")?;
+                if let Some(k) = &key {
+                    apply_epoch_keystream(k, fp, &mut buf[start..]);
+                }
             }
             None => {
                 if payload_len != 0 {
@@ -223,6 +335,7 @@ fn read_container_inner<R: std::io::Read>(
 mod tests {
     use super::*;
     use crate::container::ContainerStore;
+    use crate::lifecycle::epoch_key;
     use freqdedup_trace::ChunkRecord;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -230,6 +343,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    fn no_keys() -> HashMap<u64, [u8; 32]> {
+        HashMap::new()
     }
 
     fn sealed_payload_container() -> Container {
@@ -257,8 +374,16 @@ mod tests {
     fn payload_container_round_trips() {
         let dir = tmp_dir("payload-rt");
         let c = sealed_payload_container();
-        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
-        let back = read_container(&dir, c.id).unwrap();
+        write_container(
+            &dir,
+            &c,
+            0,
+            None,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
+        let back = read_container(&dir, c.id, &no_keys()).unwrap();
         assert_eq!(back.fingerprints, c.fingerprints);
         assert_eq!(back.chunk_sizes(), c.chunk_sizes());
         assert_eq!(back.data_bytes, c.data_bytes);
@@ -271,8 +396,16 @@ mod tests {
     fn metadata_container_round_trips() {
         let dir = tmp_dir("meta-rt");
         let c = sealed_metadata_container();
-        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
-        let back = read_container(&dir, c.id).unwrap();
+        write_container(
+            &dir,
+            &c,
+            0,
+            None,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
+        let back = read_container(&dir, c.id, &no_keys()).unwrap();
         assert_eq!(back.fingerprints, c.fingerprints);
         assert_eq!(back.chunk_sizes(), c.chunk_sizes());
         assert!(!back.has_payload());
@@ -281,17 +414,101 @@ mod tests {
     }
 
     #[test]
+    fn rekeyed_container_wraps_on_disk_and_unwraps_in_memory() {
+        let dir = tmp_dir("rekey-rt");
+        let c = sealed_payload_container();
+        let key = epoch_key(b"epoch-secret", 3);
+        write_container(
+            &dir,
+            &c,
+            3,
+            Some(&key),
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
+        // The raw file must not contain the plaintext payloads.
+        let raw = std::fs::read(container_path(&dir, c.id)).unwrap();
+        assert!(!raw.windows(5).any(|w| w == b"hello"));
+        let mut keys = no_keys();
+        keys.insert(3, key);
+        let back = read_container(&dir, c.id, &keys).unwrap();
+        assert_eq!(back.chunk_payload(0), Some(&b"hello"[..]));
+        assert_eq!(back.chunk_payload(1), Some(&b"world!"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_or_wrong_epoch_key_is_refused() {
+        let dir = tmp_dir("rekey-refuse");
+        let c = sealed_payload_container();
+        let key = epoch_key(b"right-secret", 2);
+        write_container(
+            &dir,
+            &c,
+            2,
+            Some(&key),
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
+        assert!(
+            matches!(
+                read_container(&dir, c.id, &no_keys()),
+                Err(PersistError::WrongKey { epoch: 2 })
+            ),
+            "no key supplied"
+        );
+        let mut wrong = no_keys();
+        wrong.insert(2, epoch_key(b"old-revoked-secret", 2));
+        assert!(
+            matches!(
+                read_container(&dir, c.id, &wrong),
+                Err(PersistError::WrongKey { epoch: 2 })
+            ),
+            "wrong secret refused via key-check value"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metadata_container_at_nonzero_epoch_needs_no_key() {
+        let dir = tmp_dir("rekey-meta");
+        let c = sealed_metadata_container();
+        write_container(
+            &dir,
+            &c,
+            4,
+            None,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
+        let back = read_container(&dir, c.id, &no_keys()).unwrap();
+        assert_eq!(back.fingerprints, c.fingerprints);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn truncation_reports_torn() {
         let dir = tmp_dir("torn");
         let c = sealed_payload_container();
-        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
+        write_container(
+            &dir,
+            &c,
+            0,
+            None,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
         let path = container_path(&dir, c.id);
         let full = std::fs::read(&path).unwrap();
         // Chop the file off mid-record (and mid-CRC, and mid-header):
         // every truncation point must surface as Torn, never as Ok.
         for cut in [full.len() - 1, full.len() - 3, full.len() / 2, 9, 1] {
             std::fs::write(&path, &full[..cut]).unwrap();
-            match read_container(&dir, c.id) {
+            match read_container(&dir, c.id, &no_keys()) {
                 Err(PersistError::Torn { .. }) => {}
                 other => panic!("cut at {cut}: expected Torn, got {other:?}"),
             }
@@ -303,14 +520,22 @@ mod tests {
     fn bitflip_reports_torn_checksum() {
         let dir = tmp_dir("bitflip");
         let c = sealed_metadata_container();
-        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
+        write_container(
+            &dir,
+            &c,
+            0,
+            None,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
         let path = container_path(&dir, c.id);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() - 6; // inside the last record
         bytes[mid] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
-            read_container(&dir, c.id),
+            read_container(&dir, c.id, &no_keys()),
             Err(PersistError::Torn { .. } | PersistError::Corrupt(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -320,7 +545,15 @@ mod tests {
     fn wrong_id_reports_corrupt() {
         let dir = tmp_dir("wrong-id");
         let c = sealed_metadata_container();
-        write_container(&dir, &c, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
+        write_container(
+            &dir,
+            &c,
+            0,
+            None,
+            FsyncPolicy::Never,
+            &IoPolicyHandle::none(),
+        )
+        .unwrap();
         // Ask for id 0's file under id 5's name.
         std::fs::rename(
             container_path(&dir, c.id),
@@ -328,7 +561,7 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            read_container(&dir, ContainerId(5)),
+            read_container(&dir, ContainerId(5), &no_keys()),
             Err(PersistError::Corrupt(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -338,7 +571,7 @@ mod tests {
     fn missing_file_reports_io() {
         let dir = tmp_dir("missing");
         assert!(matches!(
-            read_container(&dir, ContainerId(0)),
+            read_container(&dir, ContainerId(0), &no_keys()),
             Err(PersistError::Io(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -353,7 +586,7 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            read_container(&dir, ContainerId(0)),
+            read_container(&dir, ContainerId(0), &no_keys()),
             Err(PersistError::BadMagic { .. })
         ));
         std::fs::remove_dir_all(&dir).unwrap();

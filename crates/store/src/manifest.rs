@@ -11,16 +11,24 @@
 //!
 //! ```text
 //! header    magic b"FQMJ" (4) + version u16 (= 1)
-//! record*   kind u8 (1 = seal, 2 = delete)
+//! record*   kind u8 (1 = seal, 2 = delete, 3 = backup commit,
+//!                    4 = backup delete, 5 = gc drop,
+//!                    6 = rekey begin, 7 = rekey commit)
 //!           payload length u32
 //!           payload bytes
 //!           crc u32 over kind + length + payload
 //! ```
 //!
 //! Seal payload: container id `u32`, chunk count `u32`, data bytes `u64`.
-//! Delete payload: container id `u32` (reserved for future garbage
-//! collection — the engine never emits one today, but the format and
-//! replay already understand it).
+//! Delete payload: container id `u32` (a legacy reserved kind — the
+//! engine never emits one; GC drops use kind 5, which carries enough to
+//! replay the drop's accounting without the dropped file).
+//!
+//! The lifecycle kinds follow the same write-ahead discipline as seals:
+//! a backup's recipe file is durable *before* its commit record, a GC
+//! victim's file is unlinked only *after* its drop record is durable, and
+//! a rekey is an explicit begin/commit pair so a crash mid-rekey is
+//! recognizable (begin without commit ⇒ resume the rewrite).
 //!
 //! ## Snapshot (`index.snap`)
 //!
@@ -30,7 +38,7 @@
 //! when the open container is empty). The snapshot is written to a
 //! temporary file and atomically renamed, so it is always either the old
 //! or the new complete image. Recovery loads the snapshot, then replays
-//! manifest-committed containers beyond `seal_seq` into the index.
+//! the manifest events beyond `event_seq` into the index.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -46,10 +54,15 @@ pub(crate) const SNAPSHOT_FILE: &str = "index.snap";
 const MANIFEST_MAGIC: &[u8; 4] = b"FQMJ";
 const MANIFEST_VERSION: u16 = 1;
 const SNAPSHOT_MAGIC: &[u8; 4] = b"FQSN";
-const SNAPSHOT_VERSION: u16 = 1;
+const SNAPSHOT_VERSION: u16 = 2;
 
 const KIND_SEAL: u8 = 1;
 const KIND_DELETE: u8 = 2;
+const KIND_BACKUP: u8 = 3;
+const KIND_BACKUP_DELETE: u8 = 4;
+const KIND_GC_DROP: u8 = 5;
+const KIND_REKEY_BEGIN: u8 = 6;
+const KIND_REKEY_COMMIT: u8 = 7;
 
 /// One manifest journal event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,10 +76,62 @@ pub enum ManifestEvent {
         /// Data bytes in the container.
         data_bytes: u64,
     },
-    /// A container was deleted (reserved for future garbage collection).
+    /// A container was deleted (legacy reserved kind — never emitted; GC
+    /// uses [`ManifestEvent::GcDrop`]).
     Delete {
         /// Deleted container id.
         id: u32,
+    },
+    /// A backup was committed: its recipe file is durable and its chunks
+    /// now carry references.
+    Backup {
+        /// Backup id (the client's commit id).
+        id: u64,
+        /// Logical chunks in the backup.
+        chunk_count: u32,
+        /// Logical bytes in the backup.
+        logical_bytes: u64,
+        /// Caller-supplied commit timestamp.
+        timestamp: u64,
+    },
+    /// A committed backup was deleted; the payload echoes its totals so
+    /// replay can account the deletion after the recipe file is gone.
+    BackupDelete {
+        /// Backup id.
+        id: u64,
+        /// Logical chunks the backup held.
+        chunk_count: u32,
+        /// Logical bytes the backup held.
+        logical_bytes: u64,
+    },
+    /// GC dropped a container (its live chunks were first re-sealed into
+    /// fresh containers, committed by ordinary `Seal` records before this
+    /// one). The payload carries the victim's totals and its dead subset
+    /// so replay can reproduce the drop's accounting without the file.
+    GcDrop {
+        /// Dropped container id.
+        id: u32,
+        /// Chunks the container held.
+        chunk_count: u32,
+        /// Data bytes the container held.
+        data_bytes: u64,
+        /// Dead (unreferenced) chunks among them.
+        dead_chunks: u32,
+        /// Bytes of those dead chunks — the physically reclaimed amount.
+        dead_bytes: u64,
+    },
+    /// A rekey to `epoch` started; live containers may now be a mix of
+    /// old and new epochs until the matching commit.
+    RekeyBegin {
+        /// Target key epoch.
+        epoch: u64,
+    },
+    /// A rekey to `epoch` finished: every live container is rewritten
+    /// under the epoch key, and older epoch secrets no longer read
+    /// anything.
+    RekeyCommit {
+        /// Committed key epoch.
+        epoch: u64,
     },
 }
 
@@ -215,6 +280,30 @@ fn read_record<R: Read>(r: &mut R) -> Result<Option<(ManifestEvent, u64)>, Recor
         KIND_DELETE if payload.len() == 4 => ManifestEvent::Delete {
             id: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
         },
+        KIND_BACKUP if payload.len() == 28 => ManifestEvent::Backup {
+            id: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+            chunk_count: u32::from_le_bytes(payload[8..12].try_into().unwrap()),
+            logical_bytes: u64::from_le_bytes(payload[12..20].try_into().unwrap()),
+            timestamp: u64::from_le_bytes(payload[20..28].try_into().unwrap()),
+        },
+        KIND_BACKUP_DELETE if payload.len() == 20 => ManifestEvent::BackupDelete {
+            id: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+            chunk_count: u32::from_le_bytes(payload[8..12].try_into().unwrap()),
+            logical_bytes: u64::from_le_bytes(payload[12..20].try_into().unwrap()),
+        },
+        KIND_GC_DROP if payload.len() == 28 => ManifestEvent::GcDrop {
+            id: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            chunk_count: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            data_bytes: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            dead_chunks: u32::from_le_bytes(payload[16..20].try_into().unwrap()),
+            dead_bytes: u64::from_le_bytes(payload[20..28].try_into().unwrap()),
+        },
+        KIND_REKEY_BEGIN if payload.len() == 8 => ManifestEvent::RekeyBegin {
+            epoch: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+        },
+        KIND_REKEY_COMMIT if payload.len() == 8 => ManifestEvent::RekeyCommit {
+            epoch: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+        },
         _ => return Err(RecordFailure::Torn), // unknown kind or malformed payload
     };
     Ok(Some((event, 1 + 4 + u64::from(len) + 4)))
@@ -331,9 +420,89 @@ impl ManifestWriter {
     /// Crate-private until garbage collection exists: engine recovery
     /// rejects delete records today, so letting external callers write one
     /// into a live journal would make the store unopenable.
-    #[allow(dead_code)] // exercised by tests; live callers arrive with GC
+    #[allow(dead_code)] // exercised by tests; GC drops use append_gc_drop
     pub(crate) fn append_delete(&mut self, id: u32) -> Result<(), PersistError> {
         self.append(KIND_DELETE, &id.to_le_bytes())
+    }
+
+    /// Appends (and per policy fsyncs) a backup commit record. The
+    /// backup's recipe file must already be durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn append_backup(
+        &mut self,
+        id: u64,
+        chunk_count: u32,
+        logical_bytes: u64,
+        timestamp: u64,
+    ) -> Result<(), PersistError> {
+        let mut payload = [0u8; 28];
+        payload[0..8].copy_from_slice(&id.to_le_bytes());
+        payload[8..12].copy_from_slice(&chunk_count.to_le_bytes());
+        payload[12..20].copy_from_slice(&logical_bytes.to_le_bytes());
+        payload[20..28].copy_from_slice(&timestamp.to_le_bytes());
+        self.append(KIND_BACKUP, &payload)
+    }
+
+    /// Appends (and per policy fsyncs) a backup delete record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn append_backup_delete(
+        &mut self,
+        id: u64,
+        chunk_count: u32,
+        logical_bytes: u64,
+    ) -> Result<(), PersistError> {
+        let mut payload = [0u8; 20];
+        payload[0..8].copy_from_slice(&id.to_le_bytes());
+        payload[8..12].copy_from_slice(&chunk_count.to_le_bytes());
+        payload[12..20].copy_from_slice(&logical_bytes.to_le_bytes());
+        self.append(KIND_BACKUP_DELETE, &payload)
+    }
+
+    /// Appends (and per policy fsyncs) a GC drop record. The victim's
+    /// file is unlinked only after this record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn append_gc_drop(
+        &mut self,
+        id: u32,
+        chunk_count: u32,
+        data_bytes: u64,
+        dead_chunks: u32,
+        dead_bytes: u64,
+    ) -> Result<(), PersistError> {
+        let mut payload = [0u8; 28];
+        payload[0..4].copy_from_slice(&id.to_le_bytes());
+        payload[4..8].copy_from_slice(&chunk_count.to_le_bytes());
+        payload[8..16].copy_from_slice(&data_bytes.to_le_bytes());
+        payload[16..20].copy_from_slice(&dead_chunks.to_le_bytes());
+        payload[20..28].copy_from_slice(&dead_bytes.to_le_bytes());
+        self.append(KIND_GC_DROP, &payload)
+    }
+
+    /// Appends (and per policy fsyncs) a rekey begin record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn append_rekey_begin(&mut self, epoch: u64) -> Result<(), PersistError> {
+        self.append(KIND_REKEY_BEGIN, &epoch.to_le_bytes())
+    }
+
+    /// Appends (and per policy fsyncs) a rekey commit record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn append_rekey_commit(&mut self, epoch: u64) -> Result<(), PersistError> {
+        self.append(KIND_REKEY_COMMIT, &epoch.to_le_bytes())
     }
 }
 
@@ -346,15 +515,16 @@ impl ManifestWriter {
 /// assembles and consumes it.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
-    /// Number of sealed containers the snapshot reflects (containers
-    /// `0..seal_seq` are fully accounted in every field below).
-    pub seal_seq: u64,
+    /// Number of manifest journal events the snapshot reflects (events
+    /// `0..event_seq` are fully accounted in every field below; recovery
+    /// replays `events[event_seq..]`).
+    pub event_seq: u64,
     /// Config echo: metadata entry size.
     pub entry_bytes: u64,
     /// Config echo: fingerprint-index prefix shards.
     pub index_shards: u32,
     /// [`crate::stats::StoreStats`] as its canonical array form.
-    pub stats: [u64; 9],
+    pub stats: [u64; 13],
     /// Engine-level container-prefetch byte counter.
     pub loading_bytes: u64,
     /// Engine-level container-prefetch op counter.
@@ -407,7 +577,7 @@ pub fn write_snapshot(
     let mut w = CrcSink::new(BufWriter::new(file));
     w.write_all(SNAPSHOT_MAGIC)?;
     w.write_u16(SNAPSHOT_VERSION)?;
-    w.write_u64(snapshot.seal_seq)?;
+    w.write_u64(snapshot.event_seq)?;
     w.write_u64(snapshot.entry_bytes)?;
     w.write_u32(snapshot.index_shards)?;
     for &v in &snapshot.stats {
@@ -479,7 +649,7 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<Snapshot>, PersistError> {
         });
     }
     let mut snapshot = Snapshot {
-        seal_seq: r.read_u64("seal_seq")?,
+        event_seq: r.read_u64("event_seq")?,
         entry_bytes: r.read_u64("entry_bytes")?,
         index_shards: r.read_u32("index_shards")?,
         ..Snapshot::default()
@@ -555,6 +725,11 @@ mod tests {
         w.append_seal(0, 4, 64).unwrap();
         w.append_seal(1, 2, 32).unwrap();
         w.append_delete(0).unwrap();
+        w.append_backup(7, 6, 96, 1234).unwrap();
+        w.append_backup_delete(7, 6, 96).unwrap();
+        w.append_gc_drop(0, 4, 64, 3, 48).unwrap();
+        w.append_rekey_begin(1).unwrap();
+        w.append_rekey_commit(1).unwrap();
         drop(w);
         let scan = scan_manifest(&dir).unwrap();
         assert_eq!(
@@ -571,9 +746,29 @@ mod tests {
                     data_bytes: 32
                 },
                 ManifestEvent::Delete { id: 0 },
+                ManifestEvent::Backup {
+                    id: 7,
+                    chunk_count: 6,
+                    logical_bytes: 96,
+                    timestamp: 1234
+                },
+                ManifestEvent::BackupDelete {
+                    id: 7,
+                    chunk_count: 6,
+                    logical_bytes: 96
+                },
+                ManifestEvent::GcDrop {
+                    id: 0,
+                    chunk_count: 4,
+                    data_bytes: 64,
+                    dead_chunks: 3,
+                    dead_bytes: 48
+                },
+                ManifestEvent::RekeyBegin { epoch: 1 },
+                ManifestEvent::RekeyCommit { epoch: 1 },
             ]
         );
-        assert_eq!(scan.record_ends.len(), 3);
+        assert_eq!(scan.record_ends.len(), 8);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -663,10 +858,10 @@ mod tests {
     fn snapshot_round_trips() {
         let dir = tmp_dir("snap-rt");
         let snapshot = Snapshot {
-            seal_seq: 3,
+            event_seq: 3,
             entry_bytes: 32,
             index_shards: 2,
-            stats: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13],
             loading_bytes: 10,
             loading_ops: 11,
             shard_counters: vec![[1, 32, 2, 64], [3, 96, 4, 128]],
@@ -680,11 +875,11 @@ mod tests {
         assert_eq!(read_snapshot(&dir).unwrap(), Some(snapshot.clone()));
         // Overwrite atomically with a newer image.
         let newer = Snapshot {
-            seal_seq: 4,
+            event_seq: 4,
             ..snapshot
         };
         write_snapshot(&dir, &newer, FsyncPolicy::Never, &IoPolicyHandle::none()).unwrap();
-        assert_eq!(read_snapshot(&dir).unwrap().unwrap().seal_seq, 4);
+        assert_eq!(read_snapshot(&dir).unwrap().unwrap().event_seq, 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -60,6 +60,12 @@ pub struct PersistConfig {
     /// ignored by `Clone`-shared equality — see
     /// [`crate::fault::IoPolicyHandle`].
     pub io: IoPolicyHandle,
+    /// Key-epoch secrets for reading rekeyed container payloads:
+    /// `(epoch, secret)` pairs. Epoch 0 is the identity (payloads stored
+    /// unwrapped) and needs no entry. Secrets are **never persisted** —
+    /// a store rekeyed to epoch *e* can only be reopened by supplying the
+    /// epoch-*e* secret here, which is the REED revocation property.
+    pub keys: Vec<(u64, Vec<u8>)>,
 }
 
 impl PersistConfig {
@@ -72,6 +78,7 @@ impl PersistConfig {
             fsync: FsyncPolicy::default(),
             snapshot_every_seals: 0,
             io: IoPolicyHandle::none(),
+            keys: Vec::new(),
         }
     }
 
@@ -93,6 +100,14 @@ impl PersistConfig {
     #[must_use]
     pub fn io_policy(mut self, policy: impl IoPolicy + 'static) -> Self {
         self.io = IoPolicyHandle::new(policy);
+        self
+    }
+
+    /// Registers the secret of a key epoch (builder style). Required to
+    /// reopen a store whose payloads were rekeyed to that epoch.
+    #[must_use]
+    pub fn epoch_secret(mut self, epoch: u64, secret: impl Into<Vec<u8>>) -> Self {
+        self.keys.push((epoch, secret.into()));
         self
     }
 }
@@ -132,6 +147,14 @@ pub enum PersistError {
     /// The supplied engine configuration failed
     /// [`crate::engine::DedupConfig::validate`].
     InvalidConfig(String),
+    /// A container payload is wrapped under a key epoch whose secret is
+    /// missing from [`PersistConfig::keys`] or fails the stored key-check
+    /// value — the REED "old key reads refused" signal, distinct from data
+    /// corruption.
+    WrongKey {
+        /// The epoch the container was written under.
+        epoch: u64,
+    },
     /// A fault-injection policy failed this operation (tests only; never
     /// produced without an installed [`crate::fault::IoPolicy`]).
     Injected {
@@ -154,6 +177,9 @@ impl fmt::Display for PersistError {
             PersistError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
             PersistError::ConfigMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
             PersistError::InvalidConfig(msg) => write!(f, "{msg}"),
+            PersistError::WrongKey { epoch } => {
+                write!(f, "missing or wrong secret for key epoch {epoch}")
+            }
             PersistError::Injected { site } => write!(f, "injected fault at {site:?}"),
         }
     }
@@ -519,9 +545,11 @@ mod tests {
     fn persist_config_builder() {
         let c = PersistConfig::new("/tmp/x")
             .fsync(FsyncPolicy::Never)
-            .snapshot_every_seals(8);
+            .snapshot_every_seals(8)
+            .epoch_secret(1, b"s1".as_slice());
         assert_eq!(c.fsync, FsyncPolicy::Never);
         assert_eq!(c.snapshot_every_seals, 8);
         assert_eq!(c.dir, PathBuf::from("/tmp/x"));
+        assert_eq!(c.keys, vec![(1, b"s1".to_vec())]);
     }
 }

@@ -1,0 +1,129 @@
+//! Per-chunk reference counts over committed backups.
+//!
+//! A chunk's count is the number of *logical occurrences* of its
+//! fingerprint across every committed, not-yet-deleted backup recipe
+//! (REED semantics: references belong to backups, not uploads — chunks
+//! ingested but never committed carry no references and are GC-fodder).
+//! The counts are an in-memory structure, never persisted: recovery
+//! rebuilds them by replaying the surviving recipe files, so the on-disk
+//! formats stay free of refcount state and its crash-consistency burden.
+
+use std::collections::HashMap;
+
+use freqdedup_trace::{ChunkRecord, Fingerprint};
+
+/// In-memory reference counts: fingerprint → logical occurrences across
+/// committed backups. Zero-count entries are removed eagerly so the map
+/// size tracks the live fingerprint population.
+#[derive(Clone, Debug, Default)]
+pub struct RefCounts {
+    counts: HashMap<Fingerprint, u64>,
+}
+
+impl RefCounts {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        RefCounts::default()
+    }
+
+    /// The reference count of `fp` (0 when unreferenced).
+    #[must_use]
+    pub fn get(&self, fp: Fingerprint) -> u64 {
+        self.counts.get(&fp).copied().unwrap_or(0)
+    }
+
+    /// Whether any committed backup still references `fp`.
+    #[must_use]
+    pub fn is_live(&self, fp: Fingerprint) -> bool {
+        self.counts.contains_key(&fp)
+    }
+
+    /// Number of distinct referenced fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no fingerprint is referenced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Adds one reference per chunk occurrence in a committed recipe.
+    pub fn add_recipe(&mut self, chunks: &[ChunkRecord]) {
+        for c in chunks {
+            *self.counts.entry(c.fp).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one reference per chunk occurrence of a deleted recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow — releasing a recipe that was never added means
+    /// the caller's backup bookkeeping has diverged from the counts, which
+    /// is a logic error, not a recoverable condition.
+    pub fn release_recipe(&mut self, chunks: &[ChunkRecord]) {
+        for c in chunks {
+            match self.counts.get_mut(&c.fp) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    self.counts.remove(&c.fp);
+                }
+                None => panic!("refcount underflow for {:?}", c.fp),
+            }
+        }
+    }
+
+    /// Total references across all fingerprints (equals the summed logical
+    /// lengths of committed backups).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks(fps: &[u64]) -> Vec<ChunkRecord> {
+        fps.iter().map(|&v| ChunkRecord::new(v, 8)).collect()
+    }
+
+    #[test]
+    fn add_and_release_round_trip() {
+        let mut rc = RefCounts::new();
+        let a = chunks(&[1, 2, 2, 3]);
+        let b = chunks(&[2, 3, 4]);
+        rc.add_recipe(&a);
+        rc.add_recipe(&b);
+        assert_eq!(rc.get(Fingerprint(2)), 3);
+        assert_eq!(rc.get(Fingerprint(4)), 1);
+        assert_eq!(rc.total(), 7);
+        rc.release_recipe(&a);
+        assert_eq!(rc.get(Fingerprint(1)), 0);
+        assert!(!rc.is_live(Fingerprint(1)));
+        assert_eq!(rc.get(Fingerprint(2)), 1);
+        assert!(rc.is_live(Fingerprint(3)));
+        rc.release_recipe(&b);
+        assert!(rc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn release_of_unknown_recipe_panics() {
+        let mut rc = RefCounts::new();
+        rc.release_recipe(&chunks(&[9]));
+    }
+
+    #[test]
+    fn zero_count_entries_are_dropped() {
+        let mut rc = RefCounts::new();
+        rc.add_recipe(&chunks(&[5]));
+        rc.release_recipe(&chunks(&[5]));
+        assert_eq!(rc.len(), 0, "no tombstones");
+    }
+}

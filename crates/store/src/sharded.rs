@@ -25,6 +25,7 @@ use freqdedup_trace::par::{self, ParConfig};
 use freqdedup_trace::{Backup, ChunkRecord, Fingerprint};
 
 use crate::engine::{ChunkOutcome, DedupConfig, DedupEngine};
+use crate::lifecycle::{DeleteReport, GcReport, LifecycleError, RekeyReport, RetentionPolicy};
 use crate::persist::{self, MetaKind, PersistConfig, PersistError, StoreMeta};
 use crate::stats::{MetadataAccess, StoreStats};
 
@@ -198,6 +199,121 @@ impl ShardedDedupEngine {
         for engine in &mut self.engines {
             engine.finish();
         }
+    }
+
+    /// Commits a backup across all shards: the chunk stream is partitioned
+    /// by owning shard and every shard commits its slice (possibly empty)
+    /// under the same `id` / `timestamp`, so lifecycle state stays
+    /// consistent store-wide.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::DuplicateBackup`] when `id` is already committed.
+    pub fn commit_backup(
+        &mut self,
+        id: u64,
+        timestamp: u64,
+        chunks: &[ChunkRecord],
+    ) -> Result<(), LifecycleError> {
+        if self.engines[0].backup_recipe(id).is_some() {
+            return Err(LifecycleError::DuplicateBackup { id });
+        }
+        let mut streams: Vec<Vec<ChunkRecord>> = vec![Vec::new(); self.engines.len()];
+        for &record in chunks {
+            streams[self.shard_of(record.fp)].push(record);
+        }
+        for (engine, stream) in self.engines.iter_mut().zip(&streams) {
+            engine.commit_backup(id, timestamp, stream)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a committed backup on every shard, merging the reports.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnknownBackup`] when `id` is not committed.
+    pub fn delete_backup(&mut self, id: u64) -> Result<DeleteReport, LifecycleError> {
+        if self.engines[0].backup_recipe(id).is_none() {
+            return Err(LifecycleError::UnknownBackup { id });
+        }
+        let mut merged = DeleteReport {
+            chunks_released: 0,
+            logical_bytes: 0,
+        };
+        for engine in &mut self.engines {
+            let r = engine.delete_backup(id)?;
+            merged.chunks_released += r.chunks_released;
+            merged.logical_bytes += r.logical_bytes;
+        }
+        Ok(merged)
+    }
+
+    /// Committed, undeleted backups as `(id, timestamp)`, sorted by id
+    /// (every shard holds the same set; shard 0 answers).
+    #[must_use]
+    pub fn committed_backups(&self) -> Vec<(u64, u64)> {
+        self.engines[0].committed_backups()
+    }
+
+    /// Backup ids a retention policy would delete, given the caller's
+    /// logical clock `now`.
+    #[must_use]
+    pub fn retention_victims(&self, policy: RetentionPolicy, now: u64) -> Vec<u64> {
+        policy.victims(&self.committed_backups(), now)
+    }
+
+    /// Garbage-collects every shard (see [`DedupEngine::gc`]), merging the
+    /// reports.
+    pub fn gc(&mut self, live_threshold_permille: u32) -> GcReport {
+        let mut merged = GcReport::default();
+        for engine in &mut self.engines {
+            merged += engine.gc(live_threshold_permille);
+        }
+        merged
+    }
+
+    /// Rekeys every shard to a common target epoch (the furthest any shard
+    /// has begun — shards interrupted mid-rekey resume, shards already
+    /// committed no-op), merging the reports. See [`DedupEngine::rekey_to`].
+    pub fn rekey(&mut self, new_secret: &[u8]) -> RekeyReport {
+        let committed = self
+            .engines
+            .iter()
+            .map(DedupEngine::epoch)
+            .max()
+            .expect("at least one shard");
+        let pending = self
+            .engines
+            .iter()
+            .filter_map(DedupEngine::pending_rekey)
+            .max();
+        let lagging = self.engines.iter().any(|e| e.epoch() < committed);
+        let target = match pending {
+            Some(p) if p > committed => p,
+            _ if lagging => committed,
+            _ => committed + 1,
+        };
+        let mut rewritten = 0u64;
+        for engine in &mut self.engines {
+            rewritten += engine.rekey_to(target, new_secret).containers_rewritten;
+        }
+        RekeyReport {
+            epoch: target,
+            containers_rewritten: rewritten,
+        }
+    }
+
+    /// The committed key epoch: the furthest any shard has committed (a
+    /// crash mid-fanout can leave shards behind; [`Self::rekey`] converges
+    /// them).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(DedupEngine::epoch)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Deduplication counters merged across shards.

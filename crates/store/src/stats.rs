@@ -104,6 +104,21 @@ pub struct StoreStats {
     pub bloom_false_positives: u64,
     /// Containers sealed.
     pub containers_sealed: u64,
+    /// Logical chunks released by backup deletion (still stored until GC).
+    pub deleted_chunks: u64,
+    /// Logical bytes released by backup deletion. Deletion is a *logical*
+    /// event: the bytes stay in their containers until a [`gc`] pass
+    /// physically reclaims them, which is what [`Self::reclaimed_bytes`]
+    /// counts — the two grow independently and their gap is the store's
+    /// reclaimable debt.
+    ///
+    /// [`gc`]: crate::engine::DedupEngine::gc
+    pub deleted_bytes: u64,
+    /// Physical bytes reclaimed by GC (dead chunk bytes dropped with their
+    /// containers).
+    pub reclaimed_bytes: u64,
+    /// Containers dropped by GC.
+    pub containers_dropped: u64,
 }
 
 impl StoreStats {
@@ -137,7 +152,7 @@ impl StoreStats {
     /// serialization of the record). Field order is part of the on-disk
     /// format — append-only.
     #[must_use]
-    pub fn to_array(&self) -> [u64; 9] {
+    pub fn to_array(&self) -> [u64; 13] {
         [
             self.logical_chunks,
             self.logical_bytes,
@@ -148,12 +163,16 @@ impl StoreStats {
             self.dup_index_hits,
             self.bloom_false_positives,
             self.containers_sealed,
+            self.deleted_chunks,
+            self.deleted_bytes,
+            self.reclaimed_bytes,
+            self.containers_dropped,
         ]
     }
 
     /// Rebuilds a record from its [`Self::to_array`] form.
     #[must_use]
-    pub fn from_array(a: [u64; 9]) -> Self {
+    pub fn from_array(a: [u64; 13]) -> Self {
         StoreStats {
             logical_chunks: a[0],
             logical_bytes: a[1],
@@ -164,6 +183,10 @@ impl StoreStats {
             dup_index_hits: a[6],
             bloom_false_positives: a[7],
             containers_sealed: a[8],
+            deleted_chunks: a[9],
+            deleted_bytes: a[10],
+            reclaimed_bytes: a[11],
+            containers_dropped: a[12],
         }
     }
 }
@@ -183,6 +206,10 @@ impl Add for StoreStats {
             dup_index_hits: self.dup_index_hits + other.dup_index_hits,
             bloom_false_positives: self.bloom_false_positives + other.bloom_false_positives,
             containers_sealed: self.containers_sealed + other.containers_sealed,
+            deleted_chunks: self.deleted_chunks + other.deleted_chunks,
+            deleted_bytes: self.deleted_bytes + other.deleted_bytes,
+            reclaimed_bytes: self.reclaimed_bytes + other.reclaimed_bytes,
+            containers_dropped: self.containers_dropped + other.containers_dropped,
         }
     }
 }
@@ -275,9 +302,40 @@ mod tests {
             dup_index_hits: 7,
             bloom_false_positives: 8,
             containers_sealed: 9,
+            deleted_chunks: 10,
+            deleted_bytes: 11,
+            reclaimed_bytes: 12,
+            containers_dropped: 13,
         };
-        assert_eq!(s.to_array(), [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(s.to_array(), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
         assert_eq!(StoreStats::from_array(s.to_array()), s);
+    }
+
+    #[test]
+    fn lifecycle_counters_merge_and_grow_independently() {
+        // Logical deletion and physical reclaim are separate measurands:
+        // deleting a backup moves deleted_* without touching reclaimed_*,
+        // and the sharded merge sums each component independently.
+        let deleted = StoreStats {
+            deleted_chunks: 4,
+            deleted_bytes: 400,
+            ..StoreStats::default()
+        };
+        let reclaimed = StoreStats {
+            reclaimed_bytes: 150,
+            containers_dropped: 2,
+            ..StoreStats::default()
+        };
+        let merged = deleted + reclaimed;
+        assert_eq!(merged.deleted_chunks, 4);
+        assert_eq!(merged.deleted_bytes, 400);
+        assert_eq!(merged.reclaimed_bytes, 150);
+        assert_eq!(merged.containers_dropped, 2);
+        let mut acc = StoreStats::default();
+        acc += deleted;
+        acc += reclaimed;
+        assert_eq!(acc, merged);
+        assert_eq!([deleted, reclaimed].into_iter().sum::<StoreStats>(), merged);
     }
 
     #[test]

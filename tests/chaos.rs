@@ -442,6 +442,18 @@ fn crash_point_matrix_recovers_at_every_persist_site() {
     let counts = counts.lock().unwrap().clone();
 
     for site in ALL_SITES {
+        // The recipe/rekey sites are only reached by lifecycle operations;
+        // they get their own matrix below with a churn workload.
+        if matches!(
+            site,
+            PersistSite::RecipeWrite
+                | PersistSite::RecipeSync
+                | PersistSite::RekeyWrite
+                | PersistSite::RekeySync
+                | PersistSite::RekeyRename
+        ) {
+            continue;
+        }
         let n = *counts.get(&site).unwrap_or(&0);
         assert!(n > 0, "probe run never hit {site:?}");
         for mode in [FailMode::Error, FailMode::Torn] {
@@ -514,6 +526,173 @@ fn crash_point_matrix_recovers_at_every_persist_site() {
                         std::fs::remove_dir_all(&run_dir).unwrap();
                         let fresh = DedupEngine::open(clean(&run_dir)).unwrap();
                         assert_eq!(fresh.containers().sealed_count(), 0, "{tag}");
+                    }
+                }
+            }
+        }
+    }
+    done(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle crash matrix: deletion, GC and rekey under injected crashes
+// ---------------------------------------------------------------------------
+
+/// Deterministic payload bytes for a chunk, derived from its fingerprint.
+fn chunk_bytes(fp: u64, size: u32) -> Vec<u8> {
+    fp.to_le_bytes()
+        .into_iter()
+        .cycle()
+        .take(size as usize)
+        .collect()
+}
+
+const CHAOS_EPOCH_SECRET: &[u8] = b"chaos-epoch-one";
+
+/// Every committed backup must restore byte-identically — no chunk a
+/// committed recipe references may dangle, whatever the crash point was.
+fn assert_backups_restorable(engine: &freqdedup::store::engine::DedupEngine, tag: &str) {
+    for (id, _ts) in engine.committed_backups() {
+        let recipe = engine.backup_recipe(id).expect("listed backup").clone();
+        for c in &recipe.chunks {
+            let got = engine
+                .read_chunk(c.fp)
+                .unwrap_or_else(|| panic!("{tag}: backup {id} chunk {:?} dangles", c.fp));
+            assert_eq!(
+                got,
+                &chunk_bytes(c.fp.value(), c.size)[..],
+                "{tag}: backup {id} chunk {:?} bytes differ",
+                c.fp
+            );
+        }
+    }
+}
+
+/// Kills a durable engine running a churn workload — two overlapping
+/// backup commits, a deletion, GC and a rekey — at every [`PersistSite`]
+/// × `{Error, Torn}` × `{first, middle}` occurrence, then asserts the
+/// reopened store is *consistent*: every surviving committed backup
+/// restores byte-identically (never a dangling chunk reference), and the
+/// interrupted lifecycle step can be re-run to completion.
+#[test]
+fn lifecycle_crash_matrix_recovers_at_every_persist_site() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+
+    use freqdedup::store::fault::{CountingPolicy, FailAt, FailMode, PersistSite, ALL_SITES};
+
+    let dir = test_dir("lifecycle-crash");
+    // 96 unique 16-byte chunks, 256-byte containers → 6 full containers.
+    // Backup 1 owns chunks 0..64, backup 2 owns 32..96; deleting backup 1
+    // makes containers 0 and 1 fully dead (GC drops them) while 2 and 3
+    // stay fully live (GC keeps them).
+    let records: Vec<ChunkRecord> = (0..96u64)
+        .map(|i| ChunkRecord::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), 16))
+        .collect();
+    let small = || DedupConfig {
+        container_bytes: 256,
+        cache_entries: 64,
+        entry_bytes: 32,
+        bloom_expected: 100_000,
+        bloom_fp_rate: 0.01,
+        index_shards: 2,
+        persist: None,
+    };
+    // Reopen config: fault-free, with the epoch-1 secret in the keychain
+    // (required once the crash landed anywhere at or past REKEY_BEGIN).
+    let clean = |run_dir: &PathBuf| DedupConfig {
+        persist: Some(
+            PersistConfig::new(run_dir)
+                .fsync(FsyncPolicy::Never)
+                .epoch_secret(1, CHAOS_EPOCH_SECRET),
+        ),
+        ..small()
+    };
+
+    let workload = |cfg: DedupConfig, records: &[ChunkRecord]| -> Result<(), PersistError> {
+        let mut engine = DedupEngine::open(cfg)?;
+        for &r in &records[..64] {
+            engine.process_with_payload(r, &chunk_bytes(r.fp.value(), r.size));
+        }
+        engine.commit_backup(1, 100, &records[..64]).unwrap();
+        for &r in &records[32..] {
+            engine.process_with_payload(r, &chunk_bytes(r.fp.value(), r.size));
+        }
+        engine.commit_backup(2, 200, &records[32..]).unwrap();
+        engine.delete_backup(1).unwrap();
+        engine.gc(300);
+        engine.rekey(CHAOS_EPOCH_SECRET);
+        engine.close()
+    };
+
+    // Probe: per-site operation counts for this exact churn workload.
+    let counting = CountingPolicy::new();
+    let counts = counting.counts();
+    workload(
+        DedupConfig {
+            persist: Some(
+                PersistConfig::new(dir.join("probe"))
+                    .fsync(FsyncPolicy::Always)
+                    .io_policy(counting),
+            ),
+            ..small()
+        },
+        &records,
+    )
+    .unwrap();
+    let counts = counts.lock().unwrap().clone();
+
+    for site in ALL_SITES {
+        let n = *counts.get(&site).unwrap_or(&0);
+        assert!(n > 0, "churn probe never hit {site:?}");
+        for mode in [FailMode::Error, FailMode::Torn] {
+            let mut kill_at = vec![0, n / 2];
+            kill_at.dedup();
+            for k in kill_at {
+                let tag = format!("lc-{site:?}-{mode:?}-k{k}");
+                let run_dir = dir.join(&tag);
+                let fail = FailAt::new(site, k, mode);
+                let fired = fail.fired();
+                let cfg = DedupConfig {
+                    persist: Some(
+                        PersistConfig::new(&run_dir)
+                            .fsync(FsyncPolicy::Always)
+                            .io_policy(fail),
+                    ),
+                    ..small()
+                };
+
+                let outcome = catch_unwind(AssertUnwindSafe(|| workload(cfg, &records)));
+                assert!(fired.load(Ordering::SeqCst), "{tag}: fault never fired");
+                if let Ok(Ok(())) = outcome {
+                    panic!("{tag}: succeeded despite the injected fault");
+                }
+
+                match DedupEngine::open(clean(&run_dir)) {
+                    Ok(mut engine) => {
+                        // Pin (c): whatever the crash point, recovery lands
+                        // on a consistent pre- or post-step state.
+                        assert_backups_restorable(&engine, &tag);
+                        // The interrupted step re-runs to completion.
+                        if engine.backup_recipe(1).is_some() {
+                            engine.delete_backup(1).unwrap();
+                        }
+                        engine.gc(300);
+                        engine.rekey_to(1, CHAOS_EPOCH_SECRET);
+                        assert_backups_restorable(&engine, &tag);
+                        engine.close().unwrap();
+
+                        let reopened = DedupEngine::open(clean(&run_dir)).unwrap();
+                        assert_eq!(reopened.epoch(), 1, "{tag}: epoch after convergence");
+                        assert_eq!(reopened.pending_rekey(), None, "{tag}");
+                        assert_backups_restorable(&reopened, &tag);
+                    }
+                    Err(e) => {
+                        assert!(
+                            matches!(site, PersistSite::MetaWrite | PersistSite::ManifestHeader),
+                            "{tag}: recovery failed at a non-birth site: {e}"
+                        );
+                        std::fs::remove_dir_all(&run_dir).unwrap();
                     }
                 }
             }

@@ -950,3 +950,165 @@ fn commit_ids_are_exactly_once_across_reconnects() {
     handle.join().unwrap();
     done(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Storage lifecycle over the wire (PR 10)
+// ---------------------------------------------------------------------------
+
+/// DELETE-BACKUP, GC and REKEY round-trip the wire with exactly-once
+/// semantics riding the commit-id registry, epoch fencing refuses reads
+/// from sessions that negotiated before a rekey, and the whole lifecycle
+/// state (deletion, registry entries, epoch) survives a graceful restart
+/// — a restarted server needs the epoch secret to open the store at all.
+#[test]
+fn lifecycle_ops_round_trip_with_exactly_once_and_epoch_fencing() {
+    let dir = test_dir("lifecycle-wire");
+    let store_dir = dir.join("store");
+    let secret = b"reed-epoch-secret";
+    let persist_engine = || DedupConfig {
+        persist: Some(PersistConfig::new(&store_dir).fsync(FsyncPolicy::Never)),
+        ..small_engine()
+    };
+    let payload = |rec: &freqdedup::trace::ChunkRecord| synthetic_payload(rec.fp, rec.size);
+    let mk = |label: &str, fps: std::ops::Range<u64>| {
+        Backup::from_chunks(
+            label,
+            fps.map(|i| freqdedup::trace::ChunkRecord::new(i, 64))
+                .collect(),
+        )
+    };
+    // The victim shares boundary chunks with both survivors; 100..180 are
+    // exclusive to it and must be physically reclaimed by GC.
+    let keep_a = mk("keep-a", 0..100);
+    let victim = mk("victim", 80..200);
+    let keep_b = mk("keep-b", 180..260);
+
+    let (addr, handle) = start(ServerConfig {
+        engine: persist_engine(),
+        log_file: Some(dir.join("server1.log")),
+        ..ServerConfig::default()
+    });
+
+    let mut c = Client::connect(addr, "lifecycle").unwrap();
+    for b in [&keep_a, &victim, &keep_b] {
+        c.upload_backup_payloads(b, payload).unwrap();
+        c.commit(&b.label).unwrap();
+    }
+
+    // A session that negotiates *before* the rekey, to be fenced later.
+    let mut stale = Client::connect(addr, "pre-rekey").unwrap();
+    stale.verify_restore(&keep_a, Some(&payload)).unwrap();
+
+    // ---- DELETE-BACKUP: releases the recipe, shrinks the tap catalog.
+    let (chunks, bytes) = c.delete_backup("victim", 21).unwrap();
+    assert_eq!((chunks, bytes), (120, 120 * 64));
+    // Replaying the same commit id returns the recorded ack verbatim,
+    // even though the label no longer resolves.
+    assert_eq!(c.delete_backup("victim", 21).unwrap(), (120, 120 * 64));
+    // A *fresh* delete of the now-unknown label is refused.
+    match c.delete_backup("victim", 29) {
+        Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::UNKNOWN_LABEL),
+        other => panic!("expected UNKNOWN_LABEL, got {other:?}"),
+    }
+    // The tap catalog no longer serves the deleted stream.
+    match c.restore("victim") {
+        Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::UNKNOWN_LABEL),
+        other => panic!("expected UNKNOWN_LABEL, got {other:?}"),
+    }
+
+    // ---- GC: physically reclaims the victim-exclusive chunks.
+    let summary = c.gc(1000, 22).unwrap();
+    assert!(summary.containers_dropped > 0, "GC dropped nothing");
+    assert!(
+        summary.reclaimed_bytes >= 80 * 64,
+        "exclusive chunks not reclaimed: {summary:?}"
+    );
+    assert_eq!(
+        c.gc(1000, 22).unwrap(),
+        summary,
+        "GC replay must be a no-op"
+    );
+    // Survivors restore bit-for-bit; a reclaimed chunk is gone.
+    c.verify_restore(&keep_a, Some(&payload)).unwrap();
+    c.verify_restore(&keep_b, Some(&payload)).unwrap();
+    assert!(c
+        .get_chunk(freqdedup::trace::Fingerprint(150))
+        .unwrap()
+        .is_none());
+
+    // ---- REKEY: an empty secret is refused outright.
+    match c.rekey(b"", 99) {
+        Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::BAD_STATE),
+        other => panic!("expected BAD_STATE, got {other:?}"),
+    }
+    let (epoch, rewritten) = c.rekey(secret, 23).unwrap();
+    assert_eq!(epoch, 1);
+    assert!(rewritten > 0, "rekey rewrote nothing");
+    assert_eq!(
+        c.rekey(secret, 23).unwrap(),
+        (epoch, rewritten),
+        "rekey replay must be a no-op"
+    );
+    // The rekeying session reads on; the pre-rekey session is fenced.
+    c.verify_restore(&keep_a, Some(&payload)).unwrap();
+    match stale.restore("keep-a") {
+        Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::STALE_EPOCH),
+        other => panic!("expected STALE_EPOCH, got {other:?}"),
+    }
+    // The fence is per-session, not per-connection-slot: reconnecting
+    // renegotiates at the current epoch and reads fine.
+    drop(stale);
+    let mut fresh = Client::connect(addr, "post-rekey").unwrap();
+    fresh.verify_restore(&keep_b, Some(&payload)).unwrap();
+    drop(fresh);
+
+    let stats1 = c.stats().unwrap();
+    assert_eq!(stats1.committed_backups, 3, "commit counter is monotonic");
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // ---- Restart: the store now *requires* the epoch secret.
+    assert!(
+        Server::bind(ServerConfig {
+            engine: persist_engine(),
+            log_file: Some(dir.join("server-nokey.log")),
+            ..ServerConfig::default()
+        })
+        .is_err(),
+        "binding without the epoch secret must fail"
+    );
+    let (addr, handle) = start(ServerConfig {
+        engine: DedupConfig {
+            persist: Some(
+                PersistConfig::new(&store_dir)
+                    .fsync(FsyncPolicy::Never)
+                    .epoch_secret(1, secret.to_vec()),
+            ),
+            ..small_engine()
+        },
+        log_file: Some(dir.join("server2.log")),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr, "lifecycle").unwrap();
+    // The catalog shrank for good: only the survivors are served.
+    assert_eq!(c.stats().unwrap().committed_backups, 2);
+    match c.restore("victim") {
+        Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::UNKNOWN_LABEL),
+        other => panic!("expected UNKNOWN_LABEL, got {other:?}"),
+    }
+    // The applied-op registry survived: all three lifecycle replays
+    // return their recorded acks without touching the store.
+    assert_eq!(c.delete_backup("victim", 21).unwrap(), (120, 120 * 64));
+    assert_eq!(c.gc(1000, 22).unwrap(), summary);
+    assert_eq!(c.rekey(secret, 23).unwrap(), (epoch, rewritten));
+    // A fresh conservative GC pass finds nothing dead.
+    let idle = c.gc(0, 31).unwrap();
+    assert_eq!(idle.containers_dropped, 0);
+    assert_eq!(idle.reclaimed_bytes, 0);
+    // Restores still verify bit-for-bit under the new epoch.
+    c.verify_restore(&keep_a, Some(&payload)).unwrap();
+    c.verify_restore(&keep_b, Some(&payload)).unwrap();
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+    done(&dir);
+}
